@@ -1,0 +1,97 @@
+// Figure 6: sampled NTDMr strategies and the resulting Pareto frontier,
+// grouped by N. Paper input: Experiment 11 CDF, BoT of 150 tasks, 50
+// unreliable machines, N = 0..3, 5x5 T/D grid, 7 Mr values.
+//
+// The paper's headline observations to reproduce:
+//  * N = 0 (no unreliable replication) strategies are expensive — up to
+//    ~4x the efficient cost;
+//  * the frontier's knee (an N >= 2 strategy) reaches much lower cost AND
+//    much lower makespan than poor N <= 1 choices.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "expert/util/table.hpp"
+
+int main() {
+  using namespace expert;
+  using bench::kBotTasks;
+
+  core::Estimator estimator(bench::figure_config(), bench::experiment11_model());
+  const auto result = core::generate_frontier(estimator, kBotTasks,
+                                              bench::paper_sampling());
+
+  std::cout << "Figure 6: Pareto frontier and sampled strategies "
+               "(Experiment 11 input)\n";
+  std::cout << "Sampled " << result.sampled.size() << " strategies; frontier has "
+            << result.frontier().size() << " points\n\n";
+
+  // Per-N extremes (the clusters of Fig. 6).
+  util::Table per_n({"N", "points", "min cost[c/task]", "max cost[c/task]",
+                     "min tail-ms[s]", "max tail-ms[s]"});
+  for (const auto& [n, frontier] : result.s_pareto.per_n) {
+    double min_cost = 1e300, max_cost = 0.0, min_ms = 1e300, max_ms = 0.0;
+    std::size_t count = 0;
+    for (const auto& p : result.sampled) {
+      const unsigned key = p.params.n.has_value()
+                               ? *p.params.n
+                               : core::SParetoResult::kInfinityKey;
+      if (key != n) continue;
+      ++count;
+      min_cost = std::min(min_cost, p.cost);
+      max_cost = std::max(max_cost, p.cost);
+      min_ms = std::min(min_ms, p.makespan);
+      max_ms = std::max(max_ms, p.makespan);
+    }
+    per_n.add_row({n == core::SParetoResult::kInfinityKey
+                       ? "inf"
+                       : std::to_string(n),
+                   std::to_string(count), util::fmt(min_cost, 2),
+                   util::fmt(max_cost, 2), util::fmt(min_ms, 0),
+                   util::fmt(max_ms, 0)});
+  }
+  per_n.print(std::cout);
+
+  std::cout << "\nPareto frontier (tail makespan ascending):\n";
+  util::Table frontier({"tail makespan[s]", "cost[cent/task]", "N", "T[s]",
+                        "D[s]", "Mr"});
+  for (const auto& p : result.frontier()) {
+    frontier.add_row(
+        {util::fmt(p.makespan, 0), util::fmt(p.cost, 2),
+         p.params.n.has_value() ? std::to_string(*p.params.n) : "inf",
+         util::fmt(p.params.timeout_t, 0), util::fmt(p.params.deadline_d, 0),
+         util::fmt(p.params.mr, 2)});
+  }
+  frontier.print(std::cout);
+
+  // Headline comparison from the paper's Fig. 6 discussion.
+  double worst_n0_cost = 0.0;
+  double best_frontier_cost = 1e300;
+  double worst_n1_makespan_under_2c = 0.0;
+  for (const auto& p : result.sampled) {
+    if (p.params.n == 0u) worst_n0_cost = std::max(worst_n0_cost, p.cost);
+    if (p.params.n == 1u && p.cost <= 2.0)
+      worst_n1_makespan_under_2c =
+          std::max(worst_n1_makespan_under_2c, p.makespan);
+  }
+  const core::StrategyPoint* knee = nullptr;
+  for (const auto& p : result.frontier()) {
+    best_frontier_cost = std::min(best_frontier_cost, p.cost);
+    if (!knee || p.makespan * p.cost < knee->makespan * knee->cost) knee = &p;
+  }
+  std::printf("\nworst N=0 sampled cost     : %5.2f cent/task\n",
+              worst_n0_cost);
+  std::printf("cheapest frontier cost     : %5.2f cent/task (%.1fx better)\n",
+              best_frontier_cost, worst_n0_cost / best_frontier_cost);
+  if (knee) {
+    std::printf("frontier knee              : %0.0f s at %.2f cent/task (%s)\n",
+                knee->makespan, knee->cost, knee->params.to_string().c_str());
+  }
+  if (worst_n1_makespan_under_2c > 0.0 && knee) {
+    std::printf(
+        "worst N=1 strategy <=2c    : %0.0f s tail makespan (%.1fx the knee)\n",
+        worst_n1_makespan_under_2c, worst_n1_makespan_under_2c / knee->makespan);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 7: best frontier points for various user utility functions.
+// Paper input: Experiment 11, same frontier as Fig. 6. The marked
+// preferences are: fastest, cheapest, min makespan*cost, fastest within a
+// budget of 2.5 cent/task, and cheapest within a deadline of 6300 s.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "expert/core/expert.hpp"
+#include "expert/util/table.hpp"
+
+int main() {
+  using namespace expert;
+
+  core::Estimator estimator(bench::figure_config(), bench::experiment11_model());
+  const auto frontier = core::generate_frontier(estimator, bench::kBotTasks,
+                                                bench::paper_sampling());
+
+  std::cout << "Figure 7: decision making on the Pareto frontier "
+               "(Experiment 11 input)\n";
+  std::cout << "Frontier points: " << frontier.frontier().size() << "\n\n";
+
+  // The deadline/budget marks are placed relative to the frontier's span so
+  // the scenario stays meaningful even though our simulated CDF is not
+  // byte-identical to the paper's testbed.
+  const double budget = 2.5;      // cent/task (paper's example)
+  double deadline = 6300.0;       // s (paper's example)
+  if (!frontier.frontier().empty() &&
+      deadline < frontier.frontier().front().makespan) {
+    deadline = frontier.frontier().front().makespan * 1.3;
+  }
+
+  const std::vector<core::Utility> utilities = {
+      core::Utility::fastest(),
+      core::Utility::cheapest(),
+      core::Utility::min_cost_makespan_product(),
+      core::Utility::fastest_within_budget(budget),
+      core::Utility::cheapest_within_deadline(deadline),
+  };
+
+  util::Table table({"utility", "tail makespan[s]", "cost[cent/task]",
+                     "N", "T[s]", "D[s]", "Mr"});
+  for (const auto& u : utilities) {
+    const auto rec = core::Expert::recommend(frontier, u);
+    if (!rec) {
+      table.add_row({u.name(), "infeasible", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    const auto& p = rec->predicted;
+    table.add_row(
+        {u.name(), util::fmt(p.makespan, 0), util::fmt(p.cost, 2),
+         p.params.n.has_value() ? std::to_string(*p.params.n) : "inf",
+         util::fmt(p.params.timeout_t, 0), util::fmt(p.params.deadline_d, 0),
+         util::fmt(p.params.mr, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n(budget mark: " << budget << " cent/task; deadline mark: "
+            << util::fmt(deadline, 0) << " s)\n";
+
+  // Paper-shape checks: 'fastest' sits at the frontier's left end,
+  // 'cheapest' at its right end, and every pick is Pareto-efficient.
+  const auto fastest = core::Expert::recommend(frontier, utilities[0]);
+  const auto cheapest = core::Expert::recommend(frontier, utilities[1]);
+  if (fastest && cheapest) {
+    std::cout << "\nfastest-vs-cheapest trade-off: "
+              << util::fmt(cheapest->predicted.makespan /
+                               fastest->predicted.makespan, 2)
+              << "x makespan for "
+              << util::fmt(fastest->predicted.cost / cheapest->predicted.cost, 2)
+              << "x cost\n";
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 8a: performance of the seven static scheduling strategies vs the
+// NTDMr Pareto frontier, for Mr_max = 0.1, on whole-BoT makespan and cost
+// per task. Paper input: Experiment 11, 150 tasks, 50 unreliable machines,
+// budget strategy B = 5 cent/task.
+//
+// Paper claims to reproduce:
+//  * the frontier dominates every tested static strategy except AUR;
+//  * AR is off the chart (makespan ~70,000 s, cost ~22 cent/task);
+//  * an ExPERT-recommended knee strategy cuts CN-inf's cost by ~72% and its
+//    makespan by ~33%.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "expert/core/expert.hpp"
+#include "expert/util/table.hpp"
+
+int main() {
+  using namespace expert;
+  using strategies::StaticStrategyKind;
+
+  constexpr double kMrMax = 0.1;
+  constexpr double kBudgetCents = 5.0 * bench::kBotTasks;
+
+  core::Estimator estimator(bench::figure_config(), bench::experiment11_model());
+
+  core::FrontierOptions options;
+  options.time_objective = core::TimeObjective::BotMakespan;
+
+  auto sampling = bench::paper_sampling();
+  std::erase_if(sampling.mr_values, [](double mr) { return mr > kMrMax; });
+  const auto frontier = core::generate_frontier(estimator, bench::kBotTasks,
+                                                sampling, options);
+
+  std::cout << "Figure 8a: static strategies vs Pareto frontier "
+               "(Mr_max = 0.1)\n\n";
+
+  struct StaticResult {
+    std::string name;
+    core::RunMetrics metrics;
+  };
+  std::vector<StaticResult> statics;
+  for (auto kind : strategies::kAllStaticStrategies) {
+    const auto cfg = strategies::make_static_strategy(
+        kind, bench::kTur, kMrMax, kBudgetCents);
+    const auto est = estimator.estimate(bench::kBotTasks, cfg,
+                                        /*stream=*/0xF18A + statics.size());
+    statics.push_back({cfg.name, est.mean});
+  }
+
+  util::Table table({"strategy", "makespan[s]", "cost[cent/task]",
+                     "dominated by frontier?"});
+  std::size_t dominated_count = 0;
+  for (const auto& s : statics) {
+    core::StrategyPoint p;
+    p.makespan = s.metrics.makespan;
+    p.cost = s.metrics.cost_per_task_cents;
+    bool dominated = false;
+    for (const auto& f : frontier.frontier()) {
+      if (core::dominates(f, p)) dominated = true;
+    }
+    if (dominated) ++dominated_count;
+    table.add_row({s.name, util::fmt(p.makespan, 0), util::fmt(p.cost, 2),
+                   dominated ? "yes" : "no"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPareto frontier (whole-BoT makespan):\n";
+  util::Table ftable({"makespan[s]", "cost[cent/task]", "strategy"});
+  for (const auto& p : frontier.frontier()) {
+    ftable.add_row({util::fmt(p.makespan, 0), util::fmt(p.cost, 2),
+                    p.params.to_string()});
+  }
+  ftable.print(std::cout);
+
+  // ExPERT recommended: the knee (min makespan*cost) of the frontier.
+  const auto rec = core::Expert::recommend(
+      frontier, core::Utility::min_cost_makespan_product());
+  if (rec) {
+    std::printf("\nExPERT recommended: %s -> makespan %0.0f s, cost %.2f c/t\n",
+                rec->strategy.to_string().c_str(), rec->predicted.makespan,
+                rec->predicted.cost);
+    for (const auto& s : statics) {
+      if (s.name != "CN-inf") continue;
+      std::printf("vs CN-inf          : cuts %0.0f%% of cost, %0.0f%% of "
+                  "makespan (paper: 72%% / 33%%)\n",
+                  100.0 * (1.0 - rec->predicted.cost /
+                                     s.metrics.cost_per_task_cents),
+                  100.0 * (1.0 - rec->predicted.makespan / s.metrics.makespan));
+    }
+  }
+  std::printf("\nstatic strategies dominated by the frontier: %zu / %zu "
+              "(paper: all but AUR)\n",
+              dominated_count, statics.size());
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 8b: BoT-makespan x cost-per-task utility of the static strategies
+// and of the ExPERT-recommended strategy, for Mr_max in {0.1, 0.3, 0.5}.
+// Smaller is better; paper: ExPERT recommended is ~25% better than the
+// second best (AUR), 72-78% better than the third best, and orders of
+// magnitude better than AR.
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "common.hpp"
+#include "expert/core/expert.hpp"
+#include "expert/util/table.hpp"
+
+int main() {
+  using namespace expert;
+
+  constexpr double kBudgetCents = 5.0 * bench::kBotTasks;
+  const std::vector<double> mr_max_values = {0.1, 0.3, 0.5};
+
+  core::Estimator estimator(bench::figure_config(), bench::experiment11_model());
+  core::FrontierOptions options;
+  options.time_objective = core::TimeObjective::BotMakespan;
+
+  std::cout << "Figure 8b: makespan x cost utility bars "
+               "(cent*s/task; smaller is better)\n\n";
+
+  util::Table table({"strategy", "Mr_max=0.1", "Mr_max=0.3", "Mr_max=0.5"});
+  std::map<std::string, std::vector<double>> scores;
+  std::vector<std::string> row_order;
+
+  for (double mr_max : mr_max_values) {
+    for (auto kind : strategies::kAllStaticStrategies) {
+      const auto cfg = strategies::make_static_strategy(
+          kind, bench::kTur, mr_max, kBudgetCents);
+      const auto est = estimator.estimate(bench::kBotTasks, cfg, 0xF18B);
+      auto& row = scores[cfg.name];
+      if (row.empty()) row_order.push_back(cfg.name);
+      row.push_back(est.mean.makespan * est.mean.cost_per_task_cents);
+    }
+    auto sampling = bench::paper_sampling();
+    std::erase_if(sampling.mr_values,
+                  [mr_max](double mr) { return mr > mr_max; });
+    const auto frontier = core::generate_frontier(
+        estimator, bench::kBotTasks, sampling, options);
+    const auto rec = core::Expert::recommend(
+        frontier, core::Utility::min_cost_makespan_product());
+    auto& row = scores["ExPERT Rec."];
+    if (row.empty()) row_order.push_back("ExPERT Rec.");
+    row.push_back(rec ? rec->predicted.makespan * rec->predicted.cost : -1.0);
+  }
+
+  for (const auto& name : row_order) {
+    const auto& row = scores[name];
+    table.add_row({name, util::fmt(row[0], 0), util::fmt(row[1], 0),
+                   util::fmt(row[2], 0)});
+  }
+  table.print(std::cout);
+
+  // Rank summary for Mr_max = 0.1 (the paper's headline comparison).
+  std::vector<std::pair<double, std::string>> ranked;
+  for (const auto& name : row_order) ranked.emplace_back(scores[name][0], name);
+  std::sort(ranked.begin(), ranked.end());
+  std::cout << "\nRanking at Mr_max=0.1 (best first):\n";
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    std::printf("  %zu. %-12s %12.0f cent*s/task\n", i + 1,
+                ranked[i].second.c_str(), ranked[i].first);
+  }
+  if (ranked.size() >= 3 && ranked[0].second == "ExPERT Rec.") {
+    std::printf("\nExPERT Rec. is %0.0f%% better than #2 (%s) and %0.0f%% "
+                "better than #3 (%s); paper: 25%% and 72-78%%\n",
+                100.0 * (1.0 - ranked[0].first / ranked[1].first),
+                ranked[1].second.c_str(),
+                100.0 * (1.0 - ranked[0].first / ranked[2].first),
+                ranked[2].second.c_str());
+  }
+  return 0;
+}

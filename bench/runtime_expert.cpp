@@ -1,0 +1,106 @@
+// §VI "ExPERT Runtime": the computational cost of running ExPERT at the
+// paper's resolution — single-strategy estimation in seconds, the full
+// space sweep in minutes on a 2008 laptop (much faster here). Implemented
+// with google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "expert/core/expert.hpp"
+#include "expert/util/rng.hpp"
+
+namespace {
+
+using namespace expert;
+
+core::Estimator make_estimator(std::size_t repetitions) {
+  return core::Estimator(bench::figure_config(repetitions),
+                         bench::experiment11_model());
+}
+
+strategies::StrategyConfig knee_strategy() {
+  strategies::NTDMr p;
+  p.n = 3;
+  p.timeout_t = bench::kTur;
+  p.deadline_d = 2.0 * bench::kTur;
+  p.mr = 0.02;
+  return strategies::make_ntdmr_strategy(p);
+}
+
+void BM_SingleStrategyOneRun(benchmark::State& state) {
+  const auto estimator = make_estimator(1);
+  const auto strategy = knee_strategy();
+  std::uint64_t stream = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimator.simulate(bench::kBotTasks, strategy, stream++).first);
+  }
+}
+BENCHMARK(BM_SingleStrategyOneRun);
+
+void BM_SingleStrategyTenRepetitions(benchmark::State& state) {
+  const auto estimator = make_estimator(10);
+  const auto strategy = knee_strategy();
+  std::uint64_t stream = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimator.estimate(bench::kBotTasks, strategy, stream++));
+  }
+}
+BENCHMARK(BM_SingleStrategyTenRepetitions);
+
+void BM_EstimatorScalesWithBotSize(benchmark::State& state) {
+  const auto estimator = make_estimator(1);
+  const auto strategy = knee_strategy();
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.simulate(tasks, strategy).first);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EstimatorScalesWithBotSize)->Range(64, 4096)->Complexity();
+
+void BM_ParetoFrontierComputation(benchmark::State& state) {
+  util::Rng rng(1);
+  std::vector<core::StrategyPoint> points(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto& p : points) {
+    p.makespan = rng.uniform(1000.0, 40000.0);
+    p.cost = rng.uniform(0.1, 5.0);
+    p.params.n = static_cast<unsigned>(rng.below(4));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::s_pareto(points));
+  }
+}
+BENCHMARK(BM_ParetoFrontierComputation)->Range(64, 8192);
+
+void BM_FullFrontierSweepPaperResolution(benchmark::State& state) {
+  // The paper's headline: "several minutes" on a 2008 dual-core for dozens
+  // of strategies x >10 repetitions. One iteration = the whole ExPERT
+  // frontier-generation step at paper resolution.
+  const auto estimator = make_estimator(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::generate_frontier(
+        estimator, bench::kBotTasks, bench::paper_sampling()));
+  }
+}
+BENCHMARK(BM_FullFrontierSweepPaperResolution)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_FrontierSweepSingleRepetition(benchmark::State& state) {
+  // The accuracy/speed trade the paper mentions: 1 repetition instead of 10.
+  const auto estimator = make_estimator(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::generate_frontier(
+        estimator, bench::kBotTasks, bench::paper_sampling()));
+  }
+}
+BENCHMARK(BM_FrontierSweepSingleRepetition)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// Tables I & II: the user-defined parameters and the values used in the
+// paper's experiments, as encoded by core::UserParams.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "expert/util/table.hpp"
+
+int main() {
+  using namespace expert;
+
+  const auto p = bench::paper_params();
+  std::cout << "Table II: values for user-defined parameters\n\n";
+  util::Table table({"item", "definition", "value"});
+  table.add_row({"T_ur", "mean CPU time of successful unreliable instance",
+                 util::fmt(p.tur, 0) + " s"});
+  table.add_row({"T_r", "task CPU time on a reliable machine",
+                 util::fmt(p.tr, 0) + " s"});
+  table.add_row({"C_ur", "unreliable cost rate (10 c/kWh * 100 W)",
+                 util::fmt(p.cur_cents_per_s * 3600.0, 2) + " cent/h"});
+  table.add_row({"C_r", "reliable cost rate (EC2 m1.large)",
+                 util::fmt(p.cr_cents_per_s * 3600.0, 2) + " cent/h"});
+  table.add_row({"Mr_max", "max ratio reliable/unreliable machines",
+                 util::fmt(p.mr_max, 2)});
+  table.add_row({"throughput deadline", "4 * T_ur",
+                 util::fmt(p.throughput_deadline(), 0) + " s"});
+  table.print(std::cout);
+
+  std::cout << "\nCharging periods: grids/self-owned "
+            << util::fmt(p.charging_period_ur_s, 0) << " s, EC2-like clouds "
+            << util::fmt(3600.0, 0) << " s (set per pool).\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Budget planner: explore a single Pareto frontier under many different
+// user preferences without re-simulating — the paper's point that once the
+// frontier is built, different users (or the same user on different days)
+// can re-use it with different utility functions.
+
+#include <cstdio>
+#include <iostream>
+
+#include "expert/core/expert.hpp"
+#include "expert/util/table.hpp"
+
+int main() {
+  using namespace expert;
+
+  core::UserParams params;  // Table II defaults
+  const auto model =
+      core::make_synthetic_model(params.tur, 300.0, 6000.0, 0.83);
+  core::ExpertOptions options;
+  options.repetitions = 10;
+  core::Expert expert(params, model, /*unreliable_size=*/50, options);
+
+  std::puts("Building the Pareto frontier once (150-task BoT)...");
+  const auto frontier = expert.build_frontier(150);
+  std::printf("  %zu efficient strategies\n\n", frontier.frontier().size());
+
+  // What does each budget buy? Sweep budgets over the frontier's cost span.
+  util::Table budgets({"budget [cent/task]", "fastest feasible [s]",
+                       "strategy"});
+  for (double budget : {0.5, 0.8, 1.2, 2.0, 3.0, 5.0}) {
+    const auto rec = core::Expert::recommend(
+        frontier, core::Utility::fastest_within_budget(budget));
+    if (rec) {
+      budgets.add_row({util::fmt(budget, 2),
+                       util::fmt(rec->predicted.makespan, 0),
+                       rec->strategy.to_string()});
+    } else {
+      budgets.add_row({util::fmt(budget, 2), "infeasible", "-"});
+    }
+  }
+  std::puts("What does a budget buy?");
+  budgets.print(std::cout);
+
+  // What does a deadline cost?
+  util::Table deadlines({"deadline [s]", "cheapest feasible [c/task]",
+                         "strategy"});
+  const auto& f = frontier.frontier();
+  const double lo = f.front().makespan;
+  const double hi = f.back().makespan;
+  for (int i = 0; i <= 5; ++i) {
+    const double deadline = lo + (hi - lo) * i / 5.0;
+    const auto rec = core::Expert::recommend(
+        frontier, core::Utility::cheapest_within_deadline(deadline));
+    if (rec) {
+      deadlines.add_row({util::fmt(deadline, 0),
+                         util::fmt(rec->predicted.cost, 2),
+                         rec->strategy.to_string()});
+    } else {
+      deadlines.add_row({util::fmt(deadline, 0), "infeasible", "-"});
+    }
+  }
+  std::puts("\nWhat does a deadline cost?");
+  deadlines.print(std::cout);
+
+  // A custom utility: "every hour of waiting is worth 2 cents per task".
+  core::Utility wait_cost("wait-priced", [](double makespan, double cost) {
+    return cost + 2.0 * makespan / 3600.0;
+  });
+  const auto rec = core::Expert::recommend(frontier, wait_cost);
+  if (rec) {
+    std::printf("\nCustom utility (1 h wait = 2 c/task): %s\n"
+                "  %0.0f s tail makespan at %.2f cent/task\n",
+                rec->strategy.to_string().c_str(), rec->predicted.makespan,
+                rec->predicted.cost);
+  }
+  return 0;
+}

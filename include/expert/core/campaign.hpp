@@ -1,0 +1,67 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "expert/core/expert.hpp"
+#include "expert/workload/bot.hpp"
+
+namespace expert::core {
+
+/// Orchestrates a multi-BoT campaign the way superlink-online-style
+/// services use GridBoT (paper §I, §V): every finished BoT's execution
+/// history feeds the statistical characterization for the next one, so
+/// ExPERT's recommendations sharpen as the campaign proceeds.
+///
+/// The campaign is backend-agnostic: the executor callback runs a BoT
+/// under a strategy and returns its trace (gridsim::Executor::run bound to
+/// an environment, or a binding to a real scheduler).
+class Campaign {
+ public:
+  using Backend = std::function<trace::ExecutionTrace(
+      const workload::Bot& bot, const strategies::StrategyConfig& strategy,
+      std::uint64_t stream)>;
+
+  struct Options {
+    UserParams params;
+    ExpertOptions expert;
+    /// Strategy for the first BoT (no history yet). Default: AUR.
+    std::optional<strategies::StrategyConfig> bootstrap_strategy;
+    /// Keep at most this many BoT histories for characterization (older
+    /// environments drift; the paper characterizes from recent data).
+    std::size_t history_window = 4;
+  };
+
+  struct BotReport {
+    strategies::StrategyConfig strategy;
+    bool used_recommendation = false;
+    double makespan = 0.0;
+    double tail_makespan = 0.0;
+    double cost_per_task_cents = 0.0;
+    /// Prediction made before the run (absent for the bootstrap BoT).
+    std::optional<StrategyPoint> predicted;
+  };
+
+  Campaign(Backend backend, Options options);
+
+  /// Run one BoT: recommend from accumulated history (when any), execute,
+  /// record the trace for future characterization.
+  BotReport run_bot(const workload::Bot& bot, const Utility& utility);
+
+  std::size_t completed_bots() const noexcept { return reports_.size(); }
+  const std::vector<BotReport>& reports() const noexcept { return reports_; }
+
+  /// Pooled characterization input: the retained histories merged into one
+  /// trace (send times offset so BoTs do not overlap).
+  std::optional<trace::ExecutionTrace> merged_history() const;
+
+ private:
+  Backend backend_;
+  Options options_;
+  std::vector<trace::ExecutionTrace> histories_;
+  std::vector<BotReport> reports_;
+  std::uint64_t next_stream_ = 1;
+};
+
+}  // namespace expert::core

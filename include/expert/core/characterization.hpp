@@ -1,0 +1,55 @@
+#pragma once
+
+#include "expert/core/turnaround_model.hpp"
+#include "expert/trace/trace.hpp"
+
+namespace expert::core {
+
+/// Which reliability model to extract from history (paper §IV):
+///  * Offline — gamma(t') computed with full knowledge, after all results
+///    returned. The upper bound on prediction accuracy.
+///  * Online  — gamma(t') predicted with only the information available at
+///    the decision-making time T_tail, via the three knowledge epochs.
+enum class ReliabilityMode { Offline, Online };
+
+struct CharacterizationOptions {
+  ReliabilityMode mode = ReliabilityMode::Online;
+  /// Deadline D of the instances in the history (bounds the partial-
+  /// knowledge epoch). When 0, uses 4x the mean successful turnaround.
+  double instance_deadline = 0.0;
+  /// Number of equal-width gamma windows per epoch.
+  std::size_t windows_per_epoch = 8;
+};
+
+/// Statistical characterization of the unreliable pool from an execution
+/// history (ExPERT process step 2). Fs is the ECDF of successful-instance
+/// turnarounds; gamma is piecewise per sending-time window.
+///
+/// Online mode implements the paper's three epochs for a decision made at
+/// t_tail:
+///  1. Full knowledge  (t' <  t_tail - D): observed success ratios.
+///  2. Partial knowledge (t_tail - D <= t' < t_tail): Eq. 2 —
+///     gamma(t') ~= F^(t_tail - t', t') / Fs1(t_tail - t'), truncated below
+///     by the minimal epoch-1 value and above by 1.
+///  3. Zero knowledge  (t' >= t_tail): average of the epoch-1 and epoch-2
+///     mean reliabilities.
+TurnaroundModel characterize(const trace::ExecutionTrace& history,
+                             const CharacterizationOptions& options = {});
+
+/// Estimate the effective size of the unreliable pool from the throughput
+/// phase: machines are saturated before T_tail, so the time-averaged number
+/// of concurrently assigned instances approximates the number of usable
+/// machines. Overestimates when failures are frequent (a lost instance
+/// appears assigned until its deadline while its replacement machine also
+/// serves work) — use the iterative estimator below when a model is
+/// available.
+std::size_t estimate_effective_size(const trace::ExecutionTrace& history);
+
+/// The paper's estimator: run iterations of the ExPERT Estimator over the
+/// throughput phase, bisecting the pool size until the estimated result
+/// rate matches the real one (result rate is monotone in pool size).
+std::size_t estimate_effective_size_iterative(
+    const trace::ExecutionTrace& history, const TurnaroundModel& model,
+    double throughput_deadline, std::uint64_t seed = 0x512EULL);
+
+}  // namespace expert::core

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "expert/core/frontier.hpp"
+
+namespace expert::core {
+
+/// Evolutionary multi-objective refinement of the Pareto frontier — the
+/// extension the paper names as future work ("gradually building the
+/// Pareto frontier using evolutionary multi-objective optimization
+/// algorithms can reduce ExPERT's runtime"). A compact NSGA-style loop:
+/// the archive's current frontier breeds offspring by parameter crossover
+/// and log-space mutation; every evaluated strategy stays in the archive,
+/// so the frontier is monotone non-degrading across generations.
+struct EvolutionOptions {
+  std::size_t population = 24;  ///< offspring evaluated per generation
+  std::size_t generations = 8;
+  double mutation_rate = 0.4;   ///< per-gene mutation probability
+  std::uint64_t seed = 0xEE01EULL;
+  /// Gene bounds: T and D live in (0, max_deadline]; Mr in [mr_min, mr_max].
+  double max_deadline = 0.0;
+  double mr_min = 0.02;
+  double mr_max = 0.5;
+  /// Allowed N values (nullopt = inf).
+  std::vector<std::optional<unsigned>> n_values = {0u, 1u, 2u, 3u};
+  FrontierOptions objectives;
+
+  void validate() const;
+};
+
+struct EvolutionResult {
+  std::vector<StrategyPoint> frontier;   ///< final non-dominated archive
+  std::vector<StrategyPoint> evaluated;  ///< every distinct evaluated point
+  std::size_t evaluations = 0;
+};
+
+/// Run the evolutionary refinement. `seeds` (e.g. a coarse grid sample)
+/// joins the initial population. Deterministic in options.seed and
+/// independent of thread count.
+EvolutionResult evolve_frontier(const Estimator& estimator,
+                                std::size_t task_count,
+                                const EvolutionOptions& options,
+                                std::vector<strategies::NTDMr> seeds = {});
+
+/// 2-D hypervolume (to minimize both objectives) dominated by `frontier`
+/// with respect to the reference point (ref_makespan, ref_cost): the area
+/// between the frontier staircase and the reference corner. Larger is
+/// better; points not dominating the reference contribute nothing.
+double hypervolume(const std::vector<StrategyPoint>& frontier,
+                   double ref_makespan, double ref_cost);
+
+}  // namespace expert::core

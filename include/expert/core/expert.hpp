@@ -1,0 +1,75 @@
+#pragma once
+
+#include <optional>
+
+#include "expert/core/characterization.hpp"
+#include "expert/core/estimator.hpp"
+#include "expert/core/frontier.hpp"
+#include "expert/core/user_params.hpp"
+#include "expert/core/utility.hpp"
+
+namespace expert::core {
+
+/// Knobs for the end-to-end ExPERT process.
+struct ExpertOptions {
+  CharacterizationOptions characterization;
+  SamplingSpec sampling;  ///< max_deadline == 0 resolves to 4 * T_ur
+  FrontierOptions frontier;
+  std::size_t repetitions = 10;
+  std::uint64_t seed = 0xE5717A70ULL;
+  /// Effective unreliable pool size; 0 means "estimate from the history".
+  std::size_t unreliable_size = 0;
+};
+
+/// What ExPERT hands back to the user's scheduler (process step 5): the
+/// chosen NTDMr parameters plus the predicted operating point and the whole
+/// frontier for later re-use with different utility functions.
+struct Recommendation {
+  strategies::NTDMr strategy;
+  StrategyPoint predicted;
+  double utility_score = 0.0;
+};
+
+/// The ExPERT scheduling framework facade (paper Fig. 4):
+///   1. user input (UserParams),
+///   2. statistical characterization (from history, or an explicit model),
+///   3. Pareto frontier generation,
+///   4. decision making against a utility function,
+///   5. emission of the chosen N, T, D, Mr parameters.
+class Expert {
+ public:
+  /// Steps 1-2 from an execution history (e.g. the throughput phase of the
+  /// running BoT, or a previous BoT on the same pools).
+  static Expert from_history(const trace::ExecutionTrace& history,
+                             const UserParams& params,
+                             const ExpertOptions& options = {});
+
+  /// Steps 1-2 with an explicit pool model (pure-simulation setting).
+  Expert(const UserParams& params, TurnaroundModel model,
+         std::size_t unreliable_size, const ExpertOptions& options = {});
+
+  const Estimator& estimator() const noexcept { return estimator_; }
+  const UserParams& params() const noexcept { return params_; }
+  std::size_t unreliable_size() const noexcept {
+    return estimator_.config().unreliable_size;
+  }
+
+  /// Step 3: sample the strategy space and build the Pareto frontier for a
+  /// BoT of `task_count` tasks.
+  FrontierResult build_frontier(std::size_t task_count) const;
+
+  /// Steps 3-5 in one call. Returns nullopt when no strategy satisfies the
+  /// utility's feasibility constraint.
+  std::optional<Recommendation> recommend(std::size_t task_count,
+                                          const Utility& utility) const;
+  /// Step 4-5 against a pre-built frontier (re-use with other utilities).
+  static std::optional<Recommendation> recommend(
+      const FrontierResult& frontier, const Utility& utility);
+
+ private:
+  UserParams params_;
+  ExpertOptions options_;
+  Estimator estimator_;
+};
+
+}  // namespace expert::core

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "expert/core/estimator.hpp"
+#include "expert/core/pareto.hpp"
+
+namespace expert::core {
+
+/// Which time metric the frontier optimizes. The paper uses the tail-phase
+/// makespan for frontier construction (Figs. 6, 7, 9, 10) and the whole-BoT
+/// makespan when comparing against static strategies (Fig. 8).
+enum class TimeObjective { TailMakespan, BotMakespan };
+
+/// Which cost metric goes on the frontier's second axis.
+enum class CostObjective { CostPerTask, TailCostPerTailTask };
+
+/// Strategy-space sampling specification (paper §VI: N = 0..3, T and D
+/// evenly sampled at 5 values each with 0 <= T <= D <= 4*T_ur, and up to 7
+/// Mr values).
+struct SamplingSpec {
+  /// N values to sample; std::nullopt denotes N = inf.
+  std::vector<std::optional<unsigned>> n_values = {0u, 1u, 2u, 3u};
+  /// D is sampled at `d_samples` evenly spaced values in (0, max_deadline].
+  std::size_t d_samples = 5;
+  /// T is sampled at `t_samples` evenly spaced fractions of each D in
+  /// [0, D].
+  std::size_t t_samples = 5;
+  /// Mr values to sample (ignored for N = inf, which never goes reliable).
+  std::vector<double> mr_values = {0.02, 0.06, 0.10, 0.20, 0.30, 0.40, 0.50};
+  /// Upper end of the deadline range (the throughput deadline, 4*T_ur).
+  double max_deadline = 0.0;
+  /// When true, deadline samples are packed geometrically toward the low
+  /// end of the range — the paper found the frontier's knee lives there.
+  bool focus_low_end = false;
+
+  void validate() const;
+};
+
+/// Expand a SamplingSpec into the explicit list of NTDMr strategies.
+/// Redundant combinations are pruned: N = 0 ignores T > D variants that
+/// duplicate T = D behaviour only when identical, and N = inf takes a
+/// single Mr value (the reliable pool is never used).
+std::vector<strategies::NTDMr> sample_strategy_space(const SamplingSpec& spec);
+
+struct FrontierOptions {
+  TimeObjective time_objective = TimeObjective::TailMakespan;
+  CostObjective cost_objective = CostObjective::CostPerTask;
+  /// Worker threads for the strategy sweep; 0 = hardware concurrency.
+  std::size_t threads = 0;
+};
+
+struct FrontierResult {
+  std::vector<StrategyPoint> sampled;   ///< every evaluated strategy
+  SParetoResult s_pareto;               ///< per-N frontiers + merged frontier
+  const std::vector<StrategyPoint>& frontier() const {
+    return s_pareto.merged;
+  }
+};
+
+/// ExPERT process step 3: evaluate every sampled strategy with the
+/// Estimator (in parallel) and build the Pareto frontier. Deterministic:
+/// each strategy's RNG stream is derived from its index in the sample list,
+/// so results do not depend on thread count.
+FrontierResult generate_frontier(const Estimator& estimator,
+                                 std::size_t task_count,
+                                 const SamplingSpec& spec,
+                                 const FrontierOptions& options = {});
+
+/// Evaluate one explicit list of NTDMr strategies (used by the Mr sweep of
+/// Fig. 9 and by the evolutionary extension).
+std::vector<StrategyPoint> evaluate_strategies(
+    const Estimator& estimator, std::size_t task_count,
+    const std::vector<strategies::NTDMr>& strategies,
+    const FrontierOptions& options = {});
+
+/// Extract the (time, cost) pair an objective configuration selects.
+double time_metric(const RunMetrics& m, TimeObjective objective) noexcept;
+double cost_metric(const RunMetrics& m, CostObjective objective) noexcept;
+
+}  // namespace expert::core

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "expert/core/estimator.hpp"
+#include "expert/strategies/ntdmr.hpp"
+
+namespace expert::core {
+
+/// One evaluated strategy: its NTDMr parameters and the two performance
+/// metrics ExPERT optimizes (a time metric and a cost metric), plus the full
+/// estimator output for diagnostics (Fig. 10 uses used_mr / queue length).
+struct StrategyPoint {
+  strategies::NTDMr params;
+  double makespan = 0.0;  ///< the chosen time objective (tail or whole-BoT)
+  double cost = 0.0;      ///< the chosen cost objective [cent/task]
+  RunMetrics metrics;
+};
+
+/// Pareto dominance (paper §II-A): a dominates b when a is no worse on both
+/// metrics and strictly better on at least one. Lower is better for both.
+bool dominates(const StrategyPoint& a, const StrategyPoint& b) noexcept;
+
+/// The Pareto frontier of `points`: all non-dominated points, sorted by
+/// makespan ascending (cost is then strictly descending). Duplicate-metric
+/// points keep one representative. O(n log n) sweep.
+std::vector<StrategyPoint> pareto_frontier(std::vector<StrategyPoint> points);
+
+/// The paper's hierarchical (s-Pareto) construction: group the points by
+/// their N value — each N is a distinct conceptual solution — compute a
+/// frontier per group, then merge the groups' frontiers into the overall
+/// one. The merged result equals pareto_frontier(all points); the per-N
+/// frontiers are what Fig. 6 plots.
+struct SParetoResult {
+  /// Key: N value, with N = inf mapped to kInfinityKey.
+  std::map<unsigned, std::vector<StrategyPoint>> per_n;
+  std::vector<StrategyPoint> merged;
+
+  static constexpr unsigned kInfinityKey = 0xFFFFFFFFu;
+};
+
+SParetoResult s_pareto(const std::vector<StrategyPoint>& points);
+
+}  // namespace expert::core

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace expert::core {
+
+/// gamma(t') — the unreliable pool's reliability at instance sending time
+/// t': the probability that an instance sent at t' ever returns a result
+/// (paper Eq. 1). Implementations must return values in [0, 1].
+class ReliabilityModel {
+ public:
+  virtual ~ReliabilityModel() = default;
+  virtual double gamma(double t_prime) const = 0;
+  /// Mean reliability over the model's support (used for reporting).
+  virtual double mean_gamma() const = 0;
+};
+
+/// Time-invariant reliability — the pure-simulation setting of §V.
+class ConstantReliability final : public ReliabilityModel {
+ public:
+  explicit ConstantReliability(double gamma);
+  double gamma(double) const override { return gamma_; }
+  double mean_gamma() const override { return gamma_; }
+
+ private:
+  double gamma_;
+};
+
+/// Piecewise-constant reliability over disjoint windows of sending time;
+/// values beyond the last window take `tail_value` (used by both the
+/// offline model — full knowledge — and the online model's three epochs).
+class PiecewiseReliability final : public ReliabilityModel {
+ public:
+  struct Window {
+    double start = 0.0;  ///< window covers [start, end)
+    double end = 0.0;
+    double value = 0.0;
+  };
+
+  /// Windows must be non-empty, ordered, non-overlapping.
+  PiecewiseReliability(std::vector<Window> windows, double tail_value);
+
+  double gamma(double t_prime) const override;
+  double mean_gamma() const override;
+  const std::vector<Window>& windows() const noexcept { return windows_; }
+  double tail_value() const noexcept { return tail_value_; }
+
+ private:
+  std::vector<Window> windows_;
+  double tail_value_;
+};
+
+using ReliabilityPtr = std::shared_ptr<const ReliabilityModel>;
+
+}  // namespace expert::core

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "expert/core/expert.hpp"
+
+namespace expert::core {
+
+/// Everything a run of the ExPERT process can report on. All sections are
+/// optional; the renderer emits only what is present.
+struct ReportData {
+  std::string title = "ExPERT report";
+  std::optional<UserParams> params;
+  /// Characterization section.
+  const TurnaroundModel* model = nullptr;
+  std::size_t unreliable_size = 0;
+  /// Frontier section.
+  const FrontierResult* frontier = nullptr;
+  std::size_t task_count = 0;
+  /// Decision section: (utility name, recommendation) pairs.
+  std::vector<std::pair<std::string, Recommendation>> decisions;
+};
+
+/// Render a human-readable Markdown report of an ExPERT run: environment
+/// parameters, the statistical characterization, the Pareto frontier as a
+/// table, and the strategy chosen for each utility function. Useful for
+/// sharing a frontier with collaborators (the paper's "the same frontier
+/// can be used by different users").
+std::string render_markdown_report(const ReportData& data);
+
+}  // namespace expert::core

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "expert/core/estimator.hpp"
+
+namespace expert::core {
+
+/// Local sensitivity analysis of a chosen NTDMr strategy: how strongly do
+/// makespan and cost react when each parameter moves? Answers the
+/// operational question "how carefully must I tune this knob?" before the
+/// strategy is deployed, and flags knees where a small parameter drift
+/// would be expensive.
+struct SensitivityOptions {
+  /// Relative perturbation applied to T, D, and Mr (N moves by +-1).
+  double perturbation = 0.2;
+  /// Repetitions per evaluation (more than a plain estimate: differences
+  /// of noisy estimates need tighter means).
+  std::size_t repetitions = 20;
+
+  void validate() const;
+};
+
+struct ParameterSensitivity {
+  std::string parameter;  ///< "N", "T", "D", or "Mr"
+  /// Perturbed values actually evaluated (after clamping to valid ranges).
+  double low_value = 0.0;
+  double high_value = 0.0;
+  RunMetrics low;
+  RunMetrics high;
+  /// Central-difference elasticities: relative change of the metric per
+  /// relative change of the parameter (0 = insensitive).
+  double makespan_elasticity = 0.0;
+  double cost_elasticity = 0.0;
+};
+
+struct SensitivityReport {
+  strategies::NTDMr strategy;
+  RunMetrics base;
+  std::vector<ParameterSensitivity> parameters;
+};
+
+/// Evaluate the strategy and its per-parameter perturbations. Parameters
+/// that cannot move (N = inf, T already 0 with perturbation down, Mr on an
+/// N = inf strategy) are skipped.
+SensitivityReport analyze_sensitivity(const Estimator& estimator,
+                                      std::size_t task_count,
+                                      const strategies::NTDMr& strategy,
+                                      const SensitivityOptions& options = {});
+
+}  // namespace expert::core

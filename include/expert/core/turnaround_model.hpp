@@ -1,0 +1,52 @@
+#pragma once
+
+#include <limits>
+
+#include "expert/core/reliability.hpp"
+#include "expert/stats/ecdf.hpp"
+#include "expert/util/rng.hpp"
+
+namespace expert::core {
+
+/// The paper's statistical model of the unreliable pool (Eq. 1):
+///
+///   F(t, t') = Fs(t) * gamma(t')
+///
+/// where Fs is the turnaround-time CDF of *successful* instances and
+/// gamma(t') is the probability that an instance sent at t' ever returns.
+/// The ExPERT Estimator samples a result turnaround time by drawing
+/// x ~ U[0,1) and solving F(t, t') = x: if x >= gamma(t') the instance never
+/// returns; otherwise t = Fs^{-1}(x / gamma(t')).
+class TurnaroundModel {
+ public:
+  TurnaroundModel(stats::EmpiricalCdf fs, ReliabilityPtr gamma);
+
+  /// Draw a turnaround time for an instance sent at t'. Returns +inf when
+  /// the instance never returns. Callers apply the deadline: a finite draw
+  /// >= D still counts as a failure, but the machine is held until D.
+  double sample(util::Rng& rng, double t_prime) const;
+
+  /// F(t, t') — mostly for tests and diagnostics.
+  double cdf(double t, double t_prime) const;
+
+  const stats::EmpiricalCdf& fs() const noexcept { return fs_; }
+  const ReliabilityModel& gamma_model() const noexcept { return *gamma_; }
+  double gamma(double t_prime) const { return gamma_->gamma(t_prime); }
+
+  /// Mean turnaround of successful instances — the T_ur estimate.
+  double mean_successful_turnaround() const { return fs_.mean(); }
+
+ private:
+  stats::EmpiricalCdf fs_;
+  ReliabilityPtr gamma_;
+};
+
+/// Convenience: synthetic model with lognormal-ish successful turnarounds
+/// (clipped to [min_t, max_t]) and constant reliability — the configuration
+/// used by the paper's pure-simulation experiments.
+TurnaroundModel make_synthetic_model(double mean_turnaround, double min_t,
+                                     double max_t, double gamma,
+                                     std::size_t cdf_samples = 2000,
+                                     std::uint64_t seed = 0x5eedCDFULL);
+
+}  // namespace expert::core

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "expert/util/money.hpp"
+
+namespace expert::core {
+
+/// The user-defined parameters of the paper's Table I, with the default
+/// values of Table II. Costs are in cents per second; times in seconds.
+struct UserParams {
+  /// Mean CPU time of a successful task instance on an unreliable machine.
+  double tur = 2066.0;
+  /// Task CPU time on a reliable machine (Table II uses T_ur when no
+  /// reliable measurement exists).
+  double tr = 2066.0;
+  /// Unreliable cost rate: 10 cent/kWh * 100 W = 1/3600 cent/s (energy).
+  double cur_cents_per_s = 1.0 / 3600.0;
+  /// Reliable cost rate: EC2 m1.large on-demand, 34/3600 cent/s.
+  double cr_cents_per_s = 34.0 / 3600.0;
+  /// Maximal ratio of reliable to unreliable machines.
+  double mr_max = 0.1;
+  /// Charging quantum of the unreliable pool (1 s on grids).
+  double charging_period_ur_s = 1.0;
+  /// Charging quantum of the reliable pool (3600 s on EC2, 1 s on a
+  /// self-owned cluster).
+  double charging_period_r_s = 1.0;
+
+  void validate() const;
+
+  /// Throughput-phase deadline: several times the mean unreliable CPU time;
+  /// the paper and our sweeps use 4 * T_ur.
+  double throughput_deadline() const noexcept { return 4.0 * tur; }
+};
+
+/// Charging helper shared with the machine-level simulator.
+using util::charge_cents;
+
+}  // namespace expert::core

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expert/core/pareto.hpp"
+
+namespace expert::core {
+
+/// A user utility function over the two performance metrics. ExPERT only
+/// assumes monotonicity — lower makespan and lower cost are never worse —
+/// which guarantees the optimum lies on the Pareto frontier. We encode
+/// utility as a *score to minimize* plus an optional feasibility predicate
+/// (for budget / deadline constraints).
+class Utility {
+ public:
+  using Score = std::function<double(double makespan, double cost)>;
+  using Feasible = std::function<bool(double makespan, double cost)>;
+
+  Utility(std::string name, Score score, Feasible feasible = nullptr);
+
+  const std::string& name() const noexcept { return name_; }
+  double score(double makespan, double cost) const;
+  bool feasible(double makespan, double cost) const;
+
+  // --- The preferences showcased in paper Fig. 7. ---
+  static Utility fastest();   ///< minimize makespan
+  static Utility cheapest();  ///< minimize cost
+  static Utility min_cost_makespan_product();
+  /// Fastest strategy whose cost is within the budget [cent/task].
+  static Utility fastest_within_budget(double budget_cents_per_task);
+  /// Cheapest strategy finishing within the deadline [s].
+  static Utility cheapest_within_deadline(double deadline_s);
+
+ private:
+  std::string name_;
+  Score score_;
+  Feasible feasible_;
+};
+
+struct Decision {
+  StrategyPoint choice;
+  double score = 0.0;
+};
+
+/// ExPERT process step 4: pick the frontier point optimizing the utility.
+/// Returns nullopt when no frontier point satisfies the feasibility
+/// predicate (e.g. the budget is below the cheapest strategy).
+std::optional<Decision> choose_best(const std::vector<StrategyPoint>& frontier,
+                                    const Utility& utility);
+
+}  // namespace expert::core

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "expert/stats/distributions.hpp"
+
+namespace expert::gridsim {
+
+/// One availability (up) interval of a machine: [start, end) seconds.
+struct UpInterval {
+  double start = 0.0;
+  double end = 0.0;
+};
+
+/// Failure-Trace-Archive-style availability trace: per machine, the sorted,
+/// disjoint intervals during which the host was available. The paper's
+/// reliability evidence comes from exactly this kind of data; gridsim can
+/// replay such traces instead of (or mixed with) its analytic up/down
+/// model, so users can bring real FTA logs.
+class AvailabilityTrace {
+ public:
+  /// Intervals per machine must be sorted, disjoint, and non-empty ranges.
+  explicit AvailabilityTrace(std::vector<std::vector<UpInterval>> machines);
+
+  std::size_t machine_count() const noexcept { return machines_.size(); }
+  const std::vector<UpInterval>& machine(std::size_t idx) const;
+
+  /// Fraction of [0, horizon) covered by up intervals of one machine.
+  double availability(std::size_t idx, double horizon) const;
+  /// Mean availability across machines over [0, horizon).
+  double mean_availability(double horizon) const;
+
+  /// Synthesize an FTA-like trace from the alternating-exponential model.
+  /// Machines start up with probability = long-run availability.
+  static AvailabilityTrace synthesize(std::size_t machines, double horizon,
+                                      const stats::AvailabilityModel& model,
+                                      std::uint64_t seed);
+
+  /// CSV with header "machine,start,end", one row per up interval.
+  static AvailabilityTrace read_csv(std::istream& in);
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::vector<UpInterval>> machines_;
+};
+
+}  // namespace expert::gridsim

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "expert/gridsim/pool.hpp"
+#include "expert/strategies/static_strategies.hpp"
+#include "expert/trace/trace.hpp"
+#include "expert/workload/bot.hpp"
+
+namespace expert::gridsim {
+
+/// Configuration of a machine-level BoT execution.
+struct ExecutorConfig {
+  PoolConfig unreliable;
+  /// Reliable pool; absent for pure-grid (N = inf) experiments.
+  std::optional<PoolConfig> reliable;
+  /// Deadline of throughput-phase instances; 0 resolves to 4x the BoT's
+  /// mean task CPU time (the paper's default).
+  double throughput_deadline = 0.0;
+  std::uint64_t seed = 0x6B1D51AULL;
+  /// Hard horizon; exceeding it throws (a real experiment never hangs).
+  double max_sim_time = 5.0e7;
+  /// Resource exclusion (Kondo et al., referenced by the paper): after a
+  /// host kills this many instances, the overlay blacklists it and draws a
+  /// replacement host from the same group (fresh speed and availability).
+  /// 0 disables. With per-host availability heterogeneity this raises the
+  /// pool's reliability over time — the gamma(t') drift the online model
+  /// exists to track.
+  std::size_t exclusion_threshold = 0;
+
+  void validate() const;
+};
+
+/// Machine-level execution of a BoT under a user strategy — the stand-in
+/// for the paper's real GridBoT runs on Condor/OSG/EC2. Unlike the ExPERT
+/// Estimator (which works from the statistical model F(t,t')), this
+/// executor simulates individual machines: heterogeneous speeds, up/down
+/// availability with silent or reported failures, per-task CPU times, and
+/// per-group pricing. Its traces are what ExPERT characterizes.
+class Executor {
+ public:
+  explicit Executor(ExecutorConfig config);
+
+  const ExecutorConfig& config() const noexcept { return config_; }
+
+  /// Run the BoT to completion; deterministic in (config.seed, stream).
+  trace::ExecutionTrace run(const workload::Bot& bot,
+                            const strategies::StrategyConfig& strategy,
+                            std::uint64_t stream = 0) const;
+
+  /// Callback invoked once, at T_tail, with the history observed so far
+  /// (resolved instances plus still-pending ones recorded as unreturned).
+  /// Returns the strategy whose *tail behaviour* governs the rest of the
+  /// run — the paper's "dynamic online selection": characterize the
+  /// throughput phase of the running BoT, build the frontier, and pick the
+  /// tail strategy mid-flight.
+  using TailStrategySelector = std::function<strategies::StrategyConfig(
+      const trace::ExecutionTrace& throughput_history)>;
+
+  /// Like run(), but the tail strategy is chosen online by `selector`.
+  /// `initial` governs the throughput phase (and the tail too, should the
+  /// selector throw nothing better — the returned config replaces it).
+  trace::ExecutionTrace run_adaptive(const workload::Bot& bot,
+                                     const strategies::StrategyConfig& initial,
+                                     const TailStrategySelector& selector,
+                                     std::uint64_t stream = 0) const;
+
+ private:
+  ExecutorConfig config_;
+};
+
+}  // namespace expert::gridsim

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "expert/gridsim/pool.hpp"
+
+namespace expert::gridsim {
+
+/// Synthetic stand-ins for the real resource pools of the paper's Table IV.
+/// Parameters are calibrated to the published behaviour: per-experiment
+/// average reliabilities (Table V), EC2 m1.large pricing (Table II), and
+/// per-second grid/self-owned accounting.
+///
+/// `target_gamma` is the desired per-instance success probability for a
+/// `mean_runtime`-second task; it maps to the mean machine up-time.
+
+/// UW-Madison Condor pool: preemptive fair-share — frequent evictions,
+/// heterogeneous speeds. A fraction of evictions is reported to the
+/// scheduler (Condor does notify on preemption when connectivity allows).
+PoolConfig make_wm(std::size_t count, double target_gamma,
+                   double mean_runtime);
+
+/// Open Science Grid: no preemption; failures are rarer but never reported
+/// (results just stop coming).
+PoolConfig make_osg(std::size_t count, double target_gamma,
+                    double mean_runtime);
+
+/// Technion self-owned cluster: homogeneous, effectively always available,
+/// charged per second at the reliable rate (used as the reliable pool).
+PoolConfig make_tech(std::size_t count);
+
+/// Amazon EC2 m1.large on-demand: homogeneous, >99% available, charged per
+/// whole hours at 34/3600 cent/s.
+PoolConfig make_ec2(std::size_t count);
+
+/// Table IV combined pools.
+PoolConfig make_osg_wm(std::size_t count, double target_gamma,
+                       double mean_runtime);
+PoolConfig make_wm_ec2(std::size_t wm_count, std::size_t ec2_count,
+                       double target_gamma, double mean_runtime);
+PoolConfig make_wm_tech(std::size_t wm_count, std::size_t tech_count,
+                        double target_gamma, double mean_runtime);
+
+}  // namespace expert::gridsim

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "expert/gridsim/executor.hpp"
+#include "expert/strategies/static_strategies.hpp"
+#include "expert/workload/presets.hpp"
+
+namespace expert::gridsim {
+
+/// The thirteen validation experiments of the paper's Table V, encoded as
+/// reusable scenarios: workload, strategy parameters (N from the table,
+/// T/D from Table III), pool combination (Table IV) and the published
+/// average reliability used to calibrate the unreliable pool.
+struct TableVExperiment {
+  int number = 0;
+  workload::WorkloadId workload = workload::WorkloadId::WL1;
+  std::optional<unsigned> n;  ///< nullopt = N = inf
+  std::size_t unreliable_size = 200;
+  enum class UnreliableKind { WM, OSG, OSGWM } unreliable =
+      UnreliableKind::WM;
+  enum class ReliableKind {
+    None,
+    Tech,
+    EC2,
+    TechCombined,  ///< CN-inf style: Tech supplements the unreliable pool
+    EC2Combined,
+  } reliable = ReliableKind::Tech;
+  double gamma = 0.9;  ///< Table V average reliability target
+
+  bool combined() const noexcept {
+    return reliable == ReliableKind::TechCombined ||
+           reliable == ReliableKind::EC2Combined;
+  }
+  bool ec2_reliable() const noexcept {
+    return reliable == ReliableKind::EC2 ||
+           reliable == ReliableKind::EC2Combined;
+  }
+};
+
+/// All 13 rows of Table V.
+const std::vector<TableVExperiment>& table_v_experiments();
+
+/// Machine-level environment for one experiment (pools calibrated to the
+/// row's reliability at the workload's mean CPU time).
+ExecutorConfig make_experiment_environment(const TableVExperiment& exp,
+                                           std::uint64_t seed);
+
+/// The strategy the experiment ran: NTDMr with the row's N and the
+/// workload's T/D, or CN-inf for the combined-pool rows.
+strategies::StrategyConfig make_experiment_strategy(
+    const TableVExperiment& exp);
+
+}  // namespace expert::gridsim

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace expert::sim {
+
+/// Simulation time, in seconds since the start of the run.
+using SimTime = double;
+
+/// Discrete-event simulation engine. Events fire in (time, insertion-order)
+/// order, so simultaneous events are deterministic. Cancellation is lazy:
+/// a cancelled node stays in the heap and is skipped when popped — cheap and
+/// exactly matches the "cancel an enqueued instance" semantics the ExPERT
+/// model needs.
+class Engine {
+ public:
+  class EventHandle {
+   public:
+    EventHandle() = default;
+    /// Cancel the event if it has not fired; no-op otherwise.
+    void cancel();
+    bool pending() const;
+
+   private:
+    friend class Engine;
+    struct Node;
+    explicit EventHandle(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+    std::shared_ptr<Node> node_;
+  };
+
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (>= now).
+  EventHandle schedule_at(SimTime at, std::function<void()> fn);
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  EventHandle schedule_in(SimTime delay, std::function<void()> fn);
+
+  /// Run until the event queue drains. Returns the time of the last event.
+  SimTime run();
+  /// Run events with time <= horizon; clock ends at min(horizon, last event).
+  SimTime run_until(SimTime horizon);
+  /// Process at most `count` events (diagnostics / incremental stepping).
+  /// Returns the number actually processed.
+  std::size_t run_some(std::size_t count);
+  /// Request the current run() / run_until() to return after the in-flight
+  /// event finishes. Used to end a simulation at BoT completion without
+  /// draining background processes (e.g. machine availability churn).
+  void stop() noexcept { stop_requested_ = true; }
+
+  bool empty() const;
+  std::size_t scheduled_events() const noexcept { return live_events_; }
+  std::uint64_t processed_events() const noexcept { return processed_; }
+
+ private:
+  struct EventHandle::Node {
+    SimTime time = 0.0;
+    std::uint64_t seq = 0;
+    bool cancelled = false;
+    std::function<void()> fn;
+  };
+  using NodePtr = std::shared_ptr<EventHandle::Node>;
+
+  struct Later {
+    bool operator()(const NodePtr& a, const NodePtr& b) const noexcept {
+      if (a->time != b->time) return a->time > b->time;
+      return a->seq > b->seq;
+    }
+  };
+
+  NodePtr pop_next();
+
+  std::priority_queue<NodePtr, std::vector<NodePtr>, Later> heap_;
+  SimTime now_ = 0.0;
+  bool stop_requested_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::size_t live_events_ = 0;
+};
+
+}  // namespace expert::sim

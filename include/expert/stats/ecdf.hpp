@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace expert::stats {
+
+/// Empirical cumulative distribution function over a sample of non-negative
+/// values (result turnaround times, in the paper's use). Right-continuous
+/// step function: cdf(t) = #{x_i <= t} / n. quantile() is the generalized
+/// inverse used by the ExPERT Estimator to sample turnaround times:
+/// quantile(p) = min { x_i : cdf(x_i) >= p }.
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  /// Takes the sample by value and sorts it. Requires non-empty.
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  bool empty() const noexcept { return sorted_.empty(); }
+  std::size_t size() const noexcept { return sorted_.size(); }
+
+  /// P(X <= t). 0 for t below the smallest sample.
+  double cdf(double t) const noexcept;
+  /// Generalized inverse; p in [0, 1]. p == 0 returns the smallest sample;
+  /// p == 1 the largest.
+  double quantile(double p) const;
+
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  const std::vector<double>& sorted_samples() const noexcept { return sorted_; }
+
+  /// Merge two ECDFs into one over the pooled samples.
+  static EmpiricalCdf merge(const EmpiricalCdf& a, const EmpiricalCdf& b);
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+};
+
+}  // namespace expert::stats

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace expert::strategies {
+
+/// The NTDMr tail-phase replication strategy (paper §III). Controls the
+/// scheduling process of Fig. 3:
+///
+///  * `n` — maximal number of instances sent per task to the *unreliable*
+///    pool since the tail phase started. A final (N+1)-th instance goes to
+///    the reliable pool, without a deadline, to guarantee completion.
+///    `std::nullopt` encodes N = ∞ (never use the reliable pool).
+///  * `deadline_d` — instance deadline D, measured from submission. An
+///    instance with no result by D is considered failed (weak connectivity:
+///    the scheduler learns nothing earlier).
+///  * `timeout_t` — minimal wait T between submitting consecutive instances
+///    of the same task.
+///  * `mr` — ratio of reliable to unreliable effective pool sizes; bounds
+///    the number of concurrently used reliable machines to ceil(mr * l_ur).
+struct NTDMr {
+  std::optional<unsigned> n;
+  double timeout_t = 0.0;
+  double deadline_d = 0.0;
+  double mr = 0.0;
+
+  bool unlimited_unreliable() const noexcept { return !n.has_value(); }
+  /// True when the strategy may ever send a reliable instance.
+  bool uses_reliable() const noexcept { return n.has_value(); }
+
+  /// Human-readable, e.g. "N=3 T=2066 D=4132 Mr=0.02" or "N=inf ...".
+  std::string to_string() const;
+
+  /// Validate ranges (T >= 0, D > 0, mr >= 0); throws ContractViolation.
+  void validate() const;
+};
+
+bool operator==(const NTDMr& a, const NTDMr& b) noexcept;
+
+}  // namespace expert::strategies

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+#include "expert/strategies/static_strategies.hpp"
+
+namespace expert::strategies {
+
+/// Parser for a GridBoT-style strategy mini-language (the paper's user
+/// scheduler takes strategies as strings). Two forms are accepted:
+///
+///  * NTDMr parameter form, whitespace-separated `key=value` pairs:
+///        "N=3 T=2066 D=4132 Mr=0.02"
+///    - N accepts a non-negative integer or "inf";
+///    - T and D accept seconds, or a multiple of T_ur as "2.5Tur";
+///    - keys are case-insensitive; each key may appear once; D is
+///      required, T defaults to D, Mr defaults to 0.
+///
+///  * static strategy form, the §V baseline names with optional arguments:
+///        "AR", "TRR", "TR", "AUR", "CN-inf", "CN1T0", "B=5"   (cent/task)
+///
+/// `tur` scales the "...Tur" suffix and the static strategies' default
+/// deadline; `mr_max` bounds the static strategies' reliable pool;
+/// `task_count` converts the budget form's cent/task into a total budget.
+///
+/// Throws util::ContractViolation with a human-readable message on any
+/// syntax or range error.
+StrategyConfig parse_strategy(const std::string& text, double tur,
+                              double mr_max, std::size_t task_count = 1);
+
+/// Render a StrategyConfig back into the mini-language (round-trips
+/// through parse_strategy for NTDMr and named static forms).
+std::string format_strategy(const StrategyConfig& config, double tur,
+                            std::size_t task_count = 1);
+
+}  // namespace expert::strategies

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <string>
+
+#include "expert/strategies/ntdmr.hpp"
+
+namespace expert::strategies {
+
+/// Policy for the throughput phase (and, for `Continue` tails, the whole
+/// BoT). The paper's default is no-replication on the unreliable pool with
+/// deadline 4*T_ur.
+enum class ThroughputPolicy {
+  UnreliableOnly,  ///< default: tasks go only to the unreliable pool
+  ReliableOnly,    ///< AR: everything runs on the reliable pool
+  Combined,        ///< CN*: overflow to the reliable pool when the
+                   ///< unreliable pool is fully utilized
+};
+
+/// What happens once the tail phase starts.
+enum class TailMode {
+  NTDMrTail,            ///< the NTDMr process of Fig. 3
+  ReplicateAllReliable, ///< at T_tail enqueue one reliable instance per
+                        ///< remaining task (TRR / CN1T0)
+  Continue,             ///< keep the throughput policy (AUR / CN-inf / AR)
+  BudgetTriggered,      ///< replicate all remaining tasks to the reliable
+                        ///< pool once the estimated cost fits the remaining
+                        ///< budget (the paper's B=7.5$ strategy)
+};
+
+/// A complete user strategy: throughput policy + tail behaviour. All the
+/// paper's strategies — NTDMr points sampled by ExPERT and the seven static
+/// baselines of §V — are instances of this struct.
+struct StrategyConfig {
+  std::string name;
+  ThroughputPolicy throughput = ThroughputPolicy::UnreliableOnly;
+  TailMode tail_mode = TailMode::NTDMrTail;
+  /// NTDMr parameters. For non-NTDMr tails, `mr` still caps the reliable
+  /// pool and `deadline_d` is the unreliable-instance deadline.
+  NTDMr ntdmr;
+  /// Total budget for BudgetTriggered, in cents for the whole BoT.
+  double budget_cents = 0.0;
+
+  void validate() const;
+};
+
+/// The seven static scheduling strategies of paper §V.
+enum class StaticStrategyKind {
+  AR,       ///< All to Reliable
+  TRR,      ///< all Tail Replicated to Reliable (N=0, T=0, Mr=Mr_max)
+  TR,       ///< all Tail to Reliable on timeout (N=0, T=D, Mr=Mr_max)
+  AUR,      ///< All to UnReliable, no replication (N=inf, T=D)
+  Budget,   ///< budget-triggered replication to reliable
+  CNInf,    ///< Combine resources, no replication
+  CN1T0,    ///< Combine resources, replicate at tail (N=1, T=0)
+};
+
+constexpr StaticStrategyKind kAllStaticStrategies[] = {
+    StaticStrategyKind::AR,     StaticStrategyKind::TRR,
+    StaticStrategyKind::TR,     StaticStrategyKind::AUR,
+    StaticStrategyKind::Budget, StaticStrategyKind::CNInf,
+    StaticStrategyKind::CN1T0,
+};
+
+const char* to_string(StaticStrategyKind kind) noexcept;
+
+/// Build the StrategyConfig for a static strategy. `tur` is the mean task
+/// CPU time on the unreliable pool (the throughput deadline is 4*tur, per
+/// §III); `mr_max` bounds the reliable pool; `budget_cents` is only used by
+/// StaticStrategyKind::Budget.
+StrategyConfig make_static_strategy(StaticStrategyKind kind, double tur,
+                                    double mr_max, double budget_cents = 0.0);
+
+/// Wrap a plain NTDMr tail strategy with the default throughput phase.
+StrategyConfig make_ntdmr_strategy(const NTDMr& params);
+
+}  // namespace expert::strategies

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "expert/trace/trace.hpp"
+
+namespace expert::trace {
+
+/// Write a trace as CSV with a header row:
+///   task,pool,send_time,turnaround,outcome,cost_cents,tail_phase
+/// plus a metadata comment line "#meta,<task_count>,<t_tail>,<completion>".
+void write_csv(const ExecutionTrace& trace, std::ostream& out);
+
+/// Parse a trace written by write_csv. Throws std::runtime_error on
+/// malformed input.
+ExecutionTrace read_csv(std::istream& in);
+
+}  // namespace expert::trace

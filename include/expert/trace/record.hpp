@@ -1,0 +1,44 @@
+#pragma once
+
+#include <limits>
+
+#include "expert/workload/bot.hpp"
+
+namespace expert::trace {
+
+/// Which resource pool an instance was submitted to.
+enum class PoolKind { Unreliable, Reliable };
+
+/// Final state of one task instance.
+enum class InstanceOutcome {
+  Success,    ///< returned a result before its deadline
+  Timeout,    ///< no result by the deadline (includes silent host failures)
+  Cancelled,  ///< removed from a queue before being sent
+};
+
+constexpr double kNeverReturns = std::numeric_limits<double>::infinity();
+
+/// One task instance, as observed by the user scheduler. This is the unit
+/// of both gridsim output (the "real experiment" record) and estimator
+/// bookkeeping, and the raw material of statistical characterization.
+struct InstanceRecord {
+  workload::TaskId task = 0;
+  PoolKind pool = PoolKind::Unreliable;
+  double send_time = 0.0;  ///< t' — submission to the pool queue [s]
+  /// Result turnaround time: result time − send time for successes,
+  /// +inf for failed instances (paper §II-A).
+  double turnaround = kNeverReturns;
+  InstanceOutcome outcome = InstanceOutcome::Timeout;
+  double cost_cents = 0.0;  ///< 0 for failed/cancelled instances
+  bool tail_phase = false;  ///< sent at or after T_tail
+
+  bool successful() const noexcept {
+    return outcome == InstanceOutcome::Success;
+  }
+  double completion_time() const noexcept { return send_time + turnaround; }
+};
+
+const char* to_string(PoolKind pool) noexcept;
+const char* to_string(InstanceOutcome outcome) noexcept;
+
+}  // namespace expert::trace

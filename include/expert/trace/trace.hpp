@@ -1,0 +1,67 @@
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "expert/trace/record.hpp"
+
+namespace expert::trace {
+
+/// Complete record of one BoT execution: every instance sent, the tail-phase
+/// start time, and the completion time. Produced by the gridsim executor
+/// ("real" experiments) and by the ExPERT Estimator when asked for a trace.
+class ExecutionTrace {
+ public:
+  ExecutionTrace() = default;
+  ExecutionTrace(std::size_t task_count, std::vector<InstanceRecord> records,
+                 double t_tail, double completion_time);
+
+  std::size_t task_count() const noexcept { return task_count_; }
+  const std::vector<InstanceRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// Tail-phase start: first time remaining tasks < available unreliable
+  /// resources (paper §II-A).
+  double t_tail() const noexcept { return t_tail_; }
+  /// BoT completion time == makespan (submission is time 0).
+  double makespan() const noexcept { return completion_time_; }
+  double tail_makespan() const noexcept { return completion_time_ - t_tail_; }
+
+  double total_cost_cents() const noexcept;
+  double cost_per_task_cents() const;
+
+  /// Number of instances sent to the reliable pool (Table V's "RI").
+  std::size_t reliable_instances_sent() const noexcept;
+
+  /// Turnaround times of successful instances on the given pool; the raw
+  /// sample behind Fs(t) (Fig. 5).
+  std::vector<double> successful_turnarounds(PoolKind pool) const;
+
+  /// Average reliability of the unreliable pool: successes / sent instances
+  /// (Table V's gamma column). Cancelled instances are excluded.
+  double average_reliability() const;
+
+  /// Reliability of unreliable instances sent in [lo, hi); nullopt when no
+  /// instance was sent in the window. Used to observe gamma(t') drift.
+  std::optional<double> reliability_in_window(double lo, double hi) const;
+
+  /// Number of tasks still without a result at time t (by first success).
+  std::size_t remaining_at(double t) const;
+
+  /// Remaining-tasks-over-time series (Fig. 1): starts at (0, task_count)
+  /// and steps down at each first result per task.
+  std::vector<std::pair<double, std::size_t>> remaining_tasks_series() const;
+
+  /// Completion time of a specific task (first successful instance), if any.
+  std::optional<double> task_completion_time(workload::TaskId task) const;
+
+ private:
+  std::size_t task_count_ = 0;
+  std::vector<InstanceRecord> records_;
+  double t_tail_ = 0.0;
+  double completion_time_ = 0.0;
+};
+
+}  // namespace expert::trace

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace expert::util {
+
+/// Minimal command-line argument parser for the CLI tools:
+///   prog <command> [--key value]... [--flag]... [positional]...
+/// `--key=value` is also accepted. Unknown options are collected and can
+/// be rejected by the caller via unknown_options().
+class Args {
+ public:
+  Args(int argc, const char* const* argv,
+       const std::vector<std::string>& known_options,
+       const std::vector<std::string>& known_flags = {});
+
+  /// First positional argument (conventionally the subcommand), if any.
+  std::optional<std::string> command() const;
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  bool has_flag(const std::string& name) const;
+  std::optional<std::string> option(const std::string& name) const;
+  std::string option_or(const std::string& name,
+                        const std::string& fallback) const;
+  double number_or(const std::string& name, double fallback) const;
+  /// Required option; throws ContractViolation when absent.
+  std::string required(const std::string& name) const;
+
+  const std::vector<std::string>& unknown_options() const noexcept {
+    return unknown_;
+  }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> flags_;
+  std::vector<std::string> positional_;
+  std::vector<std::string> unknown_;
+};
+
+}  // namespace expert::util

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace expert::util {
+
+/// Error thrown when an EXPERT_REQUIRE precondition or EXPERT_CHECK
+/// invariant is violated. Carries the failing expression and location.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace expert::util
+
+/// Precondition check on public API arguments. Always enabled: scheduling
+/// decisions feed real money/time trade-offs, so silent corruption is worse
+/// than the branch cost.
+#define EXPERT_REQUIRE(expr, msg)                                              \
+  do {                                                                         \
+    if (!(expr))                                                               \
+      ::expert::util::contract_fail("precondition", #expr, __FILE__, __LINE__, \
+                                    (msg));                                    \
+  } while (false)
+
+/// Internal invariant check.
+#define EXPERT_CHECK(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::expert::util::contract_fail("invariant", #expr, __FILE__, __LINE__, \
+                                    (msg));                                  \
+  } while (false)

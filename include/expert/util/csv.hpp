@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace expert::util {
+
+/// Minimal CSV support for execution traces and bench output. Handles
+/// quoting of fields containing separators/quotes/newlines; numeric fields
+/// are written with enough digits to round-trip doubles.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char sep = ',');
+
+  CsvWriter& field(const std::string& value);
+  CsvWriter& field(double value);
+  CsvWriter& field(long long value);
+  CsvWriter& field(unsigned long long value);
+  CsvWriter& field(int value) { return field(static_cast<long long>(value)); }
+  CsvWriter& field(std::size_t value) {
+    return field(static_cast<unsigned long long>(value));
+  }
+  void end_row();
+
+  void row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+  char sep_;
+  bool row_started_ = false;
+
+  void write_raw(const std::string& escaped);
+};
+
+/// Parse one CSV document. Throws std::runtime_error on malformed quoting.
+std::vector<std::vector<std::string>> parse_csv(std::istream& in,
+                                                char sep = ',');
+std::vector<std::vector<std::string>> parse_csv_string(const std::string& text,
+                                                       char sep = ',');
+
+}  // namespace expert::util

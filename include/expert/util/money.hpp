@@ -1,0 +1,12 @@
+#pragma once
+
+namespace expert::util {
+
+/// Cost of one successful instance that consumed `runtime_s` seconds at
+/// `rate_cents_per_s`, charged per `period_s` as used (rounded up to whole
+/// charging periods — one hour on EC2, one second on grids and self-owned
+/// machines). Failed instances are never charged (paper §II-A).
+double charge_cents(double runtime_s, double rate_cents_per_s,
+                    double period_s);
+
+}  // namespace expert::util

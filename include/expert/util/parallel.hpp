@@ -1,0 +1,49 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace expert::util {
+
+/// Fixed-size thread pool. Tasks are plain std::function<void()>; exceptions
+/// escaping a task terminate (tasks are expected to capture their own error
+/// channels, as parallel_for does).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Run body(i) for i in [0, n) across a transient pool of `threads` workers
+/// (hardware concurrency when 0). Iterations are statically chunked so the
+/// assignment of iteration -> worker is deterministic; any exception thrown
+/// by an iteration is rethrown on the caller after all workers join.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace expert::util

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace expert::util {
+
+/// splitmix64 step: used to seed and to derive independent per-entity
+/// streams from one user seed (e.g. one stream per estimator repetition).
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Derive a well-mixed child seed from (parent seed, stream index).
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream) noexcept;
+
+/// xoshiro256** — small, fast, high-quality PRNG. Deterministic across
+/// platforms (unlike std::mt19937's distribution wrappers), which keeps
+/// simulated experiments reproducible in tests and benches.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+  result_type next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n) noexcept;
+  /// Standard normal via Box–Muller (no cached spare: stateless draws keep
+  /// replay simple).
+  double normal() noexcept;
+  double normal(double mean, double stddev) noexcept;
+  /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate) noexcept;
+  /// Lognormal with the given log-space parameters.
+  double lognormal(double mu, double sigma) noexcept;
+  /// Weibull with shape k and scale lambda.
+  double weibull(double shape, double scale) noexcept;
+  /// Bernoulli trial.
+  bool bernoulli(double p) noexcept;
+
+  /// Fork an independent child stream; deterministic in (this state, idx).
+  Rng fork(std::uint64_t idx) const noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace expert::util

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace expert::workload {
+
+using TaskId = std::uint32_t;
+
+/// One asynchronous, independent task of a Bag-of-Tasks. `cpu_seconds` is
+/// the CPU time the task needs on a reference-speed (1.0) machine; actual
+/// runtime on a machine of speed s is cpu_seconds / s.
+struct Task {
+  TaskId id = 0;
+  double cpu_seconds = 0.0;
+};
+
+/// A Bag of Tasks: a set of asynchronous independent tasks forming a single
+/// logical computation (paper §II-A).
+class Bot {
+ public:
+  Bot() = default;
+  Bot(std::string name, std::vector<Task> tasks);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<Task>& tasks() const noexcept { return tasks_; }
+  std::size_t size() const noexcept { return tasks_.size(); }
+  const Task& task(TaskId id) const;
+
+  double total_cpu_seconds() const noexcept { return total_cpu_; }
+  double mean_cpu_seconds() const;
+  double min_cpu_seconds() const;
+  double max_cpu_seconds() const;
+
+ private:
+  std::string name_;
+  std::vector<Task> tasks_;
+  double total_cpu_ = 0.0;
+};
+
+}  // namespace expert::workload

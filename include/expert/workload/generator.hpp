@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "expert/workload/bot.hpp"
+
+namespace expert::stats {
+class TruncatedLognormal;
+}
+
+namespace expert::workload {
+
+/// Generator for streams of BoTs, as submitted to a superlink-online-style
+/// portal: BoT sizes are lognormal between bounds (grid workload-archive
+/// studies report heavy-tailed BoT sizes), task CPU times follow a
+/// per-BoT truncated lognormal whose mean itself varies between BoTs
+/// (different analyses have different task granularities).
+struct BotStreamSpec {
+  std::size_t mean_tasks = 500;
+  std::size_t min_tasks = 50;
+  std::size_t max_tasks = 5000;
+  /// Mean task CPU time varies per BoT within this range [s].
+  double min_mean_cpu = 600.0;
+  double max_mean_cpu = 3000.0;
+  /// Per-BoT CPU-time spread: min = mean * min_factor, max = mean *
+  /// max_factor.
+  double min_cpu_factor = 0.4;
+  double max_cpu_factor = 2.5;
+
+  void validate() const;
+};
+
+class BotStream {
+ public:
+  BotStream(BotStreamSpec spec, std::uint64_t seed);
+
+  /// Generate the next BoT of the stream (deterministic sequence per seed).
+  Bot next();
+
+  std::size_t generated() const noexcept { return count_; }
+
+ private:
+  BotStreamSpec spec_;
+  std::uint64_t seed_;
+  std::size_t count_ = 0;
+  /// Unit-mean CPU-time shape, calibrated once (scale-invariant).
+  std::shared_ptr<const stats::TruncatedLognormal> unit_cpu_dist_;
+};
+
+/// Convenience: materialize `n` BoTs from a fresh stream.
+std::vector<Bot> generate_bots(const BotStreamSpec& spec, std::size_t n,
+                               std::uint64_t seed);
+
+}  // namespace expert::workload

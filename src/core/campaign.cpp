@@ -1,0 +1,70 @@
+#include "expert/core/campaign.hpp"
+
+#include <algorithm>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::core {
+
+Campaign::Campaign(Backend backend, Options options)
+    : backend_(std::move(backend)), options_(std::move(options)) {
+  EXPERT_REQUIRE(backend_ != nullptr, "campaign needs an execution backend");
+  EXPERT_REQUIRE(options_.history_window > 0,
+                 "history window must be positive");
+  options_.params.validate();
+}
+
+std::optional<trace::ExecutionTrace> Campaign::merged_history() const {
+  if (histories_.empty()) return std::nullopt;
+  std::size_t task_offset = 0;
+  std::vector<trace::InstanceRecord> merged;
+  double offset = 0.0;
+  // Concatenate the BoTs end to end, shifting both time and task ids so
+  // the merged trace reads as one long campaign.
+  for (const auto& h : histories_) {
+    for (auto r : h.records()) {
+      r.send_time += offset;
+      r.task += static_cast<workload::TaskId>(task_offset);
+      merged.push_back(r);
+    }
+    offset += h.makespan() + 1.0;
+    task_offset += h.task_count();
+  }
+  // The merged trace is a pure history: everything already happened, so
+  // the "decision time" sits at its end — characterization then treats all
+  // but the last deadline-width of it as full-knowledge data.
+  return trace::ExecutionTrace(task_offset, std::move(merged), offset, offset);
+}
+
+Campaign::BotReport Campaign::run_bot(const workload::Bot& bot,
+                                      const Utility& utility) {
+  strategies::StrategyConfig strategy =
+      options_.bootstrap_strategy.value_or(strategies::make_static_strategy(
+          strategies::StaticStrategyKind::AUR, options_.params.tur, 0.0));
+  BotReport report;
+
+  if (const auto history = merged_history()) {
+    const auto expert =
+        Expert::from_history(*history, options_.params, options_.expert);
+    if (const auto rec = expert.recommend(bot.size(), utility)) {
+      strategy = strategies::make_ntdmr_strategy(rec->strategy);
+      report.predicted = rec->predicted;
+      report.used_recommendation = true;
+    }
+  }
+
+  const auto trace = backend_(bot, strategy, next_stream_++);
+  report.strategy = strategy;
+  report.makespan = trace.makespan();
+  report.tail_makespan = trace.tail_makespan();
+  report.cost_per_task_cents = trace.cost_per_task_cents();
+
+  histories_.push_back(trace);
+  if (histories_.size() > options_.history_window) {
+    histories_.erase(histories_.begin());
+  }
+  reports_.push_back(report);
+  return report;
+}
+
+}  // namespace expert::core

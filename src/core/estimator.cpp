@@ -1,0 +1,523 @@
+#include "expert/core/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <optional>
+
+#include "expert/sim/engine.hpp"
+#include "expert/util/assert.hpp"
+
+namespace expert::core {
+
+namespace {
+
+using strategies::StrategyConfig;
+using strategies::TailMode;
+using strategies::ThroughputPolicy;
+using trace::InstanceOutcome;
+using trace::InstanceRecord;
+using trace::PoolKind;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Replication rules in force during a phase: the throughput phase behaves
+/// like NTDMr with N = inf and T = D = throughput deadline on the primary
+/// pool; the tail phase uses the strategy's parameters.
+struct PhaseRules {
+  std::optional<unsigned> n;  ///< unreliable enqueues allowed per tail task
+  double timeout_t = 0.0;
+  double deadline_d = 0.0;
+};
+
+/// One simulated BoT execution (one Estimator repetition). Implements the
+/// task-instance flow of paper Fig. 3 over a discrete-event engine.
+class Run {
+ public:
+  Run(const EstimatorConfig& cfg, const TurnaroundModel& model,
+      std::size_t task_count, const StrategyConfig& strategy, util::Rng rng)
+      : cfg_(cfg),
+        model_(model),
+        strategy_(strategy),
+        rng_(rng),
+        tasks_(task_count),
+        remaining_(task_count) {
+    thr_deadline_ = cfg_.throughput_deadline > 0.0
+                        ? cfg_.throughput_deadline
+                        : 4.0 * model_.mean_successful_turnaround();
+    l_ur_ = cfg_.unreliable_size;
+    l_r_ = static_cast<std::size_t>(
+        std::ceil(strategy_.ntdmr.mr * static_cast<double>(l_ur_)));
+    if (strategy_.throughput == ThroughputPolicy::ReliableOnly) {
+      EXPERT_REQUIRE(l_r_ > 0,
+                     "ReliableOnly strategy needs a non-empty reliable pool");
+    }
+    if ((strategy_.tail_mode == TailMode::NTDMrTail ||
+         strategy_.tail_mode == TailMode::ReplicateAllReliable) &&
+        strategy_.ntdmr.n.has_value()) {
+      // A finite N relies on the guaranteed (N+1)-th reliable instance;
+      // users without reliable capacity are restricted to N = inf
+      // (paper §III).
+      EXPERT_REQUIRE(l_r_ > 0, "finite-N strategy needs reliable capacity");
+    }
+    tail_trigger_ = cfg_.tail_tasks_override > 0
+                        ? cfg_.tail_tasks_override
+                        : (l_ur_ > 0 ? l_ur_ - 1 : 0);
+    throughput_rules_ = PhaseRules{std::nullopt, thr_deadline_, thr_deadline_};
+  }
+
+  std::pair<RunMetrics, trace::ExecutionTrace> execute() {
+    maybe_start_tail();
+    for (workload::TaskId t = 0; t < tasks_.size(); ++t) consider_enqueue(t);
+    dispatch();
+    engine_.run_until(cfg_.max_sim_time);
+
+    RunMetrics m;
+    m.finished = remaining_ == 0;
+    m.makespan = m.finished ? completion_time_ : cfg_.max_sim_time;
+    m.t_tail = tail_started_ ? t_tail_ : m.makespan;
+    m.tail_makespan = m.makespan - m.t_tail;
+    m.total_cost_cents = total_cost_;
+    m.cost_per_task_cents =
+        total_cost_ / static_cast<double>(tasks_.size());
+    m.tail_tasks = static_cast<double>(tail_tasks_);
+    m.tail_cost_per_tail_task_cents =
+        tail_tasks_ > 0 ? tail_cost_ / static_cast<double>(tail_tasks_) : 0.0;
+    m.reliable_instances_sent = static_cast<double>(reliable_sent_);
+    m.unreliable_instances_sent = static_cast<double>(unreliable_sent_);
+    m.duplicate_results = static_cast<double>(duplicates_);
+    m.used_mr = l_ur_ > 0 ? static_cast<double>(max_busy_r_) /
+                                static_cast<double>(l_ur_)
+                          : 0.0;
+    m.max_reliable_queue = static_cast<double>(max_r_queue_);
+    m.max_reliable_queue_fraction =
+        tail_tasks_ > 0 ? static_cast<double>(max_r_queue_) /
+                              static_cast<double>(tail_tasks_)
+                        : 0.0;
+
+    trace::ExecutionTrace tr(tasks_.size(), std::move(records_), m.t_tail,
+                             m.makespan);
+    return {m, std::move(tr)};
+  }
+
+ private:
+  enum class Queued { None, Unreliable, Reliable };
+
+  struct TaskState {
+    bool completed = false;
+    bool reliable_used = false;  ///< the (N+1)-th instance was enqueued/sent
+    Queued queued = Queued::None;
+    std::uint64_t epoch = 0;  ///< bumps on enqueue/cancel; stale-entry guard
+    double enqueue_time = 0.0;
+    double last_send = -kInf;
+    unsigned tail_ur_enqueued = 0;
+    std::size_t running = 0;
+    sim::Engine::EventHandle check;
+  };
+
+  struct QueueEntry {
+    workload::TaskId task = 0;
+    std::uint64_t epoch = 0;
+  };
+
+  const PhaseRules& current_rules() const {
+    if (!tail_started_) return throughput_rules_;
+    switch (strategy_.tail_mode) {
+      case TailMode::NTDMrTail:
+        if (!tail_rules_cached_) {
+          tail_rules_ = PhaseRules{strategy_.ntdmr.n, strategy_.ntdmr.timeout_t,
+                                   strategy_.ntdmr.deadline_d};
+          tail_rules_cached_ = true;
+        }
+        return tail_rules_;
+      case TailMode::ReplicateAllReliable:
+        if (!tail_rules_cached_) {
+          tail_rules_ = PhaseRules{0u, 0.0, strategy_.ntdmr.deadline_d};
+          tail_rules_cached_ = true;
+        }
+        return tail_rules_;
+      case TailMode::Continue:
+      case TailMode::BudgetTriggered:
+        return throughput_rules_;
+    }
+    return throughput_rules_;
+  }
+
+  bool combined_overflow() const {
+    return strategy_.throughput == ThroughputPolicy::Combined;
+  }
+  bool primary_reliable() const {
+    return strategy_.throughput == ThroughputPolicy::ReliableOnly;
+  }
+
+  void enqueue(workload::TaskId task, Queued where) {
+    auto& st = tasks_[task];
+    EXPERT_CHECK(st.queued == Queued::None, "task already enqueued");
+    EXPERT_CHECK(!st.completed, "enqueue of completed task");
+    st.queued = where;
+    ++st.epoch;
+    st.enqueue_time = engine_.now();
+    if (where == Queued::Unreliable) {
+      ur_queue_.push_back({task, st.epoch});
+    } else {
+      r_queue_.push_back({task, st.epoch});
+      ++live_r_queue_;
+      max_r_queue_ = std::max(max_r_queue_, live_r_queue_);
+      st.reliable_used = true;
+    }
+  }
+
+  void cancel_queued(workload::TaskId task) {
+    auto& st = tasks_[task];
+    if (st.queued == Queued::None) return;
+    if (st.queued == Queued::Reliable) {
+      EXPERT_CHECK(live_r_queue_ > 0, "reliable queue underflow");
+      --live_r_queue_;
+    }
+    records_.push_back(InstanceRecord{
+        task,
+        st.queued == Queued::Reliable ? PoolKind::Reliable
+                                      : PoolKind::Unreliable,
+        st.enqueue_time, kInf, InstanceOutcome::Cancelled, 0.0,
+        tail_started_ && st.enqueue_time >= t_tail_});
+    st.queued = Queued::None;
+    ++st.epoch;
+  }
+
+  std::optional<workload::TaskId> pop_valid(std::deque<QueueEntry>& queue,
+                                            Queued pool) {
+    while (!queue.empty()) {
+      const QueueEntry e = queue.front();
+      queue.pop_front();
+      const auto& st = tasks_[e.task];
+      if (st.queued == pool && st.epoch == e.epoch && !st.completed) {
+        if (pool == Queued::Reliable) {
+          EXPERT_CHECK(live_r_queue_ > 0, "reliable queue underflow");
+          --live_r_queue_;
+        }
+        return e.task;
+      }
+      // Stale entry: the instance was cancelled (task completed or
+      // re-planned) before being sent.
+    }
+    return std::nullopt;
+  }
+
+  void dispatch() {
+    while (busy_ur_ < l_ur_) {
+      const auto task = pop_valid(ur_queue_, Queued::Unreliable);
+      if (!task) break;
+      send(*task, PoolKind::Unreliable);
+    }
+    while (l_r_ > 0 && busy_r_ < l_r_) {
+      if (const auto task = pop_valid(r_queue_, Queued::Reliable)) {
+        send(*task, PoolKind::Reliable);
+        continue;
+      }
+      // CN*: the unreliable pool is fully utilized (otherwise its queue
+      // would have drained above) — overflow onto the reliable pool.
+      if (combined_overflow()) {
+        if (const auto task = pop_valid(ur_queue_, Queued::Unreliable)) {
+          send(*task, PoolKind::Reliable);
+          continue;
+        }
+      }
+      break;
+    }
+  }
+
+  void send(workload::TaskId task, PoolKind pool) {
+    const double now = engine_.now();
+    auto& st = tasks_[task];
+    st.queued = Queued::None;
+    ++st.epoch;
+    st.last_send = now;
+    ++st.running;
+    const bool tail_send = tail_started_;
+
+    if (pool == PoolKind::Unreliable) {
+      ++busy_ur_;
+      ++unreliable_sent_;
+      const double deadline = current_rules().deadline_d;
+      const double draw = model_.sample(rng_, now);
+      if (draw < deadline) {
+        engine_.schedule_in(draw, [this, task, now, draw] {
+          on_finish(task, PoolKind::Unreliable, now, draw, true);
+        });
+      } else {
+        engine_.schedule_in(deadline, [this, task, now] {
+          on_finish(task, PoolKind::Unreliable, now, kInf, false);
+        });
+      }
+    } else {
+      ++busy_r_;
+      ++reliable_sent_;
+      st.reliable_used = true;
+      max_busy_r_ = std::max(max_busy_r_, busy_r_);
+      engine_.schedule_in(cfg_.tr, [this, task, now] {
+        on_finish(task, PoolKind::Reliable, now, cfg_.tr, true);
+      });
+    }
+    (void)tail_send;
+    schedule_check(task);
+  }
+
+  void on_finish(workload::TaskId task, PoolKind pool, double send_time,
+                 double turnaround, bool success) {
+    const double now = engine_.now();
+    auto& st = tasks_[task];
+    EXPERT_CHECK(st.running > 0, "finish without running instance");
+    --st.running;
+    if (pool == PoolKind::Unreliable) {
+      EXPERT_CHECK(busy_ur_ > 0, "unreliable busy-count underflow");
+      --busy_ur_;
+    } else {
+      EXPERT_CHECK(busy_r_ > 0, "reliable busy-count underflow");
+      --busy_r_;
+    }
+
+    double cost = 0.0;
+    if (success) {
+      cost = pool == PoolKind::Unreliable
+                 ? charge_cents(turnaround, cfg_.cur_cents_per_s,
+                                cfg_.charging_period_ur_s)
+                 : charge_cents(cfg_.tr, cfg_.cr_cents_per_s,
+                                cfg_.charging_period_r_s);
+      total_cost_ += cost;
+      if (tail_started_ && send_time >= t_tail_) tail_cost_ += cost;
+    }
+    const bool tail_sent = tail_started_ && send_time >= t_tail_;
+    records_.push_back(InstanceRecord{
+        task, pool, send_time, turnaround,
+        success ? InstanceOutcome::Success : InstanceOutcome::Timeout, cost,
+        tail_sent});
+
+    if (success) {
+      if (!st.completed) {
+        st.completed = true;
+        --remaining_;
+        cancel_queued(task);
+        st.check.cancel();
+        if (remaining_ == 0) {
+          completion_time_ = now;
+          engine_.stop();  // the campaign ends; late duplicates are unpaid
+        } else {
+          maybe_start_tail();
+          check_budget_trigger();
+        }
+      } else {
+        ++duplicates_;
+      }
+    } else if (!st.completed) {
+      consider_enqueue(task);
+    }
+    dispatch();
+  }
+
+  /// The Estimator's replication rule (paper §IV): enqueue one instance for
+  /// a task that has no result yet, whose last instance was sent at least T
+  /// ago, and that has no instance currently enqueued.
+  void consider_enqueue(workload::TaskId task) {
+    auto& st = tasks_[task];
+    if (st.completed || st.queued != Queued::None) return;
+    const PhaseRules& rules = current_rules();
+    const double now = engine_.now();
+    // Must match schedule_check's `due = last_send + T` exactly: comparing
+    // `now - last_send < T` can disagree by one ulp and re-arm a same-time
+    // check forever.
+    if (now < st.last_send + rules.timeout_t) {
+      schedule_check(task);
+      return;
+    }
+    if (primary_reliable()) {
+      enqueue(task, Queued::Reliable);
+      return;
+    }
+    if (!tail_started_ || !rules.n.has_value()) {
+      // Throughput phase, or an N = inf tail: unreliable pool only.
+      enqueue(task, Queued::Unreliable);
+      return;
+    }
+    if (st.tail_ur_enqueued < *rules.n) {
+      ++st.tail_ur_enqueued;
+      enqueue(task, Queued::Unreliable);
+    } else if (!st.reliable_used && l_r_ > 0) {
+      enqueue(task, Queued::Reliable);
+    }
+    // else: every allowed instance is out; the reliable one (if any) will
+    // complete the task.
+  }
+
+  void schedule_check(workload::TaskId task) {
+    auto& st = tasks_[task];
+    if (st.completed) return;
+    const double due = st.last_send + current_rules().timeout_t;
+    st.check.cancel();
+    const double at = std::max(due, engine_.now());
+    st.check = engine_.schedule_at(at, [this, task] {
+      consider_enqueue(task);
+      dispatch();
+    });
+  }
+
+  void maybe_start_tail() {
+    if (tail_started_) return;
+    if (remaining_ > tail_trigger_) return;
+    tail_started_ = true;
+    t_tail_ = engine_.now();
+    tail_tasks_ = remaining_;
+    for (workload::TaskId t = 0; t < tasks_.size(); ++t) {
+      if (!tasks_[t].completed) consider_enqueue(t);
+    }
+    check_budget_trigger();
+  }
+
+  void check_budget_trigger() {
+    if (strategy_.tail_mode != TailMode::BudgetTriggered || budget_fired_)
+      return;
+    const double replication_cost =
+        static_cast<double>(remaining_) *
+        charge_cents(cfg_.tr, cfg_.cr_cents_per_s, cfg_.charging_period_r_s);
+    if (replication_cost > strategy_.budget_cents - total_cost_) return;
+    budget_fired_ = true;
+    for (workload::TaskId t = 0; t < tasks_.size(); ++t) {
+      auto& st = tasks_[t];
+      if (st.completed || st.reliable_used) continue;
+      if (st.queued == Queued::Reliable) continue;
+      if (st.queued == Queued::Unreliable) cancel_queued(t);
+      if (l_r_ > 0) enqueue(t, Queued::Reliable);
+    }
+  }
+
+  const EstimatorConfig& cfg_;
+  const TurnaroundModel& model_;
+  const StrategyConfig& strategy_;
+  util::Rng rng_;
+
+  sim::Engine engine_;
+  std::vector<TaskState> tasks_;
+  std::deque<QueueEntry> ur_queue_;
+  std::deque<QueueEntry> r_queue_;
+  std::vector<InstanceRecord> records_;
+
+  PhaseRules throughput_rules_;
+  mutable PhaseRules tail_rules_;
+  mutable bool tail_rules_cached_ = false;
+
+  std::size_t l_ur_ = 0;
+  std::size_t l_r_ = 0;
+  double thr_deadline_ = 0.0;
+  std::size_t tail_trigger_ = 0;
+
+  std::size_t remaining_ = 0;
+  std::size_t busy_ur_ = 0;
+  std::size_t busy_r_ = 0;
+  std::size_t max_busy_r_ = 0;
+  std::size_t live_r_queue_ = 0;
+  std::size_t max_r_queue_ = 0;
+  std::size_t unreliable_sent_ = 0;
+  std::size_t reliable_sent_ = 0;
+  std::size_t duplicates_ = 0;
+  double total_cost_ = 0.0;
+  double tail_cost_ = 0.0;
+  bool tail_started_ = false;
+  bool budget_fired_ = false;
+  double t_tail_ = 0.0;
+  std::size_t tail_tasks_ = 0;
+  double completion_time_ = 0.0;
+};
+
+/// Field-wise aggregation helpers for RunMetrics.
+constexpr double RunMetrics::* kMetricFields[] = {
+    &RunMetrics::makespan,
+    &RunMetrics::t_tail,
+    &RunMetrics::tail_makespan,
+    &RunMetrics::total_cost_cents,
+    &RunMetrics::cost_per_task_cents,
+    &RunMetrics::tail_cost_per_tail_task_cents,
+    &RunMetrics::tail_tasks,
+    &RunMetrics::reliable_instances_sent,
+    &RunMetrics::unreliable_instances_sent,
+    &RunMetrics::duplicate_results,
+    &RunMetrics::used_mr,
+    &RunMetrics::max_reliable_queue,
+    &RunMetrics::max_reliable_queue_fraction,
+};
+
+}  // namespace
+
+EstimatorConfig EstimatorConfig::from_user_params(const UserParams& params,
+                                                  std::size_t unreliable_size) {
+  params.validate();
+  EstimatorConfig cfg;
+  cfg.unreliable_size = unreliable_size;
+  cfg.tr = params.tr;
+  cfg.cur_cents_per_s = params.cur_cents_per_s;
+  cfg.cr_cents_per_s = params.cr_cents_per_s;
+  cfg.charging_period_ur_s = params.charging_period_ur_s;
+  cfg.charging_period_r_s = params.charging_period_r_s;
+  cfg.throughput_deadline = params.throughput_deadline();
+  return cfg;
+}
+
+void EstimatorConfig::validate() const {
+  EXPERT_REQUIRE(unreliable_size > 0, "need at least one unreliable machine");
+  EXPERT_REQUIRE(tr > 0.0, "T_r must be positive");
+  EXPERT_REQUIRE(repetitions > 0, "need at least one repetition");
+  EXPERT_REQUIRE(max_sim_time > 0.0, "horizon must be positive");
+}
+
+Estimator::Estimator(EstimatorConfig config, TurnaroundModel model)
+    : config_(config), model_(std::move(model)) {
+  config_.validate();
+}
+
+std::pair<RunMetrics, trace::ExecutionTrace> Estimator::simulate(
+    std::size_t task_count, const strategies::StrategyConfig& strategy,
+    std::uint64_t stream, std::size_t repetition) const {
+  EXPERT_REQUIRE(task_count > 0, "empty BoT");
+  strategy.validate();
+  util::Rng rng(util::derive_seed(util::derive_seed(config_.seed, stream),
+                                  repetition));
+  Run run(config_, model_, task_count, strategy, rng);
+  return run.execute();
+}
+
+EstimateResult Estimator::estimate(std::size_t task_count,
+                                   const strategies::StrategyConfig& strategy,
+                                   std::uint64_t stream) const {
+  EstimateResult result;
+  result.runs.reserve(config_.repetitions);
+  for (std::size_t rep = 0; rep < config_.repetitions; ++rep) {
+    result.runs.push_back(
+        simulate(task_count, strategy, stream, rep).first);
+  }
+
+  const auto n = static_cast<double>(result.runs.size());
+  result.mean.finished = true;
+  for (const auto& run : result.runs)
+    result.mean.finished = result.mean.finished && run.finished;
+  for (auto field : kMetricFields) {
+    double sum = 0.0;
+    for (const auto& run : result.runs) sum += run.*field;
+    const double mean = sum / n;
+    result.mean.*field = mean;
+    double sq = 0.0;
+    for (const auto& run : result.runs) {
+      const double d = run.*field - mean;
+      sq += d * d;
+    }
+    result.stddev.*field =
+        result.runs.size() > 1 ? std::sqrt(sq / (n - 1.0)) : 0.0;
+  }
+  return result;
+}
+
+EstimateResult Estimator::estimate(const workload::Bot& bot,
+                                   const strategies::StrategyConfig& strategy,
+                                   std::uint64_t stream) const {
+  return estimate(bot.size(), strategy, stream);
+}
+
+}  // namespace expert::core

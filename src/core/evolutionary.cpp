@@ -1,0 +1,195 @@
+#include "expert/core/evolutionary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "expert/util/assert.hpp"
+#include "expert/util/parallel.hpp"
+#include "expert/util/rng.hpp"
+
+namespace expert::core {
+
+namespace {
+
+using strategies::NTDMr;
+
+/// Canonical key so the archive never re-evaluates a genome.
+std::tuple<long long, long long, long long, long long> genome_key(
+    const NTDMr& g) {
+  const long long n =
+      g.n.has_value() ? static_cast<long long>(*g.n) : -1;
+  // Quantize continuous genes: evaluations are stochastic estimates, so
+  // sub-second / sub-0.001 differences are noise, not information.
+  return {n, std::llround(g.timeout_t), std::llround(g.deadline_d),
+          std::llround(g.mr * 1000.0)};
+}
+
+NTDMr clamp_genome(NTDMr g, const EvolutionOptions& opts) {
+  g.deadline_d = std::clamp(g.deadline_d, opts.max_deadline * 0.01,
+                            opts.max_deadline);
+  g.timeout_t = std::clamp(g.timeout_t, 0.0, g.deadline_d);
+  if (g.n.has_value()) {
+    g.mr = std::clamp(g.mr, opts.mr_min, opts.mr_max);
+  } else {
+    g.mr = 0.0;
+  }
+  return g;
+}
+
+NTDMr random_genome(util::Rng& rng, const EvolutionOptions& opts) {
+  NTDMr g;
+  g.n = opts.n_values[rng.below(opts.n_values.size())];
+  g.deadline_d = rng.uniform(0.05, 1.0) * opts.max_deadline;
+  g.timeout_t = rng.uniform() * g.deadline_d;
+  g.mr = rng.uniform(opts.mr_min, opts.mr_max);
+  return clamp_genome(g, opts);
+}
+
+NTDMr crossover(util::Rng& rng, const NTDMr& a, const NTDMr& b) {
+  NTDMr child;
+  child.n = rng.bernoulli(0.5) ? a.n : b.n;
+  child.timeout_t = rng.bernoulli(0.5) ? a.timeout_t : b.timeout_t;
+  child.deadline_d = rng.bernoulli(0.5) ? a.deadline_d : b.deadline_d;
+  child.mr = rng.bernoulli(0.5) ? a.mr : b.mr;
+  return child;
+}
+
+NTDMr mutate(util::Rng& rng, NTDMr g, const EvolutionOptions& opts) {
+  if (rng.bernoulli(opts.mutation_rate)) {
+    g.n = opts.n_values[rng.below(opts.n_values.size())];
+  }
+  if (rng.bernoulli(opts.mutation_rate)) {
+    g.deadline_d *= std::exp(rng.normal(0.0, 0.35));
+  }
+  if (rng.bernoulli(opts.mutation_rate)) {
+    // T mutates as a fraction of D so it stays meaningful after D moves.
+    const double frac =
+        g.deadline_d > 0.0 ? g.timeout_t / g.deadline_d : 0.5;
+    g.timeout_t =
+        std::clamp(frac + rng.normal(0.0, 0.2), 0.0, 1.0) * g.deadline_d;
+  }
+  if (rng.bernoulli(opts.mutation_rate)) {
+    g.mr *= std::exp(rng.normal(0.0, 0.5));
+  }
+  return clamp_genome(g, opts);
+}
+
+}  // namespace
+
+void EvolutionOptions::validate() const {
+  EXPERT_REQUIRE(population >= 2, "population must be at least 2");
+  EXPERT_REQUIRE(generations > 0, "need at least one generation");
+  EXPERT_REQUIRE(mutation_rate >= 0.0 && mutation_rate <= 1.0,
+                 "mutation rate outside [0,1]");
+  EXPERT_REQUIRE(max_deadline > 0.0, "max_deadline must be positive");
+  EXPERT_REQUIRE(mr_min > 0.0 && mr_max >= mr_min, "invalid Mr range");
+  EXPERT_REQUIRE(!n_values.empty(), "need at least one N value");
+}
+
+EvolutionResult evolve_frontier(const Estimator& estimator,
+                                std::size_t task_count,
+                                const EvolutionOptions& options,
+                                std::vector<strategies::NTDMr> seeds) {
+  options.validate();
+  util::Rng rng(options.seed);
+
+  std::map<std::tuple<long long, long long, long long, long long>,
+           StrategyPoint>
+      archive;
+  std::size_t evaluations = 0;
+
+  auto evaluate_batch = [&](std::vector<NTDMr> genomes) {
+    // Deduplicate against the archive and within the batch.
+    std::vector<NTDMr> fresh;
+    for (auto& g : genomes) {
+      const auto key = genome_key(g);
+      if (archive.contains(key)) continue;
+      bool in_batch = false;
+      for (const auto& f : fresh) {
+        if (genome_key(f) == key) in_batch = true;
+      }
+      if (!in_batch) fresh.push_back(g);
+    }
+    if (fresh.empty()) return;
+    // Stream ids derive from the genome key so results do not depend on
+    // evaluation order or thread count.
+    std::vector<StrategyPoint> points(fresh.size());
+    util::parallel_for(
+        fresh.size(),
+        [&](std::size_t i) {
+          const auto key = genome_key(fresh[i]);
+          const std::uint64_t stream =
+              util::derive_seed(static_cast<std::uint64_t>(std::get<0>(key) + 7),
+                                static_cast<std::uint64_t>(
+                                    std::get<1>(key) * 1315423911LL +
+                                    std::get<2>(key) * 2654435761LL +
+                                    std::get<3>(key)));
+          const auto cfg = strategies::make_ntdmr_strategy(fresh[i]);
+          const auto est = estimator.estimate(task_count, cfg, stream);
+          StrategyPoint p;
+          p.params = fresh[i];
+          p.metrics = est.mean;
+          p.makespan = time_metric(est.mean, options.objectives.time_objective);
+          p.cost = cost_metric(est.mean, options.objectives.cost_objective);
+          points[i] = p;
+        },
+        options.objectives.threads);
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      if (!points[i].metrics.finished) continue;
+      archive.emplace(genome_key(fresh[i]), points[i]);
+    }
+    evaluations += fresh.size();
+  };
+
+  // Generation 0: user seeds plus random genomes.
+  std::vector<NTDMr> initial;
+  for (auto& s : seeds) initial.push_back(clamp_genome(s, options));
+  while (initial.size() < options.population)
+    initial.push_back(random_genome(rng, options));
+  evaluate_batch(std::move(initial));
+
+  for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    std::vector<StrategyPoint> pool;
+    pool.reserve(archive.size());
+    for (const auto& [key, p] : archive) pool.push_back(p);
+    auto parents = pareto_frontier(std::move(pool));
+    if (parents.empty()) break;
+
+    std::vector<NTDMr> offspring;
+    offspring.reserve(options.population);
+    while (offspring.size() < options.population) {
+      const auto& a = parents[rng.below(parents.size())].params;
+      const auto& b = parents[rng.below(parents.size())].params;
+      offspring.push_back(mutate(rng, crossover(rng, a, b), options));
+    }
+    evaluate_batch(std::move(offspring));
+  }
+
+  EvolutionResult result;
+  result.evaluated.reserve(archive.size());
+  for (const auto& [key, p] : archive) result.evaluated.push_back(p);
+  result.frontier = pareto_frontier(result.evaluated);
+  result.evaluations = evaluations;
+  return result;
+}
+
+double hypervolume(const std::vector<StrategyPoint>& frontier,
+                   double ref_makespan, double ref_cost) {
+  // Keep only points strictly dominating the reference corner.
+  std::vector<StrategyPoint> points;
+  for (const auto& p : frontier) {
+    if (p.makespan < ref_makespan && p.cost < ref_cost) points.push_back(p);
+  }
+  points = pareto_frontier(std::move(points));
+  double area = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double next_makespan =
+        i + 1 < points.size() ? points[i + 1].makespan : ref_makespan;
+    area += (next_makespan - points[i].makespan) * (ref_cost - points[i].cost);
+  }
+  return area;
+}
+
+}  // namespace expert::core

@@ -1,0 +1,69 @@
+#include "expert/core/expert.hpp"
+
+#include "expert/util/assert.hpp"
+
+namespace expert::core {
+
+namespace {
+
+EstimatorConfig build_estimator_config(const UserParams& params,
+                                       std::size_t unreliable_size,
+                                       const ExpertOptions& options) {
+  auto cfg = EstimatorConfig::from_user_params(params, unreliable_size);
+  cfg.repetitions = options.repetitions;
+  cfg.seed = options.seed;
+  return cfg;
+}
+
+}  // namespace
+
+Expert::Expert(const UserParams& params, TurnaroundModel model,
+               std::size_t unreliable_size, const ExpertOptions& options)
+    : params_(params),
+      options_(options),
+      estimator_(build_estimator_config(params, unreliable_size, options),
+                 std::move(model)) {
+  EXPERT_REQUIRE(unreliable_size > 0, "unreliable pool size must be positive");
+  params_.validate();
+  if (options_.sampling.max_deadline <= 0.0)
+    options_.sampling.max_deadline = params_.throughput_deadline();
+}
+
+Expert Expert::from_history(const trace::ExecutionTrace& history,
+                            const UserParams& params,
+                            const ExpertOptions& options) {
+  CharacterizationOptions copts = options.characterization;
+  if (copts.instance_deadline <= 0.0)
+    copts.instance_deadline = params.throughput_deadline();
+  TurnaroundModel model = characterize(history, copts);
+  const std::size_t size =
+      options.unreliable_size > 0
+          ? options.unreliable_size
+          : estimate_effective_size_iterative(history, model,
+                                              params.throughput_deadline(),
+                                              options.seed);
+  return Expert(params, std::move(model), size, options);
+}
+
+FrontierResult Expert::build_frontier(std::size_t task_count) const {
+  return generate_frontier(estimator_, task_count, options_.sampling,
+                           options_.frontier);
+}
+
+std::optional<Recommendation> Expert::recommend(
+    const FrontierResult& frontier, const Utility& utility) {
+  const auto decision = choose_best(frontier.frontier(), utility);
+  if (!decision) return std::nullopt;
+  Recommendation rec;
+  rec.strategy = decision->choice.params;
+  rec.predicted = decision->choice;
+  rec.utility_score = decision->score;
+  return rec;
+}
+
+std::optional<Recommendation> Expert::recommend(std::size_t task_count,
+                                                const Utility& utility) const {
+  return recommend(build_frontier(task_count), utility);
+}
+
+}  // namespace expert::core

@@ -1,0 +1,121 @@
+#include "expert/core/frontier.hpp"
+
+#include <cmath>
+
+#include "expert/util/assert.hpp"
+#include "expert/util/parallel.hpp"
+
+namespace expert::core {
+
+void SamplingSpec::validate() const {
+  EXPERT_REQUIRE(!n_values.empty(), "need at least one N value");
+  EXPERT_REQUIRE(d_samples > 0 && t_samples > 0,
+                 "need at least one T and one D sample");
+  EXPERT_REQUIRE(max_deadline > 0.0, "max_deadline must be positive");
+  for (double mr : mr_values)
+    EXPERT_REQUIRE(mr >= 0.0, "Mr must be non-negative");
+}
+
+std::vector<strategies::NTDMr> sample_strategy_space(
+    const SamplingSpec& spec) {
+  spec.validate();
+
+  std::vector<double> deadlines;
+  deadlines.reserve(spec.d_samples);
+  for (std::size_t i = 1; i <= spec.d_samples; ++i) {
+    if (spec.focus_low_end) {
+      // Geometric packing toward the low end: d_k = Dmax * 2^(k - K).
+      deadlines.push_back(spec.max_deadline *
+                          std::pow(2.0, static_cast<double>(i) -
+                                            static_cast<double>(spec.d_samples)));
+    } else {
+      deadlines.push_back(spec.max_deadline * static_cast<double>(i) /
+                          static_cast<double>(spec.d_samples));
+    }
+  }
+
+  std::vector<strategies::NTDMr> out;
+  for (const auto& n : spec.n_values) {
+    const bool reliable = n.has_value();
+    // N = inf never uses the reliable pool: Mr is meaningless, sample once.
+    const std::vector<double> mrs =
+        reliable ? spec.mr_values : std::vector<double>{0.0};
+    // With N = 0 no unreliable tail instance is ever sent, so D is inert;
+    // collapse the D axis to max_deadline and sweep T over the full range.
+    const std::vector<double> d_axis =
+        (n.has_value() && *n == 0) ? std::vector<double>{spec.max_deadline}
+                                   : deadlines;
+    for (double d : d_axis) {
+      for (std::size_t ti = 0; ti < spec.t_samples; ++ti) {
+        const double t = spec.t_samples == 1
+                             ? d
+                             : d * static_cast<double>(ti) /
+                                   static_cast<double>(spec.t_samples - 1);
+        for (double mr : mrs) {
+          strategies::NTDMr s;
+          s.n = n;
+          s.timeout_t = t;
+          s.deadline_d = d;
+          s.mr = mr;
+          out.push_back(s);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double time_metric(const RunMetrics& m, TimeObjective objective) noexcept {
+  return objective == TimeObjective::TailMakespan ? m.tail_makespan
+                                                  : m.makespan;
+}
+
+double cost_metric(const RunMetrics& m, CostObjective objective) noexcept {
+  return objective == CostObjective::CostPerTask
+             ? m.cost_per_task_cents
+             : m.tail_cost_per_tail_task_cents;
+}
+
+std::vector<StrategyPoint> evaluate_strategies(
+    const Estimator& estimator, std::size_t task_count,
+    const std::vector<strategies::NTDMr>& strategies_list,
+    const FrontierOptions& options) {
+  std::vector<StrategyPoint> points(strategies_list.size());
+  util::parallel_for(
+      strategies_list.size(),
+      [&](std::size_t i) {
+        const auto cfg = strategies::make_ntdmr_strategy(strategies_list[i]);
+        const EstimateResult est =
+            estimator.estimate(task_count, cfg, /*stream=*/i);
+        StrategyPoint p;
+        p.params = strategies_list[i];
+        p.metrics = est.mean;
+        p.makespan = time_metric(est.mean, options.time_objective);
+        p.cost = cost_metric(est.mean, options.cost_objective);
+        points[i] = p;
+      },
+      options.threads);
+
+  // Drop strategies whose runs hit the simulation horizon: their metrics
+  // are lower bounds, not estimates.
+  std::vector<StrategyPoint> finished;
+  finished.reserve(points.size());
+  for (auto& p : points) {
+    if (p.metrics.finished) finished.push_back(std::move(p));
+  }
+  return finished;
+}
+
+FrontierResult generate_frontier(const Estimator& estimator,
+                                 std::size_t task_count,
+                                 const SamplingSpec& spec,
+                                 const FrontierOptions& options) {
+  const auto strategies_list = sample_strategy_space(spec);
+  FrontierResult result;
+  result.sampled =
+      evaluate_strategies(estimator, task_count, strategies_list, options);
+  result.s_pareto = s_pareto(result.sampled);
+  return result;
+}
+
+}  // namespace expert::core

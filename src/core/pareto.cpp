@@ -1,0 +1,50 @@
+#include "expert/core/pareto.hpp"
+
+#include <algorithm>
+
+namespace expert::core {
+
+bool dominates(const StrategyPoint& a, const StrategyPoint& b) noexcept {
+  if (a.makespan > b.makespan || a.cost > b.cost) return false;
+  return a.makespan < b.makespan || a.cost < b.cost;
+}
+
+std::vector<StrategyPoint> pareto_frontier(std::vector<StrategyPoint> points) {
+  // Sort by (makespan, cost); sweep keeping points with strictly decreasing
+  // cost. Equal-makespan points: only the cheapest can survive, and equal
+  // (makespan, cost) duplicates keep the first representative.
+  std::sort(points.begin(), points.end(),
+            [](const StrategyPoint& a, const StrategyPoint& b) {
+              if (a.makespan != b.makespan) return a.makespan < b.makespan;
+              return a.cost < b.cost;
+            });
+  std::vector<StrategyPoint> frontier;
+  for (const auto& p : points) {
+    if (!frontier.empty()) {
+      const auto& last = frontier.back();
+      if (p.makespan == last.makespan || p.cost >= last.cost) continue;
+    }
+    frontier.push_back(p);
+  }
+  return frontier;
+}
+
+SParetoResult s_pareto(const std::vector<StrategyPoint>& points) {
+  SParetoResult result;
+  std::map<unsigned, std::vector<StrategyPoint>> groups;
+  for (const auto& p : points) {
+    const unsigned key = p.params.n.has_value() ? *p.params.n
+                                                : SParetoResult::kInfinityKey;
+    groups[key].push_back(p);
+  }
+  std::vector<StrategyPoint> pooled;
+  for (auto& [key, group] : groups) {
+    auto frontier = pareto_frontier(std::move(group));
+    pooled.insert(pooled.end(), frontier.begin(), frontier.end());
+    result.per_n.emplace(key, std::move(frontier));
+  }
+  result.merged = pareto_frontier(std::move(pooled));
+  return result;
+}
+
+}  // namespace expert::core

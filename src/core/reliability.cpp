@@ -1,0 +1,50 @@
+#include "expert/core/reliability.hpp"
+
+#include <algorithm>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::core {
+
+ConstantReliability::ConstantReliability(double gamma) : gamma_(gamma) {
+  EXPERT_REQUIRE(gamma >= 0.0 && gamma <= 1.0, "gamma outside [0,1]");
+}
+
+PiecewiseReliability::PiecewiseReliability(std::vector<Window> windows,
+                                           double tail_value)
+    : windows_(std::move(windows)), tail_value_(tail_value) {
+  EXPERT_REQUIRE(!windows_.empty(), "piecewise reliability needs windows");
+  EXPERT_REQUIRE(tail_value_ >= 0.0 && tail_value_ <= 1.0,
+                 "tail gamma outside [0,1]");
+  double prev_end = windows_.front().start;
+  for (const auto& w : windows_) {
+    EXPERT_REQUIRE(w.end > w.start, "empty reliability window");
+    EXPERT_REQUIRE(w.start >= prev_end - 1e-9,
+                   "reliability windows must be ordered and disjoint");
+    EXPERT_REQUIRE(w.value >= 0.0 && w.value <= 1.0, "gamma outside [0,1]");
+    prev_end = w.end;
+  }
+}
+
+double PiecewiseReliability::gamma(double t_prime) const {
+  if (t_prime < windows_.front().start) return windows_.front().value;
+  // Binary search for the window containing t_prime.
+  auto it = std::upper_bound(
+      windows_.begin(), windows_.end(), t_prime,
+      [](double t, const Window& w) { return t < w.start; });
+  if (it != windows_.begin()) --it;
+  if (t_prime < it->end) return it->value;
+  return tail_value_;
+}
+
+double PiecewiseReliability::mean_gamma() const {
+  double weighted = 0.0;
+  double span = 0.0;
+  for (const auto& w : windows_) {
+    weighted += w.value * (w.end - w.start);
+    span += w.end - w.start;
+  }
+  return span > 0.0 ? weighted / span : tail_value_;
+}
+
+}  // namespace expert::core

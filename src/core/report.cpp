@@ -1,0 +1,100 @@
+#include "expert/core/report.hpp"
+
+#include <sstream>
+
+#include "expert/util/table.hpp"
+
+namespace expert::core {
+
+namespace {
+
+void render_params(const UserParams& p, std::ostringstream& os) {
+  os << "## Environment parameters\n\n";
+  util::Table table({"item", "value"});
+  table.add_row({"T_ur (mean unreliable CPU time)",
+                 util::fmt(p.tur, 0) + " s"});
+  table.add_row({"T_r (reliable CPU time)", util::fmt(p.tr, 0) + " s"});
+  table.add_row({"C_ur", util::fmt(p.cur_cents_per_s * 3600.0, 2) +
+                             " cent/h"});
+  table.add_row({"C_r", util::fmt(p.cr_cents_per_s * 3600.0, 2) + " cent/h"});
+  table.add_row({"Mr_max", util::fmt(p.mr_max, 2)});
+  table.add_row({"charging periods (ur / r)",
+                 util::fmt(p.charging_period_ur_s, 0) + " s / " +
+                     util::fmt(p.charging_period_r_s, 0) + " s"});
+  table.add_row({"throughput deadline",
+                 util::fmt(p.throughput_deadline(), 0) + " s"});
+  table.print(os);
+  os << "\n";
+}
+
+void render_model(const TurnaroundModel& model, std::size_t pool_size,
+                  std::ostringstream& os) {
+  os << "## Unreliable-pool characterization\n\n";
+  util::Table table({"quantity", "value"});
+  if (pool_size > 0) {
+    table.add_row({"effective pool size", std::to_string(pool_size)});
+  }
+  table.add_row({"Fs samples", std::to_string(model.fs().size())});
+  table.add_row({"mean successful turnaround",
+                 util::fmt(model.mean_successful_turnaround(), 0) + " s"});
+  table.add_row({"turnaround median",
+                 util::fmt(model.fs().quantile(0.5), 0) + " s"});
+  table.add_row({"turnaround p90",
+                 util::fmt(model.fs().quantile(0.9), 0) + " s"});
+  table.add_row({"mean gamma",
+                 util::fmt(model.gamma_model().mean_gamma(), 3)});
+  table.add_row({"gamma for future sends", util::fmt(model.gamma(1e15), 3)});
+  table.print(os);
+  os << "\n";
+}
+
+void render_frontier(const FrontierResult& frontier, std::size_t tasks,
+                     std::ostringstream& os) {
+  os << "## Pareto frontier";
+  if (tasks > 0) os << " (BoT of " << tasks << " tasks)";
+  os << "\n\n"
+     << frontier.sampled.size() << " strategies evaluated, "
+     << frontier.frontier().size() << " efficient.\n\n";
+  util::Table table({"tail makespan [s]", "cost [cent/task]", "N", "T [s]",
+                     "D [s]", "Mr"});
+  for (const auto& p : frontier.frontier()) {
+    table.add_row(
+        {util::fmt(p.makespan, 0), util::fmt(p.cost, 2),
+         p.params.n.has_value() ? std::to_string(*p.params.n) : "inf",
+         util::fmt(p.params.timeout_t, 0),
+         util::fmt(p.params.deadline_d, 0), util::fmt(p.params.mr, 2)});
+  }
+  table.print(os);
+  os << "\n";
+}
+
+void render_decisions(
+    const std::vector<std::pair<std::string, Recommendation>>& decisions,
+    std::ostringstream& os) {
+  os << "## Recommended strategies\n\n";
+  util::Table table({"utility", "strategy", "predicted tail makespan [s]",
+                     "predicted cost [cent/task]"});
+  for (const auto& [utility, rec] : decisions) {
+    table.add_row({utility, rec.strategy.to_string(),
+                   util::fmt(rec.predicted.makespan, 0),
+                   util::fmt(rec.predicted.cost, 2)});
+  }
+  table.print(os);
+  os << "\n";
+}
+
+}  // namespace
+
+std::string render_markdown_report(const ReportData& data) {
+  std::ostringstream os;
+  os << "# " << data.title << "\n\n";
+  if (data.params) render_params(*data.params, os);
+  if (data.model != nullptr) render_model(*data.model, data.unreliable_size,
+                                          os);
+  if (data.frontier != nullptr)
+    render_frontier(*data.frontier, data.task_count, os);
+  if (!data.decisions.empty()) render_decisions(data.decisions, os);
+  return os.str();
+}
+
+}  // namespace expert::core

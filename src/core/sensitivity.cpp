@@ -1,0 +1,132 @@
+#include "expert/core/sensitivity.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::core {
+
+namespace {
+
+using strategies::NTDMr;
+
+RunMetrics evaluate(const Estimator& estimator, std::size_t task_count,
+                    const NTDMr& params, std::size_t repetitions,
+                    std::uint64_t stream) {
+  auto cfg = estimator.config();
+  cfg.repetitions = repetitions;
+  Estimator local(cfg, estimator.model());
+  return local
+      .estimate(task_count, strategies::make_ntdmr_strategy(params), stream)
+      .mean;
+}
+
+double elasticity(double low_metric, double high_metric, double base_metric,
+                  double low_value, double high_value, double base_value) {
+  if (base_metric <= 0.0 || base_value <= 0.0) return 0.0;
+  const double d_metric = (high_metric - low_metric) / base_metric;
+  const double d_value = (high_value - low_value) / base_value;
+  return d_value != 0.0 ? d_metric / d_value : 0.0;
+}
+
+}  // namespace
+
+void SensitivityOptions::validate() const {
+  EXPERT_REQUIRE(perturbation > 0.0 && perturbation < 1.0,
+                 "perturbation must be in (0,1)");
+  EXPERT_REQUIRE(repetitions > 0, "need at least one repetition");
+}
+
+SensitivityReport analyze_sensitivity(const Estimator& estimator,
+                                      std::size_t task_count,
+                                      const strategies::NTDMr& strategy,
+                                      const SensitivityOptions& options) {
+  options.validate();
+  strategy.validate();
+
+  SensitivityReport report;
+  report.strategy = strategy;
+  report.base =
+      evaluate(estimator, task_count, strategy, options.repetitions, 0);
+
+  const double h = options.perturbation;
+  std::uint64_t stream = 1;
+
+  auto add = [&](const std::string& name, std::optional<NTDMr> low_params,
+                 std::optional<NTDMr> high_params, double base_value,
+                 double low_value, double high_value) {
+    if (!low_params || !high_params) return;
+    ParameterSensitivity s;
+    s.parameter = name;
+    s.low_value = low_value;
+    s.high_value = high_value;
+    s.low = evaluate(estimator, task_count, *low_params, options.repetitions,
+                     stream++);
+    s.high = evaluate(estimator, task_count, *high_params,
+                      options.repetitions, stream++);
+    s.makespan_elasticity =
+        elasticity(s.low.tail_makespan, s.high.tail_makespan,
+                   report.base.tail_makespan, low_value, high_value,
+                   base_value);
+    s.cost_elasticity = elasticity(
+        s.low.cost_per_task_cents, s.high.cost_per_task_cents,
+        report.base.cost_per_task_cents, low_value, high_value, base_value);
+    report.parameters.push_back(std::move(s));
+  };
+
+  // N: +-1 around a finite value (floor at 0).
+  if (strategy.n.has_value()) {
+    const unsigned n = *strategy.n;
+    NTDMr low = strategy;
+    NTDMr high = strategy;
+    high.n = n + 1;
+    std::optional<NTDMr> low_opt;
+    if (n > 0) {
+      low.n = n - 1;
+      low_opt = low;
+    } else {
+      low_opt = strategy;  // one-sided difference at the boundary
+    }
+    add("N", low_opt, high, static_cast<double>(std::max(1u, n)),
+        static_cast<double>(n > 0 ? n - 1 : n),
+        static_cast<double>(n + 1));
+  }
+
+  // T: +-h relative; a zero T moves up only.
+  {
+    NTDMr low = strategy;
+    NTDMr high = strategy;
+    const double base_t =
+        strategy.timeout_t > 0.0 ? strategy.timeout_t
+                                 : h * strategy.deadline_d;
+    low.timeout_t = std::max(0.0, strategy.timeout_t - h * base_t);
+    high.timeout_t =
+        std::min(strategy.deadline_d, strategy.timeout_t + h * base_t);
+    add("T", low, high, base_t, low.timeout_t, high.timeout_t);
+  }
+
+  // D: +-h relative (T clamped inside).
+  {
+    NTDMr low = strategy;
+    NTDMr high = strategy;
+    low.deadline_d = strategy.deadline_d * (1.0 - h);
+    low.timeout_t = std::min(low.timeout_t, low.deadline_d);
+    high.deadline_d = strategy.deadline_d * (1.0 + h);
+    add("D", low, high, strategy.deadline_d, low.deadline_d,
+        high.deadline_d);
+  }
+
+  // Mr: +-h relative; only meaningful for finite-N strategies.
+  if (strategy.uses_reliable() && strategy.mr > 0.0) {
+    NTDMr low = strategy;
+    NTDMr high = strategy;
+    low.mr = strategy.mr * (1.0 - h);
+    high.mr = strategy.mr * (1.0 + h);
+    add("Mr", low, high, strategy.mr, low.mr, high.mr);
+  }
+
+  return report;
+}
+
+}  // namespace expert::core

@@ -1,0 +1,41 @@
+#include "expert/core/turnaround_model.hpp"
+
+#include "expert/stats/distributions.hpp"
+#include "expert/util/assert.hpp"
+
+namespace expert::core {
+
+TurnaroundModel::TurnaroundModel(stats::EmpiricalCdf fs, ReliabilityPtr gamma)
+    : fs_(std::move(fs)), gamma_(std::move(gamma)) {
+  EXPERT_REQUIRE(!fs_.empty(), "turnaround CDF needs samples");
+  EXPERT_REQUIRE(gamma_ != nullptr, "reliability model required");
+}
+
+double TurnaroundModel::sample(util::Rng& rng, double t_prime) const {
+  const double g = gamma_->gamma(t_prime);
+  const double x = rng.uniform();
+  if (x >= g) return std::numeric_limits<double>::infinity();
+  return fs_.quantile(g > 0.0 ? x / g : 0.0);
+}
+
+double TurnaroundModel::cdf(double t, double t_prime) const {
+  return fs_.cdf(t) * gamma_->gamma(t_prime);
+}
+
+TurnaroundModel make_synthetic_model(double mean_turnaround, double min_t,
+                                     double max_t, double gamma,
+                                     std::size_t cdf_samples,
+                                     std::uint64_t seed) {
+  EXPERT_REQUIRE(cdf_samples > 0, "need at least one CDF sample");
+  const auto dist =
+      stats::TruncatedLognormal::from_stats(mean_turnaround, min_t, max_t);
+  util::Rng rng(seed);
+  std::vector<double> samples;
+  samples.reserve(cdf_samples);
+  for (std::size_t i = 0; i < cdf_samples; ++i)
+    samples.push_back(dist.sample(rng));
+  return TurnaroundModel(stats::EmpiricalCdf(std::move(samples)),
+                         std::make_shared<ConstantReliability>(gamma));
+}
+
+}  // namespace expert::core

@@ -1,0 +1,19 @@
+#include "expert/core/user_params.hpp"
+
+#include <cmath>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::core {
+
+void UserParams::validate() const {
+  EXPERT_REQUIRE(tur > 0.0, "T_ur must be positive");
+  EXPERT_REQUIRE(tr > 0.0, "T_r must be positive");
+  EXPERT_REQUIRE(cur_cents_per_s >= 0.0, "C_ur must be non-negative");
+  EXPERT_REQUIRE(cr_cents_per_s >= 0.0, "C_r must be non-negative");
+  EXPERT_REQUIRE(mr_max >= 0.0, "Mr_max must be non-negative");
+  EXPERT_REQUIRE(charging_period_ur_s > 0.0 && charging_period_r_s > 0.0,
+                 "charging periods must be positive");
+}
+
+}  // namespace expert::core

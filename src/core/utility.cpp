@@ -1,0 +1,65 @@
+#include "expert/core/utility.hpp"
+
+#include "expert/util/assert.hpp"
+
+namespace expert::core {
+
+Utility::Utility(std::string name, Score score, Feasible feasible)
+    : name_(std::move(name)),
+      score_(std::move(score)),
+      feasible_(std::move(feasible)) {
+  EXPERT_REQUIRE(score_ != nullptr, "utility needs a score function");
+}
+
+double Utility::score(double makespan, double cost) const {
+  return score_(makespan, cost);
+}
+
+bool Utility::feasible(double makespan, double cost) const {
+  return feasible_ == nullptr || feasible_(makespan, cost);
+}
+
+Utility Utility::fastest() {
+  return Utility("fastest", [](double makespan, double) { return makespan; });
+}
+
+Utility Utility::cheapest() {
+  return Utility("cheapest", [](double, double cost) { return cost; });
+}
+
+Utility Utility::min_cost_makespan_product() {
+  return Utility("min makespan*cost",
+                 [](double makespan, double cost) { return makespan * cost; });
+}
+
+Utility Utility::fastest_within_budget(double budget_cents_per_task) {
+  EXPERT_REQUIRE(budget_cents_per_task > 0.0, "budget must be positive");
+  return Utility(
+      "fastest within budget",
+      [](double makespan, double) { return makespan; },
+      [budget_cents_per_task](double, double cost) {
+        return cost <= budget_cents_per_task;
+      });
+}
+
+Utility Utility::cheapest_within_deadline(double deadline_s) {
+  EXPERT_REQUIRE(deadline_s > 0.0, "deadline must be positive");
+  return Utility(
+      "cheapest within deadline", [](double, double cost) { return cost; },
+      [deadline_s](double makespan, double) {
+        return makespan <= deadline_s;
+      });
+}
+
+std::optional<Decision> choose_best(const std::vector<StrategyPoint>& frontier,
+                                    const Utility& utility) {
+  std::optional<Decision> best;
+  for (const auto& p : frontier) {
+    if (!utility.feasible(p.makespan, p.cost)) continue;
+    const double s = utility.score(p.makespan, p.cost);
+    if (!best || s < best->score) best = Decision{p, s};
+  }
+  return best;
+}
+
+}  // namespace expert::core

@@ -1,0 +1,115 @@
+#include "expert/gridsim/availability_trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "expert/util/assert.hpp"
+#include "expert/util/csv.hpp"
+#include "expert/util/rng.hpp"
+
+namespace expert::gridsim {
+
+AvailabilityTrace::AvailabilityTrace(
+    std::vector<std::vector<UpInterval>> machines)
+    : machines_(std::move(machines)) {
+  EXPERT_REQUIRE(!machines_.empty(), "trace needs at least one machine");
+  for (const auto& spans : machines_) {
+    double prev_end = -1.0;
+    for (const auto& span : spans) {
+      EXPERT_REQUIRE(span.end > span.start, "empty up interval");
+      EXPERT_REQUIRE(span.start >= prev_end,
+                     "up intervals must be sorted and disjoint");
+      prev_end = span.end;
+    }
+  }
+}
+
+const std::vector<UpInterval>& AvailabilityTrace::machine(
+    std::size_t idx) const {
+  EXPERT_REQUIRE(idx < machines_.size(), "machine index out of range");
+  return machines_[idx];
+}
+
+double AvailabilityTrace::availability(std::size_t idx, double horizon) const {
+  EXPERT_REQUIRE(horizon > 0.0, "horizon must be positive");
+  double up = 0.0;
+  for (const auto& span : machine(idx)) {
+    const double lo = std::min(span.start, horizon);
+    const double hi = std::min(span.end, horizon);
+    up += hi - lo;
+  }
+  return up / horizon;
+}
+
+double AvailabilityTrace::mean_availability(double horizon) const {
+  double sum = 0.0;
+  for (std::size_t m = 0; m < machines_.size(); ++m)
+    sum += availability(m, horizon);
+  return sum / static_cast<double>(machines_.size());
+}
+
+AvailabilityTrace AvailabilityTrace::synthesize(
+    std::size_t machines, double horizon,
+    const stats::AvailabilityModel& model, std::uint64_t seed) {
+  EXPERT_REQUIRE(machines > 0, "need at least one machine");
+  EXPERT_REQUIRE(horizon > 0.0, "horizon must be positive");
+  util::Rng root(seed);
+  std::vector<std::vector<UpInterval>> out(machines);
+  for (std::size_t m = 0; m < machines; ++m) {
+    util::Rng rng = root.fork(m);
+    double t = 0.0;
+    // Start state sampled from the stationary distribution.
+    bool up = rng.bernoulli(model.long_run_availability());
+    while (t < horizon) {
+      if (up) {
+        const double until = t + model.sample_up(rng);
+        out[m].push_back({t, std::min(until, horizon)});
+        t = until;
+      } else {
+        t += model.sample_down(rng);
+      }
+      up = !up;
+    }
+  }
+  return AvailabilityTrace(std::move(out));
+}
+
+AvailabilityTrace AvailabilityTrace::read_csv(std::istream& in) {
+  const auto rows = util::parse_csv(in);
+  if (rows.empty() || rows[0] != std::vector<std::string>{"machine", "start",
+                                                          "end"})
+    throw std::runtime_error(
+        "availability trace csv: missing 'machine,start,end' header");
+  std::vector<std::vector<UpInterval>> machines;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != 3)
+      throw std::runtime_error("availability trace csv: bad row width");
+    const auto m = static_cast<std::size_t>(std::stoull(row[0]));
+    if (m >= machines.size()) machines.resize(m + 1);
+    machines[m].push_back({std::stod(row[1]), std::stod(row[2])});
+  }
+  for (auto& spans : machines) {
+    std::sort(spans.begin(), spans.end(),
+              [](const UpInterval& a, const UpInterval& b) {
+                return a.start < b.start;
+              });
+  }
+  return AvailabilityTrace(std::move(machines));
+}
+
+void AvailabilityTrace::write_csv(std::ostream& out) const {
+  util::CsvWriter csv(out);
+  csv.row({"machine", "start", "end"});
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    for (const auto& span : machines_[m]) {
+      csv.field(static_cast<unsigned long long>(m))
+          .field(span.start)
+          .field(span.end);
+      csv.end_row();
+    }
+  }
+}
+
+}  // namespace expert::gridsim

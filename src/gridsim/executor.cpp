@@ -1,0 +1,668 @@
+#include "expert/gridsim/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "expert/sim/engine.hpp"
+#include "expert/util/money.hpp"
+#include "expert/util/assert.hpp"
+
+namespace expert::gridsim {
+
+namespace {
+
+using strategies::StrategyConfig;
+using strategies::TailMode;
+using strategies::ThroughputPolicy;
+using trace::InstanceOutcome;
+using trace::InstanceRecord;
+using trace::PoolKind;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct PhaseRules {
+  std::optional<unsigned> n;
+  double timeout_t = 0.0;
+  double deadline_d = 0.0;
+};
+
+struct Machine {
+  const MachineGroup* group = nullptr;
+  double speed = 1.0;
+  double mean_up = 0.0;
+  double mean_down = 0.0;
+  double up_shape = 1.0;
+  PriceSpec price;
+  double failure_notice_prob = 0.0;
+  double mean_queue_wait = 0.0;
+  bool reliable_pool = false;
+  std::size_t kills = 0;  ///< instances lost to this host (exclusion)
+  /// Trace replay: when set, availability walks these up intervals instead
+  /// of drawing from the exponential model.
+  const std::vector<UpInterval>* spans = nullptr;
+  std::size_t next_span = 0;
+
+  bool up = true;
+  bool busy = false;
+  double next_down = kInf;  ///< end of the current up period (while up)
+};
+
+class Run {
+ public:
+  Run(const ExecutorConfig& cfg, const workload::Bot& bot,
+      StrategyConfig strategy, util::Rng rng,
+      const Executor::TailStrategySelector* selector = nullptr)
+      : cfg_(cfg),
+        bot_(bot),
+        strategy_(std::move(strategy)),
+        selector_(selector),
+        rng_(rng),
+        tasks_(bot.size()),
+        remaining_(bot.size()) {
+    thr_deadline_ = cfg_.throughput_deadline > 0.0
+                        ? cfg_.throughput_deadline
+                        : 4.0 * bot_.mean_cpu_seconds();
+    throughput_rules_ = PhaseRules{std::nullopt, thr_deadline_, thr_deadline_};
+    build_machines();
+    if (strategy_.throughput == ThroughputPolicy::ReliableOnly) {
+      EXPERT_REQUIRE(reliable_count_ > 0,
+                     "ReliableOnly strategy needs a reliable pool");
+    }
+    validate_tail_strategy(strategy_);
+    tail_trigger_ = unreliable_count_ > 0 ? unreliable_count_ - 1 : 0;
+  }
+
+  void validate_tail_strategy(const StrategyConfig& s) const {
+    if ((s.tail_mode == TailMode::NTDMrTail ||
+         s.tail_mode == TailMode::ReplicateAllReliable) &&
+        s.ntdmr.n.has_value()) {
+      // A finite N relies on the guaranteed (N+1)-th reliable instance;
+      // users without reliable capacity are restricted to N = inf
+      // (paper §III).
+      EXPERT_REQUIRE(reliable_count_ > 0 && s.ntdmr.mr > 0.0,
+                     "finite-N strategy needs reliable capacity");
+    }
+  }
+
+  trace::ExecutionTrace execute() {
+    // Start the availability processes.
+    for (std::size_t m = 0; m < machines_.size(); ++m) {
+      if (machines_[m].spans != nullptr) {
+        machines_[m].up = false;
+        arm_trace_transition(m);
+      } else {
+        schedule_down(m);
+      }
+    }
+    maybe_start_tail();
+    for (workload::TaskId t = 0; t < tasks_.size(); ++t) consider_enqueue(t);
+    dispatch();
+    engine_.run_until(cfg_.max_sim_time);
+    EXPERT_CHECK(remaining_ == 0,
+                 "gridsim run hit the simulation horizon before completing");
+    const double t_tail = tail_started_ ? t_tail_ : completion_time_;
+    return trace::ExecutionTrace(tasks_.size(), std::move(records_), t_tail,
+                                 completion_time_);
+  }
+
+ private:
+  enum class Queued { None, Unreliable, Reliable };
+
+  struct TaskState {
+    bool completed = false;
+    bool reliable_used = false;
+    Queued queued = Queued::None;
+    std::uint64_t epoch = 0;
+    double enqueue_time = 0.0;
+    double last_send = -kInf;
+    unsigned tail_ur_enqueued = 0;
+    sim::Engine::EventHandle check;
+  };
+
+  struct QueueEntry {
+    workload::TaskId task = 0;
+    std::uint64_t epoch = 0;
+  };
+
+  /// Draw (or redraw, on exclusion-driven replacement) the host behind a
+  /// machine slot: speed and mean up-time from the group's distributions.
+  void draw_host(Machine& m) {
+    const MachineGroup& g = *m.group;
+    if (g.speed_cv > 0.0) {
+      const double sigma2 = std::log1p(g.speed_cv * g.speed_cv);
+      const double mu = std::log(g.speed_mean) - 0.5 * sigma2;
+      m.speed = rng_.lognormal(mu, std::sqrt(sigma2));
+    } else {
+      m.speed = g.speed_mean;
+    }
+    m.mean_up = g.availability.mean_up_seconds;
+    if (g.availability_cv > 0.0) {
+      const double sigma2 = std::log1p(g.availability_cv * g.availability_cv);
+      // Unit-mean lognormal multiplier: host-to-host reliability spread.
+      m.mean_up *= rng_.lognormal(-0.5 * sigma2, std::sqrt(sigma2));
+    }
+    m.mean_down = g.availability.mean_down_seconds;
+    m.up_shape = g.availability.up_shape;
+    m.kills = 0;
+  }
+
+  void build_machines() {
+    auto add_pool = [&](const PoolConfig& pool, bool reliable) {
+      pool.validate();
+      for (const auto& g : pool.groups) {
+        for (std::size_t i = 0; i < g.count; ++i) {
+          Machine m;
+          m.group = &g;
+          m.price = g.price;
+          m.failure_notice_prob = g.failure_notice_prob;
+          m.mean_queue_wait = g.mean_queue_wait_s;
+          m.reliable_pool = reliable;
+          draw_host(m);
+          if (g.trace != nullptr) {
+            m.spans = &g.trace->machine(i % g.trace->machine_count());
+          }
+          machines_.push_back(m);
+          (reliable ? reliable_count_ : unreliable_count_) += 1;
+        }
+      }
+    };
+    add_pool(cfg_.unreliable, false);
+    if (cfg_.reliable) add_pool(*cfg_.reliable, true);
+  }
+
+  // ---- availability process ----
+
+  void schedule_down(std::size_t m) {
+    auto& machine = machines_[m];
+    EXPERT_CHECK(machine.up, "scheduling down for a down machine");
+    const stats::AvailabilityModel model{machine.mean_up, machine.mean_down,
+                                         machine.up_shape};
+    machine.next_down = engine_.now() + model.sample_up(rng_);
+    engine_.schedule_at(machine.next_down, [this, m] { on_down(m); });
+  }
+
+  void on_down(std::size_t m) {
+    auto& machine = machines_[m];
+    const bool killed_instance = machine.busy;
+    machine.up = false;
+    machine.busy = false;  // any running instance dies silently
+    machine.next_down = kInf;
+    if (machine.spans != nullptr) {
+      arm_trace_transition(m);
+      return;
+    }
+    if (killed_instance && cfg_.exclusion_threshold > 0 &&
+        ++machine.kills >= cfg_.exclusion_threshold) {
+      // Resource exclusion: the overlay blacklists the flaky host and
+      // requests a replacement from the same pool.
+      draw_host(machine);
+    }
+    const stats::AvailabilityModel model{machine.mean_up, machine.mean_down,
+                                         machine.up_shape};
+    engine_.schedule_in(model.sample_down(rng_), [this, m] { on_up(m); });
+  }
+
+  void on_up(std::size_t m) {
+    machines_[m].up = true;
+    schedule_down(m);
+    dispatch();
+  }
+
+  /// Trace replay: arm the next transition of a currently-down machine —
+  /// either come up now (inside a span) or wake at the next span's start.
+  void arm_trace_transition(std::size_t m) {
+    auto& machine = machines_[m];
+    const auto& spans = *machine.spans;
+    const double now = engine_.now();
+    while (machine.next_span < spans.size() &&
+           spans[machine.next_span].end <= now) {
+      ++machine.next_span;
+    }
+    if (machine.next_span >= spans.size()) return;  // host never returns
+    const UpInterval& span = spans[machine.next_span];
+    ++machine.next_span;
+    if (span.start <= now) {
+      machine.up = true;
+      machine.next_down = span.end;
+      engine_.schedule_at(span.end, [this, m] { on_down(m); });
+      dispatch();
+    } else {
+      engine_.schedule_at(span.start, [this, m, span] {
+        auto& mach = machines_[m];
+        mach.up = true;
+        mach.next_down = span.end;
+        engine_.schedule_at(span.end, [this, m] { on_down(m); });
+        dispatch();
+      });
+    }
+  }
+
+  // ---- scheduler (same replication semantics as the ExPERT Estimator) ----
+
+  const PhaseRules& current_rules() const {
+    if (!tail_started_) return throughput_rules_;
+    switch (strategy_.tail_mode) {
+      case TailMode::NTDMrTail:
+        if (!tail_rules_cached_) {
+          tail_rules_ = PhaseRules{strategy_.ntdmr.n, strategy_.ntdmr.timeout_t,
+                                   strategy_.ntdmr.deadline_d};
+          tail_rules_cached_ = true;
+        }
+        return tail_rules_;
+      case TailMode::ReplicateAllReliable:
+        if (!tail_rules_cached_) {
+          tail_rules_ = PhaseRules{0u, 0.0, strategy_.ntdmr.deadline_d};
+          tail_rules_cached_ = true;
+        }
+        return tail_rules_;
+      case TailMode::Continue:
+      case TailMode::BudgetTriggered:
+        return throughput_rules_;
+    }
+    return throughput_rules_;
+  }
+
+  bool combined_overflow() const {
+    return strategy_.throughput == ThroughputPolicy::Combined;
+  }
+  bool primary_reliable() const {
+    return strategy_.throughput == ThroughputPolicy::ReliableOnly;
+  }
+
+  std::size_t reliable_limit() const {
+    // Mr caps concurrently used reliable machines at ceil(Mr * l_ur).
+    const auto cap = static_cast<std::size_t>(
+        std::ceil(strategy_.ntdmr.mr * static_cast<double>(unreliable_count_)));
+    return primary_reliable() ? reliable_count_
+                              : std::min(cap, reliable_count_);
+  }
+
+  void enqueue(workload::TaskId task, Queued where) {
+    auto& st = tasks_[task];
+    EXPERT_CHECK(st.queued == Queued::None, "task already enqueued");
+    st.queued = where;
+    ++st.epoch;
+    st.enqueue_time = engine_.now();
+    if (where == Queued::Unreliable) {
+      ur_queue_.push_back({task, st.epoch});
+    } else {
+      r_queue_.push_back({task, st.epoch});
+      st.reliable_used = true;
+    }
+  }
+
+  void cancel_queued(workload::TaskId task) {
+    auto& st = tasks_[task];
+    if (st.queued == Queued::None) return;
+    records_.push_back(InstanceRecord{
+        task,
+        st.queued == Queued::Reliable ? PoolKind::Reliable
+                                      : PoolKind::Unreliable,
+        st.enqueue_time, kInf, InstanceOutcome::Cancelled, 0.0,
+        tail_started_ && st.enqueue_time >= t_tail_});
+    st.queued = Queued::None;
+    ++st.epoch;
+  }
+
+  std::optional<workload::TaskId> pop_valid(std::deque<QueueEntry>& queue,
+                                            Queued pool) {
+    while (!queue.empty()) {
+      const QueueEntry e = queue.front();
+      queue.pop_front();
+      const auto& st = tasks_[e.task];
+      if (st.queued == pool && st.epoch == e.epoch && !st.completed)
+        return e.task;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::size_t> find_idle_machine(bool reliable) {
+    const std::size_t n = machines_.size();
+    std::size_t& cursor = reliable ? r_cursor_ : ur_cursor_;
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t m = (cursor + step) % n;
+      const auto& machine = machines_[m];
+      if (machine.reliable_pool != reliable) continue;
+      if (machine.up && !machine.busy) {
+        cursor = (m + 1) % n;
+        return m;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::size_t busy_reliable() const {
+    std::size_t busy = 0;
+    for (const auto& m : machines_)
+      if (m.reliable_pool && m.busy) ++busy;
+    return busy;
+  }
+
+  void dispatch() {
+    // Unreliable pool first.
+    for (;;) {
+      const auto m = find_idle_machine(false);
+      if (!m) break;
+      const auto task = pop_valid(ur_queue_, Queued::Unreliable);
+      if (!task) break;
+      send(*task, *m);
+    }
+    // Reliable pool, capped by Mr.
+    const std::size_t cap = reliable_limit();
+    while (busy_reliable() < cap) {
+      const auto m = find_idle_machine(true);
+      if (!m) break;
+      if (const auto task = pop_valid(r_queue_, Queued::Reliable)) {
+        send(*task, *m);
+        continue;
+      }
+      if (combined_overflow()) {
+        if (const auto task = pop_valid(ur_queue_, Queued::Unreliable)) {
+          send(*task, *m);
+          continue;
+        }
+      }
+      break;
+    }
+  }
+
+  void send(workload::TaskId task, std::size_t machine_idx) {
+    const double now = engine_.now();
+    auto& st = tasks_[task];
+    auto& machine = machines_[machine_idx];
+    EXPERT_CHECK(machine.up && !machine.busy, "dispatch to unusable machine");
+    st.queued = Queued::None;
+    ++st.epoch;
+    st.last_send = now;
+    machine.busy = true;
+
+    const bool reliable = machine.reliable_pool;
+    pending_.push_back(PendingInstance{
+        task, reliable ? PoolKind::Reliable : PoolKind::Unreliable, now});
+    const double runtime = bot_.task(task).cpu_seconds / machine.speed;
+    // Remote batch-queue latency precedes execution; a host death during
+    // the wait kills the instance like any mid-run death. Only CPU time is
+    // charged.
+    const double wait =
+        machine.mean_queue_wait > 0.0
+            ? rng_.exponential(1.0 / machine.mean_queue_wait)
+            : 0.0;
+    const double t_complete = now + wait + runtime;
+    // Reliable (N+1)-th instances run without a deadline (paper §III);
+    // unreliable instances are killed at the phase deadline.
+    const double t_kill = reliable ? kInf : now + current_rules().deadline_d;
+
+    if (t_complete <= std::min(machine.next_down, t_kill)) {
+      engine_.schedule_at(t_complete, [this, task, machine_idx, now, runtime] {
+        on_success(task, machine_idx, now, runtime);
+      });
+      return;
+    }
+    if (machine.next_down < t_kill) {
+      // The machine dies mid-run; the down event frees it. The scheduler
+      // hears about it either immediately (reported failure) or only at the
+      // deadline (silent loss) — reliable instances are always reported.
+      const bool reported =
+          reliable || rng_.bernoulli(machine.failure_notice_prob);
+      const double notify =
+          reported ? machine.next_down
+                   : (t_kill == kInf ? machine.next_down : t_kill);
+      engine_.schedule_at(notify, [this, task, machine_idx, now] {
+        on_failure(task, machine_idx, now, /*frees_machine=*/false);
+      });
+      return;
+    }
+    // Killed at the deadline while still running.
+    engine_.schedule_at(t_kill, [this, task, machine_idx, now] {
+      on_failure(task, machine_idx, now, /*frees_machine=*/true);
+    });
+  }
+
+  void on_success(workload::TaskId task, std::size_t machine_idx,
+                  double send_time, double runtime) {
+    const double now = engine_.now();
+    auto& machine = machines_[machine_idx];
+    machine.busy = false;
+    remove_pending(task,
+                   machine.reliable_pool ? PoolKind::Reliable
+                                         : PoolKind::Unreliable,
+                   send_time);
+    const double cost = util::charge_cents(
+        runtime, machine.price.rate_cents_per_s, machine.price.period_s);
+    total_cost_ += cost;
+    records_.push_back(InstanceRecord{
+        task,
+        machine.reliable_pool ? PoolKind::Reliable : PoolKind::Unreliable,
+        send_time, now - send_time, InstanceOutcome::Success, cost,
+        tail_started_ && send_time >= t_tail_});
+
+    auto& st = tasks_[task];
+    if (!st.completed) {
+      st.completed = true;
+      --remaining_;
+      cancel_queued(task);
+      st.check.cancel();
+      if (remaining_ == 0) {
+        completion_time_ = now;
+        engine_.stop();  // the campaign ends; late duplicates are unpaid
+      } else {
+        maybe_start_tail();
+        check_budget_trigger();
+      }
+    }
+    dispatch();
+  }
+
+  void on_failure(workload::TaskId task, std::size_t machine_idx,
+                  double send_time, bool frees_machine) {
+    auto& machine = machines_[machine_idx];
+    if (frees_machine) machine.busy = false;
+    remove_pending(task,
+                   machine.reliable_pool ? PoolKind::Reliable
+                                         : PoolKind::Unreliable,
+                   send_time);
+    records_.push_back(InstanceRecord{
+        task,
+        machine.reliable_pool ? PoolKind::Reliable : PoolKind::Unreliable,
+        send_time, kInf, InstanceOutcome::Timeout, 0.0,
+        tail_started_ && send_time >= t_tail_});
+    auto& st = tasks_[task];
+    if (!st.completed) {
+      if (machine.reliable_pool) {
+        // A dead reliable instance (cloud node loss) must be replaceable.
+        st.reliable_used = false;
+      }
+      consider_enqueue(task);
+    }
+    dispatch();
+  }
+
+  void consider_enqueue(workload::TaskId task) {
+    auto& st = tasks_[task];
+    if (st.completed || st.queued != Queued::None) return;
+    const PhaseRules& rules = current_rules();
+    const double now = engine_.now();
+    // Compare against the same `due` expression schedule_check uses:
+    // computing `now - last_send < T` instead can disagree with
+    // `last_send + T <= now` by one ulp and re-arm a same-time check
+    // forever.
+    if (now < st.last_send + rules.timeout_t) {
+      schedule_check(task);
+      return;
+    }
+    if (primary_reliable()) {
+      enqueue(task, Queued::Reliable);
+      return;
+    }
+    if (!tail_started_ || !rules.n.has_value()) {
+      enqueue(task, Queued::Unreliable);
+      return;
+    }
+    if (st.tail_ur_enqueued < *rules.n) {
+      ++st.tail_ur_enqueued;
+      enqueue(task, Queued::Unreliable);
+    } else if (!st.reliable_used && reliable_limit() > 0) {
+      enqueue(task, Queued::Reliable);
+    }
+  }
+
+  void schedule_check(workload::TaskId task) {
+    auto& st = tasks_[task];
+    if (st.completed) return;
+    const double due = st.last_send + current_rules().timeout_t;
+    st.check.cancel();
+    st.check = engine_.schedule_at(std::max(due, engine_.now()),
+                                   [this, task] {
+                                     consider_enqueue(task);
+                                     dispatch();
+                                   });
+  }
+
+  void maybe_start_tail() {
+    if (tail_started_ || remaining_ > tail_trigger_) return;
+    tail_started_ = true;
+    t_tail_ = engine_.now();
+    if (selector_ != nullptr && *selector_ != nullptr) {
+      StrategyConfig chosen = (*selector_)(snapshot_history());
+      chosen.validate();
+      validate_tail_strategy(chosen);
+      // Only the tail behaviour may change mid-run; the throughput policy
+      // already played out.
+      chosen.throughput = strategy_.throughput;
+      strategy_ = std::move(chosen);
+      tail_rules_cached_ = false;
+    }
+    for (workload::TaskId t = 0; t < tasks_.size(); ++t) {
+      if (!tasks_[t].completed) consider_enqueue(t);
+    }
+    check_budget_trigger();
+  }
+
+  /// History observed by the scheduler at this instant: resolved instances
+  /// as recorded, still-running ones as unreturned (the online reliability
+  /// model's partial-knowledge epoch expects exactly this view).
+  trace::ExecutionTrace snapshot_history() const {
+    std::vector<InstanceRecord> records = records_;
+    for (const auto& p : pending_) {
+      records.push_back(InstanceRecord{p.task, p.pool, p.send_time, kInf,
+                                       InstanceOutcome::Timeout, 0.0, false});
+    }
+    return trace::ExecutionTrace(tasks_.size(), std::move(records),
+                                 engine_.now(), engine_.now());
+  }
+
+  void check_budget_trigger() {
+    if (strategy_.tail_mode != TailMode::BudgetTriggered || budget_fired_)
+      return;
+    // Estimate replication cost with the cheapest reliable group rate.
+    double rate = kInf;
+    double period = 1.0;
+    for (const auto& m : machines_) {
+      if (m.reliable_pool && m.price.rate_cents_per_s < rate) {
+        rate = m.price.rate_cents_per_s;
+        period = m.price.period_s;
+      }
+    }
+    if (rate == kInf) return;  // no reliable pool to replicate onto
+    const double replication_cost =
+        static_cast<double>(remaining_) *
+        util::charge_cents(bot_.mean_cpu_seconds(), rate, period);
+    if (replication_cost > strategy_.budget_cents - total_cost_) return;
+    budget_fired_ = true;
+    for (workload::TaskId t = 0; t < tasks_.size(); ++t) {
+      auto& st = tasks_[t];
+      if (st.completed || st.reliable_used) continue;
+      if (st.queued == Queued::Reliable) continue;
+      if (st.queued == Queued::Unreliable) cancel_queued(t);
+      enqueue(t, Queued::Reliable);
+    }
+  }
+
+  struct PendingInstance {
+    workload::TaskId task = 0;
+    PoolKind pool = PoolKind::Unreliable;
+    double send_time = 0.0;
+  };
+
+  void remove_pending(workload::TaskId task, PoolKind pool,
+                      double send_time) {
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      const auto& p = pending_[i];
+      if (p.task == task && p.pool == pool && p.send_time == send_time) {
+        pending_[i] = pending_.back();
+        pending_.pop_back();
+        return;
+      }
+    }
+    EXPERT_CHECK(false, "resolved instance missing from pending set");
+  }
+
+  const ExecutorConfig& cfg_;
+  const workload::Bot& bot_;
+  StrategyConfig strategy_;
+  const Executor::TailStrategySelector* selector_ = nullptr;
+  std::vector<PendingInstance> pending_;
+  util::Rng rng_;
+
+  sim::Engine engine_;
+  std::vector<Machine> machines_;
+  std::vector<TaskState> tasks_;
+  std::deque<QueueEntry> ur_queue_;
+  std::deque<QueueEntry> r_queue_;
+  std::vector<InstanceRecord> records_;
+
+  PhaseRules throughput_rules_;
+  mutable PhaseRules tail_rules_;
+  mutable bool tail_rules_cached_ = false;
+
+  std::size_t unreliable_count_ = 0;
+  std::size_t reliable_count_ = 0;
+  std::size_t ur_cursor_ = 0;
+  std::size_t r_cursor_ = 0;
+  double thr_deadline_ = 0.0;
+  std::size_t tail_trigger_ = 0;
+
+  std::size_t remaining_ = 0;
+  double total_cost_ = 0.0;
+  bool tail_started_ = false;
+  bool budget_fired_ = false;
+  double t_tail_ = 0.0;
+  double completion_time_ = 0.0;
+};
+
+}  // namespace
+
+void ExecutorConfig::validate() const {
+  unreliable.validate();
+  if (reliable) reliable->validate();
+  EXPERT_REQUIRE(max_sim_time > 0.0, "horizon must be positive");
+  EXPERT_REQUIRE(throughput_deadline >= 0.0,
+                 "throughput deadline must be non-negative");
+}
+
+Executor::Executor(ExecutorConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+trace::ExecutionTrace Executor::run(const workload::Bot& bot,
+                                    const strategies::StrategyConfig& strategy,
+                                    std::uint64_t stream) const {
+  strategy.validate();
+  util::Rng rng(util::derive_seed(config_.seed, stream));
+  Run run(config_, bot, strategy, rng);
+  return run.execute();
+}
+
+trace::ExecutionTrace Executor::run_adaptive(
+    const workload::Bot& bot, const strategies::StrategyConfig& initial,
+    const TailStrategySelector& selector, std::uint64_t stream) const {
+  initial.validate();
+  EXPERT_REQUIRE(selector != nullptr, "run_adaptive needs a selector");
+  util::Rng rng(util::derive_seed(config_.seed, stream));
+  Run run(config_, bot, initial, rng, &selector);
+  return run.execute();
+}
+
+}  // namespace expert::gridsim

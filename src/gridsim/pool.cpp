@@ -1,0 +1,53 @@
+#include "expert/gridsim/pool.hpp"
+
+#include <cmath>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::gridsim {
+
+std::size_t PoolConfig::total_machines() const noexcept {
+  std::size_t total = 0;
+  for (const auto& g : groups) total += g.count;
+  return total;
+}
+
+void PoolConfig::validate() const {
+  EXPERT_REQUIRE(!groups.empty(), "pool needs at least one machine group");
+  for (const auto& g : groups) {
+    EXPERT_REQUIRE(g.count > 0, "machine group must be non-empty");
+    EXPERT_REQUIRE(g.speed_mean > 0.0, "machine speed must be positive");
+    EXPERT_REQUIRE(g.speed_cv >= 0.0, "speed CV must be non-negative");
+    EXPERT_REQUIRE(g.availability.mean_up_seconds > 0.0 &&
+                       g.availability.mean_down_seconds >= 0.0,
+                   "invalid availability model");
+    EXPERT_REQUIRE(g.price.rate_cents_per_s >= 0.0 && g.price.period_s > 0.0,
+                   "invalid price spec");
+    EXPERT_REQUIRE(
+        g.failure_notice_prob >= 0.0 && g.failure_notice_prob <= 1.0,
+        "failure notice probability outside [0,1]");
+    EXPERT_REQUIRE(g.mean_queue_wait_s >= 0.0,
+                   "mean queue wait must be non-negative");
+  }
+}
+
+PoolConfig PoolConfig::combine(const std::string& name, const PoolConfig& a,
+                               const PoolConfig& b) {
+  PoolConfig out;
+  out.name = name;
+  out.groups = a.groups;
+  out.groups.insert(out.groups.end(), b.groups.begin(), b.groups.end());
+  return out;
+}
+
+double calibrate_mean_uptime(double mean_runtime, double target_gamma) {
+  EXPERT_REQUIRE(mean_runtime > 0.0, "mean runtime must be positive");
+  EXPERT_REQUIRE(target_gamma > 0.0 && target_gamma < 1.0,
+                 "target gamma must be in (0,1)");
+  // For a fixed runtime r: gamma = exp(-r / mean_up). Using the mean
+  // runtime as representative slightly underestimates gamma for skewed
+  // runtime mixes; good enough for calibration to two decimal places.
+  return -mean_runtime / std::log(target_gamma);
+}
+
+}  // namespace expert::gridsim

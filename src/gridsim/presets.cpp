@@ -1,0 +1,87 @@
+#include "expert/gridsim/presets.hpp"
+
+namespace expert::gridsim {
+
+namespace {
+
+constexpr double kGridRate = 1.0 / 3600.0;   // energy cost, cent/s
+constexpr double kEc2Rate = 34.0 / 3600.0;   // m1.large on-demand, cent/s
+constexpr double kEc2Period = 3600.0;        // charged per whole hours
+constexpr double kGridPeriod = 1.0;
+
+}  // namespace
+
+PoolConfig make_wm(std::size_t count, double target_gamma,
+                   double mean_runtime) {
+  MachineGroup g;
+  g.count = count;
+  g.speed_mean = 1.0;
+  g.speed_cv = 0.25;  // desktop-grid heterogeneity
+  const double mean_up = calibrate_mean_uptime(mean_runtime, target_gamma);
+  // Preempted slots come back quickly: the overlay requests replacements.
+  g.availability = stats::AvailabilityModel{mean_up, 0.05 * mean_up};
+  g.price = PriceSpec{kGridRate, kGridPeriod};
+  g.failure_notice_prob = 0.3;  // Condor reports some preemptions
+  g.mean_queue_wait_s = 60.0;   // campus pool, short matchmaking delay
+  return PoolConfig{"WM", {g}};
+}
+
+PoolConfig make_osg(std::size_t count, double target_gamma,
+                    double mean_runtime) {
+  MachineGroup g;
+  g.count = count;
+  g.speed_mean = 1.0;
+  g.speed_cv = 0.35;  // more site diversity than a single campus pool
+  const double mean_up = calibrate_mean_uptime(mean_runtime, target_gamma);
+  g.availability = stats::AvailabilityModel{mean_up, 0.10 * mean_up};
+  g.price = PriceSpec{kGridRate, kGridPeriod};
+  g.failure_notice_prob = 0.0;  // no preemption notices; results just stop
+  g.mean_queue_wait_s = 120.0;  // multi-site federation, longer queues
+  return PoolConfig{"OSG", {g}};
+}
+
+PoolConfig make_tech(std::size_t count) {
+  MachineGroup g;
+  g.count = count;
+  g.speed_mean = 1.0;
+  g.speed_cv = 0.0;
+  g.availability = stats::AvailabilityModel{1.0e12, 1.0};  // never fails
+  g.price = PriceSpec{kEc2Rate, kGridPeriod};  // priced at C_r, per second
+  return PoolConfig{"Tech", {g}};
+}
+
+PoolConfig make_ec2(std::size_t count) {
+  MachineGroup g;
+  g.count = count;
+  g.speed_mean = 1.0;
+  g.speed_cv = 0.0;
+  // >99% availability per the SLA; failures are reported by the API.
+  g.availability = stats::AvailabilityModel{2.0e6, 2.0e4};
+  g.price = PriceSpec{kEc2Rate, kEc2Period};
+  g.failure_notice_prob = 1.0;
+  return PoolConfig{"EC2", {g}};
+}
+
+PoolConfig make_osg_wm(std::size_t count, double target_gamma,
+                       double mean_runtime) {
+  const std::size_t half = count / 2;
+  return PoolConfig::combine(
+      "OSG+WM", make_osg(half, target_gamma, mean_runtime),
+      make_wm(count - half, target_gamma, mean_runtime));
+}
+
+PoolConfig make_wm_ec2(std::size_t wm_count, std::size_t ec2_count,
+                       double target_gamma, double mean_runtime) {
+  return PoolConfig::combine("WM+EC2",
+                             make_wm(wm_count, target_gamma, mean_runtime),
+                             make_ec2(ec2_count));
+}
+
+PoolConfig make_wm_tech(std::size_t wm_count, std::size_t tech_count,
+                        double target_gamma, double mean_runtime) {
+  return PoolConfig::combine("WM+Tech",
+                             make_wm(wm_count, target_gamma, mean_runtime),
+                             make_tech(tech_count));
+}
+
+}  // namespace expert::gridsim

@@ -1,0 +1,88 @@
+#include "expert/sim/engine.hpp"
+
+#include <limits>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::sim {
+
+void Engine::EventHandle::cancel() {
+  if (node_ && !node_->cancelled) {
+    node_->cancelled = true;
+    node_->fn = nullptr;  // release captures promptly
+  }
+}
+
+bool Engine::EventHandle::pending() const {
+  return node_ && !node_->cancelled && node_->fn != nullptr;
+}
+
+Engine::EventHandle Engine::schedule_at(SimTime at, std::function<void()> fn) {
+  EXPERT_REQUIRE(at >= now_, "cannot schedule an event in the past");
+  EXPERT_REQUIRE(fn != nullptr, "event callback must be callable");
+  auto node = std::make_shared<EventHandle::Node>();
+  node->time = at;
+  node->seq = next_seq_++;
+  node->fn = std::move(fn);
+  heap_.push(node);
+  ++live_events_;
+  return EventHandle(std::move(node));
+}
+
+Engine::EventHandle Engine::schedule_in(SimTime delay,
+                                        std::function<void()> fn) {
+  EXPERT_REQUIRE(delay >= 0.0, "negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+Engine::NodePtr Engine::pop_next() {
+  while (!heap_.empty()) {
+    NodePtr node = heap_.top();
+    heap_.pop();
+    --live_events_;
+    if (!node->cancelled) return node;
+  }
+  return nullptr;
+}
+
+SimTime Engine::run() {
+  return run_until(std::numeric_limits<SimTime>::infinity());
+}
+
+SimTime Engine::run_until(SimTime horizon) {
+  stop_requested_ = false;
+  while (!heap_.empty() && !stop_requested_) {
+    if (heap_.top()->time > horizon) {
+      now_ = std::max(now_, std::min(horizon, heap_.top()->time));
+      return now_;
+    }
+    NodePtr node = pop_next();
+    if (!node) break;
+    EXPERT_CHECK(node->time + 1e-9 >= now_, "event time went backwards");
+    now_ = node->time;
+    auto fn = std::move(node->fn);
+    node->fn = nullptr;
+    ++processed_;
+    fn();
+  }
+  return now_;
+}
+
+std::size_t Engine::run_some(std::size_t count) {
+  std::size_t done = 0;
+  while (done < count) {
+    NodePtr node = pop_next();
+    if (!node) break;
+    now_ = node->time;
+    auto fn = std::move(node->fn);
+    node->fn = nullptr;
+    ++processed_;
+    ++done;
+    fn();
+  }
+  return done;
+}
+
+bool Engine::empty() const { return live_events_ == 0; }
+
+}  // namespace expert::sim

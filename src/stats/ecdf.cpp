@@ -1,0 +1,60 @@
+#include "expert/stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  EXPERT_REQUIRE(!sorted_.empty(), "ECDF needs at least one sample");
+  std::sort(sorted_.begin(), sorted_.end());
+  mean_ = std::accumulate(sorted_.begin(), sorted_.end(), 0.0) /
+          static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::cdf(double t) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), t);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  EXPERT_REQUIRE(!sorted_.empty(), "quantile of empty ECDF");
+  EXPERT_REQUIRE(p >= 0.0 && p <= 1.0, "quantile argument outside [0,1]");
+  if (p <= 0.0) return sorted_.front();
+  const auto n = static_cast<double>(sorted_.size());
+  // Smallest index i (0-based) with (i+1)/n >= p.
+  auto idx = static_cast<std::size_t>(std::max(0.0, std::ceil(p * n) - 1.0));
+  if (idx >= sorted_.size()) idx = sorted_.size() - 1;
+  return sorted_[idx];
+}
+
+double EmpiricalCdf::min() const {
+  EXPERT_REQUIRE(!sorted_.empty(), "min of empty ECDF");
+  return sorted_.front();
+}
+
+double EmpiricalCdf::max() const {
+  EXPERT_REQUIRE(!sorted_.empty(), "max of empty ECDF");
+  return sorted_.back();
+}
+
+double EmpiricalCdf::mean() const {
+  EXPERT_REQUIRE(!sorted_.empty(), "mean of empty ECDF");
+  return mean_;
+}
+
+EmpiricalCdf EmpiricalCdf::merge(const EmpiricalCdf& a, const EmpiricalCdf& b) {
+  std::vector<double> pooled;
+  pooled.reserve(a.size() + b.size());
+  pooled.insert(pooled.end(), a.sorted_.begin(), a.sorted_.end());
+  pooled.insert(pooled.end(), b.sorted_.begin(), b.sorted_.end());
+  return EmpiricalCdf(std::move(pooled));
+}
+
+}  // namespace expert::stats

@@ -1,0 +1,58 @@
+#include "expert/stats/histogram.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  EXPERT_REQUIRE(hi > lo, "histogram range must be non-empty");
+  EXPERT_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double value) noexcept {
+  const double frac = (value - lo_) / (hi_ - lo_);
+  auto bin = static_cast<long long>(frac * static_cast<double>(counts_.size()));
+  bin = std::clamp<long long>(bin, 0,
+                              static_cast<long long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) noexcept {
+  for (double v : values) add(v);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  EXPERT_REQUIRE(bin < counts_.size(), "bin index out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  EXPERT_REQUIRE(bin < counts_.size(), "bin index out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return bin_lo(bin) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  const std::size_t peak = *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[b] * width / std::max<std::size_t>(peak, 1);
+    os << std::fixed << std::setprecision(0) << std::setw(9) << bin_lo(b)
+       << " .. " << std::setw(9) << bin_hi(b) << " | "
+       << std::string(bar, '#') << " " << counts_[b] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace expert::stats

@@ -1,0 +1,31 @@
+#include "expert/strategies/ntdmr.hpp"
+
+#include <sstream>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::strategies {
+
+std::string NTDMr::to_string() const {
+  std::ostringstream os;
+  os << "N=";
+  if (n.has_value())
+    os << *n;
+  else
+    os << "inf";
+  os << " T=" << timeout_t << " D=" << deadline_d << " Mr=" << mr;
+  return os.str();
+}
+
+void NTDMr::validate() const {
+  EXPERT_REQUIRE(timeout_t >= 0.0, "T must be non-negative");
+  EXPERT_REQUIRE(deadline_d > 0.0, "D must be positive");
+  EXPERT_REQUIRE(mr >= 0.0, "Mr must be non-negative");
+}
+
+bool operator==(const NTDMr& a, const NTDMr& b) noexcept {
+  return a.n == b.n && a.timeout_t == b.timeout_t &&
+         a.deadline_d == b.deadline_d && a.mr == b.mr;
+}
+
+}  // namespace expert::strategies

@@ -1,0 +1,147 @@
+#include "expert/strategies/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::strategies {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::vector<std::string> tokenize(const std::string& text) {
+  std::istringstream in(text);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+double parse_double(const std::string& value, const std::string& what) {
+  std::size_t consumed = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    EXPERT_REQUIRE(false, "cannot parse " + what + " from '" + value + "'");
+  }
+  EXPERT_REQUIRE(consumed == value.size(),
+                 "trailing characters in " + what + " '" + value + "'");
+  return out;
+}
+
+/// Parse a duration: plain seconds, or a multiple of T_ur ("2.5Tur").
+double parse_duration(const std::string& value, double tur,
+                      const std::string& what) {
+  const std::string low = lower(value);
+  const auto pos = low.rfind("tur");
+  if (pos != std::string::npos && pos + 3 == low.size()) {
+    const std::string factor = value.substr(0, pos);
+    if (factor.empty()) return tur;
+    return parse_double(factor, what) * tur;
+  }
+  return parse_double(value, what);
+}
+
+std::optional<StaticStrategyKind> static_kind(const std::string& name) {
+  const std::string low = lower(name);
+  if (low == "ar") return StaticStrategyKind::AR;
+  if (low == "trr") return StaticStrategyKind::TRR;
+  if (low == "tr") return StaticStrategyKind::TR;
+  if (low == "aur") return StaticStrategyKind::AUR;
+  if (low == "cn-inf" || low == "cninf" || low == "cn∞")
+    return StaticStrategyKind::CNInf;
+  if (low == "cn1t0") return StaticStrategyKind::CN1T0;
+  return std::nullopt;
+}
+
+}  // namespace
+
+StrategyConfig parse_strategy(const std::string& text, double tur,
+                              double mr_max, std::size_t task_count) {
+  EXPERT_REQUIRE(tur > 0.0, "T_ur must be positive");
+  EXPERT_REQUIRE(task_count > 0, "task count must be positive");
+  const auto tokens = tokenize(text);
+  EXPERT_REQUIRE(!tokens.empty(), "empty strategy string");
+
+  // Static strategy forms.
+  if (tokens.size() == 1) {
+    if (const auto kind = static_kind(tokens[0])) {
+      return make_static_strategy(*kind, tur, mr_max);
+    }
+    const std::string low = lower(tokens[0]);
+    if (low.rfind("b=", 0) == 0) {
+      const double cents_per_task =
+          parse_double(tokens[0].substr(2), "budget");
+      EXPERT_REQUIRE(cents_per_task > 0.0, "budget must be positive");
+      return make_static_strategy(
+          StaticStrategyKind::Budget, tur, mr_max,
+          cents_per_task * static_cast<double>(task_count));
+    }
+  }
+
+  // NTDMr key=value form.
+  std::map<std::string, std::string> kv;
+  for (const auto& token : tokens) {
+    const auto eq = token.find('=');
+    EXPERT_REQUIRE(eq != std::string::npos && eq > 0,
+                   "expected key=value, got '" + token + "'");
+    const std::string key = lower(token.substr(0, eq));
+    EXPERT_REQUIRE(key == "n" || key == "t" || key == "d" || key == "mr",
+                   "unknown strategy key '" + token.substr(0, eq) + "'");
+    EXPERT_REQUIRE(!kv.contains(key), "duplicate key '" + key + "'");
+    kv[key] = token.substr(eq + 1);
+  }
+  EXPERT_REQUIRE(kv.contains("d"), "NTDMr strategy needs D=<deadline>");
+
+  NTDMr params;
+  if (kv.contains("n")) {
+    const std::string n = lower(kv["n"]);
+    if (n == "inf" || n == "infinity") {
+      params.n.reset();
+    } else {
+      const double value = parse_double(kv["n"], "N");
+      EXPERT_REQUIRE(value >= 0.0 && value == std::floor(value),
+                     "N must be a non-negative integer or 'inf'");
+      params.n = static_cast<unsigned>(value);
+    }
+  } else {
+    params.n.reset();
+  }
+  params.deadline_d = parse_duration(kv["d"], tur, "D");
+  params.timeout_t = kv.contains("t") ? parse_duration(kv["t"], tur, "T")
+                                      : params.deadline_d;
+  params.mr = kv.contains("mr") ? parse_double(kv["mr"], "Mr") : 0.0;
+  EXPERT_REQUIRE(params.mr <= mr_max + 1e-12,
+                 "Mr exceeds the Mr_max bound");
+  params.validate();
+  return make_ntdmr_strategy(params);
+}
+
+std::string format_strategy(const StrategyConfig& config, double tur,
+                            std::size_t task_count) {
+  if (config.tail_mode == TailMode::BudgetTriggered) {
+    std::ostringstream os;
+    os << "B=" << config.budget_cents / static_cast<double>(task_count);
+    return os.str();
+  }
+  // Named static strategies keep their names; NTDMr forms render params.
+  for (auto kind : kAllStaticStrategies) {
+    if (kind == StaticStrategyKind::Budget) continue;
+    if (config.name == to_string(kind)) return config.name;
+  }
+  (void)tur;
+  return config.ntdmr.to_string();
+}
+
+}  // namespace expert::strategies

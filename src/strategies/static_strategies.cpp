@@ -1,0 +1,103 @@
+#include "expert/strategies/static_strategies.hpp"
+
+#include "expert/util/assert.hpp"
+
+namespace expert::strategies {
+
+void StrategyConfig::validate() const {
+  ntdmr.validate();
+  if (tail_mode == TailMode::BudgetTriggered) {
+    EXPERT_REQUIRE(budget_cents > 0.0,
+                   "budget strategy needs a positive budget");
+  }
+}
+
+const char* to_string(StaticStrategyKind kind) noexcept {
+  switch (kind) {
+    case StaticStrategyKind::AR:
+      return "AR";
+    case StaticStrategyKind::TRR:
+      return "TRR";
+    case StaticStrategyKind::TR:
+      return "TR";
+    case StaticStrategyKind::AUR:
+      return "AUR";
+    case StaticStrategyKind::Budget:
+      return "Budget";
+    case StaticStrategyKind::CNInf:
+      return "CN-inf";
+    case StaticStrategyKind::CN1T0:
+      return "CN1T0";
+  }
+  return "?";
+}
+
+StrategyConfig make_static_strategy(StaticStrategyKind kind, double tur,
+                                    double mr_max, double budget_cents) {
+  EXPERT_REQUIRE(tur > 0.0, "mean unreliable CPU time must be positive");
+  EXPERT_REQUIRE(mr_max >= 0.0, "Mr_max must be non-negative");
+  const double default_deadline = 4.0 * tur;  // throughput-phase deadline
+
+  StrategyConfig cfg;
+  cfg.name = to_string(kind);
+  cfg.ntdmr.deadline_d = default_deadline;
+  cfg.ntdmr.timeout_t = default_deadline;  // T = D: no replication overlap
+  cfg.ntdmr.mr = mr_max;
+
+  switch (kind) {
+    case StaticStrategyKind::AR:
+      cfg.throughput = ThroughputPolicy::ReliableOnly;
+      cfg.tail_mode = TailMode::Continue;
+      cfg.ntdmr.n = 0;
+      break;
+    case StaticStrategyKind::TRR:
+      cfg.throughput = ThroughputPolicy::UnreliableOnly;
+      cfg.tail_mode = TailMode::NTDMrTail;
+      cfg.ntdmr.n = 0;
+      cfg.ntdmr.timeout_t = 0.0;
+      break;
+    case StaticStrategyKind::TR:
+      cfg.throughput = ThroughputPolicy::UnreliableOnly;
+      cfg.tail_mode = TailMode::NTDMrTail;
+      cfg.ntdmr.n = 0;
+      break;
+    case StaticStrategyKind::AUR:
+      cfg.throughput = ThroughputPolicy::UnreliableOnly;
+      cfg.tail_mode = TailMode::NTDMrTail;
+      cfg.ntdmr.n.reset();  // N = inf
+      cfg.ntdmr.mr = 0.0;
+      break;
+    case StaticStrategyKind::Budget:
+      cfg.throughput = ThroughputPolicy::UnreliableOnly;
+      cfg.tail_mode = TailMode::BudgetTriggered;
+      cfg.ntdmr.n = 0;
+      cfg.budget_cents = budget_cents;
+      break;
+    case StaticStrategyKind::CNInf:
+      cfg.throughput = ThroughputPolicy::Combined;
+      cfg.tail_mode = TailMode::Continue;
+      cfg.ntdmr.n.reset();
+      cfg.ntdmr.mr = mr_max;
+      break;
+    case StaticStrategyKind::CN1T0:
+      cfg.throughput = ThroughputPolicy::Combined;
+      cfg.tail_mode = TailMode::ReplicateAllReliable;
+      cfg.ntdmr.n = 1;
+      cfg.ntdmr.timeout_t = 0.0;
+      break;
+  }
+  cfg.validate();
+  return cfg;
+}
+
+StrategyConfig make_ntdmr_strategy(const NTDMr& params) {
+  params.validate();
+  StrategyConfig cfg;
+  cfg.name = params.to_string();
+  cfg.throughput = ThroughputPolicy::UnreliableOnly;
+  cfg.tail_mode = TailMode::NTDMrTail;
+  cfg.ntdmr = params;
+  return cfg;
+}
+
+}  // namespace expert::strategies

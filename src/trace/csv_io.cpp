@@ -1,0 +1,84 @@
+#include "expert/trace/csv_io.hpp"
+
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "expert/util/csv.hpp"
+
+namespace expert::trace {
+
+namespace {
+
+PoolKind pool_from_string(const std::string& s) {
+  if (s == "unreliable") return PoolKind::Unreliable;
+  if (s == "reliable") return PoolKind::Reliable;
+  throw std::runtime_error("trace csv: unknown pool '" + s + "'");
+}
+
+InstanceOutcome outcome_from_string(const std::string& s) {
+  if (s == "success") return InstanceOutcome::Success;
+  if (s == "timeout") return InstanceOutcome::Timeout;
+  if (s == "cancelled") return InstanceOutcome::Cancelled;
+  throw std::runtime_error("trace csv: unknown outcome '" + s + "'");
+}
+
+double parse_turnaround(const std::string& s) {
+  if (s == "inf") return kNeverReturns;
+  return std::stod(s);
+}
+
+}  // namespace
+
+void write_csv(const ExecutionTrace& trace, std::ostream& out) {
+  util::CsvWriter csv(out);
+  csv.field(std::string("#meta"))
+      .field(static_cast<unsigned long long>(trace.task_count()))
+      .field(trace.t_tail())
+      .field(trace.makespan());
+  csv.end_row();
+  csv.row({"task", "pool", "send_time", "turnaround", "outcome", "cost_cents",
+           "tail_phase"});
+  for (const auto& r : trace.records()) {
+    csv.field(static_cast<unsigned long long>(r.task))
+        .field(std::string(to_string(r.pool)))
+        .field(r.send_time);
+    if (r.turnaround == kNeverReturns)
+      csv.field(std::string("inf"));
+    else
+      csv.field(r.turnaround);
+    csv.field(std::string(to_string(r.outcome)))
+        .field(r.cost_cents)
+        .field(static_cast<long long>(r.tail_phase ? 1 : 0));
+    csv.end_row();
+  }
+}
+
+ExecutionTrace read_csv(std::istream& in) {
+  const auto rows = util::parse_csv(in);
+  if (rows.size() < 2 || rows[0].size() != 4 || rows[0][0] != "#meta")
+    throw std::runtime_error("trace csv: missing #meta line");
+  const auto task_count = static_cast<std::size_t>(std::stoull(rows[0][1]));
+  const double t_tail = std::stod(rows[0][2]);
+  const double completion = std::stod(rows[0][3]);
+
+  std::vector<InstanceRecord> records;
+  records.reserve(rows.size() - 2);
+  for (std::size_t i = 2; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != 7)
+      throw std::runtime_error("trace csv: row has wrong field count");
+    InstanceRecord r;
+    r.task = static_cast<workload::TaskId>(std::stoul(row[0]));
+    r.pool = pool_from_string(row[1]);
+    r.send_time = std::stod(row[2]);
+    r.turnaround = parse_turnaround(row[3]);
+    r.outcome = outcome_from_string(row[4]);
+    r.cost_cents = std::stod(row[5]);
+    r.tail_phase = row[6] == "1";
+    records.push_back(r);
+  }
+  return ExecutionTrace(task_count, std::move(records), t_tail, completion);
+}
+
+}  // namespace expert::trace

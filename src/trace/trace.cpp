@@ -1,0 +1,152 @@
+#include "expert/trace/trace.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::trace {
+
+const char* to_string(PoolKind pool) noexcept {
+  switch (pool) {
+    case PoolKind::Unreliable:
+      return "unreliable";
+    case PoolKind::Reliable:
+      return "reliable";
+  }
+  return "?";
+}
+
+const char* to_string(InstanceOutcome outcome) noexcept {
+  switch (outcome) {
+    case InstanceOutcome::Success:
+      return "success";
+    case InstanceOutcome::Timeout:
+      return "timeout";
+    case InstanceOutcome::Cancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+ExecutionTrace::ExecutionTrace(std::size_t task_count,
+                               std::vector<InstanceRecord> records,
+                               double t_tail, double completion_time)
+    : task_count_(task_count),
+      records_(std::move(records)),
+      t_tail_(t_tail),
+      completion_time_(completion_time) {
+  EXPERT_REQUIRE(task_count_ > 0, "trace needs a non-empty BoT");
+  EXPERT_REQUIRE(t_tail_ >= 0.0 && completion_time_ >= t_tail_,
+                 "0 <= t_tail <= completion time required");
+  for (const auto& r : records_) {
+    EXPERT_REQUIRE(r.task < task_count_, "record references unknown task");
+  }
+}
+
+double ExecutionTrace::total_cost_cents() const noexcept {
+  double total = 0.0;
+  for (const auto& r : records_) total += r.cost_cents;
+  return total;
+}
+
+double ExecutionTrace::cost_per_task_cents() const {
+  EXPERT_REQUIRE(task_count_ > 0, "empty trace");
+  return total_cost_cents() / static_cast<double>(task_count_);
+}
+
+std::size_t ExecutionTrace::reliable_instances_sent() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(), [](const auto& r) {
+        return r.pool == PoolKind::Reliable &&
+               r.outcome != InstanceOutcome::Cancelled;
+      }));
+}
+
+std::vector<double> ExecutionTrace::successful_turnarounds(
+    PoolKind pool) const {
+  std::vector<double> out;
+  for (const auto& r : records_) {
+    if (r.pool == pool && r.successful()) out.push_back(r.turnaround);
+  }
+  return out;
+}
+
+double ExecutionTrace::average_reliability() const {
+  std::size_t sent = 0;
+  std::size_t ok = 0;
+  for (const auto& r : records_) {
+    if (r.pool != PoolKind::Unreliable) continue;
+    if (r.outcome == InstanceOutcome::Cancelled) continue;
+    ++sent;
+    if (r.successful()) ++ok;
+  }
+  EXPERT_REQUIRE(sent > 0, "no unreliable instances in trace");
+  return static_cast<double>(ok) / static_cast<double>(sent);
+}
+
+std::optional<double> ExecutionTrace::reliability_in_window(double lo,
+                                                            double hi) const {
+  EXPERT_REQUIRE(hi > lo, "empty reliability window");
+  std::size_t sent = 0;
+  std::size_t ok = 0;
+  for (const auto& r : records_) {
+    if (r.pool != PoolKind::Unreliable) continue;
+    if (r.outcome == InstanceOutcome::Cancelled) continue;
+    if (r.send_time < lo || r.send_time >= hi) continue;
+    ++sent;
+    if (r.successful()) ++ok;
+  }
+  if (sent == 0) return std::nullopt;
+  return static_cast<double>(ok) / static_cast<double>(sent);
+}
+
+std::size_t ExecutionTrace::remaining_at(double t) const {
+  std::size_t remaining = task_count_;
+  for (const auto& [time, count] : remaining_tasks_series()) {
+    if (time <= t) remaining = count;
+  }
+  return remaining;
+}
+
+std::vector<std::pair<double, std::size_t>>
+ExecutionTrace::remaining_tasks_series() const {
+  std::vector<double> first_result(task_count_,
+                                   std::numeric_limits<double>::infinity());
+  for (const auto& r : records_) {
+    if (r.successful()) {
+      first_result[r.task] = std::min(first_result[r.task],
+                                      r.completion_time());
+    }
+  }
+  std::vector<double> completions;
+  completions.reserve(task_count_);
+  for (double t : first_result) {
+    if (t != std::numeric_limits<double>::infinity()) completions.push_back(t);
+  }
+  std::sort(completions.begin(), completions.end());
+
+  std::vector<std::pair<double, std::size_t>> series;
+  series.reserve(completions.size() + 1);
+  series.emplace_back(0.0, task_count_);
+  std::size_t remaining = task_count_;
+  for (double t : completions) {
+    --remaining;
+    series.emplace_back(t, remaining);
+  }
+  return series;
+}
+
+std::optional<double> ExecutionTrace::task_completion_time(
+    workload::TaskId task) const {
+  EXPERT_REQUIRE(task < task_count_, "task id out of range");
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& r : records_) {
+    if (r.task == task && r.successful())
+      best = std::min(best, r.completion_time());
+  }
+  if (best == std::numeric_limits<double>::infinity()) return std::nullopt;
+  return best;
+}
+
+}  // namespace expert::trace

@@ -1,0 +1,82 @@
+#include "expert/util/args.hpp"
+
+#include <algorithm>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::util {
+
+Args::Args(int argc, const char* const* argv,
+           const std::vector<std::string>& known_options,
+           const std::vector<std::string>& known_flags) {
+  auto is_known = [](const std::vector<std::string>& names,
+                     const std::string& name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> inline_value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    if (is_known(known_flags, name) && !inline_value) {
+      flags_.push_back(name);
+    } else if (is_known(known_options, name)) {
+      if (inline_value) {
+        options_[name] = *inline_value;
+      } else {
+        EXPERT_REQUIRE(i + 1 < argc, "option --" + name + " needs a value");
+        options_[name] = argv[++i];
+      }
+    } else {
+      unknown_.push_back(name);
+    }
+  }
+}
+
+std::optional<std::string> Args::command() const {
+  if (positional_.empty()) return std::nullopt;
+  return positional_.front();
+}
+
+bool Args::has_flag(const std::string& name) const {
+  return std::find(flags_.begin(), flags_.end(), name) != flags_.end();
+}
+
+std::optional<std::string> Args::option(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::option_or(const std::string& name,
+                            const std::string& fallback) const {
+  return option(name).value_or(fallback);
+}
+
+double Args::number_or(const std::string& name, double fallback) const {
+  const auto value = option(name);
+  if (!value) return fallback;
+  try {
+    return std::stod(*value);
+  } catch (const std::exception&) {
+    EXPERT_REQUIRE(false, "option --" + name + " expects a number, got '" +
+                              *value + "'");
+  }
+  return fallback;  // unreachable
+}
+
+std::string Args::required(const std::string& name) const {
+  const auto value = option(name);
+  EXPERT_REQUIRE(value.has_value(), "missing required option --" + name);
+  return *value;
+}
+
+}  // namespace expert::util

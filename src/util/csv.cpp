@@ -1,0 +1,131 @@
+#include "expert/util/csv.hpp"
+
+#include <charconv>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace expert::util {
+
+namespace {
+
+bool needs_quoting(const std::string& value, char sep) {
+  return value.find_first_of(std::string{sep} + "\"\n\r") != std::string::npos;
+}
+
+std::string escape(const std::string& value, char sep) {
+  if (!needs_quoting(value, sep)) return value;
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::ostream& out, char sep) : out_(out), sep_(sep) {}
+
+void CsvWriter::write_raw(const std::string& escaped) {
+  if (row_started_) out_ << sep_;
+  out_ << escaped;
+  row_started_ = true;
+}
+
+CsvWriter& CsvWriter::field(const std::string& value) {
+  write_raw(escape(value, sep_));
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double value) {
+  char buf[32];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec != std::errc{}) throw std::runtime_error("CsvWriter: to_chars failed");
+  write_raw(std::string(buf, end));
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(long long value) {
+  write_raw(std::to_string(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(unsigned long long value) {
+  write_raw(std::to_string(value));
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  out_ << '\n';
+  row_started_ = false;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (const auto& f : fields) field(f);
+  end_row();
+}
+
+std::vector<std::vector<std::string>> parse_csv(std::istream& in, char sep) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  char c;
+  while (in.get(c)) {
+    if (in_quotes) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          in.get(c);
+          field += '"';
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      if (field_started && !field.empty())
+        throw std::runtime_error("parse_csv: quote inside unquoted field");
+      in_quotes = true;
+      field_started = true;
+    } else if (c == sep) {
+      end_field();
+      field_started = false;
+    } else if (c == '\n') {
+      end_row();
+    } else if (c == '\r') {
+      // swallow; \r\n handled by the \n branch
+    } else {
+      field += c;
+      field_started = true;
+    }
+  }
+  if (in_quotes) throw std::runtime_error("parse_csv: unterminated quote");
+  if (field_started || !row.empty()) end_row();
+  return rows;
+}
+
+std::vector<std::vector<std::string>> parse_csv_string(const std::string& text,
+                                                       char sep) {
+  std::istringstream in(text);
+  return parse_csv(in, sep);
+}
+
+}  // namespace expert::util

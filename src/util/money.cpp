@@ -1,0 +1,18 @@
+#include "expert/util/money.hpp"
+
+#include <cmath>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::util {
+
+double charge_cents(double runtime_s, double rate_cents_per_s,
+                    double period_s) {
+  EXPERT_REQUIRE(runtime_s >= 0.0, "negative runtime");
+  EXPERT_REQUIRE(rate_cents_per_s >= 0.0, "negative rate");
+  EXPERT_REQUIRE(period_s > 0.0, "charging period must be positive");
+  const double periods = std::ceil(runtime_s / period_s);
+  return periods * period_s * rate_cents_per_s;
+}
+
+}  // namespace expert::util

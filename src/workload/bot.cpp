@@ -1,0 +1,49 @@
+#include "expert/workload/bot.hpp"
+
+#include <algorithm>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::workload {
+
+Bot::Bot(std::string name, std::vector<Task> tasks)
+    : name_(std::move(name)), tasks_(std::move(tasks)) {
+  EXPERT_REQUIRE(!tasks_.empty(), "a BoT must contain at least one task");
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    EXPERT_REQUIRE(tasks_[i].id == static_cast<TaskId>(i),
+                   "task ids must be dense and ordered");
+    EXPERT_REQUIRE(tasks_[i].cpu_seconds > 0.0,
+                   "task CPU time must be positive");
+    total_cpu_ += tasks_[i].cpu_seconds;
+  }
+}
+
+const Task& Bot::task(TaskId id) const {
+  EXPERT_REQUIRE(id < tasks_.size(), "task id out of range");
+  return tasks_[id];
+}
+
+double Bot::mean_cpu_seconds() const {
+  EXPERT_REQUIRE(!tasks_.empty(), "empty BoT");
+  return total_cpu_ / static_cast<double>(tasks_.size());
+}
+
+double Bot::min_cpu_seconds() const {
+  EXPERT_REQUIRE(!tasks_.empty(), "empty BoT");
+  return std::min_element(tasks_.begin(), tasks_.end(),
+                          [](const Task& a, const Task& b) {
+                            return a.cpu_seconds < b.cpu_seconds;
+                          })
+      ->cpu_seconds;
+}
+
+double Bot::max_cpu_seconds() const {
+  EXPERT_REQUIRE(!tasks_.empty(), "empty BoT");
+  return std::max_element(tasks_.begin(), tasks_.end(),
+                          [](const Task& a, const Task& b) {
+                            return a.cpu_seconds < b.cpu_seconds;
+                          })
+      ->cpu_seconds;
+}
+
+}  // namespace expert::workload

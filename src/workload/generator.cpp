@@ -1,0 +1,66 @@
+#include "expert/workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "expert/stats/distributions.hpp"
+#include "expert/util/assert.hpp"
+#include "expert/util/rng.hpp"
+
+namespace expert::workload {
+
+void BotStreamSpec::validate() const {
+  EXPERT_REQUIRE(min_tasks > 0, "minimum BoT size must be positive");
+  EXPERT_REQUIRE(min_tasks <= mean_tasks && mean_tasks <= max_tasks,
+                 "need min_tasks <= mean_tasks <= max_tasks");
+  EXPERT_REQUIRE(min_mean_cpu > 0.0 && min_mean_cpu <= max_mean_cpu,
+                 "invalid mean CPU range");
+  EXPERT_REQUIRE(min_cpu_factor > 0.0 && min_cpu_factor < 1.0,
+                 "min_cpu_factor must be in (0,1)");
+  EXPERT_REQUIRE(max_cpu_factor > 1.0, "max_cpu_factor must exceed 1");
+}
+
+BotStream::BotStream(BotStreamSpec spec, std::uint64_t seed)
+    : spec_(spec), seed_(seed) {
+  spec_.validate();
+  // The expensive Monte-Carlo calibration runs once, on the unit-mean
+  // shape; per-BoT distributions are exact rescalings of it.
+  unit_cpu_dist_ = std::make_shared<stats::TruncatedLognormal>(
+      stats::TruncatedLognormal::from_stats(1.0, spec_.min_cpu_factor,
+                                            spec_.max_cpu_factor));
+}
+
+Bot BotStream::next() {
+  util::Rng rng(util::derive_seed(seed_, count_));
+  ++count_;
+
+  // Heavy-tailed BoT size: lognormal with the requested mean, clamped.
+  const double cv = 0.8;
+  const double sigma2 = std::log1p(cv * cv);
+  const double mu =
+      std::log(static_cast<double>(spec_.mean_tasks)) - 0.5 * sigma2;
+  auto tasks = static_cast<std::size_t>(
+      std::lround(rng.lognormal(mu, std::sqrt(sigma2))));
+  tasks = std::clamp(tasks, spec_.min_tasks, spec_.max_tasks);
+
+  const double mean_cpu = rng.uniform(spec_.min_mean_cpu, spec_.max_mean_cpu);
+  const auto dist = unit_cpu_dist_->scaled(mean_cpu);
+  util::Rng task_rng(util::derive_seed(seed_, count_ + 0x1000));
+  std::vector<Task> task_list;
+  task_list.reserve(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) {
+    task_list.push_back(Task{static_cast<TaskId>(i), dist.sample(task_rng)});
+  }
+  return Bot("bot-" + std::to_string(count_ - 1), std::move(task_list));
+}
+
+std::vector<Bot> generate_bots(const BotStreamSpec& spec, std::size_t n,
+                               std::uint64_t seed) {
+  BotStream stream(spec, seed);
+  std::vector<Bot> bots;
+  bots.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) bots.push_back(stream.next());
+  return bots;
+}
+
+}  // namespace expert::workload

@@ -1,0 +1,217 @@
+// Pins the NTDMr task-instance flow of paper Fig. 3 at the trace level:
+// which pool serves which instance, when replicas may be sent, what gets
+// cancelled, and what gets paid.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "expert/core/estimator.hpp"
+
+namespace expert::core {
+namespace {
+
+using strategies::make_ntdmr_strategy;
+using strategies::NTDMr;
+using trace::InstanceOutcome;
+using trace::PoolKind;
+
+constexpr double kMean = 1000.0;
+
+EstimatorConfig config(std::size_t pool = 25) {
+  EstimatorConfig cfg;
+  cfg.unreliable_size = pool;
+  cfg.tr = kMean;
+  cfg.throughput_deadline = 4.0 * kMean;
+  cfg.repetitions = 1;
+  cfg.seed = 0xF70633;
+  return cfg;
+}
+
+NTDMr params(std::optional<unsigned> n, double t, double d, double mr) {
+  NTDMr p;
+  p.n = n;
+  p.timeout_t = t;
+  p.deadline_d = d;
+  p.mr = mr;
+  return p;
+}
+
+TEST(EstimatorFlow, ConsecutiveSendsOfATaskRespectTimeoutT) {
+  const double tail_t = 500.0;
+  Estimator est(config(), make_synthetic_model(kMean, 300.0, 3200.0, 0.7));
+  const auto [metrics, tr] = est.simulate(
+      80, make_ntdmr_strategy(params(3, tail_t, 2000.0, 0.1)));
+  std::map<workload::TaskId, std::vector<double>> sends;
+  for (const auto& r : tr.records()) {
+    if (r.outcome == InstanceOutcome::Cancelled) continue;
+    sends[r.task].push_back(r.send_time);
+  }
+  for (auto& [task, times] : sends) {
+    std::sort(times.begin(), times.end());
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      // Tail T is the tightest cadence in force at any point of the run.
+      EXPECT_GE(times[i] - times[i - 1], tail_t - 1e-6)
+          << "task " << task << " instance " << i;
+    }
+  }
+}
+
+TEST(EstimatorFlow, AtMostNUnreliableTailInstancesPerTask) {
+  const unsigned n = 2;
+  Estimator est(config(), make_synthetic_model(kMean, 300.0, 3200.0, 0.6));
+  const auto [metrics, tr] =
+      est.simulate(80, make_ntdmr_strategy(params(n, 0.0, 1500.0, 0.2)));
+  std::map<workload::TaskId, unsigned> tail_unreliable;
+  for (const auto& r : tr.records()) {
+    if (r.tail_phase && r.pool == PoolKind::Unreliable) {
+      ++tail_unreliable[r.task];  // cancelled entries also consumed budget
+    }
+  }
+  for (const auto& [task, count] : tail_unreliable) {
+    EXPECT_LE(count, n) << "task " << task;
+  }
+}
+
+TEST(EstimatorFlow, AtMostOneReliableInstancePerTask) {
+  Estimator est(config(), make_synthetic_model(kMean, 300.0, 3200.0, 0.6));
+  const auto [metrics, tr] =
+      est.simulate(80, make_ntdmr_strategy(params(1, 0.0, 1500.0, 0.3)));
+  std::map<workload::TaskId, unsigned> reliable;
+  for (const auto& r : tr.records()) {
+    if (r.pool == PoolKind::Reliable &&
+        r.outcome != InstanceOutcome::Cancelled)
+      ++reliable[r.task];
+  }
+  for (const auto& [task, count] : reliable) {
+    EXPECT_LE(count, 1u) << "task " << task;
+  }
+}
+
+TEST(EstimatorFlow, ReliableInstancesIgnoreTheDeadline) {
+  // D = 600 s is far below T_r = 1000 s; a deadline-bound instance could
+  // never finish, but the reliable (N+1)-th instance runs without one.
+  Estimator est(config(), make_synthetic_model(kMean, 300.0, 3200.0, 0.5));
+  const auto [metrics, tr] =
+      est.simulate(60, make_ntdmr_strategy(params(0, 0.0, 600.0, 0.3)));
+  EXPECT_TRUE(metrics.finished);
+  for (const auto& r : tr.records()) {
+    if (r.pool == PoolKind::Reliable && r.successful()) {
+      EXPECT_DOUBLE_EQ(r.turnaround, kMean);
+    }
+  }
+}
+
+TEST(EstimatorFlow, ReliablePoolIdleDuringThroughputPhase) {
+  Estimator est(config(), make_synthetic_model(kMean, 300.0, 3200.0, 0.8));
+  const auto [metrics, tr] =
+      est.simulate(100, make_ntdmr_strategy(params(1, 500.0, 2000.0, 0.5)));
+  for (const auto& r : tr.records()) {
+    if (r.pool == PoolKind::Reliable &&
+        r.outcome != InstanceOutcome::Cancelled) {
+      EXPECT_TRUE(r.tail_phase)
+          << "reliable instance sent at " << r.send_time << " before T_tail "
+          << tr.t_tail();
+    }
+  }
+}
+
+TEST(EstimatorFlow, CompletionCancelsQueuedInstanceFreeOfCharge) {
+  // Mr = 0.04 -> a one-machine reliable pool with a long queue; many queued
+  // reliable instances are cancelled when the unreliable original returns.
+  Estimator est(config(50), make_synthetic_model(kMean, 300.0, 3200.0, 0.85));
+  const auto [metrics, tr] =
+      est.simulate(150, make_ntdmr_strategy(params(0, 0.0, 4000.0, 0.04)));
+  std::size_t cancelled = 0;
+  for (const auto& r : tr.records()) {
+    if (r.outcome == InstanceOutcome::Cancelled) {
+      ++cancelled;
+      EXPECT_DOUBLE_EQ(r.cost_cents, 0.0);
+      EXPECT_EQ(r.turnaround, trace::kNeverReturns);
+    }
+  }
+  EXPECT_GT(cancelled, 0u);
+}
+
+TEST(EstimatorFlow, DuplicateResultsArePaid) {
+  // gamma = 1 with immediate replication: several instances of the same
+  // task succeed, and each successful result is charged.
+  Estimator est(config(60), make_synthetic_model(kMean, 800.0, 1200.0, 1.0));
+  const auto [metrics, tr] =
+      est.simulate(50, make_ntdmr_strategy(params(3, 0.0, 4000.0, 0.1)));
+  EXPECT_GT(metrics.duplicate_results, 0.0);
+  std::map<workload::TaskId, std::size_t> successes;
+  double successful_cost = 0.0;
+  for (const auto& r : tr.records()) {
+    if (r.successful()) {
+      ++successes[r.task];
+      successful_cost += r.cost_cents;
+      EXPECT_GT(r.cost_cents, 0.0);
+    }
+  }
+  bool any_duplicate = false;
+  for (const auto& [task, count] : successes) {
+    if (count > 1) any_duplicate = true;
+  }
+  EXPECT_TRUE(any_duplicate);
+  EXPECT_NEAR(successful_cost, metrics.total_cost_cents, 1e-9);
+}
+
+TEST(EstimatorFlow, FailedInstancesAreFree) {
+  Estimator est(config(), make_synthetic_model(kMean, 300.0, 3200.0, 0.5));
+  const auto [metrics, tr] =
+      est.simulate(80, make_ntdmr_strategy(params(2, 500.0, 1500.0, 0.2)));
+  for (const auto& r : tr.records()) {
+    if (!r.successful()) {
+      EXPECT_DOUBLE_EQ(r.cost_cents, 0.0);
+    }
+  }
+}
+
+TEST(EstimatorFlow, FailedInstanceHoldsItsMachineUntilTheDeadline) {
+  // gamma = 0 and one machine: every instance occupies the machine for
+  // exactly the phase deadline, so consecutive sends on the single machine
+  // are that deadline apart. (A one-task BoT never reaches the tail phase,
+  // so the throughput deadline is the one in force.)
+  auto cfg = config(1);
+  cfg.throughput_deadline = 2000.0;
+  cfg.max_sim_time = 50000.0;
+  Estimator est(cfg, make_synthetic_model(kMean, 300.0, 3200.0, 0.0));
+  const auto [metrics, tr] = est.simulate(
+      1, make_ntdmr_strategy(params(std::nullopt, 2000.0, 2000.0, 0.0)));
+  EXPECT_FALSE(metrics.finished);  // gamma = 0: the task can never finish
+  std::vector<double> sends;
+  for (const auto& r : tr.records()) {
+    if (r.outcome != InstanceOutcome::Cancelled) sends.push_back(r.send_time);
+  }
+  ASSERT_GE(sends.size(), 3u);
+  std::sort(sends.begin(), sends.end());
+  for (std::size_t i = 1; i < sends.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sends[i] - sends[i - 1], 2000.0);
+  }
+}
+
+TEST(EstimatorFlow, ThroughputPhaseSendsExactlyPoolSizeAtTimeZero) {
+  Estimator est(config(30), make_synthetic_model(kMean, 300.0, 3200.0, 0.9));
+  const auto [metrics, tr] =
+      est.simulate(90, make_ntdmr_strategy(params(1, 500.0, 2000.0, 0.1)));
+  std::size_t at_zero = 0;
+  for (const auto& r : tr.records()) {
+    if (r.send_time == 0.0 && r.outcome != InstanceOutcome::Cancelled)
+      ++at_zero;
+  }
+  EXPECT_EQ(at_zero, 30u);
+}
+
+TEST(EstimatorFlow, TailPhaseFlagMatchesTTail) {
+  Estimator est(config(), make_synthetic_model(kMean, 300.0, 3200.0, 0.8));
+  const auto [metrics, tr] =
+      est.simulate(80, make_ntdmr_strategy(params(2, 500.0, 2000.0, 0.1)));
+  for (const auto& r : tr.records()) {
+    EXPECT_EQ(r.tail_phase, r.send_time >= tr.t_tail())
+        << "instance sent at " << r.send_time << ", T_tail " << tr.t_tail();
+  }
+}
+
+}  // namespace
+}  // namespace expert::core

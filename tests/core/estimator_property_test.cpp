@@ -1,0 +1,179 @@
+// Property-style sweeps over the estimator's parameter axes: invariants
+// that must hold for every (gamma, N, Mr) combination, and monotone trends
+// the paper's figures rely on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "expert/core/estimator.hpp"
+
+namespace expert::core {
+namespace {
+
+using strategies::make_ntdmr_strategy;
+using strategies::NTDMr;
+
+constexpr double kMean = 1000.0;
+constexpr std::size_t kPool = 40;
+constexpr std::size_t kTasks = 120;
+
+EstimatorConfig config(std::size_t reps = 4) {
+  EstimatorConfig cfg;
+  cfg.unreliable_size = kPool;
+  cfg.tr = kMean;
+  cfg.throughput_deadline = 4.0 * kMean;
+  cfg.repetitions = reps;
+  cfg.seed = 0x9120b;
+  return cfg;
+}
+
+NTDMr params(std::optional<unsigned> n, double t, double d, double mr) {
+  NTDMr p;
+  p.n = n;
+  p.timeout_t = t;
+  p.deadline_d = d;
+  p.mr = mr;
+  return p;
+}
+
+// ---- Universal invariants over a (gamma, n, mr) grid. ----
+
+struct SweepCase {
+  double gamma;
+  unsigned n;
+  double mr;
+};
+
+class EstimatorInvariants : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(EstimatorInvariants, HoldForEveryConfiguration) {
+  const auto [gamma, n, mr] = GetParam();
+  Estimator est(config(), make_synthetic_model(kMean, 300.0, 3200.0, gamma));
+  const auto result = est.estimate(
+      kTasks, make_ntdmr_strategy(params(n, 500.0, 2000.0, mr)));
+  const auto& m = result.mean;
+
+  ASSERT_TRUE(m.finished);
+  EXPECT_GT(m.makespan, 0.0);
+  EXPECT_GE(m.tail_makespan, 0.0);
+  EXPECT_NEAR(m.makespan, m.t_tail + m.tail_makespan, 1e-6);
+  EXPECT_GT(m.total_cost_cents, 0.0);
+  EXPECT_NEAR(m.cost_per_task_cents,
+              m.total_cost_cents / static_cast<double>(kTasks), 1e-9);
+  // Tail tasks fit in the pool by definition of T_tail.
+  EXPECT_LT(m.tail_tasks, static_cast<double>(kPool));
+  // Reliable usage bounded by the Mr cap.
+  EXPECT_LE(m.used_mr,
+            std::ceil(mr * static_cast<double>(kPool)) /
+                    static_cast<double>(kPool) +
+                1e-9);
+  // At most one reliable instance per task (and only tail tasks get one).
+  EXPECT_LE(m.reliable_instances_sent, m.tail_tasks + 1e-9);
+  // Every task needs at least one unreliable instance.
+  EXPECT_GE(m.unreliable_instances_sent, static_cast<double>(kTasks));
+  // Queue never exceeds the tail-task population.
+  EXPECT_LE(m.max_reliable_queue, m.tail_tasks + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GammaNMrGrid, EstimatorInvariants,
+    ::testing::Values(SweepCase{0.95, 1, 0.05}, SweepCase{0.95, 3, 0.5},
+                      SweepCase{0.85, 0, 0.1}, SweepCase{0.85, 2, 0.02},
+                      SweepCase{0.70, 1, 0.3}, SweepCase{0.70, 3, 0.1},
+                      SweepCase{0.55, 0, 0.5}, SweepCase{0.55, 2, 0.2},
+                      SweepCase{0.99, 2, 0.02}, SweepCase{0.60, 1, 0.02}));
+
+// ---- Monotone trends across sweeps. ----
+
+TEST(EstimatorTrends, MakespanGrowsAsReliabilityDrops) {
+  const auto strategy = make_ntdmr_strategy(params(2, 500.0, 2000.0, 0.1));
+  double prev = 0.0;
+  for (double gamma : {0.95, 0.85, 0.75, 0.65}) {
+    Estimator est(config(6),
+                  make_synthetic_model(kMean, 300.0, 3200.0, gamma));
+    const double makespan = est.estimate(kTasks, strategy).mean.makespan;
+    EXPECT_GT(makespan, prev * 0.98)
+        << "gamma " << gamma;  // 2% slack for stochastic wiggle
+    prev = makespan;
+  }
+}
+
+TEST(EstimatorTrends, HigherNShiftsLoadOffTheReliablePool) {
+  Estimator est(config(6), make_synthetic_model(kMean, 300.0, 3200.0, 0.75));
+  double prev_reliable = 1e300;
+  for (unsigned n : {0u, 1u, 2u, 3u}) {
+    const auto m =
+        est.estimate(kTasks, make_ntdmr_strategy(params(n, 0.0, 2000.0, 0.2)))
+            .mean;
+    EXPECT_LE(m.reliable_instances_sent, prev_reliable + 1.0) << "N=" << n;
+    prev_reliable = m.reliable_instances_sent;
+  }
+}
+
+TEST(EstimatorTrends, HigherNIsCheaperOnACheapGrid) {
+  // Fig. 6's headline: replicating on the (energy-priced) grid avoids
+  // expensive reliable instances.
+  Estimator est(config(6), make_synthetic_model(kMean, 300.0, 3200.0, 0.75));
+  const double cost_n0 =
+      est.estimate(kTasks, make_ntdmr_strategy(params(0, 0.0, 2000.0, 0.3)))
+          .mean.cost_per_task_cents;
+  const double cost_n3 =
+      est.estimate(kTasks, make_ntdmr_strategy(params(3, 0.0, 2000.0, 0.3)))
+          .mean.cost_per_task_cents;
+  EXPECT_LT(cost_n3, cost_n0);
+}
+
+TEST(EstimatorTrends, LargerMrNeverSlowsTheTail) {
+  Estimator est(config(6), make_synthetic_model(kMean, 300.0, 3200.0, 0.8));
+  double prev = 1e300;
+  for (double mr : {0.02, 0.1, 0.3, 0.5}) {
+    const auto m =
+        est.estimate(kTasks, make_ntdmr_strategy(params(0, 0.0, 2000.0, mr)))
+            .mean;
+    EXPECT_LE(m.tail_makespan, prev * 1.05) << "Mr=" << mr;
+    prev = m.tail_makespan;
+  }
+}
+
+TEST(EstimatorTrends, UsedMrGrowsWithMr) {
+  Estimator est(config(6), make_synthetic_model(kMean, 300.0, 3200.0, 0.7));
+  double prev = -1.0;
+  for (double mr : {0.02, 0.1, 0.3}) {
+    const auto m =
+        est.estimate(kTasks, make_ntdmr_strategy(params(0, 0.0, 2000.0, mr)))
+            .mean;
+    EXPECT_GE(m.used_mr, prev - 1e-9) << "Mr=" << mr;
+    prev = m.used_mr;
+  }
+}
+
+TEST(EstimatorTrends, BiggerBotsTakeLonger) {
+  Estimator est(config(4), make_synthetic_model(kMean, 300.0, 3200.0, 0.85));
+  const auto strategy = make_ntdmr_strategy(params(1, 500.0, 2000.0, 0.1));
+  double prev = 0.0;
+  for (std::size_t tasks : {50u, 100u, 200u, 400u}) {
+    const double makespan = est.estimate(tasks, strategy).mean.makespan;
+    EXPECT_GT(makespan, prev) << tasks << " tasks";
+    prev = makespan;
+  }
+}
+
+TEST(EstimatorTrends, ShorterDeadlineMeansMoreInstances) {
+  Estimator est(config(6), make_synthetic_model(kMean, 300.0, 3200.0, 0.8));
+  const auto tight =
+      est.estimate(kTasks,
+                   make_ntdmr_strategy(params(std::nullopt, 1200.0, 1200.0,
+                                              0.0)))
+          .mean;
+  const auto loose =
+      est.estimate(kTasks,
+                   make_ntdmr_strategy(params(std::nullopt, 4000.0, 4000.0,
+                                              0.0)))
+          .mean;
+  // A 1200 s deadline kills every draw above it, forcing resubmissions.
+  EXPECT_GT(tight.unreliable_instances_sent, loose.unreliable_instances_sent);
+}
+
+}  // namespace
+}  // namespace expert::core

@@ -1,0 +1,158 @@
+#include "expert/core/evolutionary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::core {
+namespace {
+
+StrategyPoint point(double makespan, double cost) {
+  StrategyPoint p;
+  p.makespan = makespan;
+  p.cost = cost;
+  return p;
+}
+
+TEST(Hypervolume, SinglePointRectangle) {
+  EXPECT_DOUBLE_EQ(hypervolume({point(2.0, 3.0)}, 10.0, 5.0),
+                   (10.0 - 2.0) * (5.0 - 3.0));
+}
+
+TEST(Hypervolume, StaircaseOfTwoPoints) {
+  // Points (2,3) and (5,1), ref (10,5): 3*2 + 5*4 = 26.
+  const double hv =
+      hypervolume({point(2.0, 3.0), point(5.0, 1.0)}, 10.0, 5.0);
+  EXPECT_DOUBLE_EQ(hv, (5.0 - 2.0) * (5.0 - 3.0) + (10.0 - 5.0) * (5.0 - 1.0));
+}
+
+TEST(Hypervolume, PointsBeyondReferenceIgnored) {
+  EXPECT_DOUBLE_EQ(hypervolume({point(20.0, 1.0), point(1.0, 9.0)}, 10.0, 5.0),
+                   0.0);
+}
+
+TEST(Hypervolume, DominatedPointsDoNotInflate) {
+  const double lean = hypervolume({point(2.0, 3.0)}, 10.0, 5.0);
+  const double padded =
+      hypervolume({point(2.0, 3.0), point(3.0, 4.0)}, 10.0, 5.0);
+  EXPECT_DOUBLE_EQ(lean, padded);
+}
+
+TEST(Hypervolume, EmptyFrontierIsZero) {
+  EXPECT_DOUBLE_EQ(hypervolume({}, 10.0, 5.0), 0.0);
+}
+
+TEST(Hypervolume, MorePointsNeverHurt) {
+  const std::vector<StrategyPoint> small = {point(4.0, 2.0)};
+  const std::vector<StrategyPoint> big = {point(4.0, 2.0), point(2.0, 4.0),
+                                          point(7.0, 1.0)};
+  EXPECT_GE(hypervolume(big, 10.0, 5.0), hypervolume(small, 10.0, 5.0));
+}
+
+class Evolution : public ::testing::Test {
+ protected:
+  Evolution()
+      : estimator_(config(),
+                   make_synthetic_model(1000.0, 300.0, 3200.0, 0.8)) {}
+
+  static EstimatorConfig config() {
+    EstimatorConfig cfg;
+    cfg.unreliable_size = 20;
+    cfg.tr = 1000.0;
+    cfg.throughput_deadline = 4000.0;
+    cfg.repetitions = 2;
+    cfg.seed = 5;
+    return cfg;
+  }
+
+  static EvolutionOptions options() {
+    EvolutionOptions opts;
+    opts.population = 8;
+    opts.generations = 3;
+    opts.max_deadline = 4000.0;
+    return opts;
+  }
+
+  Estimator estimator_;
+};
+
+TEST_F(Evolution, ProducesNonEmptyValidFrontier) {
+  const auto result = evolve_frontier(estimator_, 60, options());
+  ASSERT_FALSE(result.frontier.empty());
+  EXPECT_GT(result.evaluations, 0u);
+  for (const auto& p : result.frontier) {
+    EXPECT_NO_THROW(p.params.validate());
+    EXPECT_GT(p.makespan, 0.0);
+    EXPECT_GT(p.cost, 0.0);
+    EXPECT_LE(p.params.deadline_d, 4000.0 + 1e-9);
+    EXPECT_LE(p.params.timeout_t, p.params.deadline_d + 1e-9);
+  }
+}
+
+TEST_F(Evolution, FrontierIsNonDominatedWithinEvaluated) {
+  const auto result = evolve_frontier(estimator_, 60, options());
+  for (const auto& f : result.frontier) {
+    for (const auto& e : result.evaluated) {
+      EXPECT_FALSE(dominates(e, f));
+    }
+  }
+}
+
+TEST_F(Evolution, DeterministicInSeed) {
+  const auto a = evolve_frontier(estimator_, 60, options());
+  const auto b = evolve_frontier(estimator_, 60, options());
+  ASSERT_EQ(a.frontier.size(), b.frontier.size());
+  for (std::size_t i = 0; i < a.frontier.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.frontier[i].makespan, b.frontier[i].makespan);
+    EXPECT_DOUBLE_EQ(a.frontier[i].cost, b.frontier[i].cost);
+  }
+}
+
+TEST_F(Evolution, SeededRunKeepsOrImprovesSeedHypervolume) {
+  // Seed with a coarse grid and verify evolution never loses quality.
+  SamplingSpec coarse;
+  coarse.n_values = {0u, 2u};
+  coarse.d_samples = 2;
+  coarse.t_samples = 2;
+  coarse.mr_values = {0.1};
+  coarse.max_deadline = 4000.0;
+  const auto seeds = sample_strategy_space(coarse);
+  const auto seed_points = evaluate_strategies(estimator_, 60, seeds);
+  const auto seed_frontier = pareto_frontier(seed_points);
+
+  const auto result = evolve_frontier(estimator_, 60, options(), seeds);
+  const double ref_m = 1.0e5;
+  const double ref_c = 50.0;
+  EXPECT_GE(hypervolume(result.frontier, ref_m, ref_c),
+            hypervolume(seed_frontier, ref_m, ref_c) * 0.999);
+}
+
+TEST_F(Evolution, MoreGenerationsNeverReduceHypervolume) {
+  auto opts_short = options();
+  opts_short.generations = 1;
+  auto opts_long = options();
+  opts_long.generations = 5;
+  const auto short_run = evolve_frontier(estimator_, 60, opts_short);
+  const auto long_run = evolve_frontier(estimator_, 60, opts_long);
+  // Same seed: the long run's archive is a superset of the short run's.
+  EXPECT_GE(hypervolume(long_run.frontier, 1.0e5, 50.0),
+            hypervolume(short_run.frontier, 1.0e5, 50.0) - 1e-9);
+}
+
+TEST_F(Evolution, OptionValidation) {
+  auto opts = options();
+  opts.population = 1;
+  EXPECT_THROW(evolve_frontier(estimator_, 10, opts),
+               util::ContractViolation);
+  opts = options();
+  opts.max_deadline = 0.0;
+  EXPECT_THROW(evolve_frontier(estimator_, 10, opts),
+               util::ContractViolation);
+  opts = options();
+  opts.mr_min = 0.0;
+  EXPECT_THROW(evolve_frontier(estimator_, 10, opts),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace expert::core

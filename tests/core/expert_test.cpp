@@ -1,0 +1,112 @@
+#include "expert/core/expert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::core {
+namespace {
+
+UserParams small_params() {
+  UserParams p;
+  p.tur = 1000.0;
+  p.tr = 1000.0;
+  return p;
+}
+
+ExpertOptions small_options() {
+  ExpertOptions opts;
+  opts.repetitions = 3;
+  opts.sampling.n_values = {0u, 2u};
+  opts.sampling.d_samples = 2;
+  opts.sampling.t_samples = 2;
+  opts.sampling.mr_values = {0.05, 0.2};
+  return opts;
+}
+
+Expert make_expert() {
+  return Expert(small_params(),
+                make_synthetic_model(1000.0, 300.0, 3200.0, 0.8), 25,
+                small_options());
+}
+
+TEST(Expert, SamplingDeadlineDefaultsToFourTur) {
+  const auto expert = make_expert();
+  const auto frontier = expert.build_frontier(60);
+  for (const auto& p : frontier.sampled) {
+    EXPECT_LE(p.params.deadline_d, 4.0 * 1000.0 + 1e-9);
+  }
+}
+
+TEST(Expert, ExposesEstimatorConfiguration) {
+  const auto expert = make_expert();
+  EXPECT_EQ(expert.unreliable_size(), 25u);
+  EXPECT_DOUBLE_EQ(expert.estimator().config().tr, 1000.0);
+  EXPECT_EQ(expert.estimator().config().repetitions, 3u);
+  EXPECT_DOUBLE_EQ(expert.params().tur, 1000.0);
+}
+
+TEST(Expert, RecommendationIsOnTheFrontier) {
+  const auto expert = make_expert();
+  const auto frontier = expert.build_frontier(60);
+  const auto rec =
+      Expert::recommend(frontier, Utility::min_cost_makespan_product());
+  ASSERT_TRUE(rec.has_value());
+  bool found = false;
+  for (const auto& p : frontier.frontier()) {
+    if (p.params == rec->strategy) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Expert, RecommendationScoreMatchesUtility) {
+  const auto expert = make_expert();
+  const auto frontier = expert.build_frontier(60);
+  const auto utility = Utility::min_cost_makespan_product();
+  const auto rec = Expert::recommend(frontier, utility);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_DOUBLE_EQ(rec->utility_score,
+                   utility.score(rec->predicted.makespan,
+                                 rec->predicted.cost));
+}
+
+TEST(Expert, InfeasibleUtilityGivesNullopt) {
+  const auto expert = make_expert();
+  EXPECT_FALSE(
+      expert.recommend(60, Utility::fastest_within_budget(1e-6)).has_value());
+}
+
+TEST(Expert, SameFrontierServesManyUtilities) {
+  const auto expert = make_expert();
+  const auto frontier = expert.build_frontier(60);
+  const auto fast = Expert::recommend(frontier, Utility::fastest());
+  const auto cheap = Expert::recommend(frontier, Utility::cheapest());
+  ASSERT_TRUE(fast && cheap);
+  EXPECT_LE(fast->predicted.makespan, cheap->predicted.makespan);
+  EXPECT_LE(cheap->predicted.cost, fast->predicted.cost);
+}
+
+TEST(Expert, DeterministicRecommendations) {
+  const auto a =
+      make_expert().recommend(60, Utility::min_cost_makespan_product());
+  const auto b =
+      make_expert().recommend(60, Utility::min_cost_makespan_product());
+  ASSERT_TRUE(a && b);
+  EXPECT_TRUE(a->strategy == b->strategy);
+  EXPECT_DOUBLE_EQ(a->predicted.makespan, b->predicted.makespan);
+}
+
+TEST(Expert, RejectsInvalidConstruction) {
+  EXPECT_THROW(Expert(small_params(),
+                      make_synthetic_model(1000.0, 300.0, 3200.0, 0.8), 0,
+                      small_options()),
+               util::ContractViolation);
+  UserParams bad = small_params();
+  bad.tur = -1.0;
+  EXPECT_THROW(Expert(bad, make_synthetic_model(1000.0, 300.0, 3200.0, 0.8),
+                      25, small_options()),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace expert::core

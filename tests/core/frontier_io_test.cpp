@@ -1,0 +1,103 @@
+#include "expert/core/frontier_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "expert/core/utility.hpp"
+
+namespace expert::core {
+namespace {
+
+std::vector<StrategyPoint> sample_points() {
+  StrategyPoint a;
+  a.params.n = 3;
+  a.params.timeout_t = 2066.0;
+  a.params.deadline_d = 4132.0;
+  a.params.mr = 0.02;
+  a.makespan = 5592.5;
+  a.cost = 0.6015;
+  a.metrics.makespan = 12000.25;
+  a.metrics.t_tail = 6407.75;
+  a.metrics.tail_makespan = a.metrics.makespan - a.metrics.t_tail;
+  a.metrics.tail_tasks = 42.0;
+  a.metrics.total_cost_cents = 90.2;
+  a.metrics.reliable_instances_sent = 3.2;
+  a.metrics.unreliable_instances_sent = 188.4;
+  a.metrics.used_mr = 0.02;
+  a.metrics.max_reliable_queue = 17.0;
+
+  StrategyPoint b;
+  b.params.n.reset();  // N = inf
+  b.params.timeout_t = 8264.0;
+  b.params.deadline_d = 8264.0;
+  b.params.mr = 0.0;
+  b.makespan = 21433.0;
+  b.cost = 0.54;
+  return {a, b};
+}
+
+TEST(FrontierIo, RoundTripsAllFields) {
+  const auto original = sample_points();
+  std::ostringstream out;
+  write_points_csv(original, out);
+  std::istringstream in(out.str());
+  const auto parsed = read_points_csv(in);
+
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_TRUE(parsed[i].params == original[i].params) << i;
+    EXPECT_DOUBLE_EQ(parsed[i].makespan, original[i].makespan);
+    EXPECT_DOUBLE_EQ(parsed[i].cost, original[i].cost);
+    EXPECT_DOUBLE_EQ(parsed[i].metrics.makespan, original[i].metrics.makespan);
+    EXPECT_DOUBLE_EQ(parsed[i].metrics.t_tail, original[i].metrics.t_tail);
+    EXPECT_DOUBLE_EQ(parsed[i].metrics.tail_tasks,
+                     original[i].metrics.tail_tasks);
+    EXPECT_DOUBLE_EQ(parsed[i].metrics.used_mr, original[i].metrics.used_mr);
+  }
+}
+
+TEST(FrontierIo, InfinityNSurvives) {
+  std::ostringstream out;
+  write_points_csv(sample_points(), out);
+  std::istringstream in(out.str());
+  const auto parsed = read_points_csv(in);
+  EXPECT_FALSE(parsed[1].params.n.has_value());
+}
+
+TEST(FrontierIo, PersistedFrontierAnswersUtilityQueries) {
+  // The paper's re-use scenario: persist, reload, choose with a different
+  // utility function.
+  std::ostringstream out;
+  write_points_csv(sample_points(), out);
+  std::istringstream in(out.str());
+  const auto parsed = read_points_csv(in);
+  const auto cheapest = choose_best(parsed, Utility::cheapest());
+  ASSERT_TRUE(cheapest.has_value());
+  EXPECT_DOUBLE_EQ(cheapest->choice.cost, 0.54);
+  const auto fastest = choose_best(parsed, Utility::fastest());
+  ASSERT_TRUE(fastest.has_value());
+  EXPECT_DOUBLE_EQ(fastest->choice.makespan, 5592.5);
+}
+
+TEST(FrontierIo, EmptyListRoundTrips) {
+  std::ostringstream out;
+  write_points_csv({}, out);
+  std::istringstream in(out.str());
+  EXPECT_TRUE(read_points_csv(in).empty());
+}
+
+TEST(FrontierIo, RejectsWrongHeader) {
+  std::istringstream in("a,b,c\n1,2,3\n");
+  EXPECT_THROW(read_points_csv(in), std::runtime_error);
+}
+
+TEST(FrontierIo, RejectsShortRow) {
+  std::ostringstream out;
+  write_points_csv(sample_points(), out);
+  std::istringstream in(out.str() + "3,1,2\n");
+  EXPECT_THROW(read_points_csv(in), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace expert::core

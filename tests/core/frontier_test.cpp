@@ -1,0 +1,188 @@
+#include "expert/core/frontier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::core {
+namespace {
+
+SamplingSpec paper_spec() {
+  SamplingSpec spec;
+  spec.max_deadline = 4000.0;
+  return spec;  // defaults mirror §VI: N=0..3, 5x5 T/D, 7 Mr values
+}
+
+TEST(SampleStrategySpace, CoversRequestedAxes) {
+  const auto strategies = sample_strategy_space(paper_spec());
+  ASSERT_FALSE(strategies.empty());
+  std::set<unsigned> ns;
+  std::set<double> mrs;
+  for (const auto& s : strategies) {
+    ASSERT_TRUE(s.n.has_value());
+    ns.insert(*s.n);
+    mrs.insert(s.mr);
+    EXPECT_GE(s.timeout_t, 0.0);
+    EXPECT_LE(s.timeout_t, s.deadline_d + 1e-9);
+    EXPECT_LE(s.deadline_d, 4000.0 + 1e-9);
+    EXPECT_NO_THROW(s.validate());
+  }
+  EXPECT_EQ(ns, (std::set<unsigned>{0, 1, 2, 3}));
+  EXPECT_EQ(mrs.size(), 7u);
+}
+
+TEST(SampleStrategySpace, InfinityTakesSingleMr) {
+  SamplingSpec spec = paper_spec();
+  spec.n_values = {std::nullopt};
+  const auto strategies = sample_strategy_space(spec);
+  for (const auto& s : strategies) {
+    EXPECT_FALSE(s.n.has_value());
+    EXPECT_DOUBLE_EQ(s.mr, 0.0);
+  }
+  // 5 deadlines x 5 timeouts.
+  EXPECT_EQ(strategies.size(), 25u);
+}
+
+TEST(SampleStrategySpace, NZeroCollapsesDeadlineAxis) {
+  SamplingSpec spec = paper_spec();
+  spec.n_values = {0u};
+  const auto strategies = sample_strategy_space(spec);
+  // 1 deadline x 5 timeouts x 7 Mr.
+  EXPECT_EQ(strategies.size(), 35u);
+  for (const auto& s : strategies) {
+    EXPECT_DOUBLE_EQ(s.deadline_d, 4000.0);
+  }
+}
+
+TEST(SampleStrategySpace, FocusLowEndPacksGeometrically) {
+  SamplingSpec spec = paper_spec();
+  spec.focus_low_end = true;
+  spec.n_values = {1u};
+  spec.mr_values = {0.1};
+  spec.t_samples = 1;
+  const auto strategies = sample_strategy_space(spec);
+  std::set<double> deadlines;
+  for (const auto& s : strategies) deadlines.insert(s.deadline_d);
+  ASSERT_EQ(deadlines.size(), 5u);
+  // Smallest deadline is Dmax / 2^4.
+  EXPECT_NEAR(*deadlines.begin(), 4000.0 / 16.0, 1e-9);
+  EXPECT_NEAR(*deadlines.rbegin(), 4000.0, 1e-9);
+}
+
+TEST(SampleStrategySpace, ValidatesSpec) {
+  SamplingSpec spec;
+  spec.max_deadline = 0.0;
+  EXPECT_THROW(sample_strategy_space(spec), util::ContractViolation);
+  spec = paper_spec();
+  spec.n_values.clear();
+  EXPECT_THROW(sample_strategy_space(spec), util::ContractViolation);
+}
+
+class FrontierGeneration : public ::testing::Test {
+ protected:
+  FrontierGeneration()
+      : estimator_(config(), make_synthetic_model(1000.0, 300.0, 3200.0, 0.8)) {
+  }
+
+  static EstimatorConfig config() {
+    EstimatorConfig cfg;
+    cfg.unreliable_size = 20;
+    cfg.tr = 1000.0;
+    cfg.throughput_deadline = 4000.0;
+    cfg.repetitions = 3;
+    cfg.seed = 99;
+    return cfg;
+  }
+
+  static SamplingSpec small_spec() {
+    SamplingSpec spec;
+    spec.n_values = {0u, 1u, std::nullopt};
+    spec.d_samples = 2;
+    spec.t_samples = 2;
+    spec.mr_values = {0.05, 0.2};
+    spec.max_deadline = 4000.0;
+    return spec;
+  }
+
+  Estimator estimator_;
+};
+
+TEST_F(FrontierGeneration, FrontierIsSubsetOfSampled) {
+  const auto result = generate_frontier(estimator_, 60, small_spec());
+  ASSERT_FALSE(result.sampled.empty());
+  ASSERT_FALSE(result.frontier().empty());
+  for (const auto& f : result.frontier()) {
+    bool found = false;
+    for (const auto& s : result.sampled) {
+      if (s.params == f.params) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(FrontierGeneration, FrontierDominatesAllSampled) {
+  const auto result = generate_frontier(estimator_, 60, small_spec());
+  for (const auto& s : result.sampled) {
+    for (const auto& f : result.frontier()) {
+      EXPECT_FALSE(dominates(s, f));
+    }
+  }
+}
+
+TEST_F(FrontierGeneration, DeterministicAcrossThreadCounts) {
+  FrontierOptions serial;
+  serial.threads = 1;
+  FrontierOptions parallel_opts;
+  parallel_opts.threads = 4;
+  const auto a = generate_frontier(estimator_, 60, small_spec(), serial);
+  const auto b =
+      generate_frontier(estimator_, 60, small_spec(), parallel_opts);
+  ASSERT_EQ(a.sampled.size(), b.sampled.size());
+  for (std::size_t i = 0; i < a.sampled.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.sampled[i].makespan, b.sampled[i].makespan);
+    EXPECT_DOUBLE_EQ(a.sampled[i].cost, b.sampled[i].cost);
+  }
+}
+
+TEST_F(FrontierGeneration, ObjectiveSelectionChangesAxes) {
+  FrontierOptions bot_opts;
+  bot_opts.time_objective = TimeObjective::BotMakespan;
+  const auto tail = generate_frontier(estimator_, 60, small_spec());
+  const auto bot = generate_frontier(estimator_, 60, small_spec(), bot_opts);
+  ASSERT_FALSE(tail.sampled.empty());
+  ASSERT_FALSE(bot.sampled.empty());
+  // Whole-BoT makespans include the throughput phase, so they are larger.
+  EXPECT_GT(bot.sampled[0].makespan, tail.sampled[0].makespan);
+}
+
+TEST_F(FrontierGeneration, MetricExtractors) {
+  RunMetrics m;
+  m.makespan = 10.0;
+  m.tail_makespan = 4.0;
+  m.cost_per_task_cents = 2.0;
+  m.tail_cost_per_tail_task_cents = 7.0;
+  EXPECT_DOUBLE_EQ(time_metric(m, TimeObjective::TailMakespan), 4.0);
+  EXPECT_DOUBLE_EQ(time_metric(m, TimeObjective::BotMakespan), 10.0);
+  EXPECT_DOUBLE_EQ(cost_metric(m, CostObjective::CostPerTask), 2.0);
+  EXPECT_DOUBLE_EQ(cost_metric(m, CostObjective::TailCostPerTailTask), 7.0);
+}
+
+TEST_F(FrontierGeneration, EvaluateExplicitList) {
+  std::vector<strategies::NTDMr> list;
+  strategies::NTDMr p;
+  p.n = 1;
+  p.timeout_t = 1000.0;
+  p.deadline_d = 2000.0;
+  p.mr = 0.1;
+  list.push_back(p);
+  const auto points = evaluate_strategies(estimator_, 40, list);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_TRUE(points[0].params == p);
+  EXPECT_GT(points[0].makespan, 0.0);
+  EXPECT_GT(points[0].cost, 0.0);
+}
+
+}  // namespace
+}  // namespace expert::core

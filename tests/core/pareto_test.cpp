@@ -1,0 +1,152 @@
+#include "expert/core/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expert/util/rng.hpp"
+
+namespace expert::core {
+namespace {
+
+StrategyPoint point(double makespan, double cost,
+                    std::optional<unsigned> n = 1u) {
+  StrategyPoint p;
+  p.makespan = makespan;
+  p.cost = cost;
+  p.params.n = n;
+  p.params.deadline_d = 1.0;
+  return p;
+}
+
+TEST(Dominates, StrictAndWeakCases) {
+  EXPECT_TRUE(dominates(point(1.0, 1.0), point(2.0, 2.0)));
+  EXPECT_TRUE(dominates(point(1.0, 2.0), point(2.0, 2.0)));
+  EXPECT_FALSE(dominates(point(1.0, 3.0), point(2.0, 2.0)));  // trade-off
+  EXPECT_FALSE(dominates(point(2.0, 2.0), point(1.0, 1.0)));
+  EXPECT_FALSE(dominates(point(2.0, 2.0), point(2.0, 2.0)));  // identical
+}
+
+TEST(ParetoFrontier, PaperFigure2Scenario) {
+  // S1 dominates S3; S1 and S2 form the frontier.
+  const auto s1 = point(1.0, 2.0);
+  const auto s2 = point(3.0, 1.0);
+  const auto s3 = point(2.0, 3.0);
+  const auto frontier = pareto_frontier({s3, s1, s2});
+  ASSERT_EQ(frontier.size(), 2u);
+  EXPECT_DOUBLE_EQ(frontier[0].makespan, 1.0);
+  EXPECT_DOUBLE_EQ(frontier[1].makespan, 3.0);
+}
+
+TEST(ParetoFrontier, SinglePoint) {
+  const auto frontier = pareto_frontier({point(5.0, 5.0)});
+  ASSERT_EQ(frontier.size(), 1u);
+}
+
+TEST(ParetoFrontier, Empty) {
+  EXPECT_TRUE(pareto_frontier({}).empty());
+}
+
+TEST(ParetoFrontier, SortedWithStrictlyDecreasingCost) {
+  util::Rng rng(1);
+  std::vector<StrategyPoint> points;
+  for (int i = 0; i < 500; ++i) {
+    points.push_back(point(rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)));
+  }
+  const auto frontier = pareto_frontier(points);
+  ASSERT_FALSE(frontier.empty());
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_LT(frontier[i - 1].makespan, frontier[i].makespan);
+    EXPECT_GT(frontier[i - 1].cost, frontier[i].cost);
+  }
+}
+
+TEST(ParetoFrontier, NoFrontierPointIsDominated) {
+  util::Rng rng(2);
+  std::vector<StrategyPoint> points;
+  for (int i = 0; i < 300; ++i) {
+    points.push_back(point(rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)));
+  }
+  const auto frontier = pareto_frontier(points);
+  for (const auto& f : frontier) {
+    for (const auto& p : points) {
+      EXPECT_FALSE(dominates(p, f));
+    }
+  }
+}
+
+TEST(ParetoFrontier, EveryDroppedPointIsDominated) {
+  util::Rng rng(3);
+  std::vector<StrategyPoint> points;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back(point(rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)));
+  }
+  const auto frontier = pareto_frontier(points);
+  for (const auto& p : points) {
+    bool on_frontier = false;
+    bool dominated_or_dup = false;
+    for (const auto& f : frontier) {
+      if (f.makespan == p.makespan && f.cost == p.cost) on_frontier = true;
+      if (dominates(f, p)) dominated_or_dup = true;
+    }
+    EXPECT_TRUE(on_frontier || dominated_or_dup);
+  }
+}
+
+TEST(ParetoFrontier, DuplicatePointsKeepOneRepresentative) {
+  const auto frontier =
+      pareto_frontier({point(1.0, 1.0), point(1.0, 1.0), point(1.0, 1.0)});
+  EXPECT_EQ(frontier.size(), 1u);
+}
+
+TEST(ParetoFrontier, EqualMakespanKeepsCheapest) {
+  const auto frontier = pareto_frontier({point(1.0, 5.0), point(1.0, 2.0)});
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_DOUBLE_EQ(frontier[0].cost, 2.0);
+}
+
+TEST(SPareto, MergedEqualsGlobalFrontier) {
+  util::Rng rng(4);
+  std::vector<StrategyPoint> points;
+  for (int i = 0; i < 400; ++i) {
+    const unsigned n = static_cast<unsigned>(rng.below(4));
+    points.push_back(
+        point(rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0), n));
+  }
+  const auto global = pareto_frontier(points);
+  const auto hier = s_pareto(points);
+  ASSERT_EQ(hier.merged.size(), global.size());
+  for (std::size_t i = 0; i < global.size(); ++i) {
+    EXPECT_DOUBLE_EQ(hier.merged[i].makespan, global[i].makespan);
+    EXPECT_DOUBLE_EQ(hier.merged[i].cost, global[i].cost);
+  }
+}
+
+TEST(SPareto, GroupsByNIncludingInfinity) {
+  std::vector<StrategyPoint> points = {
+      point(1.0, 1.0, 0u), point(2.0, 2.0, 3u), point(3.0, 3.0, std::nullopt)};
+  const auto hier = s_pareto(points);
+  EXPECT_EQ(hier.per_n.size(), 3u);
+  EXPECT_TRUE(hier.per_n.contains(0u));
+  EXPECT_TRUE(hier.per_n.contains(3u));
+  EXPECT_TRUE(hier.per_n.contains(SParetoResult::kInfinityKey));
+}
+
+TEST(SPareto, PerNFrontierDominatesOwnGroup) {
+  util::Rng rng(5);
+  std::vector<StrategyPoint> points;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back(point(rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0),
+                           static_cast<unsigned>(rng.below(3))));
+  }
+  const auto hier = s_pareto(points);
+  for (const auto& [n, frontier] : hier.per_n) {
+    for (const auto& p : points) {
+      const unsigned key =
+          p.params.n.has_value() ? *p.params.n : SParetoResult::kInfinityKey;
+      if (key != n) continue;
+      for (const auto& f : frontier) EXPECT_FALSE(dominates(p, f));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace expert::core

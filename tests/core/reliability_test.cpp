@@ -1,0 +1,66 @@
+#include "expert/core/reliability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::core {
+namespace {
+
+TEST(ConstantReliability, ReturnsSameValueEverywhere) {
+  ConstantReliability model(0.85);
+  EXPECT_DOUBLE_EQ(model.gamma(0.0), 0.85);
+  EXPECT_DOUBLE_EQ(model.gamma(1.0e9), 0.85);
+  EXPECT_DOUBLE_EQ(model.mean_gamma(), 0.85);
+}
+
+TEST(ConstantReliability, RejectsOutOfRange) {
+  EXPECT_THROW(ConstantReliability(-0.1), util::ContractViolation);
+  EXPECT_THROW(ConstantReliability(1.1), util::ContractViolation);
+}
+
+TEST(PiecewiseReliability, LooksUpWindows) {
+  PiecewiseReliability model({{0.0, 100.0, 0.9}, {100.0, 200.0, 0.7}}, 0.8);
+  EXPECT_DOUBLE_EQ(model.gamma(0.0), 0.9);
+  EXPECT_DOUBLE_EQ(model.gamma(99.9), 0.9);
+  EXPECT_DOUBLE_EQ(model.gamma(100.0), 0.7);
+  EXPECT_DOUBLE_EQ(model.gamma(199.9), 0.7);
+}
+
+TEST(PiecewiseReliability, TailValueBeyondLastWindow) {
+  PiecewiseReliability model({{0.0, 100.0, 0.9}}, 0.5);
+  EXPECT_DOUBLE_EQ(model.gamma(100.0), 0.5);
+  EXPECT_DOUBLE_EQ(model.gamma(1.0e6), 0.5);
+  EXPECT_DOUBLE_EQ(model.tail_value(), 0.5);
+}
+
+TEST(PiecewiseReliability, BeforeFirstWindowUsesFirstValue) {
+  PiecewiseReliability model({{50.0, 100.0, 0.6}}, 0.9);
+  EXPECT_DOUBLE_EQ(model.gamma(10.0), 0.6);
+}
+
+TEST(PiecewiseReliability, GapsBetweenWindowsFallToTail) {
+  PiecewiseReliability model({{0.0, 10.0, 0.9}, {20.0, 30.0, 0.7}}, 0.4);
+  EXPECT_DOUBLE_EQ(model.gamma(15.0), 0.4);
+}
+
+TEST(PiecewiseReliability, MeanWeightsByWindowWidth) {
+  PiecewiseReliability model({{0.0, 10.0, 1.0}, {10.0, 40.0, 0.5}}, 0.0);
+  // (1.0*10 + 0.5*30) / 40 = 0.625
+  EXPECT_DOUBLE_EQ(model.mean_gamma(), 0.625);
+}
+
+TEST(PiecewiseReliability, RejectsMalformedWindows) {
+  EXPECT_THROW(PiecewiseReliability({}, 0.5), util::ContractViolation);
+  EXPECT_THROW(PiecewiseReliability({{10.0, 5.0, 0.5}}, 0.5),
+               util::ContractViolation);
+  EXPECT_THROW(PiecewiseReliability({{0.0, 10.0, 0.5}, {5.0, 15.0, 0.5}}, 0.5),
+               util::ContractViolation);
+  EXPECT_THROW(PiecewiseReliability({{0.0, 10.0, 1.5}}, 0.5),
+               util::ContractViolation);
+  EXPECT_THROW(PiecewiseReliability({{0.0, 10.0, 0.5}}, -0.1),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace expert::core

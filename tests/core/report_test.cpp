@@ -1,0 +1,91 @@
+#include "expert/core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expert/util/table.hpp"
+
+namespace expert::core {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  ReportTest()
+      : model_(make_synthetic_model(1000.0, 300.0, 3200.0, 0.8)),
+        expert_(params(), model_, 25, options()) {
+    frontier_ = expert_.build_frontier(60);
+  }
+
+  static UserParams params() {
+    UserParams p;
+    p.tur = 1000.0;
+    p.tr = 1000.0;
+    return p;
+  }
+  static ExpertOptions options() {
+    ExpertOptions opts;
+    opts.repetitions = 2;
+    opts.sampling.n_values = {0u, 2u};
+    opts.sampling.d_samples = 2;
+    opts.sampling.t_samples = 2;
+    opts.sampling.mr_values = {0.1};
+    return opts;
+  }
+
+  TurnaroundModel model_;
+  Expert expert_;
+  FrontierResult frontier_;
+};
+
+TEST_F(ReportTest, EmptyReportHasOnlyTitle) {
+  ReportData data;
+  data.title = "bare";
+  const auto report = render_markdown_report(data);
+  EXPECT_NE(report.find("# bare"), std::string::npos);
+  EXPECT_EQ(report.find("##"), std::string::npos);
+}
+
+TEST_F(ReportTest, FullReportContainsAllSections) {
+  ReportData data;
+  data.params = params();
+  data.model = &model_;
+  data.unreliable_size = 25;
+  data.frontier = &frontier_;
+  data.task_count = 60;
+  const auto rec =
+      Expert::recommend(frontier_, Utility::min_cost_makespan_product());
+  ASSERT_TRUE(rec.has_value());
+  data.decisions.emplace_back("min makespan*cost", *rec);
+
+  const auto report = render_markdown_report(data);
+  EXPECT_NE(report.find("## Environment parameters"), std::string::npos);
+  EXPECT_NE(report.find("## Unreliable-pool characterization"),
+            std::string::npos);
+  EXPECT_NE(report.find("## Pareto frontier (BoT of 60 tasks)"),
+            std::string::npos);
+  EXPECT_NE(report.find("## Recommended strategies"), std::string::npos);
+  EXPECT_NE(report.find("min makespan*cost"), std::string::npos);
+  EXPECT_NE(report.find(rec->strategy.to_string()), std::string::npos);
+}
+
+TEST_F(ReportTest, FrontierSectionListsEveryEfficientPoint) {
+  ReportData data;
+  data.frontier = &frontier_;
+  const auto report = render_markdown_report(data);
+  // One table row per frontier point: count the N-column values by
+  // counting newlines in the frontier table region (rows + header + rule).
+  std::size_t rows = 0;
+  for (const auto& p : frontier_.frontier()) {
+    if (report.find(util::fmt(p.cost, 2)) != std::string::npos) ++rows;
+  }
+  EXPECT_EQ(rows, frontier_.frontier().size());
+}
+
+TEST_F(ReportTest, CharacterizationReportsGamma) {
+  ReportData data;
+  data.model = &model_;
+  const auto report = render_markdown_report(data);
+  EXPECT_NE(report.find("0.800"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace expert::core

@@ -1,0 +1,125 @@
+#include "expert/core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::core {
+namespace {
+
+using strategies::NTDMr;
+
+Estimator make_estimator(double gamma = 0.75) {
+  EstimatorConfig cfg;
+  cfg.unreliable_size = 30;
+  cfg.tr = 1000.0;
+  cfg.throughput_deadline = 4000.0;
+  cfg.repetitions = 2;
+  cfg.seed = 0x5E45;
+  return Estimator(cfg, make_synthetic_model(1000.0, 300.0, 3200.0, gamma));
+}
+
+NTDMr knee() {
+  NTDMr p;
+  p.n = 2;
+  p.timeout_t = 1000.0;
+  p.deadline_d = 2000.0;
+  p.mr = 0.1;
+  return p;
+}
+
+TEST(Sensitivity, ReportsAllFourParametersForFiniteN) {
+  const auto est = make_estimator();
+  const auto report = analyze_sensitivity(est, 90, knee());
+  ASSERT_EQ(report.parameters.size(), 4u);
+  EXPECT_EQ(report.parameters[0].parameter, "N");
+  EXPECT_EQ(report.parameters[1].parameter, "T");
+  EXPECT_EQ(report.parameters[2].parameter, "D");
+  EXPECT_EQ(report.parameters[3].parameter, "Mr");
+  EXPECT_GT(report.base.tail_makespan, 0.0);
+}
+
+TEST(Sensitivity, InfiniteNSkipsNAndMr) {
+  const auto est = make_estimator();
+  NTDMr p = knee();
+  p.n.reset();
+  p.mr = 0.0;
+  const auto report = analyze_sensitivity(est, 90, p);
+  ASSERT_EQ(report.parameters.size(), 2u);
+  EXPECT_EQ(report.parameters[0].parameter, "T");
+  EXPECT_EQ(report.parameters[1].parameter, "D");
+}
+
+TEST(Sensitivity, PerturbedValuesBracketTheBase) {
+  const auto est = make_estimator();
+  const auto report = analyze_sensitivity(est, 90, knee());
+  for (const auto& s : report.parameters) {
+    EXPECT_LE(s.low_value, s.high_value) << s.parameter;
+  }
+}
+
+TEST(Sensitivity, TimeoutElasticityIsPositiveForMakespan) {
+  // Larger T defers replication -> longer tails (Fig. 6's T axis).
+  const auto est = make_estimator(0.65);
+  SensitivityOptions opts;
+  opts.repetitions = 15;
+  const auto report = analyze_sensitivity(est, 120, knee(), opts);
+  for (const auto& s : report.parameters) {
+    if (s.parameter == "T") {
+      EXPECT_GT(s.makespan_elasticity, 0.0);
+    }
+  }
+}
+
+TEST(Sensitivity, PerturbationsRespectValidity) {
+  const auto est = make_estimator();
+  NTDMr p = knee();
+  p.timeout_t = 0.0;  // already at the floor
+  const auto report = analyze_sensitivity(est, 60, p);
+  for (const auto& s : report.parameters) {
+    EXPECT_GE(s.low_value, 0.0);
+    if (s.parameter == "T") {
+      EXPECT_LE(s.high_value, p.deadline_d);
+    }
+  }
+}
+
+TEST(Sensitivity, NAtZeroUsesOneSidedDifference) {
+  const auto est = make_estimator();
+  NTDMr p = knee();
+  p.n = 0;
+  p.timeout_t = 0.0;
+  const auto report = analyze_sensitivity(est, 60, p);
+  ASSERT_FALSE(report.parameters.empty());
+  EXPECT_EQ(report.parameters[0].parameter, "N");
+  EXPECT_DOUBLE_EQ(report.parameters[0].low_value, 0.0);
+  EXPECT_DOUBLE_EQ(report.parameters[0].high_value, 1.0);
+}
+
+TEST(Sensitivity, OptionValidation) {
+  const auto est = make_estimator();
+  SensitivityOptions opts;
+  opts.perturbation = 0.0;
+  EXPECT_THROW(analyze_sensitivity(est, 60, knee(), opts),
+               util::ContractViolation);
+  opts = SensitivityOptions{};
+  opts.repetitions = 0;
+  EXPECT_THROW(analyze_sensitivity(est, 60, knee(), opts),
+               util::ContractViolation);
+}
+
+TEST(Sensitivity, DeterministicAcrossCalls) {
+  const auto est = make_estimator();
+  SensitivityOptions opts;
+  opts.repetitions = 5;
+  const auto a = analyze_sensitivity(est, 60, knee(), opts);
+  const auto b = analyze_sensitivity(est, 60, knee(), opts);
+  ASSERT_EQ(a.parameters.size(), b.parameters.size());
+  for (std::size_t i = 0; i < a.parameters.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.parameters[i].makespan_elasticity,
+                     b.parameters[i].makespan_elasticity);
+  }
+}
+
+}  // namespace
+}  // namespace expert::core

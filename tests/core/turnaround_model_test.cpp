@@ -1,0 +1,100 @@
+#include "expert/core/turnaround_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::core {
+namespace {
+
+TurnaroundModel simple_model(double gamma) {
+  return TurnaroundModel(
+      stats::EmpiricalCdf({100.0, 200.0, 300.0, 400.0}),
+      std::make_shared<ConstantReliability>(gamma));
+}
+
+TEST(TurnaroundModel, CdfIsSeparable) {
+  const auto model = simple_model(0.8);
+  // F(t, t') = Fs(t) * gamma(t') per Eq. 1.
+  EXPECT_DOUBLE_EQ(model.cdf(250.0, 0.0), 0.5 * 0.8);
+  EXPECT_DOUBLE_EQ(model.cdf(1.0e6, 0.0), 0.8);
+  EXPECT_DOUBLE_EQ(model.cdf(0.0, 0.0), 0.0);
+}
+
+TEST(TurnaroundModel, FailureFractionMatchesGamma) {
+  const double gamma = 0.7;
+  const auto model = simple_model(gamma);
+  util::Rng rng(1);
+  int failures = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (model.sample(rng, 0.0) ==
+        std::numeric_limits<double>::infinity())
+      ++failures;
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / kN, 1.0 - gamma, 0.01);
+}
+
+TEST(TurnaroundModel, SuccessfulDrawsFollowFs) {
+  const auto model = simple_model(0.5);
+  util::Rng rng(2);
+  int small = 0;
+  int total = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const double t = model.sample(rng, 0.0);
+    if (t == std::numeric_limits<double>::infinity()) continue;
+    ++total;
+    if (t <= 200.0) ++small;
+  }
+  // Conditioned on success, draws follow Fs: half at or below the median.
+  EXPECT_NEAR(static_cast<double>(small) / total, 0.5, 0.01);
+}
+
+TEST(TurnaroundModel, GammaZeroAlwaysFails) {
+  const auto model = simple_model(0.0);
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(model.sample(rng, 0.0),
+              std::numeric_limits<double>::infinity());
+  }
+}
+
+TEST(TurnaroundModel, GammaOneNeverFails) {
+  const auto model = simple_model(1.0);
+  util::Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(model.sample(rng, 0.0), 1.0e9);
+  }
+}
+
+TEST(TurnaroundModel, TimeVaryingGammaRespected) {
+  auto piecewise = std::make_shared<PiecewiseReliability>(
+      std::vector<PiecewiseReliability::Window>{{0.0, 10.0, 1.0}}, 0.0);
+  TurnaroundModel model(stats::EmpiricalCdf({50.0}), piecewise);
+  util::Rng rng(5);
+  EXPECT_LT(model.sample(rng, 5.0), 1.0e9);     // gamma = 1
+  EXPECT_EQ(model.sample(rng, 20.0),
+            std::numeric_limits<double>::infinity());  // gamma = 0
+}
+
+TEST(MakeSyntheticModel, MatchesRequestedStatistics) {
+  const auto model = make_synthetic_model(2066.0, 300.0, 6000.0, 0.827);
+  EXPECT_NEAR(model.mean_successful_turnaround(), 2066.0, 2066.0 * 0.03);
+  EXPECT_DOUBLE_EQ(model.gamma(12345.0), 0.827);
+  EXPECT_GE(model.fs().min(), 300.0);
+  EXPECT_LE(model.fs().max(), 6000.0);
+}
+
+TEST(MakeSyntheticModel, DeterministicInSeed) {
+  const auto a = make_synthetic_model(1000.0, 100.0, 3000.0, 0.9, 500, 1);
+  const auto b = make_synthetic_model(1000.0, 100.0, 3000.0, 0.9, 500, 1);
+  EXPECT_EQ(a.fs().sorted_samples(), b.fs().sorted_samples());
+}
+
+TEST(TurnaroundModel, RejectsNullGamma) {
+  EXPECT_THROW(TurnaroundModel(stats::EmpiricalCdf({1.0}), nullptr),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace expert::core

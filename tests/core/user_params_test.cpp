@@ -1,0 +1,38 @@
+#include "expert/core/user_params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::core {
+namespace {
+
+TEST(UserParams, DefaultsMatchTableII) {
+  UserParams p;
+  EXPECT_DOUBLE_EQ(p.tur, 2066.0);
+  EXPECT_DOUBLE_EQ(p.tr, 2066.0);
+  EXPECT_NEAR(p.cur_cents_per_s, 1.0 / 3600.0, 1e-15);
+  EXPECT_NEAR(p.cr_cents_per_s, 34.0 / 3600.0, 1e-15);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(UserParams, ThroughputDeadlineIsFourTur) {
+  UserParams p;
+  p.tur = 1000.0;
+  EXPECT_DOUBLE_EQ(p.throughput_deadline(), 4000.0);
+}
+
+TEST(UserParams, ValidateRejectsBadValues) {
+  UserParams p;
+  p.tur = 0.0;
+  EXPECT_THROW(p.validate(), util::ContractViolation);
+  p = UserParams{};
+  p.cr_cents_per_s = -1.0;
+  EXPECT_THROW(p.validate(), util::ContractViolation);
+  p = UserParams{};
+  p.charging_period_r_s = 0.0;
+  EXPECT_THROW(p.validate(), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace expert::core

@@ -1,0 +1,123 @@
+#include "expert/core/utility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::core {
+namespace {
+
+StrategyPoint point(double makespan, double cost) {
+  StrategyPoint p;
+  p.makespan = makespan;
+  p.cost = cost;
+  return p;
+}
+
+// A frontier like Fig. 7: makespan up, cost down.
+std::vector<StrategyPoint> fig7_frontier() {
+  return {point(4800.0, 4.2), point(5200.0, 2.4), point(5800.0, 1.4),
+          point(6300.0, 0.9), point(7600.0, 0.6)};
+}
+
+TEST(Utility, FastestPicksMinMakespan) {
+  const auto best = choose_best(fig7_frontier(), Utility::fastest());
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->choice.makespan, 4800.0);
+}
+
+TEST(Utility, CheapestPicksMinCost) {
+  const auto best = choose_best(fig7_frontier(), Utility::cheapest());
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->choice.cost, 0.6);
+}
+
+TEST(Utility, ProductPicksKnee) {
+  const auto best =
+      choose_best(fig7_frontier(), Utility::min_cost_makespan_product());
+  ASSERT_TRUE(best.has_value());
+  // 4800*4.2=20160, 5200*2.4=12480, 5800*1.4=8120, 6300*0.9=5670,
+  // 7600*0.6=4560 -> cheapest-but-slow wins here.
+  EXPECT_DOUBLE_EQ(best->choice.makespan, 7600.0);
+}
+
+TEST(Utility, FastestWithinBudget) {
+  const auto best = choose_best(fig7_frontier(),
+                                Utility::fastest_within_budget(2.5));
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->choice.makespan, 5200.0);
+  EXPECT_LE(best->choice.cost, 2.5);
+}
+
+TEST(Utility, CheapestWithinDeadline) {
+  const auto best = choose_best(fig7_frontier(),
+                                Utility::cheapest_within_deadline(6300.0));
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->choice.makespan, 6300.0);
+  EXPECT_DOUBLE_EQ(best->choice.cost, 0.9);
+}
+
+TEST(Utility, InfeasibleBudgetReturnsNothing) {
+  const auto best = choose_best(fig7_frontier(),
+                                Utility::fastest_within_budget(0.1));
+  EXPECT_FALSE(best.has_value());
+}
+
+TEST(Utility, InfeasibleDeadlineReturnsNothing) {
+  const auto best = choose_best(fig7_frontier(),
+                                Utility::cheapest_within_deadline(100.0));
+  EXPECT_FALSE(best.has_value());
+}
+
+TEST(Utility, EmptyFrontierReturnsNothing) {
+  EXPECT_FALSE(choose_best({}, Utility::fastest()).has_value());
+}
+
+TEST(Utility, CustomUtilityFunction) {
+  // Weighted sum: 1 cent ~ 1000 s.
+  Utility weighted("weighted", [](double makespan, double cost) {
+    return makespan + 1000.0 * cost;
+  });
+  const auto best = choose_best(fig7_frontier(), weighted);
+  ASSERT_TRUE(best.has_value());
+  // Scores: 9000, 7600, 7200, 7200... tie between 5800/1.4 (7200) and
+  // 6300/0.9 (7200): first strictly-smaller wins, so 5800 is kept.
+  EXPECT_DOUBLE_EQ(best->choice.makespan, 5800.0);
+}
+
+TEST(Utility, MonotonicUtilityOptimumIsOnFrontier) {
+  // Any monotone utility optimized over frontier+dominated points lands on
+  // the frontier (paper §II-A).
+  auto frontier = fig7_frontier();
+  auto all = frontier;
+  all.push_back(point(5300.0, 4.5));  // dominated by 5200/2.4
+  all.push_back(point(8000.0, 0.8));  // dominated by 7600/0.6
+  for (const auto& u :
+       {Utility::fastest(), Utility::cheapest(),
+        Utility::min_cost_makespan_product(),
+        Utility::fastest_within_budget(2.0),
+        Utility::cheapest_within_deadline(6000.0)}) {
+    const auto best_all = choose_best(all, u);
+    const auto best_frontier = choose_best(frontier, u);
+    ASSERT_EQ(best_all.has_value(), best_frontier.has_value()) << u.name();
+    if (best_all) {
+      EXPECT_DOUBLE_EQ(best_all->score, best_frontier->score) << u.name();
+    }
+  }
+}
+
+TEST(Utility, ConstructorValidation) {
+  EXPECT_THROW(Utility("bad", nullptr), util::ContractViolation);
+  EXPECT_THROW(Utility::fastest_within_budget(0.0), util::ContractViolation);
+  EXPECT_THROW(Utility::cheapest_within_deadline(-5.0),
+               util::ContractViolation);
+}
+
+TEST(Utility, NamesAreInformative) {
+  EXPECT_EQ(Utility::fastest().name(), "fastest");
+  EXPECT_EQ(Utility::cheapest().name(), "cheapest");
+  EXPECT_FALSE(Utility::min_cost_makespan_product().name().empty());
+}
+
+}  // namespace
+}  // namespace expert::core

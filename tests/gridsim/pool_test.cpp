@@ -1,0 +1,109 @@
+#include "expert/gridsim/pool.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "expert/gridsim/presets.hpp"
+#include "expert/util/assert.hpp"
+
+namespace expert::gridsim {
+namespace {
+
+TEST(PoolConfig, TotalMachinesSumsGroups) {
+  PoolConfig pool;
+  pool.name = "mix";
+  MachineGroup a;
+  a.count = 10;
+  MachineGroup b;
+  b.count = 5;
+  pool.groups = {a, b};
+  EXPECT_EQ(pool.total_machines(), 15u);
+}
+
+TEST(PoolConfig, CombineConcatenates) {
+  const auto wm = make_wm(200, 0.9, 1600.0);
+  const auto ec2 = make_ec2(20);
+  const auto combo = PoolConfig::combine("WM+EC2", wm, ec2);
+  EXPECT_EQ(combo.total_machines(), 220u);
+  EXPECT_EQ(combo.name, "WM+EC2");
+  EXPECT_EQ(combo.groups.size(), wm.groups.size() + ec2.groups.size());
+}
+
+TEST(PoolConfig, ValidateRejectsEmptyAndBadGroups) {
+  PoolConfig empty;
+  EXPECT_THROW(empty.validate(), util::ContractViolation);
+
+  PoolConfig bad;
+  MachineGroup g;
+  g.count = 0;
+  bad.groups = {g};
+  EXPECT_THROW(bad.validate(), util::ContractViolation);
+
+  g.count = 1;
+  g.speed_mean = -1.0;
+  bad.groups = {g};
+  EXPECT_THROW(bad.validate(), util::ContractViolation);
+}
+
+TEST(CalibrateMeanUptime, InvertsExponentialSurvival) {
+  const double mean_runtime = 1600.0;
+  for (double gamma : {0.75, 0.85, 0.95, 0.99}) {
+    const double mean_up = calibrate_mean_uptime(mean_runtime, gamma);
+    EXPECT_NEAR(std::exp(-mean_runtime / mean_up), gamma, 1e-12);
+  }
+}
+
+TEST(CalibrateMeanUptime, HigherGammaNeedsLongerUptime) {
+  EXPECT_LT(calibrate_mean_uptime(1000.0, 0.8),
+            calibrate_mean_uptime(1000.0, 0.95));
+}
+
+TEST(CalibrateMeanUptime, RejectsDegenerateTargets) {
+  EXPECT_THROW(calibrate_mean_uptime(1000.0, 0.0), util::ContractViolation);
+  EXPECT_THROW(calibrate_mean_uptime(1000.0, 1.0), util::ContractViolation);
+  EXPECT_THROW(calibrate_mean_uptime(0.0, 0.5), util::ContractViolation);
+}
+
+TEST(Presets, TableIVPoolsValidate) {
+  EXPECT_NO_THROW(make_wm(200, 0.9, 1600.0).validate());
+  EXPECT_NO_THROW(make_osg(200, 0.85, 1600.0).validate());
+  EXPECT_NO_THROW(make_tech(20).validate());
+  EXPECT_NO_THROW(make_ec2(20).validate());
+  EXPECT_NO_THROW(make_osg_wm(250, 0.85, 1600.0).validate());
+  EXPECT_NO_THROW(make_wm_ec2(200, 20, 0.9, 1600.0).validate());
+  EXPECT_NO_THROW(make_wm_tech(200, 20, 0.9, 1600.0).validate());
+}
+
+TEST(Presets, ReliablePoolsAreEffectivelyAlwaysUp) {
+  for (const auto& pool : {make_tech(10), make_ec2(10)}) {
+    for (const auto& g : pool.groups) {
+      EXPECT_GT(g.availability.long_run_availability(), 0.99) << pool.name;
+    }
+  }
+}
+
+TEST(Presets, GridPoolsAreCheapPerSecond) {
+  for (const auto& pool :
+       {make_wm(10, 0.9, 1600.0), make_osg(10, 0.9, 1600.0)}) {
+    for (const auto& g : pool.groups) {
+      EXPECT_DOUBLE_EQ(g.price.period_s, 1.0) << pool.name;
+      EXPECT_NEAR(g.price.rate_cents_per_s, 1.0 / 3600.0, 1e-12) << pool.name;
+    }
+  }
+}
+
+TEST(Presets, Ec2BillsHourly) {
+  const auto ec2 = make_ec2(5);
+  ASSERT_EQ(ec2.groups.size(), 1u);
+  EXPECT_DOUBLE_EQ(ec2.groups[0].price.period_s, 3600.0);
+  EXPECT_NEAR(ec2.groups[0].price.rate_cents_per_s, 34.0 / 3600.0, 1e-12);
+}
+
+TEST(Presets, OsgWmSplitsPool) {
+  const auto combo = make_osg_wm(201, 0.85, 1600.0);
+  EXPECT_EQ(combo.total_machines(), 201u);
+}
+
+}  // namespace
+}  // namespace expert::gridsim

@@ -1,0 +1,91 @@
+#include "expert/stats/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expert/util/assert.hpp"
+#include "expert/util/rng.hpp"
+
+namespace expert::stats {
+namespace {
+
+TEST(EmpiricalCdf, RejectsEmptySample) {
+  EXPECT_THROW(EmpiricalCdf(std::vector<double>{}), util::ContractViolation);
+}
+
+TEST(EmpiricalCdf, StepFunctionValues) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.cdf(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileIsGeneralizedInverse) {
+  EmpiricalCdf cdf({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.26), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.75), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 40.0);
+}
+
+TEST(EmpiricalCdf, QuantileRejectsOutOfRange) {
+  EmpiricalCdf cdf({1.0});
+  EXPECT_THROW(cdf.quantile(-0.1), util::ContractViolation);
+  EXPECT_THROW(cdf.quantile(1.1), util::ContractViolation);
+}
+
+TEST(EmpiricalCdf, CdfQuantileConsistency) {
+  // Property: for every p, cdf(quantile(p)) >= p, and quantile(cdf(x)) <= x
+  // for x in the sample.
+  util::Rng rng(77);
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(rng.uniform(0.0, 100.0));
+  EmpiricalCdf cdf(samples);
+  for (int i = 0; i <= 100; ++i) {
+    const double p = i / 100.0;
+    EXPECT_GE(cdf.cdf(cdf.quantile(p)), p - 1e-12);
+  }
+  for (double x : cdf.sorted_samples()) {
+    EXPECT_LE(cdf.quantile(cdf.cdf(x)), x + 1e-12);
+  }
+}
+
+TEST(EmpiricalCdf, MonotoneCdf) {
+  util::Rng rng(78);
+  std::vector<double> samples;
+  for (int i = 0; i < 300; ++i) samples.push_back(rng.lognormal(1.0, 1.0));
+  EmpiricalCdf cdf(samples);
+  double prev = -1.0;
+  for (double t = 0.0; t < 50.0; t += 0.25) {
+    const double v = cdf.cdf(t);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(EmpiricalCdf, MinMaxMean) {
+  EmpiricalCdf cdf({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 3.0);
+}
+
+TEST(EmpiricalCdf, MergePoolsSamples) {
+  EmpiricalCdf a({1.0, 2.0});
+  EmpiricalCdf b({3.0});
+  const auto merged = EmpiricalCdf::merge(a, b);
+  EXPECT_EQ(merged.size(), 3u);
+  EXPECT_DOUBLE_EQ(merged.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(merged.cdf(2.5), 2.0 / 3.0);
+}
+
+TEST(EmpiricalCdf, DuplicateValuesAccumulate) {
+  EmpiricalCdf cdf({2.0, 2.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(cdf.cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 2.0);
+}
+
+}  // namespace
+}  // namespace expert::stats

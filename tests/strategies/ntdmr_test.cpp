@@ -1,0 +1,71 @@
+#include "expert/strategies/ntdmr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::strategies {
+namespace {
+
+TEST(NTDMr, InfinityEncoding) {
+  NTDMr inf;
+  inf.deadline_d = 100.0;
+  EXPECT_TRUE(inf.unlimited_unreliable());
+  EXPECT_FALSE(inf.uses_reliable());
+
+  NTDMr finite;
+  finite.n = 3;
+  finite.deadline_d = 100.0;
+  EXPECT_FALSE(finite.unlimited_unreliable());
+  EXPECT_TRUE(finite.uses_reliable());
+}
+
+TEST(NTDMr, ZeroNStillUsesReliable) {
+  NTDMr s;
+  s.n = 0;
+  s.deadline_d = 1.0;
+  EXPECT_TRUE(s.uses_reliable());
+}
+
+TEST(NTDMr, ToStringFormats) {
+  NTDMr s;
+  s.n = 3;
+  s.timeout_t = 2066.0;
+  s.deadline_d = 4132.0;
+  s.mr = 0.02;
+  EXPECT_EQ(s.to_string(), "N=3 T=2066 D=4132 Mr=0.02");
+  s.n.reset();
+  EXPECT_EQ(s.to_string(), "N=inf T=2066 D=4132 Mr=0.02");
+}
+
+TEST(NTDMr, ValidateRejectsBadRanges) {
+  NTDMr s;
+  s.deadline_d = 0.0;
+  EXPECT_THROW(s.validate(), util::ContractViolation);
+  s.deadline_d = 10.0;
+  s.timeout_t = -1.0;
+  EXPECT_THROW(s.validate(), util::ContractViolation);
+  s.timeout_t = 0.0;
+  s.mr = -0.5;
+  EXPECT_THROW(s.validate(), util::ContractViolation);
+  s.mr = 0.0;
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(NTDMr, EqualityComparesAllFields) {
+  NTDMr a;
+  a.n = 2;
+  a.timeout_t = 1.0;
+  a.deadline_d = 2.0;
+  a.mr = 0.1;
+  NTDMr b = a;
+  EXPECT_TRUE(a == b);
+  b.mr = 0.2;
+  EXPECT_FALSE(a == b);
+  b = a;
+  b.n.reset();
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace expert::strategies

@@ -1,0 +1,106 @@
+#include "expert/strategies/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::strategies {
+namespace {
+
+constexpr double kTur = 2066.0;
+constexpr double kMrMax = 0.5;
+
+TEST(ParseStrategy, NtdmrKeyValueForm) {
+  const auto cfg = parse_strategy("N=3 T=2066 D=4132 Mr=0.02", kTur, kMrMax);
+  EXPECT_EQ(cfg.tail_mode, TailMode::NTDMrTail);
+  ASSERT_TRUE(cfg.ntdmr.n.has_value());
+  EXPECT_EQ(*cfg.ntdmr.n, 3u);
+  EXPECT_DOUBLE_EQ(cfg.ntdmr.timeout_t, 2066.0);
+  EXPECT_DOUBLE_EQ(cfg.ntdmr.deadline_d, 4132.0);
+  EXPECT_DOUBLE_EQ(cfg.ntdmr.mr, 0.02);
+}
+
+TEST(ParseStrategy, TurSuffixScales) {
+  const auto cfg = parse_strategy("N=2 T=1Tur D=2.5Tur Mr=0.1", kTur, kMrMax);
+  EXPECT_DOUBLE_EQ(cfg.ntdmr.timeout_t, kTur);
+  EXPECT_DOUBLE_EQ(cfg.ntdmr.deadline_d, 2.5 * kTur);
+}
+
+TEST(ParseStrategy, InfinityN) {
+  const auto cfg = parse_strategy("N=inf D=8264", kTur, kMrMax);
+  EXPECT_FALSE(cfg.ntdmr.n.has_value());
+}
+
+TEST(ParseStrategy, DefaultsTEqualsDAndNInf) {
+  const auto cfg = parse_strategy("D=4000", kTur, kMrMax);
+  EXPECT_FALSE(cfg.ntdmr.n.has_value());
+  EXPECT_DOUBLE_EQ(cfg.ntdmr.timeout_t, 4000.0);
+  EXPECT_DOUBLE_EQ(cfg.ntdmr.mr, 0.0);
+}
+
+TEST(ParseStrategy, KeysAreCaseInsensitive) {
+  const auto cfg = parse_strategy("n=1 t=100 d=200 MR=0.3", kTur, kMrMax);
+  EXPECT_EQ(*cfg.ntdmr.n, 1u);
+  EXPECT_DOUBLE_EQ(cfg.ntdmr.mr, 0.3);
+}
+
+TEST(ParseStrategy, StaticNames) {
+  EXPECT_EQ(parse_strategy("AUR", kTur, kMrMax).name, "AUR");
+  EXPECT_EQ(parse_strategy("ar", kTur, kMrMax).name, "AR");
+  EXPECT_EQ(parse_strategy("TRR", kTur, kMrMax).name, "TRR");
+  EXPECT_EQ(parse_strategy("cn-inf", kTur, kMrMax).name, "CN-inf");
+  EXPECT_EQ(parse_strategy("CNinf", kTur, kMrMax).name, "CN-inf");
+  EXPECT_EQ(parse_strategy("CN1T0", kTur, kMrMax).name, "CN1T0");
+}
+
+TEST(ParseStrategy, BudgetFormScalesByTaskCount) {
+  const auto cfg = parse_strategy("B=5", kTur, kMrMax, 150);
+  EXPECT_EQ(cfg.tail_mode, TailMode::BudgetTriggered);
+  EXPECT_DOUBLE_EQ(cfg.budget_cents, 750.0);
+}
+
+TEST(ParseStrategy, RejectsMalformedInput) {
+  EXPECT_THROW(parse_strategy("", kTur, kMrMax), util::ContractViolation);
+  EXPECT_THROW(parse_strategy("N=3", kTur, kMrMax), util::ContractViolation);
+  EXPECT_THROW(parse_strategy("X=3 D=100", kTur, kMrMax),
+               util::ContractViolation);
+  EXPECT_THROW(parse_strategy("N=3 N=4 D=100", kTur, kMrMax),
+               util::ContractViolation);
+  EXPECT_THROW(parse_strategy("N=2.5 D=100", kTur, kMrMax),
+               util::ContractViolation);
+  EXPECT_THROW(parse_strategy("N=-1 D=100", kTur, kMrMax),
+               util::ContractViolation);
+  EXPECT_THROW(parse_strategy("N=1 D=abc", kTur, kMrMax),
+               util::ContractViolation);
+  EXPECT_THROW(parse_strategy("B=0", kTur, kMrMax), util::ContractViolation);
+}
+
+TEST(ParseStrategy, RejectsMrAboveBound) {
+  EXPECT_THROW(parse_strategy("N=1 D=100 Mr=0.6", kTur, /*mr_max=*/0.5),
+               util::ContractViolation);
+}
+
+TEST(FormatStrategy, RoundTripsNtdmr) {
+  const auto cfg = parse_strategy("N=3 T=1000 D=2000 Mr=0.1", kTur, kMrMax);
+  const auto text = format_strategy(cfg, kTur);
+  const auto reparsed = parse_strategy(text, kTur, kMrMax);
+  EXPECT_TRUE(reparsed.ntdmr == cfg.ntdmr);
+}
+
+TEST(FormatStrategy, RoundTripsStaticNames) {
+  for (const char* name : {"AR", "TRR", "TR", "AUR", "CN-inf", "CN1T0"}) {
+    const auto cfg = parse_strategy(name, kTur, kMrMax);
+    const auto text = format_strategy(cfg, kTur);
+    EXPECT_EQ(text, cfg.name);
+  }
+}
+
+TEST(FormatStrategy, RoundTripsBudget) {
+  const auto cfg = parse_strategy("B=5", kTur, kMrMax, 150);
+  const auto text = format_strategy(cfg, kTur, 150);
+  const auto reparsed = parse_strategy(text, kTur, kMrMax, 150);
+  EXPECT_DOUBLE_EQ(reparsed.budget_cents, cfg.budget_cents);
+}
+
+}  // namespace
+}  // namespace expert::strategies

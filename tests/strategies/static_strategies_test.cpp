@@ -1,0 +1,108 @@
+#include "expert/strategies/static_strategies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::strategies {
+namespace {
+
+constexpr double kTur = 2066.0;
+constexpr double kMrMax = 0.1;
+
+TEST(StaticStrategies, ARUsesOnlyReliable) {
+  const auto cfg = make_static_strategy(StaticStrategyKind::AR, kTur, kMrMax);
+  EXPECT_EQ(cfg.throughput, ThroughputPolicy::ReliableOnly);
+  EXPECT_EQ(cfg.tail_mode, TailMode::Continue);
+  EXPECT_EQ(cfg.name, "AR");
+}
+
+TEST(StaticStrategies, TRRIsImmediateTailReplication) {
+  // TRR = NTDMr(N=0, T=0, Mr=Mr_max) per paper §V.
+  const auto cfg = make_static_strategy(StaticStrategyKind::TRR, kTur, kMrMax);
+  EXPECT_EQ(cfg.tail_mode, TailMode::NTDMrTail);
+  ASSERT_TRUE(cfg.ntdmr.n.has_value());
+  EXPECT_EQ(*cfg.ntdmr.n, 0u);
+  EXPECT_DOUBLE_EQ(cfg.ntdmr.timeout_t, 0.0);
+  EXPECT_DOUBLE_EQ(cfg.ntdmr.mr, kMrMax);
+}
+
+TEST(StaticStrategies, TRWaitsForTimeout) {
+  // TR = NTDMr(N=0, T=D, Mr=Mr_max).
+  const auto cfg = make_static_strategy(StaticStrategyKind::TR, kTur, kMrMax);
+  ASSERT_TRUE(cfg.ntdmr.n.has_value());
+  EXPECT_EQ(*cfg.ntdmr.n, 0u);
+  EXPECT_DOUBLE_EQ(cfg.ntdmr.timeout_t, cfg.ntdmr.deadline_d);
+  EXPECT_DOUBLE_EQ(cfg.ntdmr.deadline_d, 4.0 * kTur);
+}
+
+TEST(StaticStrategies, AURNeverTouchesReliable) {
+  // AUR = NTDMr(N=inf, T=D).
+  const auto cfg = make_static_strategy(StaticStrategyKind::AUR, kTur, kMrMax);
+  EXPECT_FALSE(cfg.ntdmr.n.has_value());
+  EXPECT_DOUBLE_EQ(cfg.ntdmr.mr, 0.0);
+  EXPECT_DOUBLE_EQ(cfg.ntdmr.timeout_t, cfg.ntdmr.deadline_d);
+}
+
+TEST(StaticStrategies, BudgetCarriesBudget) {
+  const auto cfg =
+      make_static_strategy(StaticStrategyKind::Budget, kTur, kMrMax, 750.0);
+  EXPECT_EQ(cfg.tail_mode, TailMode::BudgetTriggered);
+  EXPECT_DOUBLE_EQ(cfg.budget_cents, 750.0);
+}
+
+TEST(StaticStrategies, BudgetWithoutBudgetThrows) {
+  EXPECT_THROW(
+      make_static_strategy(StaticStrategyKind::Budget, kTur, kMrMax, 0.0),
+      util::ContractViolation);
+}
+
+TEST(StaticStrategies, CNInfCombinesPoolsWithoutReplication) {
+  const auto cfg =
+      make_static_strategy(StaticStrategyKind::CNInf, kTur, kMrMax);
+  EXPECT_EQ(cfg.throughput, ThroughputPolicy::Combined);
+  EXPECT_EQ(cfg.tail_mode, TailMode::Continue);
+  EXPECT_FALSE(cfg.ntdmr.n.has_value());
+}
+
+TEST(StaticStrategies, CN1T0ReplicatesAtTail) {
+  const auto cfg =
+      make_static_strategy(StaticStrategyKind::CN1T0, kTur, kMrMax);
+  EXPECT_EQ(cfg.throughput, ThroughputPolicy::Combined);
+  EXPECT_EQ(cfg.tail_mode, TailMode::ReplicateAllReliable);
+  EXPECT_DOUBLE_EQ(cfg.ntdmr.timeout_t, 0.0);
+}
+
+TEST(StaticStrategies, AllKindsValidateAndHaveUniqueNames) {
+  std::vector<std::string> names;
+  for (auto kind : kAllStaticStrategies) {
+    const auto cfg = make_static_strategy(kind, kTur, kMrMax, 100.0);
+    EXPECT_NO_THROW(cfg.validate());
+    names.push_back(cfg.name);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(StaticStrategies, MakeNtdmrStrategyWrapsParams) {
+  NTDMr p;
+  p.n = 3;
+  p.timeout_t = kTur;
+  p.deadline_d = 2.0 * kTur;
+  p.mr = 0.02;
+  const auto cfg = make_ntdmr_strategy(p);
+  EXPECT_EQ(cfg.tail_mode, TailMode::NTDMrTail);
+  EXPECT_EQ(cfg.throughput, ThroughputPolicy::UnreliableOnly);
+  EXPECT_TRUE(cfg.ntdmr == p);
+  EXPECT_EQ(cfg.name, p.to_string());
+}
+
+TEST(StaticStrategies, InvalidUserInputsRejected) {
+  EXPECT_THROW(make_static_strategy(StaticStrategyKind::AR, 0.0, kMrMax),
+               util::ContractViolation);
+  EXPECT_THROW(make_static_strategy(StaticStrategyKind::AR, kTur, -1.0),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace expert::strategies

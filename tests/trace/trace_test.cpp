@@ -1,0 +1,144 @@
+#include "expert/trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::trace {
+namespace {
+
+InstanceRecord success(workload::TaskId task, PoolKind pool, double send,
+                       double turnaround, double cost, bool tail = false) {
+  return InstanceRecord{task,       pool, send, turnaround,
+                        InstanceOutcome::Success, cost, tail};
+}
+
+InstanceRecord failure(workload::TaskId task, double send) {
+  return InstanceRecord{task,
+                        PoolKind::Unreliable,
+                        send,
+                        kNeverReturns,
+                        InstanceOutcome::Timeout,
+                        0.0,
+                        false};
+}
+
+ExecutionTrace sample_trace() {
+  std::vector<InstanceRecord> records = {
+      success(0, PoolKind::Unreliable, 0.0, 100.0, 1.0),
+      failure(1, 0.0),
+      success(1, PoolKind::Unreliable, 150.0, 80.0, 0.8, false),
+      success(2, PoolKind::Reliable, 200.0, 50.0, 5.0, true),
+      InstanceRecord{2, PoolKind::Unreliable, 190.0, kNeverReturns,
+                     InstanceOutcome::Cancelled, 0.0, true},
+  };
+  return ExecutionTrace(3, std::move(records), 180.0, 250.0);
+}
+
+TEST(ExecutionTrace, BasicAccessors) {
+  const auto t = sample_trace();
+  EXPECT_EQ(t.task_count(), 3u);
+  EXPECT_DOUBLE_EQ(t.t_tail(), 180.0);
+  EXPECT_DOUBLE_EQ(t.makespan(), 250.0);
+  EXPECT_DOUBLE_EQ(t.tail_makespan(), 70.0);
+}
+
+TEST(ExecutionTrace, CostAggregation) {
+  const auto t = sample_trace();
+  EXPECT_DOUBLE_EQ(t.total_cost_cents(), 6.8);
+  EXPECT_NEAR(t.cost_per_task_cents(), 6.8 / 3.0, 1e-12);
+}
+
+TEST(ExecutionTrace, ReliableInstancesExcludeCancelled) {
+  const auto t = sample_trace();
+  EXPECT_EQ(t.reliable_instances_sent(), 1u);
+}
+
+TEST(ExecutionTrace, SuccessfulTurnaroundsPerPool) {
+  const auto t = sample_trace();
+  const auto ur = t.successful_turnarounds(PoolKind::Unreliable);
+  ASSERT_EQ(ur.size(), 2u);
+  const auto r = t.successful_turnarounds(PoolKind::Reliable);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r[0], 50.0);
+}
+
+TEST(ExecutionTrace, AverageReliabilityExcludesCancelledAndReliable) {
+  const auto t = sample_trace();
+  // Unreliable, non-cancelled: 3 sent, 2 successes.
+  EXPECT_NEAR(t.average_reliability(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ExecutionTrace, RemainingTasksSeriesStepsDown) {
+  const auto t = sample_trace();
+  const auto series = t.remaining_tasks_series();
+  ASSERT_EQ(series.size(), 4u);  // initial + 3 completions
+  EXPECT_DOUBLE_EQ(series[0].first, 0.0);
+  EXPECT_EQ(series[0].second, 3u);
+  EXPECT_DOUBLE_EQ(series[1].first, 100.0);
+  EXPECT_EQ(series[1].second, 2u);
+  EXPECT_EQ(series.back().second, 0u);
+}
+
+TEST(ExecutionTrace, ReliabilityInWindowFiltersBySendTime) {
+  const auto t = sample_trace();
+  // Window [0, 50): only the two instances sent at t=0 (one success, one
+  // failure).
+  const auto early = t.reliability_in_window(0.0, 50.0);
+  ASSERT_TRUE(early.has_value());
+  EXPECT_DOUBLE_EQ(*early, 0.5);
+  // Window [100, 200): only task 1's successful retry at t=150.
+  const auto mid = t.reliability_in_window(100.0, 200.0);
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_DOUBLE_EQ(*mid, 1.0);
+  // Reliable and cancelled records never count.
+  EXPECT_FALSE(t.reliability_in_window(185.0, 300.0).has_value());
+  EXPECT_THROW(t.reliability_in_window(5.0, 5.0), util::ContractViolation);
+}
+
+TEST(ExecutionTrace, RemainingAtWalksCompletions) {
+  const auto t = sample_trace();
+  EXPECT_EQ(t.remaining_at(0.0), 3u);
+  EXPECT_EQ(t.remaining_at(99.9), 3u);
+  EXPECT_EQ(t.remaining_at(100.0), 2u);  // task 0 done at 100
+  EXPECT_EQ(t.remaining_at(230.0), 1u);  // task 1 done at 230
+  EXPECT_EQ(t.remaining_at(250.0), 0u);
+}
+
+TEST(ExecutionTrace, TaskCompletionTimes) {
+  const auto t = sample_trace();
+  EXPECT_DOUBLE_EQ(*t.task_completion_time(0), 100.0);
+  EXPECT_DOUBLE_EQ(*t.task_completion_time(1), 230.0);
+  EXPECT_DOUBLE_EQ(*t.task_completion_time(2), 250.0);
+}
+
+TEST(ExecutionTrace, IncompleteTaskHasNoCompletion) {
+  std::vector<InstanceRecord> records = {failure(0, 0.0)};
+  ExecutionTrace t(1, std::move(records), 10.0, 20.0);
+  EXPECT_FALSE(t.task_completion_time(0).has_value());
+}
+
+TEST(ExecutionTrace, RejectsInvalidConstruction) {
+  EXPECT_THROW(ExecutionTrace(0, {}, 0.0, 0.0), util::ContractViolation);
+  EXPECT_THROW(ExecutionTrace(1, {}, 10.0, 5.0), util::ContractViolation);
+  std::vector<InstanceRecord> bad = {failure(5, 0.0)};
+  EXPECT_THROW(ExecutionTrace(1, std::move(bad), 0.0, 1.0),
+               util::ContractViolation);
+}
+
+TEST(InstanceRecord, FailedInstanceHasInfiniteTurnaround) {
+  const auto r = failure(0, 10.0);
+  EXPECT_FALSE(r.successful());
+  EXPECT_EQ(r.turnaround, kNeverReturns);
+}
+
+TEST(ToString, Coverage) {
+  EXPECT_STREQ(to_string(PoolKind::Reliable), "reliable");
+  EXPECT_STREQ(to_string(PoolKind::Unreliable), "unreliable");
+  EXPECT_STREQ(to_string(InstanceOutcome::Success), "success");
+  EXPECT_STREQ(to_string(InstanceOutcome::Timeout), "timeout");
+  EXPECT_STREQ(to_string(InstanceOutcome::Cancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace expert::trace

@@ -1,0 +1,77 @@
+#include "expert/util/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::util {
+namespace {
+
+Args parse(std::vector<const char*> argv,
+           std::vector<std::string> options = {"trace", "tasks", "utility"},
+           std::vector<std::string> flags = {"verbose"}) {
+  argv.insert(argv.begin(), "prog");
+  return Args(static_cast<int>(argv.size()), argv.data(), options, flags);
+}
+
+TEST(Args, CommandIsFirstPositional) {
+  const auto args = parse({"recommend", "--tasks", "150"});
+  ASSERT_TRUE(args.command().has_value());
+  EXPECT_EQ(*args.command(), "recommend");
+}
+
+TEST(Args, NoCommand) {
+  const auto args = parse({"--tasks", "5"});
+  EXPECT_FALSE(args.command().has_value());
+}
+
+TEST(Args, OptionWithSeparateValue) {
+  const auto args = parse({"cmd", "--trace", "file.csv"});
+  EXPECT_EQ(args.option_or("trace", ""), "file.csv");
+}
+
+TEST(Args, OptionWithEqualsValue) {
+  const auto args = parse({"cmd", "--trace=file.csv"});
+  EXPECT_EQ(args.option_or("trace", ""), "file.csv");
+}
+
+TEST(Args, Flags) {
+  const auto args = parse({"cmd", "--verbose"});
+  EXPECT_TRUE(args.has_flag("verbose"));
+  EXPECT_FALSE(args.has_flag("quiet"));
+}
+
+TEST(Args, NumberParsing) {
+  const auto args = parse({"cmd", "--tasks", "150"});
+  EXPECT_DOUBLE_EQ(args.number_or("tasks", 1.0), 150.0);
+  EXPECT_DOUBLE_EQ(args.number_or("missing", 7.0), 7.0);
+}
+
+TEST(Args, BadNumberThrows) {
+  const auto args = parse({"cmd", "--tasks", "many"});
+  EXPECT_THROW(args.number_or("tasks", 1.0), ContractViolation);
+}
+
+TEST(Args, RequiredOption) {
+  const auto args = parse({"cmd", "--trace", "t.csv"});
+  EXPECT_EQ(args.required("trace"), "t.csv");
+  EXPECT_THROW(args.required("tasks"), ContractViolation);
+}
+
+TEST(Args, MissingValueThrows) {
+  EXPECT_THROW(parse({"cmd", "--trace"}), ContractViolation);
+}
+
+TEST(Args, UnknownOptionsCollected) {
+  const auto args = parse({"cmd", "--bogus", "x"});
+  ASSERT_EQ(args.unknown_options().size(), 1u);
+  EXPECT_EQ(args.unknown_options()[0], "bogus");
+}
+
+TEST(Args, MultiplePositionals) {
+  const auto args = parse({"cmd", "a", "b"});
+  EXPECT_EQ(args.positional().size(), 3u);
+}
+
+}  // namespace
+}  // namespace expert::util

@@ -1,0 +1,89 @@
+#include "expert/util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace expert::util {
+namespace {
+
+std::string write_rows(const std::vector<std::vector<std::string>>& rows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  for (const auto& r : rows) w.row(r);
+  return os.str();
+}
+
+TEST(CsvWriter, PlainFields) {
+  EXPECT_EQ(write_rows({{"a", "b", "c"}}), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesSeparator) {
+  EXPECT_EQ(write_rows({{"a,b", "c"}}), "\"a,b\",c\n");
+}
+
+TEST(CsvWriter, QuotesQuotes) {
+  EXPECT_EQ(write_rows({{"say \"hi\""}}), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, QuotesNewlines) {
+  EXPECT_EQ(write_rows({{"two\nlines"}}), "\"two\nlines\"\n");
+}
+
+TEST(CsvWriter, NumericFieldsRoundTrip) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.field(3.14159265358979).field(static_cast<long long>(-42));
+  w.end_row();
+  const auto rows = parse_csv_string(os.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][0]), 3.14159265358979);
+  EXPECT_EQ(rows[0][1], "-42");
+}
+
+TEST(ParseCsv, SimpleRows) {
+  const auto rows = parse_csv_string("a,b\nc,d\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseCsv, HandlesCrLf) {
+  const auto rows = parse_csv_string("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(ParseCsv, QuotedFieldWithSeparator) {
+  const auto rows = parse_csv_string("\"a,b\",c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "a,b");
+}
+
+TEST(ParseCsv, EscapedQuote) {
+  const auto rows = parse_csv_string("\"say \"\"hi\"\"\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "say \"hi\"");
+}
+
+TEST(ParseCsv, MissingFinalNewline) {
+  const auto rows = parse_csv_string("a,b");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].size(), 2u);
+}
+
+TEST(ParseCsv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv_string("\"oops"), std::runtime_error);
+}
+
+TEST(ParseCsv, RoundTripsWriterOutput) {
+  const std::vector<std::vector<std::string>> rows = {
+      {"plain", "with,sep", "with\"quote"},
+      {"line\nbreak", "", "end"},
+  };
+  const auto parsed = parse_csv_string(write_rows(rows));
+  EXPECT_EQ(parsed, rows);
+}
+
+}  // namespace
+}  // namespace expert::util

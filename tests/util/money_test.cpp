@@ -1,0 +1,42 @@
+#include "expert/util/money.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::util {
+namespace {
+
+TEST(ChargeCents, PerSecondBillingIsLinear) {
+  EXPECT_DOUBLE_EQ(charge_cents(100.0, 0.5, 1.0), 50.0);
+}
+
+TEST(ChargeCents, RoundsUpToWholePeriods) {
+  // 1 second on an hourly-billed cloud costs a full hour.
+  EXPECT_DOUBLE_EQ(charge_cents(1.0, 34.0 / 3600.0, 3600.0), 34.0);
+  // 3601 seconds costs two hours.
+  EXPECT_DOUBLE_EQ(charge_cents(3601.0, 34.0 / 3600.0, 3600.0), 68.0);
+}
+
+TEST(ChargeCents, ExactPeriodBoundary) {
+  EXPECT_DOUBLE_EQ(charge_cents(3600.0, 34.0 / 3600.0, 3600.0), 34.0);
+}
+
+TEST(ChargeCents, ZeroRuntimeIsFree) {
+  EXPECT_DOUBLE_EQ(charge_cents(0.0, 1.0, 3600.0), 0.0);
+}
+
+TEST(ChargeCents, FractionalSecondsRoundUpOnGrids) {
+  EXPECT_DOUBLE_EQ(charge_cents(0.5, 2.0, 1.0), 2.0);
+}
+
+TEST(ChargeCents, RejectsNegativeRuntime) {
+  EXPECT_THROW(charge_cents(-1.0, 1.0, 1.0), ContractViolation);
+}
+
+TEST(ChargeCents, RejectsNonPositivePeriod) {
+  EXPECT_THROW(charge_cents(1.0, 1.0, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace expert::util

@@ -1,0 +1,48 @@
+#include "expert/workload/bot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::workload {
+namespace {
+
+std::vector<Task> make_tasks(std::initializer_list<double> cpu_times) {
+  std::vector<Task> tasks;
+  TaskId id = 0;
+  for (double c : cpu_times) tasks.push_back(Task{id++, c});
+  return tasks;
+}
+
+TEST(Bot, ComputesAggregates) {
+  Bot bot("test", make_tasks({10.0, 20.0, 30.0}));
+  EXPECT_EQ(bot.size(), 3u);
+  EXPECT_DOUBLE_EQ(bot.total_cpu_seconds(), 60.0);
+  EXPECT_DOUBLE_EQ(bot.mean_cpu_seconds(), 20.0);
+  EXPECT_DOUBLE_EQ(bot.min_cpu_seconds(), 10.0);
+  EXPECT_DOUBLE_EQ(bot.max_cpu_seconds(), 30.0);
+  EXPECT_EQ(bot.name(), "test");
+}
+
+TEST(Bot, TaskLookup) {
+  Bot bot("t", make_tasks({1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(bot.task(1).cpu_seconds, 2.0);
+  EXPECT_THROW(bot.task(2), util::ContractViolation);
+}
+
+TEST(Bot, RejectsEmpty) {
+  EXPECT_THROW(Bot("empty", {}), util::ContractViolation);
+}
+
+TEST(Bot, RejectsNonDenseIds) {
+  std::vector<Task> tasks = {{0, 1.0}, {2, 1.0}};
+  EXPECT_THROW(Bot("bad", std::move(tasks)), util::ContractViolation);
+}
+
+TEST(Bot, RejectsNonPositiveCpuTime) {
+  std::vector<Task> tasks = {{0, 0.0}};
+  EXPECT_THROW(Bot("bad", std::move(tasks)), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace expert::workload

@@ -1,0 +1,99 @@
+#include "expert/workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::workload {
+namespace {
+
+BotStreamSpec small_spec() {
+  BotStreamSpec spec;
+  spec.mean_tasks = 200;
+  spec.min_tasks = 50;
+  spec.max_tasks = 1000;
+  spec.min_mean_cpu = 500.0;
+  spec.max_mean_cpu = 2000.0;
+  return spec;
+}
+
+TEST(BotStream, SizesStayWithinBounds) {
+  BotStream stream(small_spec(), 1);
+  for (int i = 0; i < 50; ++i) {
+    const auto bot = stream.next();
+    EXPECT_GE(bot.size(), 50u);
+    EXPECT_LE(bot.size(), 1000u);
+  }
+  EXPECT_EQ(stream.generated(), 50u);
+}
+
+TEST(BotStream, MeanSizeNearRequested) {
+  BotStream stream(small_spec(), 2);
+  double total = 0.0;
+  constexpr int kBots = 300;
+  for (int i = 0; i < kBots; ++i) total += static_cast<double>(stream.next().size());
+  // Clamping skews the lognormal mean somewhat; 25% tolerance.
+  EXPECT_NEAR(total / kBots, 200.0, 50.0);
+}
+
+TEST(BotStream, CpuTimesRespectPerBotEnvelope) {
+  BotStream stream(small_spec(), 3);
+  for (int i = 0; i < 20; ++i) {
+    const auto bot = stream.next();
+    EXPECT_GE(bot.min_cpu_seconds(), 500.0 * 0.4 - 1e-9);
+    EXPECT_LE(bot.max_cpu_seconds(), 2000.0 * 2.5 + 1e-9);
+    EXPECT_LT(bot.min_cpu_seconds(), bot.max_cpu_seconds());
+  }
+}
+
+TEST(BotStream, DeterministicSequence) {
+  BotStream a(small_spec(), 7);
+  BotStream b(small_spec(), 7);
+  for (int i = 0; i < 5; ++i) {
+    const auto x = a.next();
+    const auto y = b.next();
+    ASSERT_EQ(x.size(), y.size());
+    EXPECT_DOUBLE_EQ(x.mean_cpu_seconds(), y.mean_cpu_seconds());
+  }
+}
+
+TEST(BotStream, DifferentSeedsDiffer) {
+  BotStream a(small_spec(), 8);
+  BotStream b(small_spec(), 9);
+  bool any_diff = false;
+  for (int i = 0; i < 5; ++i) {
+    if (a.next().size() != b.next().size()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BotStream, BotsVaryInSizeAndGranularity) {
+  const auto bots = generate_bots(small_spec(), 20, 10);
+  ASSERT_EQ(bots.size(), 20u);
+  std::set<std::size_t> sizes;
+  std::set<long long> means;
+  for (const auto& bot : bots) {
+    sizes.insert(bot.size());
+    means.insert(std::llround(bot.mean_cpu_seconds()));
+  }
+  EXPECT_GT(sizes.size(), 10u);
+  EXPECT_GT(means.size(), 10u);
+}
+
+TEST(BotStream, SpecValidation) {
+  auto spec = small_spec();
+  spec.min_tasks = 0;
+  EXPECT_THROW(BotStream(spec, 1), util::ContractViolation);
+  spec = small_spec();
+  spec.max_tasks = 10;  // below mean
+  EXPECT_THROW(BotStream(spec, 1), util::ContractViolation);
+  spec = small_spec();
+  spec.min_cpu_factor = 1.5;
+  EXPECT_THROW(BotStream(spec, 1), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace expert::workload

@@ -1,0 +1,79 @@
+#include "expert/workload/presets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace expert::workload {
+namespace {
+
+TEST(WorkloadSpecs, TableIIIRowCountsAndNames) {
+  const auto& specs = all_workload_specs();
+  ASSERT_EQ(specs.size(), kWorkloadCount);
+  EXPECT_EQ(specs[0].name, "WL1");
+  EXPECT_EQ(specs[6].name, "WL7");
+  EXPECT_EQ(workload_spec(WorkloadId::WL3).task_count, 3276u);
+  EXPECT_EQ(workload_spec(WorkloadId::WL5).task_count, 615u);
+}
+
+TEST(WorkloadSpecs, AllRowsHaveConsistentStatistics) {
+  for (const auto& spec : all_workload_specs()) {
+    EXPECT_LT(spec.min_cpu, spec.mean_cpu) << spec.name;
+    EXPECT_LT(spec.mean_cpu, spec.max_cpu) << spec.name;
+    EXPECT_GT(spec.task_count, 0u) << spec.name;
+    EXPECT_GT(spec.timeout_t, 0.0) << spec.name;
+    EXPECT_GE(spec.deadline_d, spec.timeout_t) << spec.name;
+  }
+}
+
+TEST(WorkloadSpecs, WL1MatchesPublishedRow) {
+  const auto& wl1 = workload_spec(WorkloadId::WL1);
+  EXPECT_EQ(wl1.task_count, 820u);
+  EXPECT_DOUBLE_EQ(wl1.timeout_t, 2500.0);
+  EXPECT_DOUBLE_EQ(wl1.deadline_d, 4000.0);
+  EXPECT_DOUBLE_EQ(wl1.mean_cpu, 1597.0);
+  EXPECT_DOUBLE_EQ(wl1.min_cpu, 1019.0);
+  EXPECT_DOUBLE_EQ(wl1.max_cpu, 3558.0);
+}
+
+class BotGeneration : public ::testing::TestWithParam<WorkloadId> {};
+
+TEST_P(BotGeneration, MatchesSpecStatistics) {
+  const auto& spec = workload_spec(GetParam());
+  const Bot bot = make_bot(GetParam(), 12345);
+  EXPECT_EQ(bot.size(), spec.task_count);
+  EXPECT_GE(bot.min_cpu_seconds(), spec.min_cpu);
+  EXPECT_LE(bot.max_cpu_seconds(), spec.max_cpu);
+  // Sampled mean within 5% of the calibrated target for these sizes.
+  EXPECT_NEAR(bot.mean_cpu_seconds(), spec.mean_cpu, spec.mean_cpu * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, BotGeneration,
+                         ::testing::Values(WorkloadId::WL1, WorkloadId::WL2,
+                                           WorkloadId::WL3, WorkloadId::WL4,
+                                           WorkloadId::WL5, WorkloadId::WL6,
+                                           WorkloadId::WL7));
+
+TEST(BotGeneration, DeterministicInSeed) {
+  const Bot a = make_bot(WorkloadId::WL1, 7);
+  const Bot b = make_bot(WorkloadId::WL1, 7);
+  const Bot c = make_bot(WorkloadId::WL1, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.tasks()[i].cpu_seconds, b.tasks()[i].cpu_seconds);
+  }
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.tasks()[i].cpu_seconds != c.tasks()[i].cpu_seconds) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BotGeneration, SyntheticBotHonorsRequest) {
+  const Bot bot = make_synthetic_bot("custom", 100, 500.0, 100.0, 2000.0, 1);
+  EXPECT_EQ(bot.size(), 100u);
+  EXPECT_EQ(bot.name(), "custom");
+  EXPECT_GE(bot.min_cpu_seconds(), 100.0);
+  EXPECT_LE(bot.max_cpu_seconds(), 2000.0);
+}
+
+}  // namespace
+}  // namespace expert::workload

@@ -1,0 +1,282 @@
+// expert_cli — command-line front end to the ExPERT framework.
+//
+//   expert_cli characterize --trace FILE [--mode online|offline]
+//       [--deadline SECONDS]
+//     Print the statistical characterization of an execution trace.
+//
+//   expert_cli frontier --trace FILE --tasks N [--reps R] [--csv]
+//     Build the Pareto frontier for the next BoT from a history trace.
+//
+//   expert_cli recommend --trace FILE --tasks N --utility U [--reps R]
+//     U: fastest | cheapest | product | budget:<cent/task> | deadline:<s>
+//     Print the chosen N, T, D, Mr strategy string.
+//
+//   expert_cli simulate --strategy "N=3 T=2066 D=4132 Mr=0.02" --tasks N
+//       [--pool L] [--gamma G] [--tur S] [--reps R]
+//     Estimate makespan/cost of a strategy on a synthetic pool model.
+
+#include <fstream>
+#include <iostream>
+
+#include "expert/core/expert.hpp"
+#include "expert/core/report.hpp"
+#include "expert/core/sensitivity.hpp"
+#include "expert/strategies/parser.hpp"
+#include "expert/trace/csv_io.hpp"
+#include "expert/util/args.hpp"
+#include "expert/util/assert.hpp"
+#include "expert/util/table.hpp"
+
+namespace {
+
+using namespace expert;
+
+int usage() {
+  std::cerr <<
+      "usage: expert_cli <characterize|frontier|recommend|simulate|report> "
+      "[options]\n"
+      "  characterize --trace FILE [--mode online|offline] [--deadline S]\n"
+      "  frontier     --trace FILE --tasks N [--reps R] [--csv]\n"
+      "  recommend    --trace FILE --tasks N --utility U [--reps R]\n"
+      "               U: fastest|cheapest|product|budget:<c/task>|"
+      "deadline:<s>\n"
+      "  simulate     --strategy STR --tasks N [--pool L] [--gamma G]\n"
+      "               [--tur S] [--reps R]\n";
+  return 2;
+}
+
+trace::ExecutionTrace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  EXPERT_REQUIRE(in.good(), "cannot open trace file: " + path);
+  return trace::read_csv(in);
+}
+
+core::Utility parse_utility(const std::string& text) {
+  if (text == "fastest") return core::Utility::fastest();
+  if (text == "cheapest") return core::Utility::cheapest();
+  if (text == "product") return core::Utility::min_cost_makespan_product();
+  if (text.rfind("budget:", 0) == 0)
+    return core::Utility::fastest_within_budget(std::stod(text.substr(7)));
+  if (text.rfind("deadline:", 0) == 0)
+    return core::Utility::cheapest_within_deadline(std::stod(text.substr(9)));
+  EXPERT_REQUIRE(false, "unknown utility '" + text + "'");
+  return core::Utility::fastest();  // unreachable
+}
+
+core::ExpertOptions expert_options(const util::Args& args) {
+  core::ExpertOptions options;
+  options.repetitions =
+      static_cast<std::size_t>(args.number_or("reps", 10.0));
+  const std::string mode = args.option_or("mode", "online");
+  EXPERT_REQUIRE(mode == "online" || mode == "offline",
+                 "--mode must be online or offline");
+  options.characterization.mode = mode == "online"
+                                      ? core::ReliabilityMode::Online
+                                      : core::ReliabilityMode::Offline;
+  return options;
+}
+
+int cmd_characterize(const util::Args& args) {
+  const auto history = load_trace(args.required("trace"));
+  core::CharacterizationOptions opts;
+  const std::string mode = args.option_or("mode", "online");
+  opts.mode = mode == "offline" ? core::ReliabilityMode::Offline
+                                : core::ReliabilityMode::Online;
+  opts.instance_deadline = args.number_or("deadline", 0.0);
+  const auto model = core::characterize(history, opts);
+
+  util::Table table({"quantity", "value"});
+  table.add_row({"records", std::to_string(history.records().size())});
+  table.add_row({"tasks", std::to_string(history.task_count())});
+  table.add_row({"T_tail [s]", util::fmt(history.t_tail(), 0)});
+  table.add_row({"makespan [s]", util::fmt(history.makespan(), 0)});
+  table.add_row({"cost [cent/task]",
+                 util::fmt(history.cost_per_task_cents(), 3)});
+  table.add_row({"Fs samples", std::to_string(model.fs().size())});
+  table.add_row({"mean turnaround [s]",
+                 util::fmt(model.mean_successful_turnaround(), 0)});
+  table.add_row({"mean gamma", util::fmt(model.gamma_model().mean_gamma(), 3)});
+  table.add_row({"gamma (future sends)", util::fmt(model.gamma(1e15), 3)});
+  table.add_row({"effective pool size (occupancy)",
+                 std::to_string(core::estimate_effective_size(history))});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_frontier(const util::Args& args) {
+  const auto history = load_trace(args.required("trace"));
+  const auto tasks = static_cast<std::size_t>(args.number_or("tasks", 0.0));
+  EXPERT_REQUIRE(tasks > 0, "--tasks is required and must be positive");
+  const auto expert = core::Expert::from_history(
+      history, core::UserParams{}, expert_options(args));
+  const auto result = expert.build_frontier(tasks);
+
+  if (args.has_flag("csv")) {
+    std::cout << "tail_makespan_s,cost_cents_per_task,n,t_s,d_s,mr\n";
+    for (const auto& p : result.frontier()) {
+      std::cout << p.makespan << ',' << p.cost << ','
+                << (p.params.n ? std::to_string(*p.params.n) : "inf") << ','
+                << p.params.timeout_t << ',' << p.params.deadline_d << ','
+                << p.params.mr << '\n';
+    }
+    return 0;
+  }
+  util::Table table({"tail makespan [s]", "cost [cent/task]", "strategy"});
+  for (const auto& p : result.frontier()) {
+    table.add_row({util::fmt(p.makespan, 0), util::fmt(p.cost, 2),
+                   p.params.to_string()});
+  }
+  table.print(std::cout);
+  std::cout << "(" << result.sampled.size() << " strategies sampled; pool "
+            << expert.unreliable_size() << " machines estimated)\n";
+  return 0;
+}
+
+int cmd_recommend(const util::Args& args) {
+  const auto history = load_trace(args.required("trace"));
+  const auto tasks = static_cast<std::size_t>(args.number_or("tasks", 0.0));
+  EXPERT_REQUIRE(tasks > 0, "--tasks is required and must be positive");
+  const auto utility = parse_utility(args.required("utility"));
+  const auto expert = core::Expert::from_history(
+      history, core::UserParams{}, expert_options(args));
+  const auto rec = expert.recommend(tasks, utility);
+  if (!rec) {
+    std::cout << "no feasible strategy for utility '" << utility.name()
+              << "'\n";
+    return 1;
+  }
+  std::cout << rec->strategy.to_string() << "\n";
+  std::cout << "predicted: tail makespan " << util::fmt(rec->predicted.makespan, 0)
+            << " s, cost " << util::fmt(rec->predicted.cost, 2)
+            << " cent/task\n";
+  return 0;
+}
+
+int cmd_simulate(const util::Args& args) {
+  const double tur = args.number_or("tur", 2066.0);
+  const auto tasks = static_cast<std::size_t>(args.number_or("tasks", 0.0));
+  EXPERT_REQUIRE(tasks > 0, "--tasks is required and must be positive");
+  const auto pool = static_cast<std::size_t>(args.number_or("pool", 50.0));
+  const double gamma = args.number_or("gamma", 0.85);
+  const auto strategy = strategies::parse_strategy(
+      args.required("strategy"), tur, /*mr_max=*/1.0, tasks);
+
+  core::UserParams params;
+  params.tur = tur;
+  params.tr = tur;
+  auto cfg = core::EstimatorConfig::from_user_params(params, pool);
+  cfg.repetitions = static_cast<std::size_t>(args.number_or("reps", 10.0));
+  core::Estimator estimator(
+      cfg, core::make_synthetic_model(tur, 0.15 * tur, 3.0 * tur, gamma));
+  const auto est = estimator.estimate(tasks, strategy);
+
+  util::Table table({"metric", "mean", "stddev"});
+  table.add_row({"BoT makespan [s]", util::fmt(est.mean.makespan, 0),
+                 util::fmt(est.stddev.makespan, 0)});
+  table.add_row({"tail makespan [s]", util::fmt(est.mean.tail_makespan, 0),
+                 util::fmt(est.stddev.tail_makespan, 0)});
+  table.add_row({"cost [cent/task]",
+                 util::fmt(est.mean.cost_per_task_cents, 3),
+                 util::fmt(est.stddev.cost_per_task_cents, 3)});
+  table.add_row({"reliable instances",
+                 util::fmt(est.mean.reliable_instances_sent, 1),
+                 util::fmt(est.stddev.reliable_instances_sent, 1)});
+  table.add_row({"used Mr", util::fmt(est.mean.used_mr, 3),
+                 util::fmt(est.stddev.used_mr, 3)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_sensitivity(const util::Args& args) {
+  const double tur = args.number_or("tur", 2066.0);
+  const auto tasks = static_cast<std::size_t>(args.number_or("tasks", 0.0));
+  EXPERT_REQUIRE(tasks > 0, "--tasks is required and must be positive");
+  const auto pool = static_cast<std::size_t>(args.number_or("pool", 50.0));
+  const double gamma = args.number_or("gamma", 0.85);
+  const auto strategy = strategies::parse_strategy(
+      args.required("strategy"), tur, /*mr_max=*/1.0, tasks);
+  EXPERT_REQUIRE(strategy.tail_mode == strategies::TailMode::NTDMrTail,
+                 "sensitivity analysis needs an NTDMr strategy");
+
+  core::UserParams params;
+  params.tur = tur;
+  params.tr = tur;
+  const auto cfg = core::EstimatorConfig::from_user_params(params, pool);
+  core::Estimator estimator(
+      cfg, core::make_synthetic_model(tur, 0.15 * tur, 3.0 * tur, gamma));
+  const auto report =
+      core::analyze_sensitivity(estimator, tasks, strategy.ntdmr);
+
+  std::cout << "base: tail makespan "
+            << util::fmt(report.base.tail_makespan, 0) << " s, cost "
+            << util::fmt(report.base.cost_per_task_cents, 2)
+            << " cent/task\n\n";
+  util::Table table({"parameter", "low", "high", "makespan elasticity",
+                     "cost elasticity"});
+  for (const auto& s : report.parameters) {
+    table.add_row({s.parameter, util::fmt(s.low_value, 2),
+                   util::fmt(s.high_value, 2),
+                   util::fmt(s.makespan_elasticity, 2),
+                   util::fmt(s.cost_elasticity, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "(elasticity: relative metric change per relative parameter "
+               "change)\n";
+  return 0;
+}
+
+int cmd_report(const util::Args& args) {
+  const auto history = load_trace(args.required("trace"));
+  const auto tasks = static_cast<std::size_t>(args.number_or("tasks", 0.0));
+  EXPERT_REQUIRE(tasks > 0, "--tasks is required and must be positive");
+  const auto options = expert_options(args);
+  const core::UserParams params;
+  const auto expert = core::Expert::from_history(history, params, options);
+  const auto frontier = expert.build_frontier(tasks);
+
+  core::ReportData data;
+  data.title = "ExPERT report — " + args.required("trace");
+  data.params = params;
+  data.model = &expert.estimator().model();
+  data.unreliable_size = expert.unreliable_size();
+  data.frontier = &frontier;
+  data.task_count = tasks;
+  for (const auto& u :
+       {core::Utility::fastest(), core::Utility::cheapest(),
+        core::Utility::min_cost_makespan_product()}) {
+    if (const auto rec = core::Expert::recommend(frontier, u)) {
+      data.decisions.emplace_back(u.name(), *rec);
+    }
+  }
+  std::cout << core::render_markdown_report(data);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(
+      argc, argv,
+      {"trace", "tasks", "utility", "reps", "mode", "deadline", "strategy",
+       "pool", "gamma", "tur"},
+      {"csv"});
+  try {
+    if (!args.unknown_options().empty()) {
+      std::cerr << "unknown option --" << args.unknown_options().front()
+                << "\n";
+      return usage();
+    }
+    const auto command = args.command();
+    if (!command) return usage();
+    if (*command == "characterize") return cmd_characterize(args);
+    if (*command == "frontier") return cmd_frontier(args);
+    if (*command == "recommend") return cmd_recommend(args);
+    if (*command == "report") return cmd_report(args);
+    if (*command == "sensitivity") return cmd_sensitivity(args);
+    if (*command == "simulate") return cmd_simulate(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
