@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_evolution.dir/ablation_evolution.cpp.o"
+  "CMakeFiles/ablation_evolution.dir/ablation_evolution.cpp.o.d"
+  "ablation_evolution"
+  "ablation_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

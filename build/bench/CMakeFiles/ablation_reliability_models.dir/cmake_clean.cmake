@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reliability_models.dir/ablation_reliability_models.cpp.o"
+  "CMakeFiles/ablation_reliability_models.dir/ablation_reliability_models.cpp.o.d"
+  "ablation_reliability_models"
+  "ablation_reliability_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reliability_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_repetitions.dir/ablation_repetitions.cpp.o"
+  "CMakeFiles/ablation_repetitions.dir/ablation_repetitions.cpp.o.d"
+  "ablation_repetitions"
+  "ablation_repetitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_repetitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

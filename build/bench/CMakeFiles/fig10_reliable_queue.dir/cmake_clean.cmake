@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_reliable_queue.dir/fig10_reliable_queue.cpp.o"
+  "CMakeFiles/fig10_reliable_queue.dir/fig10_reliable_queue.cpp.o.d"
+  "fig10_reliable_queue"
+  "fig10_reliable_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_reliable_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_fig4_process.dir/fig2_fig4_process.cpp.o"
+  "CMakeFiles/fig2_fig4_process.dir/fig2_fig4_process.cpp.o.d"
+  "fig2_fig4_process"
+  "fig2_fig4_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_fig4_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

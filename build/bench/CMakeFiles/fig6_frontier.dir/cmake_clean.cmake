@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_frontier.dir/fig6_frontier.cpp.o"
+  "CMakeFiles/fig6_frontier.dir/fig6_frontier.cpp.o.d"
+  "fig6_frontier"
+  "fig6_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

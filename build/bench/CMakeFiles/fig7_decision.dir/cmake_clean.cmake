@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_decision.dir/fig7_decision.cpp.o"
+  "CMakeFiles/fig7_decision.dir/fig7_decision.cpp.o.d"
+  "fig7_decision"
+  "fig7_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

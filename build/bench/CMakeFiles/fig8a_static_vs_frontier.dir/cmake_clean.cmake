@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_static_vs_frontier.dir/fig8a_static_vs_frontier.cpp.o"
+  "CMakeFiles/fig8a_static_vs_frontier.dir/fig8a_static_vs_frontier.cpp.o.d"
+  "fig8a_static_vs_frontier"
+  "fig8a_static_vs_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_static_vs_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

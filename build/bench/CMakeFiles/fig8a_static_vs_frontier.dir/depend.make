@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8a_static_vs_frontier.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_utility_bars.dir/fig8b_utility_bars.cpp.o"
+  "CMakeFiles/fig8b_utility_bars.dir/fig8b_utility_bars.cpp.o.d"
+  "fig8b_utility_bars"
+  "fig8b_utility_bars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_utility_bars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_mr_frontiers.dir/fig9_mr_frontiers.cpp.o"
+  "CMakeFiles/fig9_mr_frontiers.dir/fig9_mr_frontiers.cpp.o.d"
+  "fig9_mr_frontiers"
+  "fig9_mr_frontiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_mr_frontiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

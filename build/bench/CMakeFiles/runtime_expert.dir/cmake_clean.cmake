@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_expert.dir/runtime_expert.cpp.o"
+  "CMakeFiles/runtime_expert.dir/runtime_expert.cpp.o.d"
+  "runtime_expert"
+  "runtime_expert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_expert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_pools.dir/table4_pools.cpp.o"
+  "CMakeFiles/table4_pools.dir/table4_pools.cpp.o.d"
+  "table4_pools"
+  "table4_pools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_pools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

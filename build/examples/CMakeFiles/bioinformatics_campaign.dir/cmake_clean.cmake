@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bioinformatics_campaign.dir/bioinformatics_campaign.cpp.o"
+  "CMakeFiles/bioinformatics_campaign.dir/bioinformatics_campaign.cpp.o.d"
+  "bioinformatics_campaign"
+  "bioinformatics_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bioinformatics_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_service.dir/campaign_service.cpp.o"
+  "CMakeFiles/campaign_service.dir/campaign_service.cpp.o.d"
+  "campaign_service"
+  "campaign_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/online_adaptation.cpp" "examples/CMakeFiles/online_adaptation.dir/online_adaptation.cpp.o" "gcc" "examples/CMakeFiles/online_adaptation.dir/online_adaptation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gridsim/CMakeFiles/expert_gridsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/expert_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/expert_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/expert_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/expert_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/expert_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategies/CMakeFiles/expert_strategies.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/expert_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/expert_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/expert_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/characterization.cpp" "src/core/CMakeFiles/expert_core.dir/characterization.cpp.o" "gcc" "src/core/CMakeFiles/expert_core.dir/characterization.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/expert_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/expert_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/evolutionary.cpp" "src/core/CMakeFiles/expert_core.dir/evolutionary.cpp.o" "gcc" "src/core/CMakeFiles/expert_core.dir/evolutionary.cpp.o.d"
+  "/root/repo/src/core/expert.cpp" "src/core/CMakeFiles/expert_core.dir/expert.cpp.o" "gcc" "src/core/CMakeFiles/expert_core.dir/expert.cpp.o.d"
+  "/root/repo/src/core/frontier.cpp" "src/core/CMakeFiles/expert_core.dir/frontier.cpp.o" "gcc" "src/core/CMakeFiles/expert_core.dir/frontier.cpp.o.d"
+  "/root/repo/src/core/frontier_io.cpp" "src/core/CMakeFiles/expert_core.dir/frontier_io.cpp.o" "gcc" "src/core/CMakeFiles/expert_core.dir/frontier_io.cpp.o.d"
+  "/root/repo/src/core/pareto.cpp" "src/core/CMakeFiles/expert_core.dir/pareto.cpp.o" "gcc" "src/core/CMakeFiles/expert_core.dir/pareto.cpp.o.d"
+  "/root/repo/src/core/reliability.cpp" "src/core/CMakeFiles/expert_core.dir/reliability.cpp.o" "gcc" "src/core/CMakeFiles/expert_core.dir/reliability.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/expert_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/expert_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/expert_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/expert_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/turnaround_model.cpp" "src/core/CMakeFiles/expert_core.dir/turnaround_model.cpp.o" "gcc" "src/core/CMakeFiles/expert_core.dir/turnaround_model.cpp.o.d"
+  "/root/repo/src/core/user_params.cpp" "src/core/CMakeFiles/expert_core.dir/user_params.cpp.o" "gcc" "src/core/CMakeFiles/expert_core.dir/user_params.cpp.o.d"
+  "/root/repo/src/core/utility.cpp" "src/core/CMakeFiles/expert_core.dir/utility.cpp.o" "gcc" "src/core/CMakeFiles/expert_core.dir/utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/expert_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/expert_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/expert_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/expert_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/expert_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategies/CMakeFiles/expert_strategies.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

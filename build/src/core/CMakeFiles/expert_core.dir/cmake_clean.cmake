@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expert_core.dir/campaign.cpp.o"
+  "CMakeFiles/expert_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/expert_core.dir/characterization.cpp.o"
+  "CMakeFiles/expert_core.dir/characterization.cpp.o.d"
+  "CMakeFiles/expert_core.dir/estimator.cpp.o"
+  "CMakeFiles/expert_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/expert_core.dir/evolutionary.cpp.o"
+  "CMakeFiles/expert_core.dir/evolutionary.cpp.o.d"
+  "CMakeFiles/expert_core.dir/expert.cpp.o"
+  "CMakeFiles/expert_core.dir/expert.cpp.o.d"
+  "CMakeFiles/expert_core.dir/frontier.cpp.o"
+  "CMakeFiles/expert_core.dir/frontier.cpp.o.d"
+  "CMakeFiles/expert_core.dir/frontier_io.cpp.o"
+  "CMakeFiles/expert_core.dir/frontier_io.cpp.o.d"
+  "CMakeFiles/expert_core.dir/pareto.cpp.o"
+  "CMakeFiles/expert_core.dir/pareto.cpp.o.d"
+  "CMakeFiles/expert_core.dir/reliability.cpp.o"
+  "CMakeFiles/expert_core.dir/reliability.cpp.o.d"
+  "CMakeFiles/expert_core.dir/report.cpp.o"
+  "CMakeFiles/expert_core.dir/report.cpp.o.d"
+  "CMakeFiles/expert_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/expert_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/expert_core.dir/turnaround_model.cpp.o"
+  "CMakeFiles/expert_core.dir/turnaround_model.cpp.o.d"
+  "CMakeFiles/expert_core.dir/user_params.cpp.o"
+  "CMakeFiles/expert_core.dir/user_params.cpp.o.d"
+  "CMakeFiles/expert_core.dir/utility.cpp.o"
+  "CMakeFiles/expert_core.dir/utility.cpp.o.d"
+  "libexpert_core.a"
+  "libexpert_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expert_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gridsim/availability_trace.cpp" "src/gridsim/CMakeFiles/expert_gridsim.dir/availability_trace.cpp.o" "gcc" "src/gridsim/CMakeFiles/expert_gridsim.dir/availability_trace.cpp.o.d"
+  "/root/repo/src/gridsim/executor.cpp" "src/gridsim/CMakeFiles/expert_gridsim.dir/executor.cpp.o" "gcc" "src/gridsim/CMakeFiles/expert_gridsim.dir/executor.cpp.o.d"
+  "/root/repo/src/gridsim/pool.cpp" "src/gridsim/CMakeFiles/expert_gridsim.dir/pool.cpp.o" "gcc" "src/gridsim/CMakeFiles/expert_gridsim.dir/pool.cpp.o.d"
+  "/root/repo/src/gridsim/presets.cpp" "src/gridsim/CMakeFiles/expert_gridsim.dir/presets.cpp.o" "gcc" "src/gridsim/CMakeFiles/expert_gridsim.dir/presets.cpp.o.d"
+  "/root/repo/src/gridsim/scenarios.cpp" "src/gridsim/CMakeFiles/expert_gridsim.dir/scenarios.cpp.o" "gcc" "src/gridsim/CMakeFiles/expert_gridsim.dir/scenarios.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/expert_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/expert_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/expert_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/expert_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/expert_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategies/CMakeFiles/expert_strategies.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

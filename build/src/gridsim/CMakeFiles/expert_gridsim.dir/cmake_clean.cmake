@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expert_gridsim.dir/availability_trace.cpp.o"
+  "CMakeFiles/expert_gridsim.dir/availability_trace.cpp.o.d"
+  "CMakeFiles/expert_gridsim.dir/executor.cpp.o"
+  "CMakeFiles/expert_gridsim.dir/executor.cpp.o.d"
+  "CMakeFiles/expert_gridsim.dir/pool.cpp.o"
+  "CMakeFiles/expert_gridsim.dir/pool.cpp.o.d"
+  "CMakeFiles/expert_gridsim.dir/presets.cpp.o"
+  "CMakeFiles/expert_gridsim.dir/presets.cpp.o.d"
+  "CMakeFiles/expert_gridsim.dir/scenarios.cpp.o"
+  "CMakeFiles/expert_gridsim.dir/scenarios.cpp.o.d"
+  "libexpert_gridsim.a"
+  "libexpert_gridsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expert_gridsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

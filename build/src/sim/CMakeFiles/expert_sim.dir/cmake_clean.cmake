@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expert_sim.dir/engine.cpp.o"
+  "CMakeFiles/expert_sim.dir/engine.cpp.o.d"
+  "libexpert_sim.a"
+  "libexpert_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expert_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

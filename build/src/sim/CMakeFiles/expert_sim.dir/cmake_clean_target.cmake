@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexpert_sim.a"
+)

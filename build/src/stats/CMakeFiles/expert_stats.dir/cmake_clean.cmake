@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expert_stats.dir/distributions.cpp.o"
+  "CMakeFiles/expert_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/expert_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/expert_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/expert_stats.dir/histogram.cpp.o"
+  "CMakeFiles/expert_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/expert_stats.dir/summary.cpp.o"
+  "CMakeFiles/expert_stats.dir/summary.cpp.o.d"
+  "libexpert_stats.a"
+  "libexpert_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expert_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strategies/ntdmr.cpp" "src/strategies/CMakeFiles/expert_strategies.dir/ntdmr.cpp.o" "gcc" "src/strategies/CMakeFiles/expert_strategies.dir/ntdmr.cpp.o.d"
+  "/root/repo/src/strategies/parser.cpp" "src/strategies/CMakeFiles/expert_strategies.dir/parser.cpp.o" "gcc" "src/strategies/CMakeFiles/expert_strategies.dir/parser.cpp.o.d"
+  "/root/repo/src/strategies/static_strategies.cpp" "src/strategies/CMakeFiles/expert_strategies.dir/static_strategies.cpp.o" "gcc" "src/strategies/CMakeFiles/expert_strategies.dir/static_strategies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/expert_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expert_strategies.dir/ntdmr.cpp.o"
+  "CMakeFiles/expert_strategies.dir/ntdmr.cpp.o.d"
+  "CMakeFiles/expert_strategies.dir/parser.cpp.o"
+  "CMakeFiles/expert_strategies.dir/parser.cpp.o.d"
+  "CMakeFiles/expert_strategies.dir/static_strategies.cpp.o"
+  "CMakeFiles/expert_strategies.dir/static_strategies.cpp.o.d"
+  "libexpert_strategies.a"
+  "libexpert_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expert_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expert_trace.dir/csv_io.cpp.o"
+  "CMakeFiles/expert_trace.dir/csv_io.cpp.o.d"
+  "CMakeFiles/expert_trace.dir/trace.cpp.o"
+  "CMakeFiles/expert_trace.dir/trace.cpp.o.d"
+  "libexpert_trace.a"
+  "libexpert_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expert_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expert_util.dir/args.cpp.o"
+  "CMakeFiles/expert_util.dir/args.cpp.o.d"
+  "CMakeFiles/expert_util.dir/csv.cpp.o"
+  "CMakeFiles/expert_util.dir/csv.cpp.o.d"
+  "CMakeFiles/expert_util.dir/money.cpp.o"
+  "CMakeFiles/expert_util.dir/money.cpp.o.d"
+  "CMakeFiles/expert_util.dir/parallel.cpp.o"
+  "CMakeFiles/expert_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/expert_util.dir/rng.cpp.o"
+  "CMakeFiles/expert_util.dir/rng.cpp.o.d"
+  "CMakeFiles/expert_util.dir/table.cpp.o"
+  "CMakeFiles/expert_util.dir/table.cpp.o.d"
+  "libexpert_util.a"
+  "libexpert_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expert_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expert_workload.dir/bot.cpp.o"
+  "CMakeFiles/expert_workload.dir/bot.cpp.o.d"
+  "CMakeFiles/expert_workload.dir/generator.cpp.o"
+  "CMakeFiles/expert_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/expert_workload.dir/presets.cpp.o"
+  "CMakeFiles/expert_workload.dir/presets.cpp.o.d"
+  "libexpert_workload.a"
+  "libexpert_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expert_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

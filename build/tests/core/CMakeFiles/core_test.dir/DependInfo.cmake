@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/characterization_test.cpp" "tests/core/CMakeFiles/core_test.dir/characterization_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_test.dir/characterization_test.cpp.o.d"
+  "/root/repo/tests/core/estimator_flow_test.cpp" "tests/core/CMakeFiles/core_test.dir/estimator_flow_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_test.dir/estimator_flow_test.cpp.o.d"
+  "/root/repo/tests/core/estimator_property_test.cpp" "tests/core/CMakeFiles/core_test.dir/estimator_property_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_test.dir/estimator_property_test.cpp.o.d"
+  "/root/repo/tests/core/estimator_static_test.cpp" "tests/core/CMakeFiles/core_test.dir/estimator_static_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_test.dir/estimator_static_test.cpp.o.d"
+  "/root/repo/tests/core/estimator_test.cpp" "tests/core/CMakeFiles/core_test.dir/estimator_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_test.dir/estimator_test.cpp.o.d"
+  "/root/repo/tests/core/evolutionary_test.cpp" "tests/core/CMakeFiles/core_test.dir/evolutionary_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_test.dir/evolutionary_test.cpp.o.d"
+  "/root/repo/tests/core/expert_test.cpp" "tests/core/CMakeFiles/core_test.dir/expert_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_test.dir/expert_test.cpp.o.d"
+  "/root/repo/tests/core/frontier_io_test.cpp" "tests/core/CMakeFiles/core_test.dir/frontier_io_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_test.dir/frontier_io_test.cpp.o.d"
+  "/root/repo/tests/core/frontier_test.cpp" "tests/core/CMakeFiles/core_test.dir/frontier_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_test.dir/frontier_test.cpp.o.d"
+  "/root/repo/tests/core/pareto_test.cpp" "tests/core/CMakeFiles/core_test.dir/pareto_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_test.dir/pareto_test.cpp.o.d"
+  "/root/repo/tests/core/reliability_test.cpp" "tests/core/CMakeFiles/core_test.dir/reliability_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_test.dir/reliability_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/core/CMakeFiles/core_test.dir/report_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_test.dir/report_test.cpp.o.d"
+  "/root/repo/tests/core/sensitivity_test.cpp" "tests/core/CMakeFiles/core_test.dir/sensitivity_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_test.dir/sensitivity_test.cpp.o.d"
+  "/root/repo/tests/core/turnaround_model_test.cpp" "tests/core/CMakeFiles/core_test.dir/turnaround_model_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_test.dir/turnaround_model_test.cpp.o.d"
+  "/root/repo/tests/core/user_params_test.cpp" "tests/core/CMakeFiles/core_test.dir/user_params_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_test.dir/user_params_test.cpp.o.d"
+  "/root/repo/tests/core/utility_test.cpp" "tests/core/CMakeFiles/core_test.dir/utility_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_test.dir/utility_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/expert_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/expert_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/expert_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/expert_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/expert_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategies/CMakeFiles/expert_strategies.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/expert_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gridsim/availability_trace_test.cpp" "tests/gridsim/CMakeFiles/gridsim_test.dir/availability_trace_test.cpp.o" "gcc" "tests/gridsim/CMakeFiles/gridsim_test.dir/availability_trace_test.cpp.o.d"
+  "/root/repo/tests/gridsim/executor_property_test.cpp" "tests/gridsim/CMakeFiles/gridsim_test.dir/executor_property_test.cpp.o" "gcc" "tests/gridsim/CMakeFiles/gridsim_test.dir/executor_property_test.cpp.o.d"
+  "/root/repo/tests/gridsim/executor_test.cpp" "tests/gridsim/CMakeFiles/gridsim_test.dir/executor_test.cpp.o" "gcc" "tests/gridsim/CMakeFiles/gridsim_test.dir/executor_test.cpp.o.d"
+  "/root/repo/tests/gridsim/pool_test.cpp" "tests/gridsim/CMakeFiles/gridsim_test.dir/pool_test.cpp.o" "gcc" "tests/gridsim/CMakeFiles/gridsim_test.dir/pool_test.cpp.o.d"
+  "/root/repo/tests/gridsim/scenarios_test.cpp" "tests/gridsim/CMakeFiles/gridsim_test.dir/scenarios_test.cpp.o" "gcc" "tests/gridsim/CMakeFiles/gridsim_test.dir/scenarios_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gridsim/CMakeFiles/expert_gridsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/expert_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/expert_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/expert_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/expert_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategies/CMakeFiles/expert_strategies.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/expert_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsim_test.dir/availability_trace_test.cpp.o"
+  "CMakeFiles/gridsim_test.dir/availability_trace_test.cpp.o.d"
+  "CMakeFiles/gridsim_test.dir/executor_property_test.cpp.o"
+  "CMakeFiles/gridsim_test.dir/executor_property_test.cpp.o.d"
+  "CMakeFiles/gridsim_test.dir/executor_test.cpp.o"
+  "CMakeFiles/gridsim_test.dir/executor_test.cpp.o.d"
+  "CMakeFiles/gridsim_test.dir/pool_test.cpp.o"
+  "CMakeFiles/gridsim_test.dir/pool_test.cpp.o.d"
+  "CMakeFiles/gridsim_test.dir/scenarios_test.cpp.o"
+  "CMakeFiles/gridsim_test.dir/scenarios_test.cpp.o.d"
+  "gridsim_test"
+  "gridsim_test.pdb"
+  "gridsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

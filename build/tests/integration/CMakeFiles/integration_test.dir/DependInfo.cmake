@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/campaign_test.cpp" "tests/integration/CMakeFiles/integration_test.dir/campaign_test.cpp.o" "gcc" "tests/integration/CMakeFiles/integration_test.dir/campaign_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/integration/CMakeFiles/integration_test.dir/end_to_end_test.cpp.o" "gcc" "tests/integration/CMakeFiles/integration_test.dir/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/online_adaptation_test.cpp" "tests/integration/CMakeFiles/integration_test.dir/online_adaptation_test.cpp.o" "gcc" "tests/integration/CMakeFiles/integration_test.dir/online_adaptation_test.cpp.o.d"
+  "/root/repo/tests/integration/paper_claims_test.cpp" "tests/integration/CMakeFiles/integration_test.dir/paper_claims_test.cpp.o" "gcc" "tests/integration/CMakeFiles/integration_test.dir/paper_claims_test.cpp.o.d"
+  "/root/repo/tests/integration/validation_test.cpp" "tests/integration/CMakeFiles/integration_test.dir/validation_test.cpp.o" "gcc" "tests/integration/CMakeFiles/integration_test.dir/validation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gridsim/CMakeFiles/expert_gridsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/expert_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/expert_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/expert_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/expert_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/expert_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategies/CMakeFiles/expert_strategies.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/expert_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

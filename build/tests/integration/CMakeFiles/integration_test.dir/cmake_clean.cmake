@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/campaign_test.cpp.o"
+  "CMakeFiles/integration_test.dir/campaign_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/end_to_end_test.cpp.o"
+  "CMakeFiles/integration_test.dir/end_to_end_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/online_adaptation_test.cpp.o"
+  "CMakeFiles/integration_test.dir/online_adaptation_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/paper_claims_test.cpp.o"
+  "CMakeFiles/integration_test.dir/paper_claims_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/validation_test.cpp.o"
+  "CMakeFiles/integration_test.dir/validation_test.cpp.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

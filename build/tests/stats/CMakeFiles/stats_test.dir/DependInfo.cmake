@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/distributions_test.cpp" "tests/stats/CMakeFiles/stats_test.dir/distributions_test.cpp.o" "gcc" "tests/stats/CMakeFiles/stats_test.dir/distributions_test.cpp.o.d"
+  "/root/repo/tests/stats/ecdf_test.cpp" "tests/stats/CMakeFiles/stats_test.dir/ecdf_test.cpp.o" "gcc" "tests/stats/CMakeFiles/stats_test.dir/ecdf_test.cpp.o.d"
+  "/root/repo/tests/stats/histogram_test.cpp" "tests/stats/CMakeFiles/stats_test.dir/histogram_test.cpp.o" "gcc" "tests/stats/CMakeFiles/stats_test.dir/histogram_test.cpp.o.d"
+  "/root/repo/tests/stats/summary_test.cpp" "tests/stats/CMakeFiles/stats_test.dir/summary_test.cpp.o" "gcc" "tests/stats/CMakeFiles/stats_test.dir/summary_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/expert_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/expert_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

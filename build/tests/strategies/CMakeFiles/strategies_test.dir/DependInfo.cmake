@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/strategies/ntdmr_test.cpp" "tests/strategies/CMakeFiles/strategies_test.dir/ntdmr_test.cpp.o" "gcc" "tests/strategies/CMakeFiles/strategies_test.dir/ntdmr_test.cpp.o.d"
+  "/root/repo/tests/strategies/parser_test.cpp" "tests/strategies/CMakeFiles/strategies_test.dir/parser_test.cpp.o" "gcc" "tests/strategies/CMakeFiles/strategies_test.dir/parser_test.cpp.o.d"
+  "/root/repo/tests/strategies/static_strategies_test.cpp" "tests/strategies/CMakeFiles/strategies_test.dir/static_strategies_test.cpp.o" "gcc" "tests/strategies/CMakeFiles/strategies_test.dir/static_strategies_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/strategies/CMakeFiles/expert_strategies.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/expert_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/args_test.cpp" "tests/util/CMakeFiles/util_test.dir/args_test.cpp.o" "gcc" "tests/util/CMakeFiles/util_test.dir/args_test.cpp.o.d"
+  "/root/repo/tests/util/csv_test.cpp" "tests/util/CMakeFiles/util_test.dir/csv_test.cpp.o" "gcc" "tests/util/CMakeFiles/util_test.dir/csv_test.cpp.o.d"
+  "/root/repo/tests/util/money_test.cpp" "tests/util/CMakeFiles/util_test.dir/money_test.cpp.o" "gcc" "tests/util/CMakeFiles/util_test.dir/money_test.cpp.o.d"
+  "/root/repo/tests/util/parallel_test.cpp" "tests/util/CMakeFiles/util_test.dir/parallel_test.cpp.o" "gcc" "tests/util/CMakeFiles/util_test.dir/parallel_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/util/CMakeFiles/util_test.dir/rng_test.cpp.o" "gcc" "tests/util/CMakeFiles/util_test.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/util/CMakeFiles/util_test.dir/table_test.cpp.o" "gcc" "tests/util/CMakeFiles/util_test.dir/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/expert_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

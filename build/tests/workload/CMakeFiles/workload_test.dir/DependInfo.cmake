@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/bot_test.cpp" "tests/workload/CMakeFiles/workload_test.dir/bot_test.cpp.o" "gcc" "tests/workload/CMakeFiles/workload_test.dir/bot_test.cpp.o.d"
+  "/root/repo/tests/workload/generator_test.cpp" "tests/workload/CMakeFiles/workload_test.dir/generator_test.cpp.o" "gcc" "tests/workload/CMakeFiles/workload_test.dir/generator_test.cpp.o.d"
+  "/root/repo/tests/workload/presets_test.cpp" "tests/workload/CMakeFiles/workload_test.dir/presets_test.cpp.o" "gcc" "tests/workload/CMakeFiles/workload_test.dir/presets_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/expert_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/expert_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/expert_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expert_cli.dir/expert_cli.cpp.o"
+  "CMakeFiles/expert_cli.dir/expert_cli.cpp.o.d"
+  "expert_cli"
+  "expert_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expert_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
