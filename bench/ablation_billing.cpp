@@ -11,6 +11,7 @@
 #include "expert/util/table.hpp"
 
 int main() {
+  expert::bench::init_observability();
   using namespace expert;
 
   std::cout << "Ablation: reliable charging period (per-second cluster vs "

@@ -11,6 +11,7 @@
 #include "expert/util/table.hpp"
 
 int main() {
+  expert::bench::init_observability();
   using namespace expert;
 
   core::Estimator estimator(bench::figure_config(/*repetitions=*/5),

@@ -14,6 +14,7 @@
 #include "expert/util/table.hpp"
 
 int main() {
+  expert::bench::init_observability();
   using namespace expert;
   using Clock = std::chrono::steady_clock;
 

@@ -13,8 +13,15 @@
 #include "expert/core/estimator.hpp"
 #include "expert/core/frontier.hpp"
 #include "expert/core/user_params.hpp"
+#include "expert/obs/report.hpp"
 
 namespace expert::bench {
+
+/// Opt-in observability for the reproduction binaries: run with
+/// EXPERT_METRICS_OUT=/tmp/m.json (and/or EXPERT_TRACE_OUT=/tmp/t.json) to
+/// get a metrics snapshot / Chrome trace written at exit. Call once at the
+/// top of main().
+inline void init_observability() { obs::init_from_env(); }
 
 constexpr double kTur = 2066.0;            // Table II
 constexpr double kGamma11 = 0.827;         // Table V, experiment 11

@@ -19,6 +19,7 @@
 #include "expert/workload/presets.hpp"
 
 int main() {
+  expert::bench::init_observability();
   using namespace expert;
 
   // ---- Fig. 2: dominance on three strategies. ----

@@ -15,6 +15,7 @@
 #include "expert/util/table.hpp"
 
 int main() {
+  expert::bench::init_observability();
   using namespace expert;
   using bench::kBotTasks;
 

@@ -17,6 +17,7 @@
 #include "expert/util/table.hpp"
 
 int main() {
+  expert::bench::init_observability();
   using namespace expert;
   using strategies::StaticStrategyKind;
 

@@ -13,6 +13,7 @@
 #include "expert/util/table.hpp"
 
 int main() {
+  expert::bench::init_observability();
   using namespace expert;
 
   constexpr double kBudgetCents = 5.0 * bench::kBotTasks;

@@ -16,6 +16,7 @@
 #include "expert/util/table.hpp"
 
 int main() {
+  expert::bench::init_observability();
   using namespace expert;
 
   const std::vector<double> mr_values = {0.02, 0.06, 0.10, 0.20,

@@ -7,6 +7,7 @@
 #include "expert/util/table.hpp"
 
 int main() {
+  expert::bench::init_observability();
   using namespace expert;
 
   const auto p = bench::paper_params();

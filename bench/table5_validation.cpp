@@ -16,6 +16,7 @@
 #include "expert/core/characterization.hpp"
 #include "expert/core/estimator.hpp"
 #include "expert/gridsim/scenarios.hpp"
+#include "expert/obs/report.hpp"
 #include "expert/stats/summary.hpp"
 #include "expert/util/table.hpp"
 #include "expert/workload/presets.hpp"
@@ -78,6 +79,7 @@ SimDeviation simulate_side(const trace::ExecutionTrace& real,
 }  // namespace
 
 int main() {
+  expert::obs::init_from_env();
   std::cout << "Table V: simulator validation — real (gridsim) vs simulated "
                "(ExPERT Estimator, offline/online)\n\n";
 

@@ -10,9 +10,11 @@
 #include <iostream>
 
 #include "expert/core/expert.hpp"
+#include "expert/obs/report.hpp"
 
 int main() {
   using namespace expert;
+  obs::init_from_env();  // EXPERT_METRICS_OUT / EXPERT_TRACE_OUT opt-in
 
   // 1. Environment: tasks take ~35 min on average; the grid is free-ish
   //    (energy cost), the cloud is EC2-priced and billed hourly.

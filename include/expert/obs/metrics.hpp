@@ -1,0 +1,182 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace expert::obs {
+
+class Registry;
+struct RegistryShard;
+
+/// Fixed bucket layout of a histogram: strictly ascending upper bounds,
+/// with an implicit +inf overflow bucket appended on registration.
+struct HistogramSpec {
+  std::vector<double> bounds;
+
+  /// `count` geometrically spaced bounds from `first` to `last`, inclusive
+  /// on both ends.
+  static HistogramSpec exponential(double first, double last,
+                                   std::size_t count);
+  /// Default latency layout: 1 us .. ~100 s, four bounds per decade.
+  static HistogramSpec latency_seconds();
+
+  void validate() const;
+};
+
+/// Monotonically increasing counter. Handles are value types created by
+/// Registry::counter(); a default-constructed handle is a no-op. Handles
+/// must not outlive their registry.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) const;
+
+ private:
+  friend class Registry;
+  Counter(Registry* registry, std::uint32_t index)
+      : registry_(registry), index_(index) {}
+  Registry* registry_ = nullptr;
+  std::uint32_t index_ = 0;
+};
+
+/// Last-write-wins instantaneous value, shared across threads.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double value) const;
+  void add(double delta) const;
+  /// Raise the gauge to `value` if it is currently lower (high-water mark).
+  void record_max(double value) const;
+
+ private:
+  friend class Registry;
+  Gauge(Registry* registry, std::atomic<double>* cell)
+      : registry_(registry), cell_(cell) {}
+  Registry* registry_ = nullptr;
+  std::atomic<double>* cell_ = nullptr;
+};
+
+/// Fixed-bucket distribution with count / sum / min / max.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double value) const;
+
+ private:
+  friend class Registry;
+  Histogram(Registry* registry, std::uint32_t index)
+      : registry_(registry), index_(index) {}
+  Registry* registry_ = nullptr;
+  std::uint32_t index_ = 0;
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;           ///< upper bounds, ascending
+  std::vector<std::uint64_t> buckets;   ///< bounds.size() + 1 (overflow last)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< meaningful only when count > 0
+  double max = 0.0;  ///< meaningful only when count > 0
+};
+
+/// Point-in-time aggregate of every metric in a registry, summed across
+/// all per-thread shards. Entries are sorted by name within each kind.
+struct Snapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  std::size_t size() const noexcept {
+    return counters.size() + gauges.size() + histograms.size();
+  }
+  const CounterSnapshot* counter(std::string_view name) const;
+  const GaugeSnapshot* gauge(std::string_view name) const;
+  const HistogramSnapshot* histogram(std::string_view name) const;
+
+  /// Serialize as the `expert.metrics.v1` JSON document (see
+  /// docs/observability.md).
+  void write_json(std::ostream& os) const;
+  std::string to_json() const;
+};
+
+/// Metrics registry with per-thread shards: counter increments and
+/// histogram observations land in a shard owned by the calling thread
+/// (relaxed atomics, no shared cache line), and snapshot() aggregates the
+/// shards under a mutex. Shards outlive their threads, so counts from
+/// joined workers are never lost. Gauges are registry-level atomics
+/// (an instantaneous value has no meaningful per-thread sum).
+///
+/// When disabled, every write is a single relaxed atomic load and a
+/// branch. Registration is allowed while disabled.
+class Registry {
+ public:
+  explicit Registry(bool enabled = true);
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Process-wide registry used by the library's built-in instrumentation.
+  /// Starts disabled; the CLI's --metrics-out and the bench harness's
+  /// EXPERT_METRICS_OUT enable it.
+  static Registry& global();
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Register (or look up) a metric. Names must be unique across kinds;
+  /// re-registering the same name and kind returns a handle to the same
+  /// metric. Histogram re-registration requires an identical bucket layout.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  Histogram histogram(std::string_view name,
+                      const HistogramSpec& spec = HistogramSpec::latency_seconds());
+
+  /// Aggregate every shard. Safe to call while other threads write:
+  /// concurrent increments land either in this snapshot or in the next.
+  Snapshot snapshot() const;
+  /// Zero all values. Registered metrics and existing handles stay valid.
+  void reset();
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  RegistryShard& local_shard() const;
+  void grow_shard(RegistryShard& shard) const;
+  void counter_add(std::uint32_t index, std::uint64_t n) const;
+  void histogram_observe(std::uint32_t index, double value) const;
+
+  std::atomic<bool> enabled_;
+  const std::uint64_t gen_;  ///< process-unique id keying the TLS cache
+
+  mutable std::mutex mutex_;  ///< guards registration, shard list and growth
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  std::unique_ptr<struct RegistryTables> tables_;  ///< stable-address storage
+  mutable std::vector<std::unique_ptr<RegistryShard>> shards_;
+};
+
+}  // namespace expert::obs

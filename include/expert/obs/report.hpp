@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "expert/obs/metrics.hpp"
+#include "expert/obs/tracing.hpp"
+
+namespace expert::obs {
+
+/// Snapshot `registry` and write the expert.metrics.v1 JSON document to
+/// `path` (overwriting). Throws ContractViolation when the file cannot be
+/// written.
+void write_metrics_file(const std::string& path,
+                        Registry& registry = Registry::global());
+
+/// Write `tracer`'s events as Chrome trace format JSON to `path`.
+void write_trace_file(const std::string& path,
+                      Tracer& tracer = Tracer::global());
+
+/// Environment-driven run reports (used by the bench binaries and the
+/// examples): when EXPERT_METRICS_OUT is set, enable the global registry
+/// now and write its snapshot to that path at process exit; same for
+/// EXPERT_TRACE_OUT and the global tracer. Idempotent.
+void init_from_env();
+
+}  // namespace expert::obs

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace expert::obs {
+
+struct TraceBuffer;
+
+/// Collector of completed spans, serialized as Chrome trace format JSON
+/// (load the file in chrome://tracing or https://ui.perfetto.dev). Each
+/// thread appends to its own buffer; buffers outlive their threads.
+/// Disabled (the default), starting a span costs one relaxed atomic load.
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Process-wide tracer used by EXPERT_SPAN. Starts disabled; the CLI's
+  /// --trace-out and the bench harness's EXPERT_TRACE_OUT enable it.
+  static Tracer& global();
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Monotonic nanoseconds since tracer construction.
+  std::uint64_t now_ns() const;
+
+  /// Record a completed span. `name` must outlive the tracer (string
+  /// literals only — the pointer is stored, not the characters).
+  void record(const char* name, std::uint64_t start_ns,
+              std::uint64_t duration_ns);
+
+  std::size_t event_count() const;
+  /// Chrome trace format: {"traceEvents": [...]} of "ph":"X" complete
+  /// events; one tid per recording thread, so spans nest by containment.
+  void write_chrome_trace(std::ostream& os) const;
+  void reset();
+
+ private:
+  TraceBuffer& local_buffer() const;
+
+  std::atomic<bool> enabled_{false};
+  const std::uint64_t gen_;  ///< process-unique id keying the TLS cache
+  const std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mutex_;  ///< guards the buffer list
+  mutable std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+};
+
+/// RAII scope timer. Captures the tracer's enabled state at construction:
+/// a span started while disabled records nothing even if tracing is
+/// enabled before it ends.
+class Span {
+ public:
+  explicit Span(const char* name) : Span(name, Tracer::global()) {}
+  Span(const char* name, Tracer& tracer) {
+    if (tracer.enabled()) {
+      tracer_ = &tracer;
+      name_ = name;
+      start_ns_ = tracer.now_ns();
+    }
+  }
+  ~Span() {
+    if (tracer_ != nullptr) {
+      tracer_->record(name_, start_ns_, tracer_->now_ns() - start_ns_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace expert::obs
+
+// EXPERT_SPAN("layer.operation") times the enclosing scope on the global
+// tracer. Define EXPERT_OBS_DISABLE_TRACING to compile every span out.
+#if defined(EXPERT_OBS_DISABLE_TRACING)
+#define EXPERT_SPAN(name) static_cast<void>(0)
+#else
+#define EXPERT_OBS_CONCAT_IMPL(a, b) a##b
+#define EXPERT_OBS_CONCAT(a, b) EXPERT_OBS_CONCAT_IMPL(a, b)
+#define EXPERT_SPAN(name) \
+  const ::expert::obs::Span EXPERT_OBS_CONCAT(expert_obs_span_, __LINE__)(name)
+#endif

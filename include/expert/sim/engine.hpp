@@ -72,6 +72,9 @@ class Engine {
   };
 
   NodePtr pop_next();
+  /// Publish the per-run deltas to the global obs registry (no-op when it
+  /// is disabled) and zero them. Called when run_until/run_some return.
+  void flush_metrics();
 
   std::priority_queue<NodePtr, std::vector<NodePtr>, Later> heap_;
   SimTime now_ = 0.0;
@@ -79,6 +82,13 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   std::size_t live_events_ = 0;
+
+  // Deltas since the last flush; plain members so the per-event cost of
+  // instrumentation is a few register increments.
+  std::uint64_t obs_scheduled_ = 0;
+  std::uint64_t obs_fired_ = 0;
+  std::uint64_t obs_cancelled_ = 0;
+  std::size_t obs_max_queue_ = 0;
 };
 
 }  // namespace expert::sim

@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -10,9 +11,9 @@
 
 namespace expert::util {
 
-/// Fixed-size thread pool. Tasks are plain std::function<void()>; exceptions
-/// escaping a task terminate (tasks are expected to capture their own error
-/// channels, as parallel_for does).
+/// Fixed-size thread pool. Tasks are plain std::function<void()>; the first
+/// exception escaping a task is captured and rethrown from the next
+/// wait_idle() call (later exceptions from the same batch are dropped).
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t threads = 0);
@@ -22,7 +23,8 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   void submit(std::function<void()> task);
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished, then rethrow the first
+  /// exception any of them threw (clearing it, so the pool stays usable).
   void wait_idle();
 
   std::size_t size() const noexcept { return workers_.size(); }
@@ -37,6 +39,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_error_;
 };
 
 /// Run body(i) for i in [0, n) across a transient pool of `threads` workers

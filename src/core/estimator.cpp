@@ -1,17 +1,39 @@
 #include "expert/core/estimator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <deque>
 #include <limits>
 #include <optional>
 
+#include "expert/obs/metrics.hpp"
+#include "expert/obs/tracing.hpp"
 #include "expert/sim/engine.hpp"
 #include "expert/util/assert.hpp"
 
 namespace expert::core {
 
 namespace {
+
+struct EstimatorObs {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter estimates = reg.counter("core.estimator.estimates");
+  obs::Counter runs = reg.counter("core.estimator.runs");
+  obs::Counter unfinished = reg.counter("core.estimator.unfinished_runs");
+  obs::Counter ur_sent =
+      reg.counter("core.estimator.unreliable_instances_sent");
+  obs::Counter r_sent = reg.counter("core.estimator.reliable_instances_sent");
+  obs::Counter duplicates = reg.counter("core.estimator.duplicate_results");
+  /// Wall time of one estimate() call — one (N, T, D, Mr) strategy point.
+  obs::Histogram estimate_wall =
+      reg.histogram("core.estimator.estimate_wall_seconds");
+};
+
+EstimatorObs& estimator_obs() {
+  static EstimatorObs metrics;
+  return metrics;
+}
 
 using strategies::StrategyConfig;
 using strategies::TailMode;
@@ -477,6 +499,7 @@ std::pair<RunMetrics, trace::ExecutionTrace> Estimator::simulate(
     std::size_t task_count, const strategies::StrategyConfig& strategy,
     std::uint64_t stream, std::size_t repetition) const {
   EXPERT_REQUIRE(task_count > 0, "empty BoT");
+  EXPERT_SPAN("estimator.simulate");
   strategy.validate();
   util::Rng rng(util::derive_seed(util::derive_seed(config_.seed, stream),
                                   repetition));
@@ -487,11 +510,37 @@ std::pair<RunMetrics, trace::ExecutionTrace> Estimator::simulate(
 EstimateResult Estimator::estimate(std::size_t task_count,
                                    const strategies::StrategyConfig& strategy,
                                    std::uint64_t stream) const {
+  EXPERT_SPAN("estimator.estimate");
+  const bool observed = obs::Registry::global().enabled();
+  const auto wall_start = observed ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point{};
+
   EstimateResult result;
   result.runs.reserve(config_.repetitions);
   for (std::size_t rep = 0; rep < config_.repetitions; ++rep) {
     result.runs.push_back(
         simulate(task_count, strategy, stream, rep).first);
+  }
+
+  if (observed) {
+    EstimatorObs& m = estimator_obs();
+    m.estimates.inc();
+    m.runs.inc(result.runs.size());
+    double ur = 0.0, r = 0.0, dup = 0.0;
+    std::uint64_t unfinished = 0;
+    for (const auto& run : result.runs) {
+      ur += run.unreliable_instances_sent;
+      r += run.reliable_instances_sent;
+      dup += run.duplicate_results;
+      if (!run.finished) ++unfinished;
+    }
+    m.ur_sent.inc(static_cast<std::uint64_t>(ur));
+    m.r_sent.inc(static_cast<std::uint64_t>(r));
+    m.duplicates.inc(static_cast<std::uint64_t>(dup));
+    m.unfinished.inc(unfinished);
+    m.estimate_wall.observe(std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - wall_start)
+                                .count());
   }
 
   const auto n = static_cast<double>(result.runs.size());

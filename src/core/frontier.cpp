@@ -2,10 +2,30 @@
 
 #include <cmath>
 
+#include "expert/obs/metrics.hpp"
+#include "expert/obs/tracing.hpp"
 #include "expert/util/assert.hpp"
 #include "expert/util/parallel.hpp"
 
 namespace expert::core {
+
+namespace {
+
+struct FrontierObs {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter sweeps = reg.counter("core.frontier.sweeps");
+  obs::Counter evaluated = reg.counter("core.frontier.points_evaluated");
+  obs::Counter unfinished = reg.counter("core.frontier.points_unfinished");
+  obs::Counter kept = reg.counter("core.frontier.points_kept");
+  obs::Counter dominated = reg.counter("core.frontier.points_dominated");
+};
+
+FrontierObs& frontier_obs() {
+  static FrontierObs metrics;
+  return metrics;
+}
+
+}  // namespace
 
 void SamplingSpec::validate() const {
   EXPERT_REQUIRE(!n_values.empty(), "need at least one N value");
@@ -80,6 +100,7 @@ std::vector<StrategyPoint> evaluate_strategies(
     const Estimator& estimator, std::size_t task_count,
     const std::vector<strategies::NTDMr>& strategies_list,
     const FrontierOptions& options) {
+  EXPERT_SPAN("frontier.evaluate");
   std::vector<StrategyPoint> points(strategies_list.size());
   util::parallel_for(
       strategies_list.size(),
@@ -103,6 +124,10 @@ std::vector<StrategyPoint> evaluate_strategies(
   for (auto& p : points) {
     if (p.metrics.finished) finished.push_back(std::move(p));
   }
+
+  FrontierObs& m = frontier_obs();
+  m.evaluated.inc(points.size());
+  m.unfinished.inc(points.size() - finished.size());
   return finished;
 }
 
@@ -110,11 +135,17 @@ FrontierResult generate_frontier(const Estimator& estimator,
                                  std::size_t task_count,
                                  const SamplingSpec& spec,
                                  const FrontierOptions& options) {
+  EXPERT_SPAN("frontier.generate");
   const auto strategies_list = sample_strategy_space(spec);
   FrontierResult result;
   result.sampled =
       evaluate_strategies(estimator, task_count, strategies_list, options);
   result.s_pareto = s_pareto(result.sampled);
+
+  FrontierObs& m = frontier_obs();
+  m.sweeps.inc();
+  m.kept.inc(result.frontier().size());
+  m.dominated.inc(result.sampled.size() - result.frontier().size());
   return result;
 }
 

@@ -5,6 +5,8 @@
 #include <deque>
 #include <limits>
 
+#include "expert/obs/metrics.hpp"
+#include "expert/obs/tracing.hpp"
 #include "expert/sim/engine.hpp"
 #include "expert/util/money.hpp"
 #include "expert/util/assert.hpp"
@@ -12,6 +14,31 @@
 namespace expert::gridsim {
 
 namespace {
+
+struct ExecutorObs {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter runs = reg.counter("gridsim.executor.runs");
+  obs::Counter ur_sent = reg.counter("gridsim.unreliable.instances_sent");
+  obs::Counter ur_completed =
+      reg.counter("gridsim.unreliable.instances_completed");
+  obs::Counter ur_preempted =
+      reg.counter("gridsim.unreliable.instances_preempted");
+  obs::Counter r_sent = reg.counter("gridsim.reliable.instances_sent");
+  obs::Counter r_completed =
+      reg.counter("gridsim.reliable.instances_completed");
+  obs::Counter r_preempted =
+      reg.counter("gridsim.reliable.instances_preempted");
+  obs::Counter down = reg.counter("gridsim.availability.down_transitions");
+  obs::Counter up = reg.counter("gridsim.availability.up_transitions");
+  obs::Histogram makespan = reg.histogram(
+      "gridsim.executor.makespan_sim_seconds",
+      obs::HistogramSpec::exponential(1.0, 1e8, 33));
+};
+
+ExecutorObs& executor_obs() {
+  static ExecutorObs metrics;
+  return metrics;
+}
 
 using strategies::StrategyConfig;
 using strategies::TailMode;
@@ -102,6 +129,7 @@ class Run {
     engine_.run_until(cfg_.max_sim_time);
     EXPERT_CHECK(remaining_ == 0,
                  "gridsim run hit the simulation horizon before completing");
+    flush_metrics();
     const double t_tail = tail_started_ ? t_tail_ : completion_time_;
     return trace::ExecutionTrace(tasks_.size(), std::move(records_), t_tail,
                                  completion_time_);
@@ -185,6 +213,7 @@ class Run {
 
   void on_down(std::size_t m) {
     auto& machine = machines_[m];
+    ++obs_down_;
     const bool killed_instance = machine.busy;
     machine.up = false;
     machine.busy = false;  // any running instance dies silently
@@ -206,6 +235,7 @@ class Run {
 
   void on_up(std::size_t m) {
     machines_[m].up = true;
+    ++obs_up_;
     schedule_down(m);
     dispatch();
   }
@@ -225,6 +255,7 @@ class Run {
     ++machine.next_span;
     if (span.start <= now) {
       machine.up = true;
+      ++obs_up_;
       machine.next_down = span.end;
       engine_.schedule_at(span.end, [this, m] { on_down(m); });
       dispatch();
@@ -232,6 +263,7 @@ class Run {
       engine_.schedule_at(span.start, [this, m, span] {
         auto& mach = machines_[m];
         mach.up = true;
+        ++obs_up_;
         mach.next_down = span.end;
         engine_.schedule_at(span.end, [this, m] { on_down(m); });
         dispatch();
@@ -379,6 +411,7 @@ class Run {
     machine.busy = true;
 
     const bool reliable = machine.reliable_pool;
+    ++(reliable ? obs_r_sent_ : obs_ur_sent_);
     pending_.push_back(PendingInstance{
         task, reliable ? PoolKind::Reliable : PoolKind::Unreliable, now});
     const double runtime = bot_.task(task).cpu_seconds / machine.speed;
@@ -425,6 +458,7 @@ class Run {
     const double now = engine_.now();
     auto& machine = machines_[machine_idx];
     machine.busy = false;
+    ++(machine.reliable_pool ? obs_r_completed_ : obs_ur_completed_);
     remove_pending(task,
                    machine.reliable_pool ? PoolKind::Reliable
                                          : PoolKind::Unreliable,
@@ -459,6 +493,7 @@ class Run {
                   double send_time, bool frees_machine) {
     auto& machine = machines_[machine_idx];
     if (frees_machine) machine.busy = false;
+    ++(machine.reliable_pool ? obs_r_preempted_ : obs_ur_preempted_);
     remove_pending(task,
                    machine.reliable_pool ? PoolKind::Reliable
                                          : PoolKind::Unreliable,
@@ -580,6 +615,24 @@ class Run {
     }
   }
 
+  /// Publish this run's aggregates to the global registry (no-op when it
+  /// is disabled). Deltas are plain members: per-event instrumentation cost
+  /// is a register increment.
+  void flush_metrics() {
+    if (!obs::Registry::global().enabled()) return;
+    ExecutorObs& m = executor_obs();
+    m.runs.inc();
+    m.ur_sent.inc(obs_ur_sent_);
+    m.ur_completed.inc(obs_ur_completed_);
+    m.ur_preempted.inc(obs_ur_preempted_);
+    m.r_sent.inc(obs_r_sent_);
+    m.r_completed.inc(obs_r_completed_);
+    m.r_preempted.inc(obs_r_preempted_);
+    m.down.inc(obs_down_);
+    m.up.inc(obs_up_);
+    m.makespan.observe(completion_time_);
+  }
+
   struct PendingInstance {
     workload::TaskId task = 0;
     PoolKind pool = PoolKind::Unreliable;
@@ -630,6 +683,15 @@ class Run {
   bool budget_fired_ = false;
   double t_tail_ = 0.0;
   double completion_time_ = 0.0;
+
+  std::uint64_t obs_ur_sent_ = 0;
+  std::uint64_t obs_ur_completed_ = 0;
+  std::uint64_t obs_ur_preempted_ = 0;
+  std::uint64_t obs_r_sent_ = 0;
+  std::uint64_t obs_r_completed_ = 0;
+  std::uint64_t obs_r_preempted_ = 0;
+  std::uint64_t obs_down_ = 0;
+  std::uint64_t obs_up_ = 0;
 };
 
 }  // namespace
@@ -649,6 +711,7 @@ Executor::Executor(ExecutorConfig config) : config_(std::move(config)) {
 trace::ExecutionTrace Executor::run(const workload::Bot& bot,
                                     const strategies::StrategyConfig& strategy,
                                     std::uint64_t stream) const {
+  EXPERT_SPAN("executor.run");
   strategy.validate();
   util::Rng rng(util::derive_seed(config_.seed, stream));
   Run run(config_, bot, strategy, rng);
@@ -658,6 +721,7 @@ trace::ExecutionTrace Executor::run(const workload::Bot& bot,
 trace::ExecutionTrace Executor::run_adaptive(
     const workload::Bot& bot, const strategies::StrategyConfig& initial,
     const TailStrategySelector& selector, std::uint64_t stream) const {
+  EXPERT_SPAN("executor.run_adaptive");
   initial.validate();
   EXPERT_REQUIRE(selector != nullptr, "run_adaptive needs a selector");
   util::Rng rng(util::derive_seed(config_.seed, stream));

@@ -1,0 +1,358 @@
+#include "expert/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::obs {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Portable atomic add for doubles (atomic<double>::fetch_add is C++20 but
+/// not implemented lock-free everywhere).
+void atomic_add(std::atomic<double>& cell, double delta) {
+  double cur = cell.load(std::memory_order_relaxed);
+  while (!cell.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& cell, double value) {
+  double cur = cell.load(std::memory_order_relaxed);
+  while (cur < value && !cell.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint32_t find_or_npos(const std::vector<std::string>& names,
+                           std::string_view name) {
+  for (std::uint32_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return i;
+  }
+  return std::numeric_limits<std::uint32_t>::max();
+}
+
+constexpr std::uint32_t kNpos = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
+// ---- bucket layouts ----
+
+HistogramSpec HistogramSpec::exponential(double first, double last,
+                                         std::size_t count) {
+  EXPERT_REQUIRE(first > 0.0 && last > first && count >= 2,
+                 "exponential bounds need 0 < first < last and >= 2 buckets");
+  HistogramSpec spec;
+  spec.bounds.reserve(count);
+  const double ratio = std::pow(last / first,
+                                1.0 / static_cast<double>(count - 1));
+  double bound = first;
+  for (std::size_t i = 0; i + 1 < count; ++i) {
+    spec.bounds.push_back(bound);
+    bound *= ratio;
+  }
+  spec.bounds.push_back(last);
+  return spec;
+}
+
+HistogramSpec HistogramSpec::latency_seconds() {
+  return exponential(1e-6, 100.0, 33);
+}
+
+void HistogramSpec::validate() const {
+  EXPERT_REQUIRE(!bounds.empty(), "histogram needs at least one bound");
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+    EXPERT_REQUIRE(bounds[i] < bounds[i + 1],
+                   "histogram bounds must be strictly ascending");
+  }
+}
+
+// ---- storage ----
+
+/// Per-thread shard. Only the owning thread writes its cells; the registry
+/// mutex serializes growth against snapshot/reset.
+struct RegistryShard {
+  struct HistogramCells {
+    // Copied from the registered spec at growth time, so the hot path never
+    // touches registry tables.
+    const double* bounds = nullptr;
+    std::size_t bound_count = 0;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;  // bound_count + 1
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{kInf};
+    std::atomic<double> max{-kInf};
+  };
+
+  std::deque<std::atomic<std::uint64_t>> counters;
+  std::deque<HistogramCells> histograms;
+};
+
+/// Registry-level stable-address storage: shards point into the specs, and
+/// gauge handles point at their cells, so both live in deques.
+struct RegistryTables {
+  std::deque<HistogramSpec> histogram_specs;
+  std::deque<std::atomic<double>> gauges;
+};
+
+namespace {
+
+std::atomic<std::uint64_t> next_registry_gen{1};
+
+struct TlsEntry {
+  std::uint64_t gen = 0;
+  RegistryShard* shard = nullptr;
+};
+
+/// One entry per (thread, registry) pair; generations are process-unique,
+/// so entries for destroyed registries can never be mistakenly reused.
+thread_local std::vector<TlsEntry> tls_shards;
+
+}  // namespace
+
+// ---- registry ----
+
+Registry::Registry(bool enabled)
+    : enabled_(enabled),
+      gen_(next_registry_gen.fetch_add(1, std::memory_order_relaxed)),
+      tables_(std::make_unique<RegistryTables>()) {}
+
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry registry(/*enabled=*/false);
+  return registry;
+}
+
+RegistryShard& Registry::local_shard() const {
+  for (const TlsEntry& entry : tls_shards) {
+    if (entry.gen == gen_) return *entry.shard;
+  }
+  std::lock_guard lock(mutex_);
+  shards_.push_back(std::make_unique<RegistryShard>());
+  RegistryShard* shard = shards_.back().get();
+  tls_shards.push_back(TlsEntry{gen_, shard});
+  return *shard;
+}
+
+/// Bring `shard` up to date with the registration tables. Called by the
+/// shard's owning thread, under the registry mutex, so snapshot() never
+/// observes a half-grown shard and the owner never writes during growth.
+void Registry::grow_shard(RegistryShard& shard) const {
+  std::lock_guard lock(mutex_);
+  while (shard.counters.size() < counter_names_.size()) {
+    shard.counters.emplace_back(0);
+  }
+  while (shard.histograms.size() < histogram_names_.size()) {
+    const HistogramSpec& spec =
+        tables_->histogram_specs[shard.histograms.size()];
+    auto& cells = shard.histograms.emplace_back();
+    cells.bounds = spec.bounds.data();
+    cells.bound_count = spec.bounds.size();
+    cells.buckets = std::make_unique<std::atomic<std::uint64_t>[]>(
+        spec.bounds.size() + 1);
+  }
+}
+
+Counter Registry::counter(std::string_view name) {
+  EXPERT_REQUIRE(!name.empty(), "metric name must not be empty");
+  std::lock_guard lock(mutex_);
+  const std::uint32_t existing = find_or_npos(counter_names_, name);
+  if (existing != kNpos) return Counter(this, existing);
+  EXPERT_REQUIRE(find_or_npos(gauge_names_, name) == kNpos &&
+                     find_or_npos(histogram_names_, name) == kNpos,
+                 "metric name already registered with a different kind");
+  counter_names_.emplace_back(name);
+  return Counter(this, static_cast<std::uint32_t>(counter_names_.size() - 1));
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  EXPERT_REQUIRE(!name.empty(), "metric name must not be empty");
+  std::lock_guard lock(mutex_);
+  const std::uint32_t existing = find_or_npos(gauge_names_, name);
+  if (existing != kNpos) return Gauge(this, &tables_->gauges[existing]);
+  EXPERT_REQUIRE(find_or_npos(counter_names_, name) == kNpos &&
+                     find_or_npos(histogram_names_, name) == kNpos,
+                 "metric name already registered with a different kind");
+  gauge_names_.emplace_back(name);
+  tables_->gauges.emplace_back(0.0);
+  return Gauge(this, &tables_->gauges.back());
+}
+
+Histogram Registry::histogram(std::string_view name,
+                              const HistogramSpec& spec) {
+  EXPERT_REQUIRE(!name.empty(), "metric name must not be empty");
+  spec.validate();
+  std::lock_guard lock(mutex_);
+  const std::uint32_t existing = find_or_npos(histogram_names_, name);
+  if (existing != kNpos) {
+    EXPERT_REQUIRE(tables_->histogram_specs[existing].bounds == spec.bounds,
+                   "histogram re-registered with a different bucket layout");
+    return Histogram(this, existing);
+  }
+  EXPERT_REQUIRE(find_or_npos(counter_names_, name) == kNpos &&
+                     find_or_npos(gauge_names_, name) == kNpos,
+                 "metric name already registered with a different kind");
+  histogram_names_.emplace_back(name);
+  tables_->histogram_specs.push_back(spec);
+  return Histogram(this,
+                   static_cast<std::uint32_t>(histogram_names_.size() - 1));
+}
+
+void Registry::counter_add(std::uint32_t index, std::uint64_t n) const {
+  RegistryShard& shard = local_shard();
+  if (index >= shard.counters.size()) grow_shard(shard);
+  shard.counters[index].fetch_add(n, std::memory_order_relaxed);
+}
+
+void Registry::histogram_observe(std::uint32_t index, double value) const {
+  RegistryShard& shard = local_shard();
+  if (index >= shard.histograms.size()) grow_shard(shard);
+  RegistryShard::HistogramCells& cells = shard.histograms[index];
+  const double* end = cells.bounds + cells.bound_count;
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(cells.bounds, end, value) - cells.bounds);
+  cells.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  cells.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(cells.sum, value);
+  // The owning thread is the only writer, so load-compare-store is exact.
+  if (value < cells.min.load(std::memory_order_relaxed))
+    cells.min.store(value, std::memory_order_relaxed);
+  if (value > cells.max.load(std::memory_order_relaxed))
+    cells.max.store(value, std::memory_order_relaxed);
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  Snapshot snap;
+
+  snap.counters.resize(counter_names_.size());
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    snap.counters[i].name = counter_names_[i];
+  }
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < shard->counters.size(); ++i) {
+      snap.counters[i].value +=
+          shard->counters[i].load(std::memory_order_relaxed);
+    }
+  }
+
+  snap.gauges.resize(gauge_names_.size());
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    snap.gauges[i].name = gauge_names_[i];
+    snap.gauges[i].value =
+        tables_->gauges[i].load(std::memory_order_relaxed);
+  }
+
+  snap.histograms.resize(histogram_names_.size());
+  for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
+    HistogramSnapshot& h = snap.histograms[i];
+    h.name = histogram_names_[i];
+    h.bounds = tables_->histogram_specs[i].bounds;
+    h.buckets.assign(h.bounds.size() + 1, 0);
+    h.min = kInf;
+    h.max = -kInf;
+  }
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < shard->histograms.size(); ++i) {
+      const RegistryShard::HistogramCells& cells = shard->histograms[i];
+      HistogramSnapshot& h = snap.histograms[i];
+      for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+        h.buckets[b] += cells.buckets[b].load(std::memory_order_relaxed);
+      }
+      h.count += cells.count.load(std::memory_order_relaxed);
+      h.sum += cells.sum.load(std::memory_order_relaxed);
+      h.min = std::min(h.min, cells.min.load(std::memory_order_relaxed));
+      h.max = std::max(h.max, cells.max.load(std::memory_order_relaxed));
+    }
+  }
+  for (HistogramSnapshot& h : snap.histograms) {
+    if (h.count == 0) h.min = h.max = 0.0;
+  }
+
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (const auto& shard : shards_) {
+    for (auto& cell : shard->counters) {
+      cell.store(0, std::memory_order_relaxed);
+    }
+    for (auto& cells : shard->histograms) {
+      for (std::size_t b = 0; b <= cells.bound_count; ++b) {
+        cells.buckets[b].store(0, std::memory_order_relaxed);
+      }
+      cells.count.store(0, std::memory_order_relaxed);
+      cells.sum.store(0.0, std::memory_order_relaxed);
+      cells.min.store(kInf, std::memory_order_relaxed);
+      cells.max.store(-kInf, std::memory_order_relaxed);
+    }
+  }
+  for (auto& cell : tables_->gauges) {
+    cell.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+// ---- handles ----
+
+void Counter::inc(std::uint64_t n) const {
+  if (registry_ == nullptr || !registry_->enabled()) return;
+  registry_->counter_add(index_, n);
+}
+
+void Gauge::set(double value) const {
+  if (registry_ == nullptr || !registry_->enabled()) return;
+  cell_->store(value, std::memory_order_relaxed);
+}
+
+void Gauge::add(double delta) const {
+  if (registry_ == nullptr || !registry_->enabled()) return;
+  atomic_add(*cell_, delta);
+}
+
+void Gauge::record_max(double value) const {
+  if (registry_ == nullptr || !registry_->enabled()) return;
+  atomic_max(*cell_, value);
+}
+
+void Histogram::observe(double value) const {
+  if (registry_ == nullptr || !registry_->enabled()) return;
+  registry_->histogram_observe(index_, value);
+}
+
+// ---- snapshot lookup ----
+
+const CounterSnapshot* Snapshot::counter(std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSnapshot* Snapshot::gauge(std::string_view name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* Snapshot::histogram(std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+}  // namespace expert::obs

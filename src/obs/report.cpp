@@ -1,0 +1,151 @@
+#include "expert/obs/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::obs {
+
+namespace {
+
+void write_number(std::ostream& os, double value) {
+  if (std::isnan(value)) {
+    os << "\"NaN\"";
+  } else if (std::isinf(value)) {
+    os << (value > 0 ? "\"+Inf\"" : "\"-Inf\"");
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    os << buf;
+  }
+}
+
+void write_string(std::ostream& os, const std::string& text) {
+  os << '"';
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      static const char* hex = "0123456789abcdef";
+      os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Snapshot::write_json(std::ostream& os) const {
+  os << "{\n\"schema\":\"expert.metrics.v1\",\n\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    write_string(os, counters[i].name);
+    os << ':' << counters[i].value;
+  }
+  os << "\n},\n\"gauges\":{";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    write_string(os, gauges[i].name);
+    os << ':';
+    write_number(os, gauges[i].value);
+  }
+  os << "\n},\n\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    os << (i == 0 ? "\n" : ",\n");
+    write_string(os, h.name);
+    os << ":{\"count\":" << h.count << ",\"sum\":";
+    write_number(os, h.sum);
+    if (h.count > 0) {
+      os << ",\"min\":";
+      write_number(os, h.min);
+      os << ",\"max\":";
+      write_number(os, h.max);
+    } else {
+      os << ",\"min\":null,\"max\":null";
+    }
+    os << ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) os << ',';
+      os << "{\"le\":";
+      if (b < h.bounds.size()) {
+        write_number(os, h.bounds[b]);
+      } else {
+        os << "\"+Inf\"";
+      }
+      os << ",\"count\":" << h.buckets[b] << '}';
+    }
+    os << "]}";
+  }
+  os << "\n}\n}\n";
+}
+
+std::string Snapshot::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+void write_metrics_file(const std::string& path, Registry& registry) {
+  std::ofstream out(path);
+  EXPERT_REQUIRE(out.good(), "cannot open metrics output file: " + path);
+  registry.snapshot().write_json(out);
+  out.flush();
+  EXPERT_REQUIRE(out.good(), "failed writing metrics output file: " + path);
+}
+
+void write_trace_file(const std::string& path, Tracer& tracer) {
+  std::ofstream out(path);
+  EXPERT_REQUIRE(out.good(), "cannot open trace output file: " + path);
+  tracer.write_chrome_trace(out);
+  out.flush();
+  EXPERT_REQUIRE(out.good(), "failed writing trace output file: " + path);
+}
+
+namespace {
+
+std::string env_metrics_path;
+std::string env_trace_path;
+
+void write_env_reports() {
+  // Errors are swallowed: this runs during exit, where throwing terminates.
+  try {
+    if (!env_metrics_path.empty()) write_metrics_file(env_metrics_path);
+  } catch (...) {
+  }
+  try {
+    if (!env_trace_path.empty()) write_trace_file(env_trace_path);
+  } catch (...) {
+  }
+}
+
+}  // namespace
+
+void init_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* metrics = std::getenv("EXPERT_METRICS_OUT");
+    const char* trace = std::getenv("EXPERT_TRACE_OUT");
+    if (metrics != nullptr && *metrics != '\0') {
+      env_metrics_path = metrics;
+      Registry::global().set_enabled(true);
+    }
+    if (trace != nullptr && *trace != '\0') {
+      env_trace_path = trace;
+      Tracer::global().set_enabled(true);
+    }
+    if (!env_metrics_path.empty() || !env_trace_path.empty()) {
+      std::atexit(&write_env_reports);
+    }
+  });
+}
+
+}  // namespace expert::obs

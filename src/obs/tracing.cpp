@@ -1,0 +1,128 @@
+#include "expert/obs/tracing.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace expert::obs {
+
+struct TraceBuffer {
+  struct Event {
+    const char* name = nullptr;
+    std::uint64_t start_ns = 0;
+    std::uint64_t duration_ns = 0;
+  };
+
+  std::uint32_t tid = 0;
+  // Guards `events` against write_chrome_trace/reset; uncontended on the
+  // recording path, so the cost is two uncontested atomic operations.
+  std::mutex mutex;
+  std::vector<Event> events;
+};
+
+namespace {
+
+std::atomic<std::uint64_t> next_tracer_gen{1};
+
+struct TlsEntry {
+  std::uint64_t gen = 0;
+  TraceBuffer* buffer = nullptr;
+};
+
+thread_local std::vector<TlsEntry> tls_buffers;
+
+void write_escaped(std::ostream& os, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      static const char* hex = "0123456789abcdef";
+      os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+    } else {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer()
+    : gen_(next_tracer_gen.fetch_add(1, std::memory_order_relaxed)),
+      origin_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint64_t Tracer::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+}
+
+TraceBuffer& Tracer::local_buffer() const {
+  for (const TlsEntry& entry : tls_buffers) {
+    if (entry.gen == gen_) return *entry.buffer;
+  }
+  std::lock_guard lock(mutex_);
+  buffers_.push_back(std::make_unique<TraceBuffer>());
+  TraceBuffer* buffer = buffers_.back().get();
+  buffer->tid = static_cast<std::uint32_t>(buffers_.size());
+  tls_buffers.push_back(TlsEntry{gen_, buffer});
+  return *buffer;
+}
+
+void Tracer::record(const char* name, std::uint64_t start_ns,
+                    std::uint64_t duration_ns) {
+  TraceBuffer& buffer = local_buffer();
+  std::lock_guard lock(buffer.mutex);
+  buffer.events.push_back(TraceBuffer::Event{name, start_ns, duration_ns});
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard buffer_lock(buffer->mutex);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  std::lock_guard lock(mutex_);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char line[64];
+  for (const auto& buffer : buffers_) {
+    std::lock_guard buffer_lock(buffer->mutex);
+    for (const TraceBuffer::Event& event : buffer->events) {
+      if (!first) os << ',';
+      first = false;
+      os << "\n{\"name\":\"";
+      write_escaped(os, event.name);
+      os << "\",\"cat\":\"expert\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+         << buffer->tid;
+      // Chrome trace timestamps are microseconds; keep ns precision.
+      std::snprintf(line, sizeof(line), ",\"ts\":%.3f,\"dur\":%.3f}",
+                    static_cast<double>(event.start_ns) / 1e3,
+                    static_cast<double>(event.duration_ns) / 1e3);
+      os << line;
+    }
+  }
+  os << "\n]}\n";
+}
+
+void Tracer::reset() {
+  std::lock_guard lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+}  // namespace expert::obs

@@ -1,10 +1,33 @@
 #include "expert/sim/engine.hpp"
 
+#include <algorithm>
 #include <limits>
 
+#include "expert/obs/metrics.hpp"
 #include "expert/util/assert.hpp"
 
 namespace expert::sim {
+
+namespace {
+
+/// Handles into the global registry, resolved once per process.
+struct EngineMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter runs = reg.counter("sim.engine.runs");
+  obs::Counter scheduled = reg.counter("sim.engine.events_scheduled");
+  obs::Counter fired = reg.counter("sim.engine.events_fired");
+  obs::Counter cancelled = reg.counter("sim.engine.events_cancelled");
+  obs::Histogram max_queue = reg.histogram(
+      "sim.engine.max_queue_depth",
+      obs::HistogramSpec::exponential(1.0, 1048576.0, 21));
+};
+
+EngineMetrics& engine_metrics() {
+  static EngineMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 void Engine::EventHandle::cancel() {
   if (node_ && !node_->cancelled) {
@@ -26,6 +49,8 @@ Engine::EventHandle Engine::schedule_at(SimTime at, std::function<void()> fn) {
   node->fn = std::move(fn);
   heap_.push(node);
   ++live_events_;
+  ++obs_scheduled_;
+  obs_max_queue_ = std::max(obs_max_queue_, heap_.size());
   return EventHandle(std::move(node));
 }
 
@@ -41,6 +66,7 @@ Engine::NodePtr Engine::pop_next() {
     heap_.pop();
     --live_events_;
     if (!node->cancelled) return node;
+    ++obs_cancelled_;
   }
   return nullptr;
 }
@@ -54,6 +80,7 @@ SimTime Engine::run_until(SimTime horizon) {
   while (!heap_.empty() && !stop_requested_) {
     if (heap_.top()->time > horizon) {
       now_ = std::max(now_, std::min(horizon, heap_.top()->time));
+      flush_metrics();
       return now_;
     }
     NodePtr node = pop_next();
@@ -63,8 +90,10 @@ SimTime Engine::run_until(SimTime horizon) {
     auto fn = std::move(node->fn);
     node->fn = nullptr;
     ++processed_;
+    ++obs_fired_;
     fn();
   }
+  flush_metrics();
   return now_;
 }
 
@@ -77,12 +106,27 @@ std::size_t Engine::run_some(std::size_t count) {
     auto fn = std::move(node->fn);
     node->fn = nullptr;
     ++processed_;
+    ++obs_fired_;
     ++done;
     fn();
   }
+  flush_metrics();
   return done;
 }
 
 bool Engine::empty() const { return live_events_ == 0; }
+
+void Engine::flush_metrics() {
+  if (obs::Registry::global().enabled()) {
+    EngineMetrics& m = engine_metrics();
+    m.runs.inc();
+    m.scheduled.inc(obs_scheduled_);
+    m.fired.inc(obs_fired_);
+    m.cancelled.inc(obs_cancelled_);
+    m.max_queue.observe(static_cast<double>(obs_max_queue_));
+  }
+  obs_scheduled_ = obs_fired_ = obs_cancelled_ = 0;
+  obs_max_queue_ = 0;
+}
 
 }  // namespace expert::sim

@@ -1,0 +1,239 @@
+#include "expert/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::obs {
+namespace {
+
+TEST(HistogramSpec, ExponentialSpansFirstToLast) {
+  const auto spec = HistogramSpec::exponential(1.0, 1000.0, 4);
+  ASSERT_EQ(spec.bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(spec.bounds.front(), 1.0);
+  EXPECT_DOUBLE_EQ(spec.bounds.back(), 1000.0);
+  for (std::size_t i = 1; i < spec.bounds.size(); ++i) {
+    EXPECT_LT(spec.bounds[i - 1], spec.bounds[i]);
+  }
+  spec.validate();
+}
+
+TEST(HistogramSpec, ValidateRejectsUnsortedBounds) {
+  HistogramSpec spec;
+  spec.bounds = {1.0, 3.0, 2.0};
+  EXPECT_THROW(spec.validate(), util::ContractViolation);
+}
+
+TEST(Registry, CounterAccumulates) {
+  Registry reg;
+  Counter c = reg.counter("c");
+  c.inc();
+  c.inc(41);
+  const auto snap = reg.snapshot();
+  ASSERT_NE(snap.counter("c"), nullptr);
+  EXPECT_EQ(snap.counter("c")->value, 42u);
+}
+
+TEST(Registry, DefaultHandleIsNoop) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.inc();
+  g.set(1.0);
+  g.add(1.0);
+  g.record_max(1.0);
+  h.observe(1.0);  // must not crash
+}
+
+TEST(Registry, ReregistrationReturnsSameMetric) {
+  Registry reg;
+  Counter a = reg.counter("shared");
+  Counter b = reg.counter("shared");
+  a.inc(2);
+  b.inc(3);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap.counter("shared")->value, 5u);
+}
+
+TEST(Registry, NamesAreUniqueAcrossKinds) {
+  Registry reg;
+  reg.counter("name");
+  EXPECT_THROW(reg.gauge("name"), util::ContractViolation);
+  EXPECT_THROW(reg.histogram("name"), util::ContractViolation);
+}
+
+TEST(Registry, HistogramReregistrationRequiresSameBuckets) {
+  Registry reg;
+  HistogramSpec spec;
+  spec.bounds = {1.0, 2.0};
+  reg.histogram("h", spec);
+  reg.histogram("h", spec);  // identical layout: fine
+  HistogramSpec other;
+  other.bounds = {1.0, 3.0};
+  EXPECT_THROW(reg.histogram("h", other), util::ContractViolation);
+}
+
+TEST(Registry, GaugeSemantics) {
+  Registry reg;
+  Gauge g = reg.gauge("g");
+  g.set(10.0);
+  g.add(-2.5);
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauge("g")->value, 7.5);
+  g.record_max(100.0);
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauge("g")->value, 100.0);
+  g.record_max(50.0);  // lower than current: no effect
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauge("g")->value, 100.0);
+}
+
+TEST(Registry, HistogramBucketPlacement) {
+  Registry reg;
+  HistogramSpec spec;
+  spec.bounds = {1.0, 10.0, 100.0};
+  Histogram h = reg.histogram("h", spec);
+  h.observe(0.5);    // <= 1       -> bucket 0
+  h.observe(1.0);    // == bound   -> bucket 0 (upper bounds are inclusive)
+  h.observe(5.0);    // <= 10      -> bucket 1
+  h.observe(50.0);   // <= 100     -> bucket 2
+  h.observe(500.0);  // > last     -> overflow
+  const auto full = reg.snapshot();
+  const auto* snap = full.histogram("h");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->buckets, (std::vector<std::uint64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(snap->count, 5u);
+  EXPECT_DOUBLE_EQ(snap->sum, 556.5);
+  EXPECT_DOUBLE_EQ(snap->min, 0.5);
+  EXPECT_DOUBLE_EQ(snap->max, 500.0);
+}
+
+TEST(Registry, DisabledRegistryDropsWrites) {
+  Registry reg(/*enabled=*/false);
+  Counter c = reg.counter("c");
+  Histogram h = reg.histogram("h");
+  c.inc(100);
+  h.observe(1.0);
+  auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("c")->value, 0u);
+  EXPECT_EQ(snap.histogram("h")->count, 0u);
+
+  reg.set_enabled(true);
+  c.inc();
+  EXPECT_EQ(reg.snapshot().counter("c")->value, 1u);
+}
+
+TEST(Registry, ResetZeroesButKeepsMetrics) {
+  Registry reg;
+  Counter c = reg.counter("c");
+  Gauge g = reg.gauge("g");
+  Histogram h = reg.histogram("h");
+  c.inc(5);
+  g.set(3.0);
+  h.observe(1.0);
+  reg.reset();
+  auto snap = reg.snapshot();
+  EXPECT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap.counter("c")->value, 0u);
+  EXPECT_DOUBLE_EQ(snap.gauge("g")->value, 0.0);
+  EXPECT_EQ(snap.histogram("h")->count, 0u);
+  c.inc();  // existing handles still work
+  EXPECT_EQ(reg.snapshot().counter("c")->value, 1u);
+}
+
+TEST(Registry, SnapshotSortedByName) {
+  Registry reg;
+  reg.counter("zebra");
+  reg.counter("alpha");
+  reg.counter("mid");
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "alpha");
+  EXPECT_EQ(snap.counters[1].name, "mid");
+  EXPECT_EQ(snap.counters[2].name, "zebra");
+}
+
+TEST(Registry, ConcurrentIncrementsSumExactly) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  Registry reg;
+  Histogram h = reg.histogram("vals", HistogramSpec::exponential(1.0, 8.0, 4));
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      // Each worker registers too, to exercise handle lookup under races.
+      Counter mine = reg.counter("hits");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        mine.inc();
+        h.observe(static_cast<double>(t % 4 + 1));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("hits")->value, kThreads * kPerThread);
+  const auto* hist = snap.histogram("vals");
+  EXPECT_EQ(hist->count, kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (auto b : hist->buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, hist->count);
+  EXPECT_DOUBLE_EQ(hist->min, 1.0);
+  EXPECT_DOUBLE_EQ(hist->max, 4.0);
+}
+
+TEST(Registry, SnapshotWhileWritingIsConsistent) {
+  Registry reg;
+  Counter c = reg.counter("c");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      c.inc();  // at least one increment even if stop wins the race
+      while (!stop.load(std::memory_order_relaxed)) c.inc();
+    });
+  }
+
+  std::uint64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto snap = reg.snapshot();
+    const std::uint64_t now = snap.counter("c")->value;
+    EXPECT_GE(now, last);  // counters are monotone across snapshots
+    last = now;
+  }
+  stop.store(true);
+  for (auto& w : writers) w.join();
+  EXPECT_GT(reg.snapshot().counter("c")->value, 0u);
+}
+
+TEST(Registry, CountsSurviveThreadExit) {
+  Registry reg;
+  Counter c = reg.counter("c");
+  std::thread([&] { c.inc(7); }).join();
+  std::thread([&] { c.inc(5); }).join();
+  EXPECT_EQ(reg.snapshot().counter("c")->value, 12u);
+}
+
+TEST(Registry, TwoRegistriesAreIndependent) {
+  Registry a;
+  Registry b;
+  Counter ca = a.counter("x");
+  Counter cb = b.counter("x");
+  ca.inc(1);
+  cb.inc(2);
+  EXPECT_EQ(a.snapshot().counter("x")->value, 1u);
+  EXPECT_EQ(b.snapshot().counter("x")->value, 2u);
+}
+
+TEST(Registry, GlobalStartsDisabled) {
+  EXPECT_FALSE(Registry::global().enabled());
+}
+
+}  // namespace
+}  // namespace expert::obs

@@ -1,0 +1,110 @@
+#include "expert/obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "expert/util/assert.hpp"
+#include "json_lint.hpp"
+
+namespace expert::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(Report, SnapshotJsonIsWellFormed) {
+  Registry reg;
+  reg.counter("runs").inc(3);
+  reg.gauge("load").set(0.75);
+  reg.histogram("lat").observe(0.01);
+  const std::string json = reg.snapshot().to_json();
+  std::string error;
+  EXPECT_TRUE(testing::JsonLint::valid(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"schema\":\"expert.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"runs\":3"), std::string::npos);
+}
+
+TEST(Report, EmptyRegistryJsonIsWellFormed) {
+  Registry reg;
+  const std::string json = reg.snapshot().to_json();
+  std::string error;
+  EXPECT_TRUE(testing::JsonLint::valid(json, &error)) << error;
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+}
+
+TEST(Report, NonFiniteValuesSerializedAsStrings) {
+  Registry reg;
+  reg.gauge("inf").set(std::numeric_limits<double>::infinity());
+  reg.gauge("ninf").set(-std::numeric_limits<double>::infinity());
+  const std::string json = reg.snapshot().to_json();
+  std::string error;
+  EXPECT_TRUE(testing::JsonLint::valid(json, &error)) << error;
+  EXPECT_NE(json.find("\"inf\":\"+Inf\""), std::string::npos);
+  EXPECT_NE(json.find("\"ninf\":\"-Inf\""), std::string::npos);
+}
+
+TEST(Report, EmptyHistogramHasNullMinMax) {
+  Registry reg;
+  reg.histogram("empty");
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"min\":null,\"max\":null"), std::string::npos);
+}
+
+TEST(Report, HistogramOverflowBucketIsInf) {
+  Registry reg;
+  HistogramSpec spec;
+  spec.bounds = {1.0};
+  reg.histogram("h", spec).observe(5.0);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("{\"le\":\"+Inf\",\"count\":1}"), std::string::npos);
+}
+
+TEST(Report, MetricNamesAreEscaped) {
+  Registry reg;
+  reg.counter("weird\"name\\with\tescapes").inc();
+  const std::string json = reg.snapshot().to_json();
+  std::string error;
+  EXPECT_TRUE(testing::JsonLint::valid(json, &error)) << error << "\n" << json;
+}
+
+TEST(Report, WriteMetricsFileRoundTrips) {
+  Registry reg;
+  reg.counter("written").inc(9);
+  const std::string path = ::testing::TempDir() + "obs_report_metrics.json";
+  write_metrics_file(path, reg);
+  const std::string json = slurp(path);
+  std::string error;
+  EXPECT_TRUE(testing::JsonLint::valid(json, &error)) << error;
+  EXPECT_NE(json.find("\"written\":9"), std::string::npos);
+}
+
+TEST(Report, WriteTraceFileRoundTrips) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  { Span s("roundtrip", tracer); }
+  const std::string path = ::testing::TempDir() + "obs_report_trace.json";
+  write_trace_file(path, tracer);
+  const std::string json = slurp(path);
+  std::string error;
+  EXPECT_TRUE(testing::JsonLint::valid(json, &error)) << error;
+  EXPECT_NE(json.find("\"roundtrip\""), std::string::npos);
+}
+
+TEST(Report, WriteMetricsFileThrowsOnBadPath) {
+  Registry reg;
+  EXPECT_THROW(write_metrics_file("/nonexistent-dir/metrics.json", reg),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace expert::obs

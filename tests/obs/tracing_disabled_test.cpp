@@ -1,0 +1,48 @@
+// Built with EXPERT_OBS_DISABLE_TRACING (see CMakeLists.txt): EXPERT_SPAN
+// must compile to nothing — no events recorded, no argument evaluation.
+
+#ifndef EXPERT_OBS_DISABLE_TRACING
+#error "this test must be compiled with EXPERT_OBS_DISABLE_TRACING"
+#endif
+
+#include <gtest/gtest.h>
+
+#include "expert/obs/tracing.hpp"
+
+namespace expert::obs {
+namespace {
+
+int side_effects = 0;
+
+[[maybe_unused]] const char* name_with_side_effect() {
+  ++side_effects;
+  return "never";
+}
+
+TEST(TracingDisabled, SpanMacroRecordsNothing) {
+  Tracer& tracer = Tracer::global();
+  tracer.set_enabled(true);
+  const std::size_t before = tracer.event_count();
+  {
+    EXPERT_SPAN("compiled-out");
+    EXPERT_SPAN("also-compiled-out");
+  }
+  EXPECT_EQ(tracer.event_count(), before);
+  tracer.set_enabled(false);
+}
+
+TEST(TracingDisabled, SpanMacroDoesNotEvaluateItsArgument) {
+  { EXPERT_SPAN(name_with_side_effect()); }
+  EXPECT_EQ(side_effects, 0);
+}
+
+TEST(TracingDisabled, ExplicitSpansStillWork) {
+  // Only the macro is compiled out; the Span class itself stays usable.
+  Tracer tracer;
+  tracer.set_enabled(true);
+  { Span s("explicit", tracer); }
+  EXPECT_EQ(tracer.event_count(), 1u);
+}
+
+}  // namespace
+}  // namespace expert::obs

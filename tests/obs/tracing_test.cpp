@@ -1,0 +1,144 @@
+#include "expert/obs/tracing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_lint.hpp"
+
+namespace expert::obs {
+namespace {
+
+TEST(Tracer, StartsDisabledAndRecordsNothing) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  { Span s("ignored", tracer); }
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(Tracer, SpanRecordsWhenEnabled) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  { Span s("work", tracer); }
+  EXPECT_EQ(tracer.event_count(), 1u);
+}
+
+TEST(Tracer, SpanCapturesEnabledStateAtConstruction) {
+  Tracer tracer;
+  {
+    Span s("started-disabled", tracer);
+    tracer.set_enabled(true);  // too late for this span
+  }
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(Tracer, NestedSpansBothRecorded) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Span outer("outer", tracer);
+    { Span inner("inner", tracer); }
+  }
+  EXPECT_EQ(tracer.event_count(), 2u);
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+}
+
+TEST(Tracer, ChromeTraceIsWellFormedJson) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  { Span s("a \"quoted\" name \\ with escapes", tracer); }
+  tracer.record("manual", 100, 50);
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  std::string error;
+  EXPECT_TRUE(testing::JsonLint::valid(os.str(), &error)) << error;
+  EXPECT_NE(os.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(Tracer, EmptyTraceIsWellFormedJson) {
+  Tracer tracer;
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  std::string error;
+  EXPECT_TRUE(testing::JsonLint::valid(os.str(), &error)) << error;
+}
+
+TEST(Tracer, ThreadsGetDistinctTids) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.record("main-thread", 0, 1);
+  std::thread([&] { tracer.record("worker", 0, 1); }).join();
+  EXPECT_EQ(tracer.event_count(), 2u);
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const std::string json = os.str();
+  // Events from different threads carry different tids.
+  std::vector<std::string> tids;
+  std::size_t at = 0;
+  while ((at = json.find("\"tid\":", at)) != std::string::npos) {
+    at += 6;
+    std::size_t end = json.find_first_of(",}", at);
+    tids.push_back(json.substr(at, end - at));
+  }
+  ASSERT_EQ(tids.size(), 2u);
+  EXPECT_NE(tids[0], tids[1]);
+}
+
+TEST(Tracer, EventsSurviveThreadExit) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  std::thread([&] { Span s("short-lived", tracer); }).join();
+  EXPECT_EQ(tracer.event_count(), 1u);
+}
+
+TEST(Tracer, ResetDropsEvents) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  { Span s("gone", tracer); }
+  tracer.reset();
+  EXPECT_EQ(tracer.event_count(), 0u);
+  { Span s("kept", tracer); }
+  EXPECT_EQ(tracer.event_count(), 1u);
+}
+
+TEST(Tracer, NowIsMonotonic) {
+  Tracer tracer;
+  const auto a = tracer.now_ns();
+  const auto b = tracer.now_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST(Tracer, SpanMacroUsesGlobalTracer) {
+  Tracer& tracer = Tracer::global();
+  const bool was_enabled = tracer.enabled();
+  tracer.set_enabled(true);
+  const std::size_t before = tracer.event_count();
+  { EXPERT_SPAN("macro-span"); }
+  EXPECT_EQ(tracer.event_count(), before + 1);
+  tracer.set_enabled(was_enabled);
+}
+
+TEST(Tracer, AdjacentSpanMacrosCompile) {
+  // Two spans in one scope must not collide on the variable name.
+  Tracer& tracer = Tracer::global();
+  const bool was_enabled = tracer.enabled();
+  tracer.set_enabled(true);
+  const std::size_t before = tracer.event_count();
+  {
+    EXPERT_SPAN("first");
+    EXPERT_SPAN("second");
+  }
+  EXPECT_EQ(tracer.event_count(), before + 2);
+  tracer.set_enabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace expert::obs

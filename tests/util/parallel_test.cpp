@@ -71,5 +71,35 @@ TEST(ThreadPool, SizeMatchesRequest) {
   EXPECT_EQ(pool.size(), 3u);
 }
 
+TEST(ThreadPool, WaitIdleRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+TEST(ThreadPool, ThrowingTaskDoesNotAbortOthers) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&, i] {
+      if (i == 7) throw std::runtime_error("boom");
+      count.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(count.load(), 49);
+}
+
+TEST(ThreadPool, ErrorClearedAfterRethrowSoPoolStaysUsable) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("first batch"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();  // must not rethrow the already-reported error
+  EXPECT_EQ(count.load(), 10);
+}
+
 }  // namespace
 }  // namespace expert::util

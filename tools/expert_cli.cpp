@@ -14,18 +14,29 @@
 //   expert_cli simulate --strategy "N=3 T=2066 D=4132 Mr=0.02" --tasks N
 //       [--pool L] [--gamma G] [--tur S] [--reps R]
 //     Estimate makespan/cost of a strategy on a synthetic pool model.
+//
+//   expert_cli execute [--experiment K] [--reps R] [--mode online|offline]
+//     Run one Table V validation experiment machine-level (gridsim) and
+//     compare against the Estimator's prediction.
+//
+// Every command accepts --metrics-out=FILE and --trace-out=FILE to dump
+// the run's metrics snapshot (JSON) and Chrome-trace spans.
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 
 #include "expert/core/expert.hpp"
 #include "expert/core/report.hpp"
 #include "expert/core/sensitivity.hpp"
+#include "expert/gridsim/scenarios.hpp"
+#include "expert/obs/report.hpp"
 #include "expert/strategies/parser.hpp"
 #include "expert/trace/csv_io.hpp"
 #include "expert/util/args.hpp"
 #include "expert/util/assert.hpp"
 #include "expert/util/table.hpp"
+#include "expert/workload/presets.hpp"
 
 namespace {
 
@@ -33,7 +44,8 @@ using namespace expert;
 
 int usage() {
   std::cerr <<
-      "usage: expert_cli <characterize|frontier|recommend|simulate|report> "
+      "usage: expert_cli "
+      "<characterize|frontier|recommend|simulate|execute|sensitivity|report> "
       "[options]\n"
       "  characterize --trace FILE [--mode online|offline] [--deadline S]\n"
       "  frontier     --trace FILE --tasks N [--reps R] [--csv]\n"
@@ -41,7 +53,11 @@ int usage() {
       "               U: fastest|cheapest|product|budget:<c/task>|"
       "deadline:<s>\n"
       "  simulate     --strategy STR --tasks N [--pool L] [--gamma G]\n"
-      "               [--tur S] [--reps R]\n";
+      "               [--tur S] [--reps R]\n"
+      "  execute      [--experiment 1..13] [--reps R] [--mode online|offline]\n"
+      "               [--seed S]\n"
+      "global: --metrics-out FILE (metrics JSON), --trace-out FILE\n"
+      "        (Chrome trace JSON for chrome://tracing / Perfetto)\n";
   return 2;
 }
 
@@ -77,6 +93,7 @@ core::ExpertOptions expert_options(const util::Args& args) {
 }
 
 int cmd_characterize(const util::Args& args) {
+  EXPERT_SPAN("cli.characterize");
   const auto history = load_trace(args.required("trace"));
   core::CharacterizationOptions opts;
   const std::string mode = args.option_or("mode", "online");
@@ -104,6 +121,7 @@ int cmd_characterize(const util::Args& args) {
 }
 
 int cmd_frontier(const util::Args& args) {
+  EXPERT_SPAN("cli.frontier");
   const auto history = load_trace(args.required("trace"));
   const auto tasks = static_cast<std::size_t>(args.number_or("tasks", 0.0));
   EXPERT_REQUIRE(tasks > 0, "--tasks is required and must be positive");
@@ -133,6 +151,7 @@ int cmd_frontier(const util::Args& args) {
 }
 
 int cmd_recommend(const util::Args& args) {
+  EXPERT_SPAN("cli.recommend");
   const auto history = load_trace(args.required("trace"));
   const auto tasks = static_cast<std::size_t>(args.number_or("tasks", 0.0));
   EXPERT_REQUIRE(tasks > 0, "--tasks is required and must be positive");
@@ -153,6 +172,7 @@ int cmd_recommend(const util::Args& args) {
 }
 
 int cmd_simulate(const util::Args& args) {
+  EXPERT_SPAN("cli.simulate");
   const double tur = args.number_or("tur", 2066.0);
   const auto tasks = static_cast<std::size_t>(args.number_or("tasks", 0.0));
   EXPERT_REQUIRE(tasks > 0, "--tasks is required and must be positive");
@@ -188,6 +208,7 @@ int cmd_simulate(const util::Args& args) {
 }
 
 int cmd_sensitivity(const util::Args& args) {
+  EXPERT_SPAN("cli.sensitivity");
   const double tur = args.number_or("tur", 2066.0);
   const auto tasks = static_cast<std::size_t>(args.number_or("tasks", 0.0));
   EXPERT_REQUIRE(tasks > 0, "--tasks is required and must be positive");
@@ -226,6 +247,7 @@ int cmd_sensitivity(const util::Args& args) {
 }
 
 int cmd_report(const util::Args& args) {
+  EXPERT_SPAN("cli.report");
   const auto history = load_trace(args.required("trace"));
   const auto tasks = static_cast<std::size_t>(args.number_or("tasks", 0.0));
   EXPERT_REQUIRE(tasks > 0, "--tasks is required and must be positive");
@@ -252,13 +274,89 @@ int cmd_report(const util::Args& args) {
   return 0;
 }
 
+int cmd_execute(const util::Args& args) {
+  EXPERT_SPAN("cli.execute");
+  const int number = static_cast<int>(args.number_or("experiment", 11.0));
+  const gridsim::TableVExperiment* exp = nullptr;
+  for (const auto& e : gridsim::table_v_experiments()) {
+    if (e.number == number) exp = &e;
+  }
+  EXPERT_REQUIRE(exp != nullptr,
+                 "--experiment must name a Table V row (1..13)");
+  const auto seed = static_cast<std::uint64_t>(args.number_or("seed", 0.0));
+
+  // Real side: machine-level execution of the experiment's strategy.
+  const auto& wl = workload::workload_spec(exp->workload);
+  const auto bot = workload::make_bot(
+      exp->workload, 0xB07 + seed + static_cast<std::uint64_t>(number));
+  const auto env = gridsim::make_experiment_environment(
+      *exp, 0x7AB1E + seed + static_cast<std::uint64_t>(number));
+  gridsim::Executor executor(env);
+  const auto strategy = gridsim::make_experiment_strategy(*exp);
+  const auto real = executor.run(bot, strategy);
+
+  // Simulated side: characterize the real trace, then predict with the
+  // Estimator (same recipe as the Table V validation benchmark).
+  core::CharacterizationOptions copts;
+  const std::string mode = args.option_or("mode", "online");
+  EXPERT_REQUIRE(mode == "online" || mode == "offline",
+                 "--mode must be online or offline");
+  copts.mode = mode == "offline" ? core::ReliabilityMode::Offline
+                                 : core::ReliabilityMode::Online;
+  copts.instance_deadline = wl.deadline_d;
+  copts.windows_per_epoch = 6;
+  const auto model = core::characterize(real, copts);
+
+  core::EstimatorConfig cfg;
+  cfg.unreliable_size =
+      core::estimate_effective_size_iterative(real, model, wl.deadline_d);
+  const auto reliable_turnarounds =
+      real.successful_turnarounds(trace::PoolKind::Reliable);
+  double tr = wl.mean_cpu;
+  if (!reliable_turnarounds.empty()) {
+    tr = 0.0;
+    for (double t : reliable_turnarounds) tr += t;
+    tr /= static_cast<double>(reliable_turnarounds.size());
+  }
+  cfg.tr = tr;
+  cfg.cur_cents_per_s = 1.0 / 3600.0;
+  cfg.cr_cents_per_s = 34.0 / 3600.0;
+  cfg.charging_period_r_s = exp->ec2_reliable() ? 3600.0 : 1.0;
+  cfg.throughput_deadline = wl.deadline_d;
+  cfg.repetitions = static_cast<std::size_t>(args.number_or("reps", 10.0));
+  cfg.seed = 0x7AB1E5 + seed + static_cast<std::uint64_t>(number);
+  cfg.tail_tasks_override =
+      std::max<std::size_t>(1, real.remaining_at(real.t_tail()));
+
+  core::Estimator estimator(cfg, model);
+  const auto est = estimator.estimate(real.task_count(), strategy);
+
+  std::cout << "experiment " << number << ": " << wl.name << ", N="
+            << (exp->n ? std::to_string(*exp->n) : "inf") << ", pool "
+            << exp->unreliable_size << " unreliable machines\n";
+  util::Table table({"metric", "real (gridsim)", "predicted (" + mode + ")"});
+  table.add_row({"average reliability",
+                 util::fmt(real.average_reliability(), 3), "-"});
+  table.add_row({"reliable instances",
+                 std::to_string(real.reliable_instances_sent()),
+                 util::fmt(est.mean.reliable_instances_sent, 1)});
+  table.add_row({"tail makespan [s]", util::fmt(real.tail_makespan(), 0),
+                 util::fmt(est.mean.tail_makespan, 0)});
+  table.add_row({"cost [cent/task]",
+                 util::fmt(real.cost_per_task_cents(), 3),
+                 util::fmt(est.mean.cost_per_task_cents, 3)});
+  table.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Args args(
       argc, argv,
       {"trace", "tasks", "utility", "reps", "mode", "deadline", "strategy",
-       "pool", "gamma", "tur"},
+       "pool", "gamma", "tur", "experiment", "seed", "metrics-out",
+       "trace-out"},
       {"csv"});
   try {
     if (!args.unknown_options().empty()) {
@@ -268,13 +366,25 @@ int main(int argc, char** argv) {
     }
     const auto command = args.command();
     if (!command) return usage();
-    if (*command == "characterize") return cmd_characterize(args);
-    if (*command == "frontier") return cmd_frontier(args);
-    if (*command == "recommend") return cmd_recommend(args);
-    if (*command == "report") return cmd_report(args);
-    if (*command == "sensitivity") return cmd_sensitivity(args);
-    if (*command == "simulate") return cmd_simulate(args);
-    return usage();
+
+    const auto metrics_out = args.option("metrics-out");
+    const auto trace_out = args.option("trace-out");
+    if (metrics_out) obs::Registry::global().set_enabled(true);
+    if (trace_out) obs::Tracer::global().set_enabled(true);
+
+    int rc = -1;
+    if (*command == "characterize") rc = cmd_characterize(args);
+    else if (*command == "frontier") rc = cmd_frontier(args);
+    else if (*command == "recommend") rc = cmd_recommend(args);
+    else if (*command == "report") rc = cmd_report(args);
+    else if (*command == "sensitivity") rc = cmd_sensitivity(args);
+    else if (*command == "simulate") rc = cmd_simulate(args);
+    else if (*command == "execute") rc = cmd_execute(args);
+    else return usage();
+
+    if (metrics_out) obs::write_metrics_file(*metrics_out);
+    if (trace_out) obs::write_trace_file(*trace_out);
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
