@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expert/util/rng.hpp"
+
+namespace expert::chaos {
+
+/// A half-open interval [start, end) during which a machine is forced
+/// administratively down: its running instance dies silently and it accepts
+/// no dispatches until the window closes.
+struct ForcedWindow {
+  double start = 0.0;
+  double end = 0.0;
+};
+
+/// Seed-deterministic fault-injection plan for a gridsim run. Attached to
+/// `gridsim::ExecutorConfig::chaos`; every fault the plan injects is drawn
+/// from an RNG stream derived from (seed, run stream), so an identical
+/// (seed, stream, plan) triple replays the identical execution trace.
+///
+/// The plan models the failure classes real BoT campaigns see on top of
+/// the well-behaved per-host up/down processes gridsim already simulates:
+///  * correlated group blackouts — a whole MachineGroup goes dark at once
+///    (campus power loss, network partition, batch-system outage);
+///  * pool shrink — a fraction of the unreliable pool is withdrawn for a
+///    window (fair-share preemption storms, maintenance drains);
+///  * flash crowd — spare capacity joins the unreliable pool for a window
+///    (opportunistic desktops arriving after working hours);
+///  * reliable-pool dispatch failures — an instance launch fails outright
+///    (EC2 InsufficientInstanceCapacity semantics), retried with bounded
+///    exponential backoff before falling back to the unreliable pool;
+///  * silent result loss — an unreliable instance finishes but its result
+///    never reaches the scheduler, indistinguishable from a host death.
+struct ChaosConfig {
+  /// Root of the fault RNG stream; independent of the executor's seed so a
+  /// plan can be replayed against different scheduling randomness.
+  std::uint64_t seed = 0xC4A05ULL;
+
+  // ---- correlated group blackouts (unreliable pool) ----
+  /// Blackout windows drawn per unreliable machine group.
+  std::size_t blackouts_per_group = 0;
+  /// Blackout starts are uniform in [0, blackout_window_s).
+  double blackout_window_s = 0.0;
+  /// Blackout durations are exponential with this mean.
+  double blackout_mean_duration_s = 0.0;
+
+  // ---- pool shrink (unreliable pool) ----
+  /// Fraction of unreliable machines withdrawn during the shrink window.
+  double shrink_fraction = 0.0;
+  double shrink_start_s = 0.0;
+  double shrink_duration_s = 0.0;
+
+  // ---- flash crowd (unreliable pool) ----
+  /// Extra spare machines per unreliable group, as a fraction of the
+  /// group's size (ceil), present only during the flash window.
+  double flash_fraction = 0.0;
+  double flash_start_s = 0.0;
+  double flash_duration_s = 0.0;
+
+  // ---- reliable-pool dispatch failures ----
+  /// Probability that a dispatch to a reliable machine fails to launch.
+  double dispatch_failure_prob = 0.0;
+  /// Bounded retry: after this many consecutive launch failures for one
+  /// task the reliable instance is abandoned (recorded as DispatchFailed)
+  /// and the task falls back to the unreliable pool.
+  std::size_t max_dispatch_retries = 4;
+  /// Exponential backoff between launch attempts: base * 2^(attempt-1),
+  /// capped at max, jittered by a uniform [0.5, 1.5) factor.
+  double dispatch_backoff_base_s = 30.0;
+  double dispatch_backoff_max_s = 960.0;
+
+  // ---- silent result loss (unreliable pool) ----
+  /// Probability that a successful unreliable instance's result is lost in
+  /// transit: the machine frees normally but the scheduler only learns at
+  /// the instance deadline, exactly like a silent host death.
+  double result_loss_prob = 0.0;
+
+  /// True when any fault class is enabled.
+  bool any() const noexcept;
+  void validate() const;
+
+  /// Canonical key=value form; parse_chaos_plan round-trips it.
+  std::string to_string() const;
+};
+
+/// Parse a chaos plan from its key=value text form, e.g.
+///   "seed=42 blackouts=2 blackout_window=20000 blackout_duration=3000
+///    dispatch_fail=0.1 loss=0.05"
+/// Keys match ChaosConfig fields (see docs/robustness.md for the full
+/// list); separators are spaces and/or commas. Throws util::ContractViolation
+/// on unknown keys or malformed values.
+ChaosConfig parse_chaos_plan(const std::string& text);
+
+/// Sort by start and coalesce overlapping/adjacent windows in place.
+void merge_windows(std::vector<ForcedWindow>& windows);
+
+/// The blackout schedule of one run: `blackouts_per_group` windows per
+/// group, deterministic in (config.seed, stream, group index). Returned
+/// windows are merged per group.
+std::vector<std::vector<ForcedWindow>> blackout_schedule(
+    const ChaosConfig& config, std::size_t group_count, std::uint64_t stream);
+
+/// RNG for the run's per-event fault draws (dispatch failures, result
+/// loss, backoff jitter), independent of the blackout schedule stream.
+util::Rng event_rng(const ChaosConfig& config, std::uint64_t stream);
+
+}  // namespace expert::chaos

@@ -31,6 +31,19 @@ class Campaign {
     /// Keep at most this many BoT histories for characterization (older
     /// environments drift; the paper characterizes from recent data).
     std::size_t history_window = 4;
+    /// How often a BoT whose backend threw is re-run on a fresh stream
+    /// before being quarantined. 0 quarantines on the first failure.
+    std::size_t max_backend_retries = 2;
+    /// Sample-size floor below which characterization falls back to the
+    /// synthetic bootstrap model (see Expert::from_history_robust).
+    QualityThresholds quality;
+  };
+
+  /// Terminal state of one BoT within the campaign.
+  enum class BotOutcome {
+    Completed,            ///< first backend attempt returned a trace
+    CompletedAfterRetry,  ///< one or more attempts threw, a later one ran
+    Quarantined,          ///< every attempt threw; BoT excluded from history
   };
 
   struct BotReport {
@@ -41,16 +54,33 @@ class Campaign {
     double cost_per_task_cents = 0.0;
     /// Prediction made before the run (absent for the bootstrap BoT).
     std::optional<StrategyPoint> predicted;
+    BotOutcome outcome = BotOutcome::Completed;
+    /// Backend attempts that threw before the run succeeded (== attempts
+    /// made when quarantined).
+    std::size_t retries = 0;
+    /// The returned trace hit the simulation horizon (partial results).
+    bool truncated = false;
+    /// Why the recommendation pipeline fell back, when it did: the
+    /// characterization's reason, RecommendationInfeasible when no strategy
+    /// passed the utility gate, or BackendFailure when quarantined.
+    std::optional<DegradationReason> degradation;
+    /// What the accumulated history offered the characterization (absent
+    /// for the first BoT, which has no history).
+    std::optional<CharacterizationQuality> quality;
   };
 
   Campaign(Backend backend, Options options);
 
-  /// Run one BoT: recommend from accumulated history (when any), execute,
-  /// record the trace for future characterization.
+  /// Run one BoT: recommend from accumulated history (when any), execute
+  /// with bounded retries on backend failure, record the trace for future
+  /// characterization. Never throws on backend or characterization
+  /// failure — a BoT whose every attempt threw is quarantined (reported,
+  /// excluded from history) and the campaign continues.
   BotReport run_bot(const workload::Bot& bot, const Utility& utility);
 
   std::size_t completed_bots() const noexcept { return reports_.size(); }
   const std::vector<BotReport>& reports() const noexcept { return reports_; }
+  std::size_t quarantined_bots() const noexcept { return quarantined_; }
 
   /// Pooled characterization input: the retained histories merged into one
   /// trace (send times offset so BoTs do not overlap).
@@ -62,6 +92,9 @@ class Campaign {
   std::vector<trace::ExecutionTrace> histories_;
   std::vector<BotReport> reports_;
   std::uint64_t next_stream_ = 1;
+  std::size_t quarantined_ = 0;
 };
+
+const char* to_string(Campaign::BotOutcome outcome) noexcept;
 
 }  // namespace expert::core

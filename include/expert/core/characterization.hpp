@@ -1,5 +1,8 @@
 #pragma once
 
+#include <optional>
+
+#include "expert/core/degradation.hpp"
 #include "expert/core/turnaround_model.hpp"
 #include "expert/trace/trace.hpp"
 
@@ -35,6 +38,60 @@ struct CharacterizationOptions {
 ///     mean reliabilities.
 TurnaroundModel characterize(const trace::ExecutionTrace& history,
                              const CharacterizationOptions& options = {});
+
+/// Minimal sample sizes below which a characterization is considered
+/// statistically meaningless and the caller should fall back to a preset or
+/// bootstrap model instead.
+struct QualityThresholds {
+  /// Fewest pre-tail unreliable instances for gamma windows to mean
+  /// anything.
+  std::size_t min_instances = 16;
+  /// Fewest observed successes for the Fs ECDF to have any shape.
+  std::size_t min_observed_successes = 8;
+};
+
+/// What the history actually offered the characterization — reported even
+/// when the model is built, so operators can judge how much to trust it.
+struct CharacterizationQuality {
+  /// Non-cancelled unreliable instances sent before T_tail.
+  std::size_t unreliable_instances = 0;
+  /// Of those, how many returned a success observable by T_tail.
+  std::size_t observed_successes = 0;
+  /// Instances sent before T_tail with no result by T_tail (still pending
+  /// or silently lost) — the censoring the online epochs exist to handle.
+  double censored_fraction = 0.0;
+  /// Per-epoch sample counts of the online model (epoch 1: send time
+  /// earlier than T_tail - D; epoch 2: the last deadline-width window).
+  std::size_t epoch1_instances = 0;
+  std::size_t epoch2_instances = 0;
+  /// True when the history clears `QualityThresholds`.
+  bool sufficient = false;
+};
+
+/// Outcome of `characterize_checked`: the model when the history supports
+/// one, otherwise a structured reason why not. `quality` is always filled.
+struct CheckedCharacterization {
+  std::optional<TurnaroundModel> model;
+  CharacterizationQuality quality;
+  std::optional<DegradationReason> degradation;
+};
+
+/// Survey the history without building a model: sample counts, censoring,
+/// and the sufficiency verdict against `thresholds`.
+CharacterizationQuality assess_quality(const trace::ExecutionTrace& history,
+                                       const CharacterizationOptions& options,
+                                       const QualityThresholds& thresholds);
+
+/// Non-throwing front end to `characterize`: assess quality first, refuse
+/// (with a `DegradationReason`) when the history cannot support a model,
+/// and catch any residual characterization failure instead of propagating
+/// it. This is what fault-tolerant callers (Campaign, the CLI) use; the
+/// plain `characterize` keeps its throwing contract for tests and direct
+/// invocations.
+CheckedCharacterization characterize_checked(
+    const trace::ExecutionTrace& history,
+    const CharacterizationOptions& options = {},
+    const QualityThresholds& thresholds = {});
 
 /// Estimate the effective size of the unreliable pool from the throughput
 /// phase: machines are saturated before T_tail, so the time-averaged number

@@ -44,6 +44,14 @@ class Expert {
                              const UserParams& params,
                              const ExpertOptions& options = {});
 
+  /// Degradation-aware variant of from_history: never throws on bad data.
+  /// Uses characterize_checked, falling back to a synthetic model and an
+  /// occupancy-based (or default) pool size when the history is unusable.
+  static struct ExpertBuildReport from_history_robust(
+      const trace::ExecutionTrace& history, const UserParams& params,
+      const ExpertOptions& options = {},
+      const QualityThresholds& thresholds = {});
+
   /// Steps 1-2 with an explicit pool model (pure-simulation setting).
   Expert(const UserParams& params, TurnaroundModel model,
          std::size_t unreliable_size, const ExpertOptions& options = {});
@@ -70,6 +78,18 @@ class Expert {
   UserParams params_;
   ExpertOptions options_;
   Estimator estimator_;
+};
+
+/// Result of Expert::from_history_robust: always a usable Expert. When the
+/// history could not support a characterization, `degradation` names why
+/// and the Expert wraps a conservative synthetic model (mean turnaround
+/// T_ur, constant reliability) so callers can still produce a
+/// recommendation.
+struct ExpertBuildReport {
+  Expert expert;
+  CharacterizationQuality quality;
+  std::optional<DegradationReason> degradation;
+  bool used_fallback_model() const noexcept { return degradation.has_value(); }
 };
 
 }  // namespace expert::core

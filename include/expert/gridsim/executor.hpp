@@ -4,6 +4,7 @@
 #include <functional>
 #include <optional>
 
+#include "expert/chaos/chaos.hpp"
 #include "expert/gridsim/pool.hpp"
 #include "expert/strategies/static_strategies.hpp"
 #include "expert/trace/trace.hpp"
@@ -20,8 +21,14 @@ struct ExecutorConfig {
   /// mean task CPU time (the paper's default).
   double throughput_deadline = 0.0;
   std::uint64_t seed = 0x6B1D51AULL;
-  /// Hard horizon; exceeding it throws (a real experiment never hangs).
+  /// Hard horizon. By default a run that exceeds it returns the partial
+  /// trace with `truncated()` set so callers can still characterize from
+  /// it; with `strict_horizon` the pre-chaos behaviour (throw) is kept.
   double max_sim_time = 5.0e7;
+  bool strict_horizon = false;
+  /// Deterministic fault-injection plan (see expert::chaos). Absent or
+  /// all-zero leaves the execution byte-identical to a chaos-free build.
+  std::optional<chaos::ChaosConfig> chaos;
   /// Resource exclusion (Kondo et al., referenced by the paper): after a
   /// host kills this many instances, the overlay blacklists it and draws a
   /// replacement host from the same group (fresh speed and availability).

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 
 #include "expert/trace/trace.hpp"
@@ -8,11 +9,27 @@ namespace expert::trace {
 
 /// Write a trace as CSV with a header row:
 ///   task,pool,send_time,turnaround,outcome,cost_cents,tail_phase
-/// plus a metadata comment line "#meta,<task_count>,<t_tail>,<completion>".
+/// plus a metadata comment line
+/// "#meta,<task_count>,<t_tail>,<completion>,<truncated>".
 void write_csv(const ExecutionTrace& trace, std::ostream& out);
 
 /// Parse a trace written by write_csv. Throws std::runtime_error on
-/// malformed input.
+/// malformed input; every parse error names the 1-based line of the
+/// offending row. Traces written before the truncated flag existed (4-field
+/// #meta line) load as non-truncated.
 ExecutionTrace read_csv(std::istream& in);
+
+/// Result of a lenient load: the trace assembled from the well-formed rows
+/// plus how many malformed rows were dropped on the way.
+struct LenientReadResult {
+  ExecutionTrace trace;
+  std::size_t skipped_rows = 0;
+};
+
+/// Like read_csv, but skips malformed data rows (wrong field count, bad
+/// enum, unparsable number) instead of aborting the load, counting them in
+/// `skipped_rows`. The #meta line must still be intact — without it the
+/// trace has no task count or phase boundary to anchor to.
+LenientReadResult read_csv_lenient(std::istream& in);
 
 }  // namespace expert::trace

@@ -11,9 +11,10 @@ enum class PoolKind { Unreliable, Reliable };
 
 /// Final state of one task instance.
 enum class InstanceOutcome {
-  Success,    ///< returned a result before its deadline
-  Timeout,    ///< no result by the deadline (includes silent host failures)
-  Cancelled,  ///< removed from a queue before being sent
+  Success,         ///< returned a result before its deadline
+  Timeout,         ///< no result by the deadline (includes silent host failures)
+  Cancelled,       ///< removed from a queue before being sent
+  DispatchFailed,  ///< launch to the pool failed after bounded retries
 };
 
 constexpr double kNeverReturns = std::numeric_limits<double>::infinity();

@@ -15,7 +15,8 @@ class ExecutionTrace {
  public:
   ExecutionTrace() = default;
   ExecutionTrace(std::size_t task_count, std::vector<InstanceRecord> records,
-                 double t_tail, double completion_time);
+                 double t_tail, double completion_time,
+                 bool truncated = false);
 
   std::size_t task_count() const noexcept { return task_count_; }
   const std::vector<InstanceRecord>& records() const noexcept {
@@ -28,6 +29,12 @@ class ExecutionTrace {
   /// BoT completion time == makespan (submission is time 0).
   double makespan() const noexcept { return completion_time_; }
   double tail_makespan() const noexcept { return completion_time_ - t_tail_; }
+
+  /// True when the run was cut off at the simulation horizon before every
+  /// task completed: the records are a valid partial history (still usable
+  /// for characterization) but makespan() is the horizon, not a completion
+  /// time.
+  bool truncated() const noexcept { return truncated_; }
 
   double total_cost_cents() const noexcept;
   double cost_per_task_cents() const;
@@ -62,6 +69,7 @@ class ExecutionTrace {
   std::vector<InstanceRecord> records_;
   double t_tail_ = 0.0;
   double completion_time_ = 0.0;
+  bool truncated_ = false;
 };
 
 }  // namespace expert::trace

@@ -1,0 +1,193 @@
+#include "expert/chaos/chaos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::chaos {
+
+namespace {
+
+/// Stream-domain separators so the blackout schedule and the per-event
+/// draws never share an RNG stream even for equal run streams.
+constexpr std::uint64_t kBlackoutDomain = 0xB1AC0017ULL;
+constexpr std::uint64_t kEventDomain = 0xE7E27ULL;
+
+bool is_prob(double p) { return p >= 0.0 && p <= 1.0; }
+
+double parse_number(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    EXPERT_REQUIRE(used == value.size(),
+                   "chaos plan: trailing junk in value for '" + key + "'");
+    return v;
+  } catch (const util::ContractViolation&) {
+    throw;
+  } catch (const std::exception&) {
+    EXPERT_REQUIRE(false, "chaos plan: bad number '" + value + "' for '" +
+                              key + "'");
+  }
+  return 0.0;  // unreachable
+}
+
+}  // namespace
+
+bool ChaosConfig::any() const noexcept {
+  return blackouts_per_group > 0 || shrink_fraction > 0.0 ||
+         flash_fraction > 0.0 || dispatch_failure_prob > 0.0 ||
+         result_loss_prob > 0.0;
+}
+
+void ChaosConfig::validate() const {
+  if (blackouts_per_group > 0) {
+    EXPERT_REQUIRE(blackout_window_s > 0.0,
+                   "blackouts need a positive start window");
+    EXPERT_REQUIRE(blackout_mean_duration_s > 0.0,
+                   "blackouts need a positive mean duration");
+  }
+  EXPERT_REQUIRE(is_prob(shrink_fraction), "shrink fraction must be in [0,1]");
+  if (shrink_fraction > 0.0) {
+    EXPERT_REQUIRE(shrink_start_s >= 0.0 && shrink_duration_s > 0.0,
+                   "shrink needs start >= 0 and a positive duration");
+  }
+  EXPERT_REQUIRE(flash_fraction >= 0.0, "flash fraction must be >= 0");
+  if (flash_fraction > 0.0) {
+    EXPERT_REQUIRE(flash_start_s >= 0.0 && flash_duration_s > 0.0,
+                   "flash crowd needs start >= 0 and a positive duration");
+  }
+  EXPERT_REQUIRE(is_prob(dispatch_failure_prob),
+                 "dispatch failure probability must be in [0,1]");
+  if (dispatch_failure_prob > 0.0) {
+    EXPERT_REQUIRE(dispatch_backoff_base_s > 0.0 &&
+                       dispatch_backoff_max_s >= dispatch_backoff_base_s,
+                   "dispatch backoff needs 0 < base <= max");
+  }
+  EXPERT_REQUIRE(is_prob(result_loss_prob),
+                 "result loss probability must be in [0,1]");
+}
+
+std::string ChaosConfig::to_string() const {
+  std::ostringstream os;
+  os << "seed=" << seed;
+  if (blackouts_per_group > 0) {
+    os << " blackouts=" << blackouts_per_group
+       << " blackout_window=" << blackout_window_s
+       << " blackout_duration=" << blackout_mean_duration_s;
+  }
+  if (shrink_fraction > 0.0) {
+    os << " shrink=" << shrink_fraction << " shrink_start=" << shrink_start_s
+       << " shrink_duration=" << shrink_duration_s;
+  }
+  if (flash_fraction > 0.0) {
+    os << " flash=" << flash_fraction << " flash_start=" << flash_start_s
+       << " flash_duration=" << flash_duration_s;
+  }
+  if (dispatch_failure_prob > 0.0) {
+    os << " dispatch_fail=" << dispatch_failure_prob
+       << " dispatch_retries=" << max_dispatch_retries
+       << " backoff_base=" << dispatch_backoff_base_s
+       << " backoff_max=" << dispatch_backoff_max_s;
+  }
+  if (result_loss_prob > 0.0) os << " loss=" << result_loss_prob;
+  return os.str();
+}
+
+ChaosConfig parse_chaos_plan(const std::string& text) {
+  ChaosConfig cfg;
+  std::string token;
+  std::istringstream in(text);
+  // Accept commas as well as whitespace between key=value tokens.
+  std::string normalized = text;
+  std::replace(normalized.begin(), normalized.end(), ',', ' ');
+  std::istringstream stream(normalized);
+  while (stream >> token) {
+    const auto eq = token.find('=');
+    EXPERT_REQUIRE(eq != std::string::npos && eq > 0 && eq + 1 < token.size(),
+                   "chaos plan: expected key=value, got '" + token + "'");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    const double num = parse_number(key, value);
+    if (key == "seed") {
+      cfg.seed = static_cast<std::uint64_t>(num);
+    } else if (key == "blackouts") {
+      cfg.blackouts_per_group = static_cast<std::size_t>(num);
+    } else if (key == "blackout_window") {
+      cfg.blackout_window_s = num;
+    } else if (key == "blackout_duration") {
+      cfg.blackout_mean_duration_s = num;
+    } else if (key == "shrink") {
+      cfg.shrink_fraction = num;
+    } else if (key == "shrink_start") {
+      cfg.shrink_start_s = num;
+    } else if (key == "shrink_duration") {
+      cfg.shrink_duration_s = num;
+    } else if (key == "flash") {
+      cfg.flash_fraction = num;
+    } else if (key == "flash_start") {
+      cfg.flash_start_s = num;
+    } else if (key == "flash_duration") {
+      cfg.flash_duration_s = num;
+    } else if (key == "dispatch_fail") {
+      cfg.dispatch_failure_prob = num;
+    } else if (key == "dispatch_retries") {
+      cfg.max_dispatch_retries = static_cast<std::size_t>(num);
+    } else if (key == "backoff_base") {
+      cfg.dispatch_backoff_base_s = num;
+    } else if (key == "backoff_max") {
+      cfg.dispatch_backoff_max_s = num;
+    } else {
+      EXPERT_REQUIRE(key == "loss", "chaos plan: unknown key '" + key + "'");
+      cfg.result_loss_prob = num;
+    }
+  }
+  cfg.validate();
+  return cfg;
+}
+
+void merge_windows(std::vector<ForcedWindow>& windows) {
+  std::sort(windows.begin(), windows.end(),
+            [](const ForcedWindow& a, const ForcedWindow& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.end < b.end;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    if (out > 0 && windows[i].start <= windows[out - 1].end) {
+      windows[out - 1].end = std::max(windows[out - 1].end, windows[i].end);
+    } else {
+      windows[out++] = windows[i];
+    }
+  }
+  windows.resize(out);
+}
+
+std::vector<std::vector<ForcedWindow>> blackout_schedule(
+    const ChaosConfig& config, std::size_t group_count, std::uint64_t stream) {
+  std::vector<std::vector<ForcedWindow>> schedule(group_count);
+  if (config.blackouts_per_group == 0) return schedule;
+  util::Rng rng(util::derive_seed(util::derive_seed(config.seed, stream),
+                                  kBlackoutDomain));
+  for (std::size_t g = 0; g < group_count; ++g) {
+    auto group_rng = rng.fork(g);
+    auto& windows = schedule[g];
+    windows.reserve(config.blackouts_per_group);
+    for (std::size_t b = 0; b < config.blackouts_per_group; ++b) {
+      const double start = group_rng.uniform(0.0, config.blackout_window_s);
+      const double duration =
+          group_rng.exponential(1.0 / config.blackout_mean_duration_s);
+      windows.push_back({start, start + duration});
+    }
+    merge_windows(windows);
+  }
+  return schedule;
+}
+
+util::Rng event_rng(const ChaosConfig& config, std::uint64_t stream) {
+  return util::Rng(util::derive_seed(util::derive_seed(config.seed, stream),
+                                     kEventDomain));
+}
+
+}  // namespace expert::chaos

@@ -44,27 +44,70 @@ Campaign::BotReport Campaign::run_bot(const workload::Bot& bot,
   BotReport report;
 
   if (const auto history = merged_history()) {
-    const auto expert =
-        Expert::from_history(*history, options_.params, options_.expert);
-    if (const auto rec = expert.recommend(bot.size(), utility)) {
+    auto built = Expert::from_history_robust(*history, options_.params,
+                                             options_.expert, options_.quality);
+    report.quality = built.quality;
+    report.degradation = built.degradation;
+    // The degraded synthetic model still yields a recommendation, so even a
+    // faulted campaign keeps making NTDMr decisions — just openly weaker
+    // ones. Recommendation failure on top of it keeps the original reason.
+    if (const auto rec = built.expert.recommend(bot.size(), utility)) {
       strategy = strategies::make_ntdmr_strategy(rec->strategy);
       report.predicted = rec->predicted;
       report.used_recommendation = true;
+    } else if (!report.degradation) {
+      report.degradation = DegradationReason::RecommendationInfeasible;
+    }
+  } else {
+    report.degradation = DegradationReason::NoHistory;
+  }
+  report.strategy = strategy;
+
+  // Execute with bounded retries: each attempt draws a fresh stream so a
+  // deterministic backend does not deterministically fail the same way.
+  std::optional<trace::ExecutionTrace> trace;
+  for (std::size_t attempt = 0;
+       attempt <= options_.max_backend_retries && !trace; ++attempt) {
+    try {
+      trace = backend_(bot, strategy, next_stream_++);
+    } catch (const std::exception&) {
+      ++report.retries;
     }
   }
 
-  const auto trace = backend_(bot, strategy, next_stream_++);
-  report.strategy = strategy;
-  report.makespan = trace.makespan();
-  report.tail_makespan = trace.tail_makespan();
-  report.cost_per_task_cents = trace.cost_per_task_cents();
+  if (!trace) {
+    report.outcome = BotOutcome::Quarantined;
+    report.degradation = DegradationReason::BackendFailure;
+    ++quarantined_;
+    reports_.push_back(report);
+    return report;  // no history from a BoT that never ran
+  }
 
-  histories_.push_back(trace);
+  report.outcome = report.retries > 0 ? BotOutcome::CompletedAfterRetry
+                                      : BotOutcome::Completed;
+  report.truncated = trace->truncated();
+  report.makespan = trace->makespan();
+  report.tail_makespan = trace->tail_makespan();
+  report.cost_per_task_cents = trace->cost_per_task_cents();
+
+  histories_.push_back(std::move(*trace));
   if (histories_.size() > options_.history_window) {
     histories_.erase(histories_.begin());
   }
   reports_.push_back(report);
   return report;
+}
+
+const char* to_string(Campaign::BotOutcome outcome) noexcept {
+  switch (outcome) {
+    case Campaign::BotOutcome::Completed:
+      return "completed";
+    case Campaign::BotOutcome::CompletedAfterRetry:
+      return "completed_after_retry";
+    case Campaign::BotOutcome::Quarantined:
+      return "quarantined";
+  }
+  return "?";
 }
 
 }  // namespace expert::core

@@ -197,6 +197,80 @@ TurnaroundModel characterize(const trace::ExecutionTrace& history,
       std::make_shared<PiecewiseReliability>(std::move(windows), epoch3));
 }
 
+CharacterizationQuality assess_quality(const trace::ExecutionTrace& history,
+                                       const CharacterizationOptions& options,
+                                       const QualityThresholds& thresholds) {
+  CharacterizationQuality q;
+  const double t_tail = history.t_tail();
+  if (t_tail <= 0.0) return q;  // nothing pre-tail, all counts stay zero
+
+  const auto obs = unreliable_observations(history, t_tail);
+  q.unreliable_instances = obs.size();
+  if (obs.empty()) return q;
+
+  std::size_t observed = 0;
+  std::size_t resolved = 0;
+  double mean_observable = 0.0;
+  for (const auto& o : obs) {
+    const bool done_by_tail = o.send + o.turnaround <= t_tail;
+    if (done_by_tail) ++resolved;
+    if (o.success && done_by_tail) {
+      ++observed;
+      mean_observable += o.turnaround;
+    }
+  }
+  q.observed_successes = observed;
+  q.censored_fraction =
+      static_cast<double>(obs.size() - resolved) /
+      static_cast<double>(obs.size());
+
+  double deadline = options.instance_deadline;
+  if (deadline <= 0.0 && observed > 0)
+    deadline = 4.0 * mean_observable / static_cast<double>(observed);
+  const double epoch1_end = std::max(0.0, t_tail - deadline);
+  for (const auto& o : obs) {
+    if (o.send < epoch1_end)
+      ++q.epoch1_instances;
+    else
+      ++q.epoch2_instances;
+  }
+
+  q.sufficient = q.unreliable_instances >= thresholds.min_instances &&
+                 q.observed_successes >= thresholds.min_observed_successes;
+  return q;
+}
+
+CheckedCharacterization characterize_checked(
+    const trace::ExecutionTrace& history,
+    const CharacterizationOptions& options,
+    const QualityThresholds& thresholds) {
+  CheckedCharacterization out;
+  out.quality = assess_quality(history, options, thresholds);
+
+  if (history.t_tail() <= 0.0) {
+    out.degradation = DegradationReason::NoThroughputPhase;
+    return out;
+  }
+  if (out.quality.unreliable_instances == 0) {
+    out.degradation = DegradationReason::NoUnreliableInstances;
+    return out;
+  }
+  if (out.quality.observed_successes == 0) {
+    out.degradation = DegradationReason::NoObservedSuccesses;
+    return out;
+  }
+  if (!out.quality.sufficient) {
+    out.degradation = DegradationReason::InsufficientSamples;
+    return out;
+  }
+  try {
+    out.model = characterize(history, options);
+  } catch (const std::exception&) {
+    out.degradation = DegradationReason::CharacterizationError;
+  }
+  return out;
+}
+
 std::size_t estimate_effective_size(const trace::ExecutionTrace& history) {
   const double t_tail = history.t_tail();
   EXPERT_REQUIRE(t_tail > 0.0, "history has no throughput phase");

@@ -45,6 +45,59 @@ Expert Expert::from_history(const trace::ExecutionTrace& history,
   return Expert(params, std::move(model), size, options);
 }
 
+ExpertBuildReport Expert::from_history_robust(
+    const trace::ExecutionTrace& history, const UserParams& params,
+    const ExpertOptions& options, const QualityThresholds& thresholds) {
+  CharacterizationOptions copts = options.characterization;
+  if (copts.instance_deadline <= 0.0)
+    copts.instance_deadline = params.throughput_deadline();
+
+  auto checked = characterize_checked(history, copts, thresholds);
+
+  // Pool size: explicit > iterative (full path) > occupancy > default.
+  // The occupancy estimate only needs a non-empty throughput phase, so it
+  // survives histories too thin to characterize.
+  constexpr std::size_t kFallbackPoolSize = 32;
+  std::size_t size = options.unreliable_size;
+
+  if (checked.model) {
+    if (size == 0) {
+      try {
+        size = estimate_effective_size_iterative(
+            history, *checked.model, params.throughput_deadline(),
+            options.seed);
+      } catch (const std::exception&) {
+        size = 0;  // fall through to the occupancy estimate below
+      }
+    }
+    if (size == 0) {
+      try {
+        size = estimate_effective_size(history);
+      } catch (const std::exception&) {
+        size = kFallbackPoolSize;
+      }
+    }
+    return ExpertBuildReport{Expert(params, std::move(*checked.model), size, options),
+                       checked.quality, std::nullopt};
+  }
+
+  // Degraded path: conservative synthetic pool. Mean turnaround T_ur with
+  // moderate spread, and a reliability low enough that replication still
+  // pays off — the same stance as bootstrapping a campaign with AUR.
+  constexpr double kBootstrapGamma = 0.9;
+  TurnaroundModel fallback = make_synthetic_model(
+      params.tur, 0.15 * params.tur, 3.0 * params.tur, kBootstrapGamma);
+  if (size == 0) {
+    try {
+      size = estimate_effective_size(history);
+    } catch (const std::exception&) {
+      size = kFallbackPoolSize;
+    }
+  }
+  return ExpertBuildReport{Expert(params, std::move(fallback), size, options),
+                     checked.quality, checked.degradation};
+}
+
 FrontierResult Expert::build_frontier(std::size_t task_count) const {
   return generate_frontier(estimator_, task_count, options_.sampling,
                            options_.frontier);

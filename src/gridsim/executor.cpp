@@ -30,6 +30,13 @@ struct ExecutorObs {
       reg.counter("gridsim.reliable.instances_preempted");
   obs::Counter down = reg.counter("gridsim.availability.down_transitions");
   obs::Counter up = reg.counter("gridsim.availability.up_transitions");
+  obs::Counter truncated = reg.counter("gridsim.executor.truncated_runs");
+  obs::Counter blackouts = reg.counter("chaos.blackout_windows");
+  obs::Counter forced_down = reg.counter("chaos.forced_down_transitions");
+  obs::Counter dispatch_failures = reg.counter("chaos.dispatch_failures");
+  obs::Counter dispatch_retries = reg.counter("chaos.dispatch_retries");
+  obs::Counter dispatch_abandoned = reg.counter("chaos.dispatch_abandoned");
+  obs::Counter results_lost = reg.counter("chaos.results_lost");
   obs::Histogram makespan = reg.histogram(
       "gridsim.executor.makespan_sim_seconds",
       obs::HistogramSpec::exponential(1.0, 1e8, 33));
@@ -74,25 +81,40 @@ struct Machine {
   bool up = true;
   bool busy = false;
   double next_down = kInf;  ///< end of the current up period (while up)
+
+  // ---- chaos state ----
+  /// Merged forced-down windows (group blackouts, pool shrink, the
+  /// complement of a spare's flash window). Empty without chaos.
+  std::vector<chaos::ForcedWindow> forced;
+  std::size_t next_forced = 0;  ///< monotone cursor over `forced`
+  /// Bumped by every forced transition; pending availability events carry
+  /// the epoch they were armed in and no-op when it moved on.
+  std::uint64_t avail_epoch = 0;
+  /// Flash-crowd spare: excluded from l_ur (Mr cap, tail trigger).
+  bool spare = false;
 };
 
 class Run {
  public:
   Run(const ExecutorConfig& cfg, const workload::Bot& bot,
-      StrategyConfig strategy, util::Rng rng,
+      StrategyConfig strategy, std::uint64_t stream,
       const Executor::TailStrategySelector* selector = nullptr)
       : cfg_(cfg),
         bot_(bot),
         strategy_(std::move(strategy)),
         selector_(selector),
-        rng_(rng),
+        rng_(util::derive_seed(cfg.seed, stream)),
         tasks_(bot.size()),
         remaining_(bot.size()) {
+    if (cfg_.chaos && cfg_.chaos->any()) {
+      chaos_ = &*cfg_.chaos;
+      chaos_rng_ = chaos::event_rng(*chaos_, stream);
+    }
     thr_deadline_ = cfg_.throughput_deadline > 0.0
                         ? cfg_.throughput_deadline
                         : 4.0 * bot_.mean_cpu_seconds();
     throughput_rules_ = PhaseRules{std::nullopt, thr_deadline_, thr_deadline_};
-    build_machines();
+    build_machines(stream);
     if (strategy_.throughput == ThroughputPolicy::ReliableOnly) {
       EXPERT_REQUIRE(reliable_count_ > 0,
                      "ReliableOnly strategy needs a reliable pool");
@@ -114,10 +136,30 @@ class Run {
   }
 
   trace::ExecutionTrace execute() {
-    // Start the availability processes.
+    // Arm the chaos plan's forced transitions first so that, at equal
+    // simulation times, a blackout start fires before any dispatch.
     for (std::size_t m = 0; m < machines_.size(); ++m) {
-      if (machines_[m].spans != nullptr) {
-        machines_[m].up = false;
+      for (const auto& w : machines_[m].forced) {
+        if (w.start > 0.0) {
+          engine_.schedule_at(w.start, [this, m] { force_down(m); });
+        }
+        if (w.end < cfg_.max_sim_time) {
+          engine_.schedule_at(w.end, [this, m] { force_up(m); });
+        }
+      }
+    }
+    // Start the availability processes. Machines born inside a forced
+    // window stay dark until its force_up.
+    for (std::size_t m = 0; m < machines_.size(); ++m) {
+      auto& machine = machines_[m];
+      const bool forced_at_start =
+          !machine.forced.empty() && machine.forced.front().start <= 0.0;
+      if (forced_at_start) {
+        machine.up = false;
+        continue;
+      }
+      if (machine.spans != nullptr) {
+        machine.up = false;
         arm_trace_transition(m);
       } else {
         schedule_down(m);
@@ -127,12 +169,34 @@ class Run {
     for (workload::TaskId t = 0; t < tasks_.size(); ++t) consider_enqueue(t);
     dispatch();
     engine_.run_until(cfg_.max_sim_time);
-    EXPERT_CHECK(remaining_ == 0,
-                 "gridsim run hit the simulation horizon before completing");
+    if (remaining_ > 0) {
+      EXPERT_CHECK(!cfg_.strict_horizon,
+                   "gridsim run hit the simulation horizon before completing");
+      return truncate_at_horizon();
+    }
     flush_metrics();
     const double t_tail = tail_started_ ? t_tail_ : completion_time_;
     return trace::ExecutionTrace(tasks_.size(), std::move(records_), t_tail,
                                  completion_time_);
+  }
+
+  /// The run hit max_sim_time with tasks outstanding: hand back everything
+  /// observed so far instead of throwing the history away. Still-pending
+  /// instances are recorded as unreturned — the same partial-knowledge view
+  /// snapshot_history() gives the online model — so the caller can
+  /// characterize from the truncated trace.
+  trace::ExecutionTrace truncate_at_horizon() {
+    obs_truncated_ = 1;
+    for (const auto& p : pending_) {
+      records_.push_back(InstanceRecord{p.task, p.pool, p.send_time, kInf,
+                                        InstanceOutcome::Timeout, 0.0,
+                                        tail_started_ && p.send_time >= t_tail_});
+    }
+    completion_time_ = cfg_.max_sim_time;
+    flush_metrics();
+    const double t_tail = tail_started_ ? t_tail_ : completion_time_;
+    return trace::ExecutionTrace(tasks_.size(), std::move(records_), t_tail,
+                                 completion_time_, /*truncated=*/true);
   }
 
  private:
@@ -146,6 +210,8 @@ class Run {
     double enqueue_time = 0.0;
     double last_send = -kInf;
     unsigned tail_ur_enqueued = 0;
+    /// Consecutive reliable-pool launch failures (chaos dispatch faults).
+    std::size_t dispatch_attempts = 0;
     sim::Engine::EventHandle check;
   };
 
@@ -176,9 +242,12 @@ class Run {
     m.kills = 0;
   }
 
-  void build_machines() {
+  void build_machines(std::uint64_t stream) {
+    // Group ordinal within the unreliable pool, for blackout targeting.
+    std::vector<std::size_t> unreliable_group_of_machine;
     auto add_pool = [&](const PoolConfig& pool, bool reliable) {
       pool.validate();
+      std::size_t group_idx = 0;
       for (const auto& g : pool.groups) {
         for (std::size_t i = 0; i < g.count; ++i) {
           Machine m;
@@ -192,15 +261,97 @@ class Run {
             m.spans = &g.trace->machine(i % g.trace->machine_count());
           }
           machines_.push_back(m);
+          if (!reliable) unreliable_group_of_machine.push_back(group_idx);
           (reliable ? reliable_count_ : unreliable_count_) += 1;
         }
+        ++group_idx;
       }
     };
     add_pool(cfg_.unreliable, false);
     if (cfg_.reliable) add_pool(*cfg_.reliable, true);
+    if (chaos_ != nullptr) {
+      apply_chaos_plan(stream, unreliable_group_of_machine);
+    }
+  }
+
+  /// Translate the chaos plan into per-machine forced-down windows and
+  /// flash-crowd spare machines. Deterministic in (chaos.seed, stream).
+  void apply_chaos_plan(std::uint64_t stream,
+                        const std::vector<std::size_t>& group_of_machine) {
+    const auto& groups = cfg_.unreliable.groups;
+    const auto blackout =
+        chaos::blackout_schedule(*chaos_, groups.size(), stream);
+    for (const auto& g : blackout) {
+      obs_blackouts_ += g.size();
+    }
+
+    // Flash-crowd spares: extra hosts per unreliable group, forced down
+    // outside the flash window. Appended after both pools so machine
+    // indices of the base pools are unchanged by the plan.
+    if (chaos_->flash_fraction > 0.0) {
+      for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        const auto& g = groups[gi];
+        const auto extra = static_cast<std::size_t>(
+            std::ceil(chaos_->flash_fraction * static_cast<double>(g.count)));
+        for (std::size_t i = 0; i < extra; ++i) {
+          Machine m;
+          m.group = &g;
+          m.price = g.price;
+          m.failure_notice_prob = g.failure_notice_prob;
+          m.mean_queue_wait = g.mean_queue_wait_s;
+          m.reliable_pool = false;
+          m.spare = true;
+          draw_host(m);
+          if (g.trace != nullptr) {
+            m.spans = &g.trace->machine((g.count + i) %
+                                        g.trace->machine_count());
+          }
+          const double flash_end =
+              chaos_->flash_start_s + chaos_->flash_duration_s;
+          if (chaos_->flash_start_s > 0.0) {
+            m.forced.push_back({0.0, chaos_->flash_start_s});
+          }
+          m.forced.push_back({flash_end, kInf});
+          m.forced.insert(m.forced.end(), blackout[gi].begin(),
+                          blackout[gi].end());
+          chaos::merge_windows(m.forced);
+          machines_.push_back(m);
+          ++spare_count_;
+        }
+      }
+    }
+
+    // Blackouts hit every machine of the group; the shrink withdraws the
+    // first ceil(fraction * l_ur) unreliable machines for its window.
+    const auto shrink_count = static_cast<std::size_t>(std::ceil(
+        chaos_->shrink_fraction * static_cast<double>(unreliable_count_)));
+    std::size_t unreliable_seen = 0;
+    for (std::size_t m = 0; m < machines_.size(); ++m) {
+      auto& machine = machines_[m];
+      if (machine.reliable_pool || machine.spare) continue;
+      machine.forced = blackout[group_of_machine[m]];
+      if (chaos_->shrink_fraction > 0.0 && unreliable_seen < shrink_count) {
+        machine.forced.push_back(
+            {chaos_->shrink_start_s,
+             chaos_->shrink_start_s + chaos_->shrink_duration_s});
+        chaos::merge_windows(machine.forced);
+      }
+      ++unreliable_seen;
+    }
   }
 
   // ---- availability process ----
+
+  /// Wrap an availability callback so it dies silently when a forced
+  /// transition (blackout/shrink/flash) moved the machine's epoch on.
+  template <typename Fn>
+  auto guarded(std::size_t m, Fn fn) {
+    const std::uint64_t epoch = machines_[m].avail_epoch;
+    return [this, m, epoch, fn] {
+      if (machines_[m].avail_epoch != epoch) return;
+      fn();
+    };
+  }
 
   void schedule_down(std::size_t m) {
     auto& machine = machines_[m];
@@ -208,7 +359,8 @@ class Run {
     const stats::AvailabilityModel model{machine.mean_up, machine.mean_down,
                                          machine.up_shape};
     machine.next_down = engine_.now() + model.sample_up(rng_);
-    engine_.schedule_at(machine.next_down, [this, m] { on_down(m); });
+    engine_.schedule_at(machine.next_down,
+                        guarded(m, [this, m] { on_down(m); }));
   }
 
   void on_down(std::size_t m) {
@@ -230,7 +382,8 @@ class Run {
     }
     const stats::AvailabilityModel model{machine.mean_up, machine.mean_down,
                                          machine.up_shape};
-    engine_.schedule_in(model.sample_down(rng_), [this, m] { on_up(m); });
+    engine_.schedule_in(model.sample_down(rng_),
+                        guarded(m, [this, m] { on_up(m); }));
   }
 
   void on_up(std::size_t m) {
@@ -238,6 +391,51 @@ class Run {
     ++obs_up_;
     schedule_down(m);
     dispatch();
+  }
+
+  // ---- chaos: forced availability transitions ----
+
+  /// Start of a forced-down window: the machine goes dark regardless of
+  /// its availability process. A running instance dies silently — its
+  /// failure notification was already scheduled at send time, which knew
+  /// the window schedule.
+  void force_down(std::size_t m) {
+    auto& machine = machines_[m];
+    ++machine.avail_epoch;  // invalidate pending up/down events
+    ++obs_forced_down_;
+    if (machine.up) ++obs_down_;
+    machine.up = false;
+    machine.busy = false;
+    machine.next_down = kInf;
+  }
+
+  /// End of a forced-down window: restart the machine's availability
+  /// process from scratch (trace replay re-arms from the current time).
+  void force_up(std::size_t m) {
+    auto& machine = machines_[m];
+    ++machine.avail_epoch;
+    if (machine.spans != nullptr) {
+      machine.up = false;
+      arm_trace_transition(m);
+      return;
+    }
+    machine.up = true;
+    ++obs_up_;
+    schedule_down(m);
+    dispatch();
+  }
+
+  /// Time the machine is next forced down, at or after `now`; +inf when no
+  /// forced window remains. Returns `now` while inside a window. The
+  /// cursor only moves forward — callers ask at nondecreasing times.
+  double next_forced_start(Machine& machine, double now) {
+    while (machine.next_forced < machine.forced.size() &&
+           machine.forced[machine.next_forced].end <= now) {
+      ++machine.next_forced;
+    }
+    if (machine.next_forced >= machine.forced.size()) return kInf;
+    const auto& w = machine.forced[machine.next_forced];
+    return w.start <= now ? now : w.start;
   }
 
   /// Trace replay: arm the next transition of a currently-down machine —
@@ -257,17 +455,19 @@ class Run {
       machine.up = true;
       ++obs_up_;
       machine.next_down = span.end;
-      engine_.schedule_at(span.end, [this, m] { on_down(m); });
+      engine_.schedule_at(span.end, guarded(m, [this, m] { on_down(m); }));
       dispatch();
     } else {
-      engine_.schedule_at(span.start, [this, m, span] {
-        auto& mach = machines_[m];
-        mach.up = true;
-        ++obs_up_;
-        mach.next_down = span.end;
-        engine_.schedule_at(span.end, [this, m] { on_down(m); });
-        dispatch();
-      });
+      engine_.schedule_at(span.start, guarded(m, [this, m, span] {
+                            auto& mach = machines_[m];
+                            mach.up = true;
+                            ++obs_up_;
+                            mach.next_down = span.end;
+                            engine_.schedule_at(
+                                span.end,
+                                guarded(m, [this, m] { on_down(m); }));
+                            dispatch();
+                          }));
     }
   }
 
@@ -405,9 +605,20 @@ class Run {
     auto& st = tasks_[task];
     auto& machine = machines_[machine_idx];
     EXPERT_CHECK(machine.up && !machine.busy, "dispatch to unusable machine");
+
+    // Reliable-pool launch failure (EC2 InsufficientInstanceCapacity):
+    // the machine slot stays free, the task retries with backoff.
+    if (machine.reliable_pool && chaos_ != nullptr &&
+        chaos_->dispatch_failure_prob > 0.0 &&
+        chaos_rng_.bernoulli(chaos_->dispatch_failure_prob)) {
+      on_dispatch_failure(task);
+      return;
+    }
+
     st.queued = Queued::None;
     ++st.epoch;
     st.last_send = now;
+    st.dispatch_attempts = 0;
     machine.busy = true;
 
     const bool reliable = machine.reliable_pool;
@@ -426,22 +637,42 @@ class Run {
     // Reliable (N+1)-th instances run without a deadline (paper §III);
     // unreliable instances are killed at the phase deadline.
     const double t_kill = reliable ? kInf : now + current_rules().deadline_d;
+    // The machine dies at its next natural down transition or at the next
+    // forced-down window of the chaos plan, whichever comes first. Both are
+    // known now, so the instance's outcome can be scheduled immediately.
+    const double down_at =
+        std::min(machine.next_down, next_forced_start(machine, now));
 
-    if (t_complete <= std::min(machine.next_down, t_kill)) {
+    if (t_complete <= std::min(down_at, t_kill)) {
+      // Silent result loss: the instance finishes and frees its machine,
+      // but the result never reaches the scheduler — which learns only at
+      // the instance deadline, exactly like a silent host death.
+      if (!reliable && chaos_ != nullptr && chaos_->result_loss_prob > 0.0 &&
+          chaos_rng_.bernoulli(chaos_->result_loss_prob)) {
+        ++obs_results_lost_;
+        engine_.schedule_at(t_complete, [this, machine_idx] {
+          machines_[machine_idx].busy = false;
+          dispatch();
+        });
+        const double notify = t_kill == kInf ? t_complete : t_kill;
+        engine_.schedule_at(notify, [this, task, machine_idx, now] {
+          on_failure(task, machine_idx, now, /*frees_machine=*/false);
+        });
+        return;
+      }
       engine_.schedule_at(t_complete, [this, task, machine_idx, now, runtime] {
         on_success(task, machine_idx, now, runtime);
       });
       return;
     }
-    if (machine.next_down < t_kill) {
+    if (down_at < t_kill) {
       // The machine dies mid-run; the down event frees it. The scheduler
       // hears about it either immediately (reported failure) or only at the
       // deadline (silent loss) — reliable instances are always reported.
       const bool reported =
           reliable || rng_.bernoulli(machine.failure_notice_prob);
       const double notify =
-          reported ? machine.next_down
-                   : (t_kill == kInf ? machine.next_down : t_kill);
+          reported ? down_at : (t_kill == kInf ? down_at : t_kill);
       engine_.schedule_at(notify, [this, task, machine_idx, now] {
         on_failure(task, machine_idx, now, /*frees_machine=*/false);
       });
@@ -450,6 +681,45 @@ class Run {
     // Killed at the deadline while still running.
     engine_.schedule_at(t_kill, [this, task, machine_idx, now] {
       on_failure(task, machine_idx, now, /*frees_machine=*/true);
+    });
+  }
+
+  /// A reliable-pool launch attempt failed. Bounded retry with exponential
+  /// backoff; once the retries are exhausted the reliable instance is
+  /// abandoned (recorded as DispatchFailed) and the task falls back to the
+  /// unreliable pool so it cannot starve waiting for capacity that never
+  /// materializes.
+  void on_dispatch_failure(workload::TaskId task) {
+    const double now = engine_.now();
+    auto& st = tasks_[task];
+    st.queued = Queued::None;  // the queue entry was consumed by dispatch()
+    ++st.epoch;
+    ++obs_dispatch_fail_;
+    ++st.dispatch_attempts;
+    if (st.dispatch_attempts > chaos_->max_dispatch_retries) {
+      ++obs_dispatch_abandoned_;
+      records_.push_back(InstanceRecord{
+          task, PoolKind::Reliable, now, kInf, InstanceOutcome::DispatchFailed,
+          0.0, tail_started_ && now >= t_tail_});
+      st.dispatch_attempts = 0;
+      // Allow a later, fresh reliable retry cycle should the fallback
+      // unreliable instance fail too.
+      st.reliable_used = false;
+      enqueue(task, Queued::Unreliable);
+      return;
+    }
+    ++obs_dispatch_retry_;
+    const double factor =
+        std::pow(2.0, static_cast<double>(st.dispatch_attempts - 1));
+    const double backoff =
+        std::min(chaos_->dispatch_backoff_base_s * factor,
+                 chaos_->dispatch_backoff_max_s) *
+        chaos_rng_.uniform(0.5, 1.5);
+    engine_.schedule_in(backoff, [this, task] {
+      auto& state = tasks_[task];
+      if (state.completed || state.queued != Queued::None) return;
+      enqueue(task, Queued::Reliable);
+      dispatch();
     });
   }
 
@@ -630,6 +900,13 @@ class Run {
     m.r_preempted.inc(obs_r_preempted_);
     m.down.inc(obs_down_);
     m.up.inc(obs_up_);
+    m.truncated.inc(obs_truncated_);
+    m.blackouts.inc(obs_blackouts_);
+    m.forced_down.inc(obs_forced_down_);
+    m.dispatch_failures.inc(obs_dispatch_fail_);
+    m.dispatch_retries.inc(obs_dispatch_retry_);
+    m.dispatch_abandoned.inc(obs_dispatch_abandoned_);
+    m.results_lost.inc(obs_results_lost_);
     m.makespan.observe(completion_time_);
   }
 
@@ -658,6 +935,11 @@ class Run {
   const Executor::TailStrategySelector* selector_ = nullptr;
   std::vector<PendingInstance> pending_;
   util::Rng rng_;
+  /// Non-null when the config carries an active chaos plan. Fault draws
+  /// come from their own RNG so the plan never perturbs the scheduling
+  /// stream's sequence of draws.
+  const chaos::ChaosConfig* chaos_ = nullptr;
+  util::Rng chaos_rng_;
 
   sim::Engine engine_;
   std::vector<Machine> machines_;
@@ -672,6 +954,7 @@ class Run {
 
   std::size_t unreliable_count_ = 0;
   std::size_t reliable_count_ = 0;
+  std::size_t spare_count_ = 0;  ///< flash-crowd spares, excluded from l_ur
   std::size_t ur_cursor_ = 0;
   std::size_t r_cursor_ = 0;
   double thr_deadline_ = 0.0;
@@ -692,6 +975,13 @@ class Run {
   std::uint64_t obs_r_preempted_ = 0;
   std::uint64_t obs_down_ = 0;
   std::uint64_t obs_up_ = 0;
+  std::uint64_t obs_truncated_ = 0;
+  std::uint64_t obs_blackouts_ = 0;
+  std::uint64_t obs_forced_down_ = 0;
+  std::uint64_t obs_dispatch_fail_ = 0;
+  std::uint64_t obs_dispatch_retry_ = 0;
+  std::uint64_t obs_dispatch_abandoned_ = 0;
+  std::uint64_t obs_results_lost_ = 0;
 };
 
 }  // namespace
@@ -702,6 +992,7 @@ void ExecutorConfig::validate() const {
   EXPERT_REQUIRE(max_sim_time > 0.0, "horizon must be positive");
   EXPERT_REQUIRE(throughput_deadline >= 0.0,
                  "throughput deadline must be non-negative");
+  if (chaos) chaos->validate();
 }
 
 Executor::Executor(ExecutorConfig config) : config_(std::move(config)) {
@@ -713,8 +1004,7 @@ trace::ExecutionTrace Executor::run(const workload::Bot& bot,
                                     std::uint64_t stream) const {
   EXPERT_SPAN("executor.run");
   strategy.validate();
-  util::Rng rng(util::derive_seed(config_.seed, stream));
-  Run run(config_, bot, strategy, rng);
+  Run run(config_, bot, strategy, stream);
   return run.execute();
 }
 
@@ -724,8 +1014,7 @@ trace::ExecutionTrace Executor::run_adaptive(
   EXPERT_SPAN("executor.run_adaptive");
   initial.validate();
   EXPERT_REQUIRE(selector != nullptr, "run_adaptive needs a selector");
-  util::Rng rng(util::derive_seed(config_.seed, stream));
-  Run run(config_, bot, initial, rng, &selector);
+  Run run(config_, bot, initial, stream, &selector);
   return run.execute();
 }
 

@@ -25,17 +25,21 @@ const char* to_string(InstanceOutcome outcome) noexcept {
       return "timeout";
     case InstanceOutcome::Cancelled:
       return "cancelled";
+    case InstanceOutcome::DispatchFailed:
+      return "dispatch_failed";
   }
   return "?";
 }
 
 ExecutionTrace::ExecutionTrace(std::size_t task_count,
                                std::vector<InstanceRecord> records,
-                               double t_tail, double completion_time)
+                               double t_tail, double completion_time,
+                               bool truncated)
     : task_count_(task_count),
       records_(std::move(records)),
       t_tail_(t_tail),
-      completion_time_(completion_time) {
+      completion_time_(completion_time),
+      truncated_(truncated) {
   EXPERT_REQUIRE(task_count_ > 0, "trace needs a non-empty BoT");
   EXPERT_REQUIRE(t_tail_ >= 0.0 && completion_time_ >= t_tail_,
                  "0 <= t_tail <= completion time required");
@@ -59,7 +63,8 @@ std::size_t ExecutionTrace::reliable_instances_sent() const noexcept {
   return static_cast<std::size_t>(
       std::count_if(records_.begin(), records_.end(), [](const auto& r) {
         return r.pool == PoolKind::Reliable &&
-               r.outcome != InstanceOutcome::Cancelled;
+               r.outcome != InstanceOutcome::Cancelled &&
+               r.outcome != InstanceOutcome::DispatchFailed;
       }));
 }
 

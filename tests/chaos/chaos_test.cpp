@@ -1,0 +1,204 @@
+#include "expert/chaos/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::chaos {
+namespace {
+
+TEST(ChaosConfig, DefaultIsInert) {
+  ChaosConfig cfg;
+  EXPECT_FALSE(cfg.any());
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ChaosConfig, AnyDetectsEachFaultClass) {
+  ChaosConfig cfg;
+  cfg.blackouts_per_group = 1;
+  EXPECT_TRUE(cfg.any());
+  cfg = ChaosConfig{};
+  cfg.shrink_fraction = 0.5;
+  EXPECT_TRUE(cfg.any());
+  cfg = ChaosConfig{};
+  cfg.flash_fraction = 0.5;
+  EXPECT_TRUE(cfg.any());
+  cfg = ChaosConfig{};
+  cfg.dispatch_failure_prob = 0.1;
+  EXPECT_TRUE(cfg.any());
+  cfg = ChaosConfig{};
+  cfg.result_loss_prob = 0.1;
+  EXPECT_TRUE(cfg.any());
+}
+
+TEST(ChaosConfig, ValidateRejectsIncompleteBlackouts) {
+  ChaosConfig cfg;
+  cfg.blackouts_per_group = 2;
+  EXPECT_THROW(cfg.validate(), util::ContractViolation);
+  cfg.blackout_window_s = 1000.0;
+  EXPECT_THROW(cfg.validate(), util::ContractViolation);
+  cfg.blackout_mean_duration_s = 100.0;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ChaosConfig, ValidateRejectsBadProbabilities) {
+  ChaosConfig cfg;
+  cfg.dispatch_failure_prob = 1.5;
+  EXPECT_THROW(cfg.validate(), util::ContractViolation);
+  cfg.dispatch_failure_prob = 0.2;
+  cfg.dispatch_backoff_base_s = 100.0;
+  cfg.dispatch_backoff_max_s = 10.0;  // max < base
+  EXPECT_THROW(cfg.validate(), util::ContractViolation);
+  cfg = ChaosConfig{};
+  cfg.result_loss_prob = -0.1;
+  EXPECT_THROW(cfg.validate(), util::ContractViolation);
+  cfg = ChaosConfig{};
+  cfg.shrink_fraction = 0.3;  // but no duration
+  EXPECT_THROW(cfg.validate(), util::ContractViolation);
+}
+
+TEST(ChaosPlanParser, ParsesAllKeys) {
+  const auto cfg = parse_chaos_plan(
+      "seed=42 blackouts=2 blackout_window=20000 blackout_duration=3000 "
+      "shrink=0.25 shrink_start=100 shrink_duration=500 "
+      "flash=0.5 flash_start=200 flash_duration=700 "
+      "dispatch_fail=0.1 dispatch_retries=3 backoff_base=10 backoff_max=100 "
+      "loss=0.05");
+  EXPECT_EQ(cfg.seed, 42u);
+  EXPECT_EQ(cfg.blackouts_per_group, 2u);
+  EXPECT_DOUBLE_EQ(cfg.blackout_window_s, 20000.0);
+  EXPECT_DOUBLE_EQ(cfg.blackout_mean_duration_s, 3000.0);
+  EXPECT_DOUBLE_EQ(cfg.shrink_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(cfg.shrink_start_s, 100.0);
+  EXPECT_DOUBLE_EQ(cfg.shrink_duration_s, 500.0);
+  EXPECT_DOUBLE_EQ(cfg.flash_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(cfg.flash_start_s, 200.0);
+  EXPECT_DOUBLE_EQ(cfg.flash_duration_s, 700.0);
+  EXPECT_DOUBLE_EQ(cfg.dispatch_failure_prob, 0.1);
+  EXPECT_EQ(cfg.max_dispatch_retries, 3u);
+  EXPECT_DOUBLE_EQ(cfg.dispatch_backoff_base_s, 10.0);
+  EXPECT_DOUBLE_EQ(cfg.dispatch_backoff_max_s, 100.0);
+  EXPECT_DOUBLE_EQ(cfg.result_loss_prob, 0.05);
+}
+
+TEST(ChaosPlanParser, AcceptsCommaSeparators) {
+  const auto cfg = parse_chaos_plan("dispatch_fail=0.2,loss=0.1");
+  EXPECT_DOUBLE_EQ(cfg.dispatch_failure_prob, 0.2);
+  EXPECT_DOUBLE_EQ(cfg.result_loss_prob, 0.1);
+}
+
+TEST(ChaosPlanParser, RoundTripsThroughToString) {
+  const auto cfg = parse_chaos_plan(
+      "seed=7 blackouts=1 blackout_window=5000 blackout_duration=800 "
+      "dispatch_fail=0.15 loss=0.02");
+  const auto again = parse_chaos_plan(cfg.to_string());
+  EXPECT_EQ(again.to_string(), cfg.to_string());
+}
+
+TEST(ChaosPlanParser, RejectsUnknownKeysAndBadValues) {
+  EXPECT_THROW(parse_chaos_plan("frobnicate=1"), util::ContractViolation);
+  EXPECT_THROW(parse_chaos_plan("loss=abc"), util::ContractViolation);
+  EXPECT_THROW(parse_chaos_plan("loss=0.1x"), util::ContractViolation);
+  EXPECT_THROW(parse_chaos_plan("loss"), util::ContractViolation);
+  EXPECT_THROW(parse_chaos_plan("=0.1"), util::ContractViolation);
+  // Parsed plans are validated too.
+  EXPECT_THROW(parse_chaos_plan("blackouts=1"), util::ContractViolation);
+}
+
+TEST(MergeWindows, SortsAndCoalesces) {
+  std::vector<ForcedWindow> w = {
+      {10.0, 20.0}, {0.0, 5.0}, {18.0, 30.0}, {40.0, 50.0}, {30.0, 35.0}};
+  merge_windows(w);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(w[0].end, 5.0);
+  // [10,20) and [18,30) overlap; [30,35) is adjacent to the merged end.
+  EXPECT_DOUBLE_EQ(w[1].start, 10.0);
+  EXPECT_DOUBLE_EQ(w[1].end, 35.0);
+  EXPECT_DOUBLE_EQ(w[2].start, 40.0);
+  EXPECT_DOUBLE_EQ(w[2].end, 50.0);
+}
+
+TEST(MergeWindows, EmptyAndSingleAreNoOps) {
+  std::vector<ForcedWindow> empty;
+  merge_windows(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<ForcedWindow> one = {{1.0, 2.0}};
+  merge_windows(one);
+  ASSERT_EQ(one.size(), 1u);
+}
+
+TEST(BlackoutSchedule, DeterministicInSeedAndStream) {
+  ChaosConfig cfg;
+  cfg.blackouts_per_group = 3;
+  cfg.blackout_window_s = 10000.0;
+  cfg.blackout_mean_duration_s = 500.0;
+
+  const auto a = blackout_schedule(cfg, 4, 1);
+  const auto b = blackout_schedule(cfg, 4, 1);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t g = 0; g < a.size(); ++g) {
+    ASSERT_EQ(a[g].size(), b[g].size());
+    for (std::size_t i = 0; i < a[g].size(); ++i) {
+      EXPECT_DOUBLE_EQ(a[g][i].start, b[g][i].start);
+      EXPECT_DOUBLE_EQ(a[g][i].end, b[g][i].end);
+    }
+  }
+
+  // A different stream draws a different schedule.
+  const auto c = blackout_schedule(cfg, 4, 2);
+  bool differs = false;
+  for (std::size_t g = 0; g < a.size() && !differs; ++g) {
+    if (a[g].size() != c[g].size()) {
+      differs = true;
+    } else {
+      for (std::size_t i = 0; i < a[g].size(); ++i) {
+        if (a[g][i].start != c[g][i].start) differs = true;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(BlackoutSchedule, GroupsDrawIndependentWindows) {
+  ChaosConfig cfg;
+  cfg.blackouts_per_group = 1;
+  cfg.blackout_window_s = 1.0e6;
+  cfg.blackout_mean_duration_s = 100.0;
+  const auto schedule = blackout_schedule(cfg, 2, 0);
+  ASSERT_EQ(schedule.size(), 2u);
+  ASSERT_EQ(schedule[0].size(), 1u);
+  ASSERT_EQ(schedule[1].size(), 1u);
+  EXPECT_NE(schedule[0][0].start, schedule[1][0].start);
+}
+
+TEST(BlackoutSchedule, WindowsLieInConfiguredRange) {
+  ChaosConfig cfg;
+  cfg.blackouts_per_group = 5;
+  cfg.blackout_window_s = 2000.0;
+  cfg.blackout_mean_duration_s = 50.0;
+  for (std::uint64_t stream = 0; stream < 8; ++stream) {
+    for (const auto& group : blackout_schedule(cfg, 3, stream)) {
+      for (const auto& w : group) {
+        EXPECT_GE(w.start, 0.0);
+        EXPECT_LT(w.start, cfg.blackout_window_s);
+        EXPECT_GT(w.end, w.start);
+      }
+    }
+  }
+}
+
+TEST(EventRng, IndependentOfBlackoutStream) {
+  ChaosConfig cfg;
+  cfg.blackouts_per_group = 1;
+  cfg.blackout_window_s = 1000.0;
+  cfg.blackout_mean_duration_s = 10.0;
+  auto a = event_rng(cfg, 0);
+  auto b = event_rng(cfg, 0);
+  EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  auto c = event_rng(cfg, 1);
+  EXPECT_NE(a.uniform(0.0, 1.0), c.uniform(0.0, 1.0));
+}
+
+}  // namespace
+}  // namespace expert::chaos

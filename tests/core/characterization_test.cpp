@@ -194,6 +194,116 @@ TEST(EstimateEffectiveSize, RecoversSaturatedPoolSize) {
   EXPECT_EQ(estimate_effective_size(history), machines);
 }
 
+TEST(CharacterizeChecked, EmptyThroughputPhaseDegrades) {
+  ExecutionTrace history(
+      1, {{0, PoolKind::Unreliable, 0.0, 10.0, InstanceOutcome::Success, 0.1,
+           true}},
+      0.0, 100.0);
+  const auto checked = characterize_checked(history);
+  EXPECT_FALSE(checked.model.has_value());
+  ASSERT_TRUE(checked.degradation.has_value());
+  EXPECT_EQ(*checked.degradation, DegradationReason::NoThroughputPhase);
+  EXPECT_EQ(checked.quality.unreliable_instances, 0u);
+  EXPECT_FALSE(checked.quality.sufficient);
+}
+
+TEST(CharacterizeChecked, ReliableOnlyHistoryDegrades) {
+  ExecutionTrace history(
+      1, {{0, PoolKind::Reliable, 0.0, 100.0, InstanceOutcome::Success, 1.0,
+           false}},
+      50.0, 200.0);
+  const auto checked = characterize_checked(history);
+  EXPECT_FALSE(checked.model.has_value());
+  ASSERT_TRUE(checked.degradation.has_value());
+  EXPECT_EQ(*checked.degradation, DegradationReason::NoUnreliableInstances);
+}
+
+TEST(CharacterizeChecked, AllFailuresDegrade) {
+  std::vector<InstanceRecord> records;
+  for (int i = 0; i < 30; ++i) {
+    records.push_back({0, PoolKind::Unreliable, static_cast<double>(i * 10),
+                       trace::kNeverReturns, InstanceOutcome::Timeout, 0.0,
+                       false});
+  }
+  ExecutionTrace history(1, std::move(records), 500.0, 600.0);
+  const auto checked = characterize_checked(history);
+  EXPECT_FALSE(checked.model.has_value());
+  ASSERT_TRUE(checked.degradation.has_value());
+  EXPECT_EQ(*checked.degradation, DegradationReason::NoObservedSuccesses);
+  EXPECT_EQ(checked.quality.unreliable_instances, 30u);
+  EXPECT_EQ(checked.quality.observed_successes, 0u);
+}
+
+TEST(CharacterizeChecked, TooFewSamplesDegrade) {
+  const auto history =
+      synthetic_history(10000.0, 6, [](double) { return 1.0; });
+  const auto checked = characterize_checked(history);
+  EXPECT_FALSE(checked.model.has_value());
+  ASSERT_TRUE(checked.degradation.has_value());
+  EXPECT_EQ(*checked.degradation, DegradationReason::InsufficientSamples);
+  EXPECT_EQ(checked.quality.unreliable_instances, 6u);
+  EXPECT_FALSE(checked.quality.sufficient);
+}
+
+TEST(CharacterizeChecked, ThresholdsAreTunable) {
+  const auto history =
+      synthetic_history(10000.0, 6, [](double) { return 1.0; });
+  QualityThresholds relaxed;
+  relaxed.min_instances = 3;
+  relaxed.min_observed_successes = 2;
+  const auto checked = characterize_checked(history, {}, relaxed);
+  EXPECT_TRUE(checked.model.has_value());
+  EXPECT_FALSE(checked.degradation.has_value());
+  EXPECT_TRUE(checked.quality.sufficient);
+}
+
+TEST(CharacterizeChecked, GoodHistoryYieldsModelAndQuality) {
+  const auto history =
+      synthetic_history(10000.0, 4000, [](double) { return 0.8; });
+  const auto checked = characterize_checked(
+      history, {ReliabilityMode::Offline, /*deadline=*/2000.0, 8});
+  ASSERT_TRUE(checked.model.has_value());
+  EXPECT_FALSE(checked.degradation.has_value());
+  EXPECT_TRUE(checked.quality.sufficient);
+  EXPECT_EQ(checked.quality.unreliable_instances, 4000u);
+  EXPECT_GT(checked.quality.observed_successes, 2000u);
+  EXPECT_GE(checked.quality.censored_fraction, 0.0);
+  EXPECT_LT(checked.quality.censored_fraction, 0.5);
+  EXPECT_EQ(checked.quality.epoch1_instances + checked.quality.epoch2_instances,
+            checked.quality.unreliable_instances);
+  EXPECT_NEAR(checked.model->gamma(5000.0), 0.8, 0.05);
+}
+
+TEST(CharacterizeChecked, MatchesDirectCharacterization) {
+  const auto history =
+      synthetic_history(10000.0, 4000, [](double) { return 0.85; });
+  CharacterizationOptions opts{ReliabilityMode::Online, 2000.0, 8};
+  const auto direct = characterize(history, opts);
+  const auto checked = characterize_checked(history, opts);
+  ASSERT_TRUE(checked.model.has_value());
+  for (double t = 0.0; t < 15000.0; t += 1000.0) {
+    EXPECT_DOUBLE_EQ(checked.model->gamma(t), direct.gamma(t)) << t;
+  }
+}
+
+TEST(AssessQuality, CountsCensoredInstances) {
+  // Three observations: one resolved success, one success finishing past
+  // T_tail (censored), one unresolved timeout (censored).
+  std::vector<InstanceRecord> records = {
+      {0, PoolKind::Unreliable, 0.0, 100.0, InstanceOutcome::Success, 0.1,
+       false},
+      {1, PoolKind::Unreliable, 900.0, 300.0, InstanceOutcome::Success, 0.1,
+       false},
+      {2, PoolKind::Unreliable, 500.0, trace::kNeverReturns,
+       InstanceOutcome::Timeout, 0.0, false},
+  };
+  ExecutionTrace history(3, std::move(records), 1000.0, 1300.0);
+  const auto q = assess_quality(history, {}, {});
+  EXPECT_EQ(q.unreliable_instances, 3u);
+  EXPECT_EQ(q.observed_successes, 1u);
+  EXPECT_NEAR(q.censored_fraction, 2.0 / 3.0, 1e-12);
+}
+
 TEST(EstimateEffectiveSize, AtLeastOne) {
   std::vector<InstanceRecord> records = {
       {0, PoolKind::Unreliable, 0.0, 1.0, InstanceOutcome::Success, 0.1,

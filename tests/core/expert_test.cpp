@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "expert/util/assert.hpp"
+#include "expert/util/rng.hpp"
 
 namespace expert::core {
 namespace {
@@ -94,6 +95,95 @@ TEST(Expert, DeterministicRecommendations) {
   ASSERT_TRUE(a && b);
   EXPECT_TRUE(a->strategy == b->strategy);
   EXPECT_DOUBLE_EQ(a->predicted.makespan, b->predicted.makespan);
+}
+
+trace::ExecutionTrace rich_history(std::uint64_t seed = 7) {
+  util::Rng rng(seed);
+  std::vector<trace::InstanceRecord> records;
+  const std::size_t instances = 400;
+  const double t_tail = 8000.0;
+  for (std::size_t i = 0; i < instances; ++i) {
+    trace::InstanceRecord r;
+    r.task = static_cast<workload::TaskId>(i % 100);
+    r.pool = trace::PoolKind::Unreliable;
+    r.send_time =
+        t_tail * static_cast<double>(i) / static_cast<double>(instances);
+    if (rng.bernoulli(0.8)) {
+      r.turnaround = rng.uniform(400.0, 1600.0);
+      r.outcome = trace::InstanceOutcome::Success;
+      r.cost_cents = 0.1;
+    } else {
+      r.turnaround = trace::kNeverReturns;
+      r.outcome = trace::InstanceOutcome::Timeout;
+    }
+    records.push_back(r);
+  }
+  return trace::ExecutionTrace(100, std::move(records), t_tail,
+                               t_tail + 2000.0);
+}
+
+TEST(ExpertRobust, RichHistoryBuildsWithoutFallback) {
+  const auto report =
+      Expert::from_history_robust(rich_history(), small_params(),
+                                  small_options());
+  EXPECT_FALSE(report.used_fallback_model());
+  EXPECT_FALSE(report.degradation.has_value());
+  EXPECT_TRUE(report.quality.sufficient);
+  EXPECT_GE(report.expert.unreliable_size(), 1u);
+}
+
+TEST(ExpertRobust, UnusableHistoryFallsBackButStillRecommends) {
+  // Reliable-only history: characterization is impossible, but the robust
+  // builder must still hand back a working Expert.
+  std::vector<trace::InstanceRecord> records = {
+      {0, trace::PoolKind::Reliable, 0.0, 100.0,
+       trace::InstanceOutcome::Success, 1.0, false}};
+  trace::ExecutionTrace history(1, std::move(records), 50.0, 200.0);
+  const auto report =
+      Expert::from_history_robust(history, small_params(), small_options());
+  EXPECT_TRUE(report.used_fallback_model());
+  ASSERT_TRUE(report.degradation.has_value());
+  EXPECT_EQ(*report.degradation, DegradationReason::NoUnreliableInstances);
+  const auto rec = report.expert.recommend(
+      60, Utility::min_cost_makespan_product());
+  EXPECT_TRUE(rec.has_value());
+}
+
+TEST(ExpertRobust, SparseHistoryReportsInsufficientSamples) {
+  std::vector<trace::InstanceRecord> records = {
+      {0, trace::PoolKind::Unreliable, 0.0, 300.0,
+       trace::InstanceOutcome::Success, 0.1, false},
+      {1, trace::PoolKind::Unreliable, 100.0, 250.0,
+       trace::InstanceOutcome::Success, 0.1, false}};
+  trace::ExecutionTrace history(2, std::move(records), 1000.0, 1400.0);
+  const auto report =
+      Expert::from_history_robust(history, small_params(), small_options());
+  EXPECT_TRUE(report.used_fallback_model());
+  ASSERT_TRUE(report.degradation.has_value());
+  EXPECT_EQ(*report.degradation, DegradationReason::InsufficientSamples);
+  EXPECT_EQ(report.quality.unreliable_instances, 2u);
+}
+
+TEST(ExpertRobust, ExplicitPoolSizeWinsOverEstimation) {
+  ExpertOptions opts = small_options();
+  opts.unreliable_size = 17;
+  const auto report =
+      Expert::from_history_robust(rich_history(), small_params(), opts);
+  EXPECT_EQ(report.expert.unreliable_size(), 17u);
+}
+
+TEST(ExpertRobust, DeterministicGivenSameHistory) {
+  const auto a = Expert::from_history_robust(rich_history(), small_params(),
+                                             small_options());
+  const auto b = Expert::from_history_robust(rich_history(), small_params(),
+                                             small_options());
+  const auto ra =
+      a.expert.recommend(60, Utility::min_cost_makespan_product());
+  const auto rb =
+      b.expert.recommend(60, Utility::min_cost_makespan_product());
+  ASSERT_TRUE(ra && rb);
+  EXPECT_TRUE(ra->strategy == rb->strategy);
+  EXPECT_DOUBLE_EQ(ra->predicted.makespan, rb->predicted.makespan);
 }
 
 TEST(Expert, RejectsInvalidConstruction) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <stdexcept>
+
 #include "expert/gridsim/executor.hpp"
 #include "expert/gridsim/presets.hpp"
 #include "expert/util/assert.hpp"
@@ -111,6 +114,99 @@ TEST(Campaign, RecommendationImprovesOnNaiveBootstrap) {
   // the utility it optimized for.
   EXPECT_LT(second.tail_makespan * second.cost_per_task_cents,
             first.tail_makespan * first.cost_per_task_cents * 1.5);
+}
+
+TEST(Campaign, FlakyBackendCompletesAfterRetry) {
+  // Throws on the first two attempts, then behaves like the real backend.
+  auto real = gridsim_backend();
+  auto failures = std::make_shared<int>(2);
+  Campaign::Backend flaky = [real, failures](
+                                const workload::Bot& b,
+                                const strategies::StrategyConfig& s,
+                                std::uint64_t stream) {
+    if (*failures > 0) {
+      --*failures;
+      throw std::runtime_error("injected backend failure");
+    }
+    return real(b, s, stream);
+  };
+  Campaign campaign(flaky, options());
+  const auto report = campaign.run_bot(bot(30), Utility::cheapest());
+  EXPECT_EQ(report.outcome, Campaign::BotOutcome::CompletedAfterRetry);
+  EXPECT_EQ(report.retries, 2u);
+  EXPECT_GT(report.makespan, 0.0);
+  EXPECT_EQ(campaign.quarantined_bots(), 0u);
+  // The successful run still feeds the history.
+  EXPECT_TRUE(campaign.merged_history().has_value());
+}
+
+TEST(Campaign, DeadBackendQuarantinesAndContinues) {
+  auto real = gridsim_backend();
+  auto dead_calls = std::make_shared<int>(0);
+  // First BoT's backend always throws; later BoTs run normally.
+  Campaign::Backend sometimes_dead =
+      [real, dead_calls](const workload::Bot& b,
+                         const strategies::StrategyConfig& s,
+                         std::uint64_t stream) {
+        if (*dead_calls >= 0 && *dead_calls < 100) {
+          ++*dead_calls;
+          if (*dead_calls <= 3) throw std::runtime_error("backend down");
+        }
+        return real(b, s, stream);
+      };
+  auto opts = options();
+  opts.max_backend_retries = 2;  // 3 attempts total — all eaten by BoT 1
+  Campaign campaign(sometimes_dead, opts);
+
+  const auto first = campaign.run_bot(bot(31), Utility::cheapest());
+  EXPECT_EQ(first.outcome, Campaign::BotOutcome::Quarantined);
+  EXPECT_EQ(first.retries, 3u);
+  ASSERT_TRUE(first.degradation.has_value());
+  EXPECT_EQ(*first.degradation, DegradationReason::BackendFailure);
+  EXPECT_EQ(campaign.quarantined_bots(), 1u);
+  // A quarantined BoT contributes no history.
+  EXPECT_FALSE(campaign.merged_history().has_value());
+
+  // The campaign keeps going: the next BoT runs fine.
+  const auto second = campaign.run_bot(bot(32), Utility::cheapest());
+  EXPECT_EQ(second.outcome, Campaign::BotOutcome::Completed);
+  EXPECT_GT(second.makespan, 0.0);
+  EXPECT_EQ(campaign.completed_bots(), 2u);
+  EXPECT_EQ(campaign.quarantined_bots(), 1u);
+  EXPECT_TRUE(campaign.merged_history().has_value());
+}
+
+TEST(Campaign, ZeroRetriesQuarantinesOnFirstFailure) {
+  Campaign::Backend always_dead =
+      [](const workload::Bot&, const strategies::StrategyConfig&,
+         std::uint64_t) -> trace::ExecutionTrace {
+    throw std::runtime_error("backend down");
+  };
+  auto opts = options();
+  opts.max_backend_retries = 0;
+  Campaign campaign(always_dead, opts);
+  const auto report = campaign.run_bot(bot(33), Utility::cheapest());
+  EXPECT_EQ(report.outcome, Campaign::BotOutcome::Quarantined);
+  EXPECT_EQ(report.retries, 1u);
+}
+
+TEST(Campaign, OutcomeNamesAreStable) {
+  EXPECT_STREQ(to_string(Campaign::BotOutcome::Completed), "completed");
+  EXPECT_STREQ(to_string(Campaign::BotOutcome::CompletedAfterRetry),
+               "completed_after_retry");
+  EXPECT_STREQ(to_string(Campaign::BotOutcome::Quarantined), "quarantined");
+}
+
+TEST(Campaign, ReportsCarryQualityOncePrimed) {
+  Campaign campaign(gridsim_backend(), options());
+  const auto first = campaign.run_bot(bot(34), Utility::cheapest());
+  // Bootstrap BoT: no history, so no quality survey.
+  EXPECT_FALSE(first.quality.has_value());
+  ASSERT_TRUE(first.degradation.has_value());
+  EXPECT_EQ(*first.degradation, DegradationReason::NoHistory);
+  const auto second = campaign.run_bot(bot(35), Utility::cheapest());
+  ASSERT_TRUE(second.quality.has_value());
+  EXPECT_GT(second.quality->unreliable_instances, 0u);
 }
 
 TEST(Campaign, RejectsBadConstruction) {

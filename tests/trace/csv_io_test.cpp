@@ -84,5 +84,86 @@ TEST(TraceCsv, RejectsUnknownPool) {
   EXPECT_THROW(read_csv(in), std::runtime_error);
 }
 
+TEST(TraceCsv, ParseErrorsNameTheOneBasedLine) {
+  std::ostringstream out;
+  write_csv(make_trace(), out);
+  // The malformed row lands after 2 header lines + 5 records -> line 8.
+  std::istringstream in(out.str() + "1,unreliable,0\n");
+  try {
+    read_csv(in);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 8"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceCsv, MetaErrorsNameLineOne) {
+  std::istringstream in(
+      "#meta,1,zero,1\n"
+      "task,pool,send_time,turnaround,outcome,cost_cents,tail_phase\n");
+  try {
+    read_csv(in);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceCsv, TruncatedFlagSurvivesRoundTrip) {
+  std::vector<InstanceRecord> records = {
+      {0, PoolKind::Unreliable, 0.0, 100.0, InstanceOutcome::Success, 1.0,
+       false},
+      {1, PoolKind::Unreliable, 10.0, kNeverReturns, InstanceOutcome::Timeout,
+       0.0, false},
+  };
+  const ExecutionTrace original(2, std::move(records), 50.0, 200.0,
+                                /*truncated=*/true);
+  std::ostringstream out;
+  write_csv(original, out);
+  std::istringstream in(out.str());
+  const auto parsed = read_csv(in);
+  EXPECT_TRUE(parsed.truncated());
+}
+
+TEST(TraceCsv, LegacyFourFieldMetaLoadsAsNotTruncated) {
+  std::istringstream in(
+      "#meta,1,0,1\n"
+      "task,pool,send_time,turnaround,outcome,cost_cents,tail_phase\n"
+      "0,unreliable,0,1,success,0,0\n");
+  const auto parsed = read_csv(in);
+  EXPECT_FALSE(parsed.truncated());
+  EXPECT_EQ(parsed.records().size(), 1u);
+}
+
+TEST(TraceCsv, LenientReadSkipsMalformedRows) {
+  std::ostringstream out;
+  write_csv(make_trace(), out);
+  std::istringstream in(out.str() +
+                        "1,unreliable,0\n"          // wrong field count
+                        "1,marsgrid,0,1,success,0,0\n"  // unknown pool
+                        "1,unreliable,x,1,success,0,0\n"  // bad number
+                        "7,unreliable,0,1,success,0,0\n"  // task out of range
+                        "2,unreliable,490,75,success,0.5,1\n");  // fine
+  const auto result = read_csv_lenient(in);
+  EXPECT_EQ(result.skipped_rows, 4u);
+  EXPECT_EQ(result.trace.records().size(), make_trace().records().size() + 1);
+}
+
+TEST(TraceCsv, LenientReadStillRequiresMeta) {
+  std::istringstream in("task,pool\n0,unreliable\n");
+  EXPECT_THROW(read_csv_lenient(in), std::runtime_error);
+}
+
+TEST(TraceCsv, LenientReadOfCleanTraceSkipsNothing) {
+  std::ostringstream out;
+  write_csv(make_trace(), out);
+  std::istringstream in(out.str());
+  const auto result = read_csv_lenient(in);
+  EXPECT_EQ(result.skipped_rows, 0u);
+  EXPECT_EQ(result.trace.records().size(), make_trace().records().size());
+}
+
 }  // namespace
 }  // namespace expert::trace

@@ -16,8 +16,13 @@
 //     Estimate makespan/cost of a strategy on a synthetic pool model.
 //
 //   expert_cli execute [--experiment K] [--reps R] [--mode online|offline]
+//       [--chaos PLAN] [--bots K] [--utility U]
 //     Run one Table V validation experiment machine-level (gridsim) and
-//     compare against the Estimator's prediction.
+//     compare against the Estimator's prediction. With --chaos, inject the
+//     deterministic fault plan (see docs/robustness.md for the plan
+//     grammar); with --bots K > 1, run a K-BoT campaign through the full
+//     characterize -> recommend -> execute loop and report per-BoT
+//     outcomes (completed / retried / quarantined) plus any degradation.
 //
 // Every command accepts --metrics-out=FILE and --trace-out=FILE to dump
 // the run's metrics snapshot (JSON) and Chrome-trace spans.
@@ -26,6 +31,8 @@
 #include <fstream>
 #include <iostream>
 
+#include "expert/chaos/chaos.hpp"
+#include "expert/core/campaign.hpp"
 #include "expert/core/expert.hpp"
 #include "expert/core/report.hpp"
 #include "expert/core/sensitivity.hpp"
@@ -55,7 +62,8 @@ int usage() {
       "  simulate     --strategy STR --tasks N [--pool L] [--gamma G]\n"
       "               [--tur S] [--reps R]\n"
       "  execute      [--experiment 1..13] [--reps R] [--mode online|offline]\n"
-      "               [--seed S]\n"
+      "               [--seed S] [--chaos PLAN] [--bots K] [--utility U]\n"
+      "               PLAN e.g. 'blackouts=2,dispatch_fail=0.2,loss=0.05'\n"
       "global: --metrics-out FILE (metrics JSON), --trace-out FILE\n"
       "        (Chrome trace JSON for chrome://tracing / Perfetto)\n";
   return 2;
@@ -100,23 +108,46 @@ int cmd_characterize(const util::Args& args) {
   opts.mode = mode == "offline" ? core::ReliabilityMode::Offline
                                 : core::ReliabilityMode::Online;
   opts.instance_deadline = args.number_or("deadline", 0.0);
-  const auto model = core::characterize(history, opts);
+  const auto checked = core::characterize_checked(history, opts);
+  const auto& quality = checked.quality;
 
   util::Table table({"quantity", "value"});
   table.add_row({"records", std::to_string(history.records().size())});
   table.add_row({"tasks", std::to_string(history.task_count())});
   table.add_row({"T_tail [s]", util::fmt(history.t_tail(), 0)});
   table.add_row({"makespan [s]", util::fmt(history.makespan(), 0)});
+  table.add_row({"truncated", history.truncated() ? "yes" : "no"});
   table.add_row({"cost [cent/task]",
                  util::fmt(history.cost_per_task_cents(), 3)});
-  table.add_row({"Fs samples", std::to_string(model.fs().size())});
-  table.add_row({"mean turnaround [s]",
-                 util::fmt(model.mean_successful_turnaround(), 0)});
-  table.add_row({"mean gamma", util::fmt(model.gamma_model().mean_gamma(), 3)});
-  table.add_row({"gamma (future sends)", util::fmt(model.gamma(1e15), 3)});
-  table.add_row({"effective pool size (occupancy)",
-                 std::to_string(core::estimate_effective_size(history))});
+  table.add_row({"pre-tail unreliable instances",
+                 std::to_string(quality.unreliable_instances)});
+  table.add_row({"observed successes",
+                 std::to_string(quality.observed_successes)});
+  table.add_row({"censored fraction",
+                 util::fmt(quality.censored_fraction, 3)});
+  table.add_row({"epoch-1 / epoch-2 samples",
+                 std::to_string(quality.epoch1_instances) + " / " +
+                     std::to_string(quality.epoch2_instances)});
+  if (checked.model) {
+    const auto& model = *checked.model;
+    table.add_row({"Fs samples", std::to_string(model.fs().size())});
+    table.add_row({"mean turnaround [s]",
+                   util::fmt(model.mean_successful_turnaround(), 0)});
+    table.add_row(
+        {"mean gamma", util::fmt(model.gamma_model().mean_gamma(), 3)});
+    table.add_row({"gamma (future sends)", util::fmt(model.gamma(1e15), 3)});
+    table.add_row({"effective pool size (occupancy)",
+                   std::to_string(core::estimate_effective_size(history))});
+  } else {
+    table.add_row({"degraded", core::to_string(*checked.degradation)});
+  }
   table.print(std::cout);
+  if (!checked.model) {
+    std::cout << "history cannot support a model ("
+              << core::to_string(*checked.degradation)
+              << "); callers fall back to the bootstrap model\n";
+    return 1;
+  }
   return 0;
 }
 
@@ -274,6 +305,57 @@ int cmd_report(const util::Args& args) {
   return 0;
 }
 
+/// Campaign mode of `execute`: K BoTs through the full
+/// characterize -> recommend -> execute loop, with per-BoT outcome and
+/// degradation reporting — the chaos-facing face of the pipeline.
+int run_campaign(const util::Args& args, const gridsim::TableVExperiment& exp,
+                 const gridsim::ExecutorConfig& env, std::size_t bots,
+                 std::uint64_t seed) {
+  const auto& wl = workload::workload_spec(exp.workload);
+  gridsim::Executor executor(env);
+
+  core::Campaign::Options copts;
+  copts.params.tur = wl.mean_cpu;
+  copts.params.tr = wl.mean_cpu;
+  copts.params.charging_period_r_s = exp.ec2_reliable() ? 3600.0 : 1.0;
+  copts.expert = expert_options(args);
+  copts.expert.repetitions =
+      static_cast<std::size_t>(args.number_or("reps", 5.0));
+  const auto utility = parse_utility(args.option_or("utility", "product"));
+
+  core::Campaign campaign(
+      [&executor](const workload::Bot& bot,
+                  const strategies::StrategyConfig& strategy,
+                  std::uint64_t stream) {
+        return executor.run(bot, strategy, stream);
+      },
+      copts);
+
+  util::Table table({"bot", "strategy", "outcome", "makespan [s]",
+                     "cost [c/task]", "degradation"});
+  for (std::size_t i = 0; i < bots; ++i) {
+    const auto bot = workload::make_bot(exp.workload, 0xB07 + seed + i);
+    const auto report = campaign.run_bot(bot, utility);
+    std::string outcome = core::to_string(report.outcome);
+    if (report.retries > 0)
+      outcome += " (x" + std::to_string(report.retries) + " retry)";
+    if (report.truncated) outcome += " [truncated]";
+    const bool ran = report.outcome != core::Campaign::BotOutcome::Quarantined;
+    table.add_row(
+        {std::to_string(i + 1), report.strategy.name, outcome,
+         ran ? util::fmt(report.makespan, 0) : "-",
+         ran ? util::fmt(report.cost_per_task_cents, 3) : "-",
+         report.degradation ? core::to_string(*report.degradation) : "-"});
+  }
+  table.print(std::cout);
+  if (env.chaos && env.chaos->any())
+    std::cout << "chaos plan: " << env.chaos->to_string() << "\n";
+  std::cout << campaign.completed_bots() - campaign.quarantined_bots()
+            << "/" << bots << " BoTs completed, "
+            << campaign.quarantined_bots() << " quarantined\n";
+  return 0;
+}
+
 int cmd_execute(const util::Args& args) {
   EXPERT_SPAN("cli.execute");
   const int number = static_cast<int>(args.number_or("experiment", 11.0));
@@ -289,11 +371,20 @@ int cmd_execute(const util::Args& args) {
   const auto& wl = workload::workload_spec(exp->workload);
   const auto bot = workload::make_bot(
       exp->workload, 0xB07 + seed + static_cast<std::uint64_t>(number));
-  const auto env = gridsim::make_experiment_environment(
+  auto env = gridsim::make_experiment_environment(
       *exp, 0x7AB1E + seed + static_cast<std::uint64_t>(number));
+  if (const auto plan = args.option("chaos"))
+    env.chaos = chaos::parse_chaos_plan(*plan);
+
+  const auto bots = static_cast<std::size_t>(args.number_or("bots", 1.0));
+  if (bots > 1) return run_campaign(args, *exp, env, bots, seed);
+
   gridsim::Executor executor(env);
   const auto strategy = gridsim::make_experiment_strategy(*exp);
   const auto real = executor.run(bot, strategy);
+  if (real.truncated())
+    std::cout << "note: run truncated at the simulation horizon ("
+              << util::fmt(env.max_sim_time, 0) << " s)\n";
 
   // Simulated side: characterize the real trace, then predict with the
   // Estimator (same recipe as the Table V validation benchmark).
@@ -305,7 +396,13 @@ int cmd_execute(const util::Args& args) {
                                  : core::ReliabilityMode::Online;
   copts.instance_deadline = wl.deadline_d;
   copts.windows_per_epoch = 6;
-  const auto model = core::characterize(real, copts);
+  const auto checked = core::characterize_checked(real, copts);
+  if (!checked.model) {
+    std::cout << "prediction skipped — trace cannot support a model ("
+              << core::to_string(*checked.degradation) << ")\n";
+    return 0;
+  }
+  const auto& model = *checked.model;
 
   core::EstimatorConfig cfg;
   cfg.unreliable_size =
@@ -355,8 +452,8 @@ int main(int argc, char** argv) {
   const util::Args args(
       argc, argv,
       {"trace", "tasks", "utility", "reps", "mode", "deadline", "strategy",
-       "pool", "gamma", "tur", "experiment", "seed", "metrics-out",
-       "trace-out"},
+       "pool", "gamma", "tur", "experiment", "seed", "chaos", "bots",
+       "metrics-out", "trace-out"},
       {"csv"});
   try {
     if (!args.unknown_options().empty()) {
