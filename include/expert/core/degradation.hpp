@@ -1,0 +1,61 @@
+#pragma once
+
+namespace expert::core {
+
+/// Why a pipeline stage fell back to a weaker answer instead of the full
+/// ExPERT process. Degradation is structured so that callers (Campaign, the
+/// CLI, soak harnesses) can report *which* assumption broke rather than
+/// swallowing an exception: the paper's process assumes a usable execution
+/// history, and under fault injection that assumption routinely fails.
+enum class DegradationReason {
+  /// No history at all — first BoT of a campaign, bootstrap strategy used.
+  NoHistory,
+  /// History has t_tail == 0: every instance is tail-phase, nothing to
+  /// characterize the throughput behaviour from.
+  NoThroughputPhase,
+  /// History holds no (non-cancelled) unreliable instances before T_tail.
+  NoUnreliableInstances,
+  /// Unreliable instances exist but none returned a result before T_tail,
+  /// so neither Fs nor gamma can be estimated.
+  NoObservedSuccesses,
+  /// Fewer instances or successes than the configured minimum — the model
+  /// would be statistically meaningless (e.g. a blackout ate the phase).
+  InsufficientSamples,
+  /// characterize() threw despite the quality gate (defensive catch-all).
+  CharacterizationError,
+  /// Characterization succeeded but no strategy satisfied the utility's
+  /// feasibility constraint, so the bootstrap strategy ran instead.
+  RecommendationInfeasible,
+  /// The execution backend threw; the BoT was retried on a fresh stream
+  /// and, if retries were exhausted, quarantined.
+  BackendFailure,
+  /// The backend returned a truncated trace (simulation horizon hit);
+  /// results were kept but flagged.
+  HorizonTruncated,
+};
+
+constexpr const char* to_string(DegradationReason reason) noexcept {
+  switch (reason) {
+    case DegradationReason::NoHistory:
+      return "no_history";
+    case DegradationReason::NoThroughputPhase:
+      return "no_throughput_phase";
+    case DegradationReason::NoUnreliableInstances:
+      return "no_unreliable_instances";
+    case DegradationReason::NoObservedSuccesses:
+      return "no_observed_successes";
+    case DegradationReason::InsufficientSamples:
+      return "insufficient_samples";
+    case DegradationReason::CharacterizationError:
+      return "characterization_error";
+    case DegradationReason::RecommendationInfeasible:
+      return "recommendation_infeasible";
+    case DegradationReason::BackendFailure:
+      return "backend_failure";
+    case DegradationReason::HorizonTruncated:
+      return "horizon_truncated";
+  }
+  return "?";
+}
+
+}  // namespace expert::core

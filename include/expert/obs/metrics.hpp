@@ -4,10 +4,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "expert/util/thread_safety.hpp"
 
 namespace expert::obs {
 
@@ -164,19 +165,24 @@ class Registry {
   friend class Histogram;
 
   RegistryShard& local_shard() const;
-  void grow_shard(RegistryShard& shard) const;
+  void grow_shard(RegistryShard& shard) const EXPERT_EXCLUDES(mutex_);
   void counter_add(std::uint32_t index, std::uint64_t n) const;
   void histogram_observe(std::uint32_t index, double value) const;
 
   std::atomic<bool> enabled_;
   const std::uint64_t gen_;  ///< process-unique id keying the TLS cache
 
-  mutable std::mutex mutex_;  ///< guards registration, shard list and growth
-  std::vector<std::string> counter_names_;
-  std::vector<std::string> gauge_names_;
-  std::vector<std::string> histogram_names_;
-  std::unique_ptr<struct RegistryTables> tables_;  ///< stable-address storage
-  mutable std::vector<std::unique_ptr<RegistryShard>> shards_;
+  /// Guards registration, shard list and growth. Shard *cells* are not
+  /// guarded: they are atomics written by the owning thread and summed by
+  /// snapshot(), which locks only to pin the shard list.
+  mutable util::Mutex mutex_;
+  std::vector<std::string> counter_names_ EXPERT_GUARDED_BY(mutex_);
+  std::vector<std::string> gauge_names_ EXPERT_GUARDED_BY(mutex_);
+  std::vector<std::string> histogram_names_ EXPERT_GUARDED_BY(mutex_);
+  /// Stable-address storage; set once in the constructor, contents guarded.
+  std::unique_ptr<struct RegistryTables> tables_ EXPERT_PT_GUARDED_BY(mutex_);
+  mutable std::vector<std::unique_ptr<RegistryShard>> shards_
+      EXPERT_GUARDED_BY(mutex_);
 };
 
 }  // namespace expert::obs

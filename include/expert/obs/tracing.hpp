@@ -5,8 +5,9 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "expert/util/thread_safety.hpp"
 
 namespace expert::obs {
 
@@ -54,8 +55,9 @@ class Tracer {
   std::atomic<bool> enabled_{false};
   const std::uint64_t gen_;  ///< process-unique id keying the TLS cache
   const std::chrono::steady_clock::time_point origin_;
-  mutable std::mutex mutex_;  ///< guards the buffer list
-  mutable std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+  mutable util::Mutex mutex_;  ///< guards the buffer list
+  mutable std::vector<std::unique_ptr<TraceBuffer>> buffers_
+      EXPERT_GUARDED_BY(mutex_);
 };
 
 /// RAII scope timer. Captures the tracer's enabled state at construction:

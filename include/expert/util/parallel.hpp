@@ -1,13 +1,13 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "expert/util/thread_safety.hpp"
 
 namespace expert::util {
 
@@ -33,13 +33,13 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
-  std::exception_ptr first_error_;
+  Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ EXPERT_GUARDED_BY(mutex_);
+  CondVar task_ready_;
+  CondVar all_done_;
+  std::size_t in_flight_ EXPERT_GUARDED_BY(mutex_) = 0;
+  bool stopping_ EXPERT_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ EXPERT_GUARDED_BY(mutex_);
 };
 
 /// Run body(i) for i in [0, n) across a transient pool of `threads` workers

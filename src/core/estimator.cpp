@@ -1,7 +1,6 @@
 #include "expert/core/estimator.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <deque>
 #include <limits>
@@ -512,8 +511,10 @@ EstimateResult Estimator::estimate(std::size_t task_count,
                                    std::uint64_t stream) const {
   EXPERT_SPAN("estimator.estimate");
   const bool observed = obs::Registry::global().enabled();
-  const auto wall_start = observed ? std::chrono::steady_clock::now()
-                                   : std::chrono::steady_clock::time_point{};
+  // Wall-clock via the obs tracer's monotonic origin: clock access is an
+  // obs/ concern (expert_lint ND003), and the value only feeds a metric.
+  const std::uint64_t wall_start =
+      observed ? obs::Tracer::global().now_ns() : 0;
 
   EstimateResult result;
   result.runs.reserve(config_.repetitions);
@@ -538,9 +539,9 @@ EstimateResult Estimator::estimate(std::size_t task_count,
     m.r_sent.inc(static_cast<std::uint64_t>(r));
     m.duplicates.inc(static_cast<std::uint64_t>(dup));
     m.unfinished.inc(unfinished);
-    m.estimate_wall.observe(std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() - wall_start)
-                                .count());
+    m.estimate_wall.observe(
+        static_cast<double>(obs::Tracer::global().now_ns() - wall_start) /
+        1e9);
   }
 
   const auto n = static_cast<double>(result.runs.size());

@@ -27,6 +27,8 @@ double elasticity(double low_metric, double high_metric, double base_metric,
   if (base_metric <= 0.0 || base_value <= 0.0) return 0.0;
   const double d_metric = (high_metric - low_metric) / base_metric;
   const double d_value = (high_value - low_value) / base_value;
+  // EXPERT_LINT_ALLOW(FLT001): exact zero test guards the division below;
+  // any nonzero denominator, however tiny, is a valid elasticity input.
   return d_value != 0.0 ? d_metric / d_value : 0.0;
 }
 

@@ -133,7 +133,7 @@ RegistryShard& Registry::local_shard() const {
   for (const TlsEntry& entry : tls_shards) {
     if (entry.gen == gen_) return *entry.shard;
   }
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   shards_.push_back(std::make_unique<RegistryShard>());
   RegistryShard* shard = shards_.back().get();
   tls_shards.push_back(TlsEntry{gen_, shard});
@@ -144,7 +144,7 @@ RegistryShard& Registry::local_shard() const {
 /// shard's owning thread, under the registry mutex, so snapshot() never
 /// observes a half-grown shard and the owner never writes during growth.
 void Registry::grow_shard(RegistryShard& shard) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   while (shard.counters.size() < counter_names_.size()) {
     shard.counters.emplace_back(0);
   }
@@ -161,7 +161,7 @@ void Registry::grow_shard(RegistryShard& shard) const {
 
 Counter Registry::counter(std::string_view name) {
   EXPERT_REQUIRE(!name.empty(), "metric name must not be empty");
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const std::uint32_t existing = find_or_npos(counter_names_, name);
   if (existing != kNpos) return Counter(this, existing);
   EXPERT_REQUIRE(find_or_npos(gauge_names_, name) == kNpos &&
@@ -173,7 +173,7 @@ Counter Registry::counter(std::string_view name) {
 
 Gauge Registry::gauge(std::string_view name) {
   EXPERT_REQUIRE(!name.empty(), "metric name must not be empty");
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const std::uint32_t existing = find_or_npos(gauge_names_, name);
   if (existing != kNpos) return Gauge(this, &tables_->gauges[existing]);
   EXPERT_REQUIRE(find_or_npos(counter_names_, name) == kNpos &&
@@ -188,7 +188,7 @@ Histogram Registry::histogram(std::string_view name,
                               const HistogramSpec& spec) {
   EXPERT_REQUIRE(!name.empty(), "metric name must not be empty");
   spec.validate();
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const std::uint32_t existing = find_or_npos(histogram_names_, name);
   if (existing != kNpos) {
     EXPERT_REQUIRE(tables_->histogram_specs[existing].bounds == spec.bounds,
@@ -228,7 +228,7 @@ void Registry::histogram_observe(std::uint32_t index, double value) const {
 }
 
 Snapshot Registry::snapshot() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   Snapshot snap;
 
   snap.counters.resize(counter_names_.size());
@@ -285,7 +285,7 @@ Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (const auto& shard : shards_) {
     for (auto& cell : shard->counters) {
       cell.store(0, std::memory_order_relaxed);

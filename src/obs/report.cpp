@@ -132,8 +132,10 @@ void write_env_reports() {
 void init_from_env() {
   static std::once_flag once;
   std::call_once(once, [] {
-    const char* metrics = std::getenv("EXPERT_METRICS_OUT");
-    const char* trace = std::getenv("EXPERT_TRACE_OUT");
+    // getenv is not thread-safe against setenv, but these reads happen once
+    // under call_once before any worker threads exist.
+    const char* metrics = std::getenv("EXPERT_METRICS_OUT");  // NOLINT(concurrency-mt-unsafe)
+    const char* trace = std::getenv("EXPERT_TRACE_OUT");      // NOLINT(concurrency-mt-unsafe)
     if (metrics != nullptr && *metrics != '\0') {
       env_metrics_path = metrics;
       Registry::global().set_enabled(true);

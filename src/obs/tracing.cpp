@@ -15,8 +15,8 @@ struct TraceBuffer {
   std::uint32_t tid = 0;
   // Guards `events` against write_chrome_trace/reset; uncontended on the
   // recording path, so the cost is two uncontested atomic operations.
-  std::mutex mutex;
-  std::vector<Event> events;
+  util::Mutex mutex;
+  std::vector<Event> events EXPERT_GUARDED_BY(mutex);
 };
 
 namespace {
@@ -68,7 +68,7 @@ TraceBuffer& Tracer::local_buffer() const {
   for (const TlsEntry& entry : tls_buffers) {
     if (entry.gen == gen_) return *entry.buffer;
   }
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   buffers_.push_back(std::make_unique<TraceBuffer>());
   TraceBuffer* buffer = buffers_.back().get();
   buffer->tid = static_cast<std::uint32_t>(buffers_.size());
@@ -79,27 +79,27 @@ TraceBuffer& Tracer::local_buffer() const {
 void Tracer::record(const char* name, std::uint64_t start_ns,
                     std::uint64_t duration_ns) {
   TraceBuffer& buffer = local_buffer();
-  std::lock_guard lock(buffer.mutex);
+  util::MutexLock lock(buffer.mutex);
   buffer.events.push_back(TraceBuffer::Event{name, start_ns, duration_ns});
 }
 
 std::size_t Tracer::event_count() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::size_t total = 0;
   for (const auto& buffer : buffers_) {
-    std::lock_guard buffer_lock(buffer->mutex);
+    util::MutexLock buffer_lock(buffer->mutex);
     total += buffer->events.size();
   }
   return total;
 }
 
 void Tracer::write_chrome_trace(std::ostream& os) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   char line[64];
   for (const auto& buffer : buffers_) {
-    std::lock_guard buffer_lock(buffer->mutex);
+    util::MutexLock buffer_lock(buffer->mutex);
     for (const TraceBuffer::Event& event : buffer->events) {
       if (!first) os << ',';
       first = false;
@@ -118,9 +118,9 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
 }
 
 void Tracer::reset() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (const auto& buffer : buffers_) {
-    std::lock_guard buffer_lock(buffer->mutex);
+    util::MutexLock buffer_lock(buffer->mutex);
     buffer->events.clear();
   }
 }

@@ -11,6 +11,9 @@ namespace {
 double truncated_mean(double mu, double sigma, double lo, double hi) {
   // Monte-Carlo with a fixed seed, using the same rejection scheme as
   // sample() so the calibrated mean matches what sampling produces.
+  // EXPERT_LINT_ALLOW(RNG001): the fixed seed is the point — this is a
+  // calibration constant that must be identical across every run and user
+  // seed, not a simulation stream.
   util::Rng rng(0xec0ffeeULL);
   constexpr int kAccepted = 100'000;
   constexpr int kMaxDraws = 20 * kAccepted;
@@ -87,6 +90,9 @@ double AvailabilityModel::up_scale() const {
 }
 
 double AvailabilityModel::sample_up(util::Rng& rng) const {
+  // EXPERT_LINT_ALLOW(FLT001): exact dispatch on the preset constant 1.0
+  // (Weibull(1) == exponential); a tolerance would silently change which
+  // sampler nearby shapes draw from and break replay of stored presets.
   if (up_shape == 1.0) return rng.exponential(1.0 / mean_up_seconds);
   return rng.weibull(up_shape, up_scale());
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <mutex>
 #include <utility>
 
 namespace expert::util {
@@ -17,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   task_ready_.notify_all();
@@ -26,7 +27,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
@@ -34,21 +35,21 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr error = std::exchange(first_error_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(mutex_);
+    while (in_flight_ != 0) all_done_.wait(mutex_);
+    error = std::exchange(first_error_, nullptr);
   }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) task_ready_.wait(mutex_);
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -60,7 +61,7 @@ void ThreadPool::worker_loop() {
       error = std::current_exception();
     }
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (error && !first_error_) first_error_ = std::move(error);
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();

@@ -1,0 +1,11 @@
+// Fixture: header that does not start with #pragma once (INC001) and pulls
+// an unordered container into a replay-sensitive module (ITER001).
+#include <unordered_map>
+
+namespace expert::fixture {
+
+struct EventIndex {
+  std::unordered_map<int, double> by_id;
+};
+
+}  // namespace expert::fixture

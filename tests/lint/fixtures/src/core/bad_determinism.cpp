@@ -1,0 +1,26 @@
+// Fixture: every line below seeds a known violation. lint_test.cpp asserts
+// the exact (rule, line) set, so keep line numbers stable when editing.
+#include <random>
+#include <chrono>
+#include <ctime>
+#include <unordered_map>
+#include "../util/helpers.hpp"
+
+namespace expert::fixture {
+
+double bad_clocks() {
+  auto t0 = std::chrono::steady_clock::now();
+  auto t1 = std::chrono::system_clock::now();
+  std::time_t now = time(nullptr);
+  (void)t0;
+  (void)t1;
+  return static_cast<double>(now) + static_cast<double>(clock());
+}
+
+int bad_rng() {
+  std::random_device rd;
+  srand(rd());
+  return rand();
+}
+
+}  // namespace expert::fixture

@@ -1,0 +1,15 @@
+// Fixture: suppression-syntax violations. lint_test.cpp asserts the exact
+// (rule, line) set, so keep line numbers stable when editing.
+namespace expert::fixture {
+
+// EXPERT_LINT_ALLOW(FLT001):
+double missing_justification(double x) {
+  return x == 1.0 ? 0.0 : x;
+}
+
+// EXPERT_LINT_ALLOW(NOPE42): this rule id does not exist
+double unknown_rule(double x) {
+  return x == 2.0 ? 0.0 : x;
+}
+
+}  // namespace expert::fixture

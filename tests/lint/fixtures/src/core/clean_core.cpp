@@ -1,0 +1,32 @@
+// Fixture: the clean counterpart of bad_determinism/bad_float. Must lint
+// with zero findings.
+#include <cmath>
+#include <map>
+
+#include "expert/util/rng.hpp"
+
+namespace expert::fixture {
+
+double disciplined_rng(std::uint64_t parent_seed, std::uint64_t stream) {
+  expert::util::Rng parent(expert::util::derive_seed(parent_seed, stream));
+  expert::util::Rng child = parent.fork(7);
+  std::map<int, double> ordered;
+  ordered[1] = child.uniform();
+  return ordered[1];
+}
+
+bool tolerant_compare(double cost, double budget) {
+  return std::abs(cost - budget) < 1e-9;
+}
+
+double guarded_divide(double num, double den) {
+  // EXPERT_LINT_ALLOW(FLT001): exact zero test guards the division below
+  // and is the documented contract of this helper.
+  return den != 0.0 ? num / den : 0.0;
+}
+
+double trailing_suppression(double x) {
+  return x == 0.0 ? 1.0 : x;  // EXPERT_LINT_ALLOW(FLT001): exact-zero sentinel is the contract here
+}
+
+}  // namespace expert::fixture

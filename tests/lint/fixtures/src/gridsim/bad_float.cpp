@@ -1,0 +1,27 @@
+// Fixture: float-determinism and RNG-discipline violations with known line
+// numbers; lint_test.cpp asserts the exact (rule, line) set.
+#include <map>
+
+#include "expert/util/rng.hpp"
+
+namespace expert::fixture {
+
+float accumulate_money(float balance, float delta) {
+  return balance + delta;
+}
+
+bool bad_compares(double cost, double budget) {
+  if (cost == 0.0) return false;
+  if (1.5 != budget) return true;
+  return cost == budget;  // identifier-vs-identifier: not lexically flagged
+}
+
+double bad_seeds() {
+  expert::util::Rng fixed(42);
+  expert::util::Rng defaulted = expert::util::Rng();
+  std::map<int, double> ordered;  // ordered container: fine
+  return fixed.uniform() + defaulted.uniform() +
+         static_cast<double>(ordered.size());
+}
+
+}  // namespace expert::fixture

@@ -1,0 +1,15 @@
+// Fixture: clock access is allowed inside the obs/ module, so this file
+// must lint clean even though it uses steady_clock and <chrono>.
+#include <chrono>
+
+namespace expert::fixture {
+
+std::uint64_t obs_now_ns() {
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          now.time_since_epoch())
+          .count());
+}
+
+}  // namespace expert::fixture

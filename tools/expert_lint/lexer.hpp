@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace expert::lint {
+
+enum class TokenKind {
+  Identifier,   ///< identifiers and keywords
+  Number,       ///< pp-number (integer or floating literal)
+  String,       ///< string literal, including raw strings
+  CharLiteral,  ///< character literal
+  Punct,        ///< operators and punctuation (multi-char ops are one token)
+  IncludePath,  ///< the <...> or "..." operand of an #include directive
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;
+};
+
+struct Comment {
+  int line = 0;       ///< line the comment starts on
+  std::string text;   ///< body without the // or /* */ delimiters
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// True when a Number token spells a floating-point literal (decimal point
+/// or exponent; hex floats via the p exponent).
+bool is_float_literal(std::string_view text);
+
+/// Tokenize C++ source. Comments are collected separately so rules can scan
+/// code without tripping on prose, and suppression comments stay findable.
+/// The lexer is intentionally approximate (no preprocessing, no digraphs) —
+/// it only needs to be exact about comment/string boundaries and line
+/// numbers.
+LexResult lex(std::string_view source);
+
+}  // namespace expert::lint

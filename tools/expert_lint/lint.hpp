@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace expert::lint {
+
+/// One rule violation (or suppression-syntax error) at a location.
+struct Finding {
+  std::string rule;  ///< rule id, e.g. "FLT001"
+  std::string file;  ///< path as given to the linter
+  int line = 0;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+};
+
+/// Every rule the engine knows, in id order. Used by --list-rules, by the
+/// suppression validator, and mirrored in docs/static-analysis.md.
+const std::vector<RuleInfo>& rule_catalogue();
+
+/// Lint one file's contents. `path` drives scoping: segments "include" and
+/// "src" mark library code, a following "obs" segment marks the
+/// observability module (clock access allowed), and "sim" / "core" /
+/// "gridsim" / "strategies" segments mark modules where unordered
+/// containers are banned. Paths outside include/src (tests, bench,
+/// examples, tools) only get the suppression-syntax checks, so fixtures
+/// and future scan roots behave predictably.
+std::vector<Finding> lint_source(std::string_view path,
+                                 std::string_view source);
+
+/// Lint files and directories (directories recurse into *.hpp / *.cpp,
+/// visited in sorted order so output is deterministic). An unreadable path
+/// yields an "IO000" finding rather than a crash.
+std::vector<Finding> lint_paths(const std::vector<std::string>& paths);
+
+/// "file:line: RULE: message" — the clickable single-line format.
+std::string format(const Finding& finding);
+
+}  // namespace expert::lint

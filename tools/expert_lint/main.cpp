@@ -1,0 +1,52 @@
+// expert_lint — ExPERT-specific determinism & thread-safety source linter.
+//
+//   expert_lint [--list-rules] path...
+//
+// Walks the given files/directories (*.hpp, *.cpp), enforces the invariant
+// catalogue documented in docs/static-analysis.md, and exits non-zero when
+// any finding survives suppression. Registered as the `lint.tree` ctest so
+// tier-1 fails on a new violation.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const expert::lint::RuleInfo& rule :
+           expert::lint::rule_catalogue()) {
+        std::printf("%-8s %s\n", std::string(rule.id).c_str(),
+                    std::string(rule.summary).c_str());
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: expert_lint [--list-rules] path...\n");
+      return 0;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "expert_lint: no paths given (try --help)\n");
+    return 2;
+  }
+
+  const std::vector<expert::lint::Finding> findings =
+      expert::lint::lint_paths(paths);
+  for (const expert::lint::Finding& finding : findings) {
+    std::printf("%s\n", expert::lint::format(finding).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr,
+                 "expert_lint: %zu finding(s); suppress only with "
+                 "// EXPERT_LINT_ALLOW(RULE): <justification>\n",
+                 findings.size());
+    return 1;
+  }
+  return 0;
+}
