@@ -74,6 +74,12 @@ struct EstimateResult {
   std::vector<RunMetrics> runs;
 };
 
+/// Field-wise mean and sample stddev over `runs` (requires at least one).
+/// `mean.finished` is the conjunction of the runs' finished flags. Shared
+/// by Estimator::estimate and the eval::EvalService batch aggregation, so
+/// a cached evaluation aggregates exactly like a direct estimate() call.
+EstimateResult aggregate_runs(std::vector<RunMetrics> runs);
+
 /// The ExPERT Estimator: statistical queue-level simulation of a BoT under
 /// a scheduling strategy, using the pool model F(t,t') = Fs(t)*gamma(t').
 /// Deterministic in (config.seed, stream, repetition index).
@@ -85,8 +91,8 @@ class Estimator {
   const TurnaroundModel& model() const noexcept { return model_; }
 
   /// Mean makespan and cost over config.repetitions independent runs.
-  /// `stream` decorrelates RNG streams across callers (e.g. the frontier
-  /// generator passes the strategy index).
+  /// `stream` decorrelates RNG streams across callers (the eval layer
+  /// passes a content-derived stream; see eval::EvalKey).
   EstimateResult estimate(std::size_t task_count,
                           const strategies::StrategyConfig& strategy,
                           std::uint64_t stream = 0) const;

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "expert/core/estimator.hpp"
+
+namespace expert::core {
+
+/// Which time metric a sweep optimizes. The paper uses the tail-phase
+/// makespan for frontier construction (Figs. 6, 7, 9, 10) and the whole-BoT
+/// makespan when comparing against static strategies (Fig. 8).
+///
+/// Lives below expert::eval so the evaluation layer, the frontier builders,
+/// and the evolutionary loop all share one objective vocabulary.
+enum class TimeObjective { TailMakespan, BotMakespan };
+
+/// Which cost metric goes on the frontier's second axis.
+enum class CostObjective { CostPerTask, TailCostPerTailTask };
+
+/// Extract the (time, cost) pair an objective configuration selects.
+inline double time_metric(const RunMetrics& m, TimeObjective objective) noexcept {
+  return objective == TimeObjective::TailMakespan ? m.tail_makespan
+                                                  : m.makespan;
+}
+
+inline double cost_metric(const RunMetrics& m, CostObjective objective) noexcept {
+  return objective == CostObjective::CostPerTask
+             ? m.cost_per_task_cents
+             : m.tail_cost_per_tail_task_cents;
+}
+
+}  // namespace expert::core

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -14,6 +15,10 @@ class ReliabilityModel {
   virtual double gamma(double t_prime) const = 0;
   /// Mean reliability over the model's support (used for reporting).
   virtual double mean_gamma() const = 0;
+  /// Content digest of the model: equal for content-equal models across
+  /// processes and runs (never address-based). Feeds EvalKey construction
+  /// and, through it, RNG-stream derivation — see docs/eval.md.
+  virtual std::uint64_t digest() const = 0;
 };
 
 /// Time-invariant reliability — the pure-simulation setting of §V.
@@ -22,6 +27,7 @@ class ConstantReliability final : public ReliabilityModel {
   explicit ConstantReliability(double gamma);
   double gamma(double) const override { return gamma_; }
   double mean_gamma() const override { return gamma_; }
+  std::uint64_t digest() const override;
 
  private:
   double gamma_;
@@ -43,6 +49,7 @@ class PiecewiseReliability final : public ReliabilityModel {
 
   double gamma(double t_prime) const override;
   double mean_gamma() const override;
+  std::uint64_t digest() const override;
   const std::vector<Window>& windows() const noexcept { return windows_; }
   double tail_value() const noexcept { return tail_value_; }
 

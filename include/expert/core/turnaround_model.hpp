@@ -36,9 +36,15 @@ class TurnaroundModel {
   /// Mean turnaround of successful instances — the T_ur estimate.
   double mean_successful_turnaround() const { return fs_.mean(); }
 
+  /// Content digest over (Fs samples, gamma model): equal for content-equal
+  /// models regardless of where they live in memory. Computed once at
+  /// construction; feeds EvalKey hashing and RNG-stream derivation.
+  std::uint64_t digest() const noexcept { return digest_; }
+
  private:
   stats::EmpiricalCdf fs_;
   ReliabilityPtr gamma_;
+  std::uint64_t digest_ = 0;
 };
 
 /// Convenience: synthetic model with lognormal-ish successful turnarounds

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "expert/core/estimator.hpp"
+#include "expert/core/pareto.hpp"
+#include "expert/eval/key.hpp"
+#include "expert/obs/metrics.hpp"
+#include "expert/util/thread_safety.hpp"
+
+namespace expert::eval {
+
+/// The aggregated outcome of one strategy evaluation, as stored in the
+/// cache: the StrategyPoint consumers plot (params + objective metrics +
+/// mean RunMetrics) and the sample stddev across repetitions.
+struct CachedEval {
+  core::StrategyPoint point;
+  core::RunMetrics stddev;
+};
+
+/// Sharded, thread-safe LRU cache of strategy evaluations keyed by
+/// EvalKey content digests.
+///
+/// Correctness does not depend on cache state: every entry is a pure
+/// function of its key (the stream is key-derived), so an eviction merely
+/// re-simulates the same numbers later, and two threads racing on the same
+/// missing key insert identical values. Hit/miss/eviction counts land in
+/// the global obs registry as `eval.cache.*` when it is enabled.
+class EvalCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 32768;
+  /// Shard count (power of two). Public so tests can reason about how a
+  /// total capacity is apportioned: each shard holds ceil(capacity/kShards)
+  /// entries, so the effective bound is capacity rounded up to a multiple
+  /// of kShards.
+  static constexpr std::size_t kShards = 16;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+
+  /// `capacity` bounds the entry count (rounded up to a multiple of
+  /// kShards; a zero capacity disables storage: every lookup misses,
+  /// inserts are dropped).
+  explicit EvalCache(std::size_t capacity = kDefaultCapacity);
+
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  /// Return the cached evaluation, refreshing its LRU position.
+  std::optional<CachedEval> lookup(const EvalKey& key);
+  /// Insert (or refresh) an entry, evicting the least-recently-used entry
+  /// of the key's shard when that shard is at capacity.
+  void insert(const EvalKey& key, CachedEval value);
+
+  /// Drop every entry (stats counters keep accumulating).
+  void clear();
+  /// Re-bound the cache, evicting LRU entries down to the new capacity.
+  void set_capacity(std::size_t capacity);
+
+  std::size_t capacity() const;
+  Stats stats() const;
+
+ private:
+  using Digest = std::pair<std::uint64_t, std::uint64_t>;
+
+  struct Entry {
+    CachedEval value;
+    std::list<Digest>::iterator lru_pos;
+  };
+
+  struct Shard {
+    mutable util::Mutex mutex;
+    std::map<Digest, Entry> entries EXPERT_GUARDED_BY(mutex);
+    /// Front = most recently used; back = eviction candidate.
+    std::list<Digest> lru EXPERT_GUARDED_BY(mutex);
+    std::uint64_t hits EXPERT_GUARDED_BY(mutex) = 0;
+    std::uint64_t misses EXPERT_GUARDED_BY(mutex) = 0;
+    std::uint64_t evictions EXPERT_GUARDED_BY(mutex) = 0;
+    std::size_t capacity EXPERT_GUARDED_BY(mutex) = 0;
+  };
+
+  Shard& shard_for(const EvalKey& key) noexcept {
+    return shards_[key.hi & (kShards - 1)];
+  }
+
+  std::array<Shard, kShards> shards_;
+
+  obs::Counter hit_counter_;
+  obs::Counter miss_counter_;
+  obs::Counter eviction_counter_;
+  obs::Gauge entries_gauge_;
+};
+
+}  // namespace expert::eval

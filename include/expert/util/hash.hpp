@@ -1,0 +1,69 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#include "expert/util/rng.hpp"
+
+namespace expert::util {
+
+/// Deterministic, platform-independent content hashing for cache keys and
+/// RNG-stream derivation. Built on the same splitmix64 mixing as
+/// util::derive_seed, so hash-derived streams live in the same well-mixed
+/// seed space as the rest of the library.
+///
+/// The digest is a pure function of the mixed values (never of addresses,
+/// iteration order, or the host), which makes it safe to feed into
+/// `util::Rng` seeds: two processes mixing the same content derive the
+/// same stream.
+class HashState {
+ public:
+  /// `salt` domain-separates independent hash uses (e.g. the two halves of
+  /// a 128-bit digest) so they never collide structurally.
+  explicit constexpr HashState(std::uint64_t salt = 0x9E3779B97F4A7C15ULL)
+      : state_(salt) {}
+
+  HashState& mix(std::uint64_t value) noexcept {
+    state_ = derive_seed(state_, value);
+    return *this;
+  }
+  HashState& mix(std::int64_t value) noexcept {
+    return mix(static_cast<std::uint64_t>(value));
+  }
+  HashState& mix(bool value) noexcept {
+    return mix(static_cast<std::uint64_t>(value ? 1 : 0));
+  }
+  /// Doubles hash by bit pattern, with -0.0 normalized to +0.0 so the two
+  /// encodings of zero (e.g. a timeout of 0 vs a negated 0) share a key.
+  /// Adding +0.0 performs the normalization: IEEE 754 round-to-nearest
+  /// defines -0.0 + 0.0 == +0.0, and every other value is unchanged.
+  HashState& mix(double value) noexcept {
+    return mix(std::bit_cast<std::uint64_t>(value + 0.0));
+  }
+  HashState& mix(std::string_view text) noexcept {
+    mix(static_cast<std::uint64_t>(text.size()));
+    // Pack 8 bytes per mix step; the trailing partial word is
+    // length-disambiguated by the size mixed above.
+    std::uint64_t word = 0;
+    std::size_t filled = 0;
+    for (const char c : text) {
+      word |= static_cast<std::uint64_t>(static_cast<unsigned char>(c))
+              << (8 * filled);
+      if (++filled == 8) {
+        mix(word);
+        word = 0;
+        filled = 0;
+      }
+    }
+    if (filled > 0) mix(word);
+    return *this;
+  }
+
+  std::uint64_t digest() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace expert::util

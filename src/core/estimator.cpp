@@ -503,47 +503,27 @@ std::pair<RunMetrics, trace::ExecutionTrace> Estimator::simulate(
   util::Rng rng(util::derive_seed(util::derive_seed(config_.seed, stream),
                                   repetition));
   Run run(config_, model_, task_count, strategy, rng);
-  return run.execute();
+  auto result = run.execute();
+
+  // Per-run counts live here (not in estimate()) so every simulation path —
+  // estimate(), the eval service's batched units, direct simulate() calls —
+  // lands in the same core.estimator.* metrics.
+  if (obs::Registry::global().enabled()) {
+    EstimatorObs& m = estimator_obs();
+    const RunMetrics& r = result.first;
+    m.runs.inc();
+    if (!r.finished) m.unfinished.inc();
+    m.ur_sent.inc(static_cast<std::uint64_t>(r.unreliable_instances_sent));
+    m.r_sent.inc(static_cast<std::uint64_t>(r.reliable_instances_sent));
+    m.duplicates.inc(static_cast<std::uint64_t>(r.duplicate_results));
+  }
+  return result;
 }
 
-EstimateResult Estimator::estimate(std::size_t task_count,
-                                   const strategies::StrategyConfig& strategy,
-                                   std::uint64_t stream) const {
-  EXPERT_SPAN("estimator.estimate");
-  const bool observed = obs::Registry::global().enabled();
-  // Wall-clock via the obs tracer's monotonic origin: clock access is an
-  // obs/ concern (expert_lint ND003), and the value only feeds a metric.
-  const std::uint64_t wall_start =
-      observed ? obs::Tracer::global().now_ns() : 0;
-
+EstimateResult aggregate_runs(std::vector<RunMetrics> runs) {
+  EXPERT_REQUIRE(!runs.empty(), "aggregate over zero runs");
   EstimateResult result;
-  result.runs.reserve(config_.repetitions);
-  for (std::size_t rep = 0; rep < config_.repetitions; ++rep) {
-    result.runs.push_back(
-        simulate(task_count, strategy, stream, rep).first);
-  }
-
-  if (observed) {
-    EstimatorObs& m = estimator_obs();
-    m.estimates.inc();
-    m.runs.inc(result.runs.size());
-    double ur = 0.0, r = 0.0, dup = 0.0;
-    std::uint64_t unfinished = 0;
-    for (const auto& run : result.runs) {
-      ur += run.unreliable_instances_sent;
-      r += run.reliable_instances_sent;
-      dup += run.duplicate_results;
-      if (!run.finished) ++unfinished;
-    }
-    m.ur_sent.inc(static_cast<std::uint64_t>(ur));
-    m.r_sent.inc(static_cast<std::uint64_t>(r));
-    m.duplicates.inc(static_cast<std::uint64_t>(dup));
-    m.unfinished.inc(unfinished);
-    m.estimate_wall.observe(
-        static_cast<double>(obs::Tracer::global().now_ns() - wall_start) /
-        1e9);
-  }
-
+  result.runs = std::move(runs);
   const auto n = static_cast<double>(result.runs.size());
   result.mean.finished = true;
   for (const auto& run : result.runs)
@@ -562,6 +542,32 @@ EstimateResult Estimator::estimate(std::size_t task_count,
         result.runs.size() > 1 ? std::sqrt(sq / (n - 1.0)) : 0.0;
   }
   return result;
+}
+
+EstimateResult Estimator::estimate(std::size_t task_count,
+                                   const strategies::StrategyConfig& strategy,
+                                   std::uint64_t stream) const {
+  EXPERT_SPAN("estimator.estimate");
+  const bool observed = obs::Registry::global().enabled();
+  // Wall-clock via the obs tracer's monotonic origin: clock access is an
+  // obs/ concern (expert_lint ND003), and the value only feeds a metric.
+  const std::uint64_t wall_start =
+      observed ? obs::Tracer::global().now_ns() : 0;
+
+  std::vector<RunMetrics> runs;
+  runs.reserve(config_.repetitions);
+  for (std::size_t rep = 0; rep < config_.repetitions; ++rep) {
+    runs.push_back(simulate(task_count, strategy, stream, rep).first);
+  }
+
+  if (observed) {
+    EstimatorObs& m = estimator_obs();
+    m.estimates.inc();
+    m.estimate_wall.observe(
+        static_cast<double>(obs::Tracer::global().now_ns() - wall_start) /
+        1e9);
+  }
+  return aggregate_runs(std::move(runs));
 }
 
 EstimateResult Estimator::estimate(const workload::Bot& bot,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "expert/util/assert.hpp"
+#include "expert/util/hash.hpp"
 
 namespace expert::core {
 
@@ -26,6 +27,12 @@ PiecewiseReliability::PiecewiseReliability(std::vector<Window> windows,
   }
 }
 
+std::uint64_t ConstantReliability::digest() const {
+  // Each concrete model mixes a distinct type tag first, so a constant
+  // model never collides with a piecewise one over the same values.
+  return util::HashState(/*salt=*/0xC025747Bu).mix(gamma_).digest();
+}
+
 double PiecewiseReliability::gamma(double t_prime) const {
   if (t_prime < windows_.front().start) return windows_.front().value;
   // Binary search for the window containing t_prime.
@@ -45,6 +52,14 @@ double PiecewiseReliability::mean_gamma() const {
     span += w.end - w.start;
   }
   return span > 0.0 ? weighted / span : tail_value_;
+}
+
+std::uint64_t PiecewiseReliability::digest() const {
+  util::HashState h(/*salt=*/0x91ECE815Eu);
+  h.mix(static_cast<std::uint64_t>(windows_.size()));
+  for (const auto& w : windows_) h.mix(w.start).mix(w.end).mix(w.value);
+  h.mix(tail_value_);
+  return h.digest();
 }
 
 }  // namespace expert::core

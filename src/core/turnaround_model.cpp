@@ -2,6 +2,7 @@
 
 #include "expert/stats/distributions.hpp"
 #include "expert/util/assert.hpp"
+#include "expert/util/hash.hpp"
 
 namespace expert::core {
 
@@ -9,6 +10,13 @@ TurnaroundModel::TurnaroundModel(stats::EmpiricalCdf fs, ReliabilityPtr gamma)
     : fs_(std::move(fs)), gamma_(std::move(gamma)) {
   EXPERT_REQUIRE(!fs_.empty(), "turnaround CDF needs samples");
   EXPERT_REQUIRE(gamma_ != nullptr, "reliability model required");
+  // The sorted sample list is the CDF's full content, so hashing it (plus
+  // the reliability model's own digest) identifies the model exactly.
+  util::HashState h(/*salt=*/0x702A40D1ULL);
+  h.mix(static_cast<std::uint64_t>(fs_.size()));
+  for (const double x : fs_.sorted_samples()) h.mix(x);
+  h.mix(gamma_->digest());
+  digest_ = h.digest();
 }
 
 double TurnaroundModel::sample(util::Rng& rng, double t_prime) const {

@@ -1,0 +1,114 @@
+#include "expert/eval/cache.hpp"
+
+namespace expert::eval {
+
+namespace {
+
+std::size_t per_shard_capacity(std::size_t capacity) {
+  if (capacity == 0) return 0;
+  return (capacity + EvalCache::kShards - 1) / EvalCache::kShards;
+}
+
+}  // namespace
+
+EvalCache::EvalCache(std::size_t capacity) {
+  obs::Registry& reg = obs::Registry::global();
+  hit_counter_ = reg.counter("eval.cache.hits");
+  miss_counter_ = reg.counter("eval.cache.misses");
+  eviction_counter_ = reg.counter("eval.cache.evictions");
+  entries_gauge_ = reg.gauge("eval.cache.entries");
+  const std::size_t per_shard = per_shard_capacity(capacity);
+  for (Shard& shard : shards_) {
+    util::MutexLock lock(shard.mutex);
+    shard.capacity = per_shard;
+  }
+}
+
+std::optional<CachedEval> EvalCache::lookup(const EvalKey& key) {
+  Shard& shard = shard_for(key);
+  const Digest digest{key.hi, key.lo};
+  util::MutexLock lock(shard.mutex);
+  const auto it = shard.entries.find(digest);
+  if (it == shard.entries.end()) {
+    ++shard.misses;
+    miss_counter_.inc();
+    return std::nullopt;
+  }
+  // Refresh: move this entry to the MRU end of the shard's LRU list.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  ++shard.hits;
+  hit_counter_.inc();
+  return it->second.value;
+}
+
+void EvalCache::insert(const EvalKey& key, CachedEval value) {
+  Shard& shard = shard_for(key);
+  const Digest digest{key.hi, key.lo};
+  util::MutexLock lock(shard.mutex);
+  if (shard.capacity == 0) return;
+  const auto it = shard.entries.find(digest);
+  if (it != shard.entries.end()) {
+    // Racing inserts of the same key write identical values (entries are
+    // pure functions of keys), so overwriting is a refresh, not a change.
+    it->second.value = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    return;
+  }
+  while (shard.entries.size() >= shard.capacity) {
+    shard.entries.erase(shard.lru.back());
+    shard.lru.pop_back();
+    ++shard.evictions;
+    eviction_counter_.inc();
+    entries_gauge_.add(-1.0);
+  }
+  shard.lru.push_front(digest);
+  shard.entries.emplace(digest, Entry{std::move(value), shard.lru.begin()});
+  entries_gauge_.add(1.0);
+}
+
+void EvalCache::clear() {
+  for (Shard& shard : shards_) {
+    util::MutexLock lock(shard.mutex);
+    entries_gauge_.add(-static_cast<double>(shard.entries.size()));
+    shard.entries.clear();
+    shard.lru.clear();
+  }
+}
+
+void EvalCache::set_capacity(std::size_t capacity) {
+  const std::size_t per_shard = per_shard_capacity(capacity);
+  for (Shard& shard : shards_) {
+    util::MutexLock lock(shard.mutex);
+    shard.capacity = per_shard;
+    while (shard.entries.size() > shard.capacity) {
+      shard.entries.erase(shard.lru.back());
+      shard.lru.pop_back();
+      ++shard.evictions;
+      eviction_counter_.inc();
+      entries_gauge_.add(-1.0);
+    }
+  }
+}
+
+std::size_t EvalCache::capacity() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    util::MutexLock lock(shard.mutex);
+    total += shard.capacity;
+  }
+  return total;
+}
+
+EvalCache::Stats EvalCache::stats() const {
+  Stats stats;
+  for (const Shard& shard : shards_) {
+    util::MutexLock lock(shard.mutex);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
+    stats.entries += shard.entries.size();
+  }
+  return stats;
+}
+
+}  // namespace expert::eval
