@@ -13,6 +13,7 @@
 #include "expert/core/estimator.hpp"
 #include "expert/core/frontier.hpp"
 #include "expert/core/user_params.hpp"
+#include "expert/eval/service.hpp"
 #include "expert/obs/report.hpp"
 
 namespace expert::bench {
@@ -22,6 +23,11 @@ namespace expert::bench {
 /// get a metrics snapshot / Chrome trace written at exit. Call once at the
 /// top of main().
 inline void init_observability() { obs::init_from_env(); }
+
+/// Drop every entry from the shared strategy-evaluation cache. Benchmarks
+/// that measure simulation cost call this per iteration so repeated sweeps
+/// stay cold; warm-cache benchmarks skip it deliberately.
+inline void reset_eval_cache() { eval::EvalService::global().cache().clear(); }
 
 constexpr double kTur = 2066.0;            // Table II
 constexpr double kGamma11 = 0.827;         // Table V, experiment 11

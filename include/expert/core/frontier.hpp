@@ -4,17 +4,14 @@
 #include <vector>
 
 #include "expert/core/estimator.hpp"
+#include "expert/core/objectives.hpp"
 #include "expert/core/pareto.hpp"
 
+namespace expert::eval {
+class EvalService;
+}  // namespace expert::eval
+
 namespace expert::core {
-
-/// Which time metric the frontier optimizes. The paper uses the tail-phase
-/// makespan for frontier construction (Figs. 6, 7, 9, 10) and the whole-BoT
-/// makespan when comparing against static strategies (Fig. 8).
-enum class TimeObjective { TailMakespan, BotMakespan };
-
-/// Which cost metric goes on the frontier's second axis.
-enum class CostObjective { CostPerTask, TailCostPerTailTask };
 
 /// Strategy-space sampling specification (paper §VI: N = 0..3, T and D
 /// evenly sampled at 5 values each with 0 <= T <= D <= 4*T_ur, and up to 7
@@ -47,8 +44,13 @@ std::vector<strategies::NTDMr> sample_strategy_space(const SamplingSpec& spec);
 struct FrontierOptions {
   TimeObjective time_objective = TimeObjective::TailMakespan;
   CostObjective cost_objective = CostObjective::CostPerTask;
-  /// Worker threads for the strategy sweep; 0 = hardware concurrency.
+  /// Worker threads for the strategy sweep: 1 evaluates inline on the
+  /// calling thread, anything else uses the eval service's persistent pool.
   std::size_t threads = 0;
+  /// Evaluation layer to route the sweep through; nullptr uses
+  /// eval::EvalService::global(). Sweeps over an unchanged estimator and
+  /// candidate are then served from its cache without re-simulating.
+  eval::EvalService* service = nullptr;
 };
 
 struct FrontierResult {
@@ -60,9 +62,11 @@ struct FrontierResult {
 };
 
 /// ExPERT process step 3: evaluate every sampled strategy with the
-/// Estimator (in parallel) and build the Pareto frontier. Deterministic:
-/// each strategy's RNG stream is derived from its index in the sample list,
-/// so results do not depend on thread count.
+/// Estimator (in parallel, through expert::eval) and build the Pareto
+/// frontier. Deterministic: each strategy's RNG stream is derived from the
+/// evaluation content (strategy parameters, estimator config, model digest
+/// — see eval::EvalKey), so results do not depend on thread count, on the
+/// candidate's position in the sample list, or on cache state.
 FrontierResult generate_frontier(const Estimator& estimator,
                                  std::size_t task_count,
                                  const SamplingSpec& spec,
@@ -74,9 +78,5 @@ std::vector<StrategyPoint> evaluate_strategies(
     const Estimator& estimator, std::size_t task_count,
     const std::vector<strategies::NTDMr>& strategies,
     const FrontierOptions& options = {});
-
-/// Extract the (time, cost) pair an objective configuration selects.
-double time_metric(const RunMetrics& m, TimeObjective objective) noexcept;
-double cost_metric(const RunMetrics& m, CostObjective objective) noexcept;
 
 }  // namespace expert::core

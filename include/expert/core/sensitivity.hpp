@@ -5,6 +5,10 @@
 
 #include "expert/core/estimator.hpp"
 
+namespace expert::eval {
+class EvalService;
+}  // namespace expert::eval
+
 namespace expert::core {
 
 /// Local sensitivity analysis of a chosen NTDMr strategy: how strongly do
@@ -18,6 +22,13 @@ struct SensitivityOptions {
   /// Repetitions per evaluation (more than a plain estimate: differences
   /// of noisy estimates need tighter means).
   std::size_t repetitions = 20;
+  /// Worker threads for the probe batch: 1 evaluates inline, anything else
+  /// uses the eval service's persistent pool. Results are identical.
+  std::size_t threads = 0;
+  /// Evaluation layer for the probes; nullptr uses
+  /// eval::EvalService::global(). All probes go through one batched call on
+  /// the original estimator — no per-probe Estimator (and model) copies.
+  eval::EvalService* service = nullptr;
 
   void validate() const;
 };

@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <set>
 #include <tuple>
 
+#include "expert/eval/service.hpp"
 #include "expert/util/assert.hpp"
-#include "expert/util/parallel.hpp"
 #include "expert/util/rng.hpp"
 
 namespace expert::core {
@@ -95,50 +96,41 @@ EvolutionResult evolve_frontier(const Estimator& estimator,
   options.validate();
   util::Rng rng(options.seed);
 
+  // The archive is a thin view over the eval service's cache: it maps
+  // quantized genomes to the points the service produced, purely so the
+  // breeding loop can enumerate the current frontier without re-keying.
+  // Re-evaluating an archived genome would be a cache hit anyway.
   std::map<std::tuple<long long, long long, long long, long long>,
            StrategyPoint>
       archive;
   std::size_t evaluations = 0;
 
+  eval::EvalService& service = options.objectives.service
+                                   ? *options.objectives.service
+                                   : eval::EvalService::global();
+  eval::BatchOptions batch_options;
+  batch_options.time_objective = options.objectives.time_objective;
+  batch_options.cost_objective = options.objectives.cost_objective;
+  batch_options.threads = options.objectives.threads;
+
   auto evaluate_batch = [&](std::vector<NTDMr> genomes) {
-    // Deduplicate against the archive and within the batch.
+    // Deduplicate against the archive and within the batch in one pass.
     std::vector<NTDMr> fresh;
+    std::set<std::tuple<long long, long long, long long, long long>> in_batch;
     for (auto& g : genomes) {
       const auto key = genome_key(g);
       if (archive.contains(key)) continue;
-      bool in_batch = false;
-      for (const auto& f : fresh) {
-        if (genome_key(f) == key) in_batch = true;
-      }
-      if (!in_batch) fresh.push_back(g);
+      if (in_batch.insert(key).second) fresh.push_back(g);
     }
     if (fresh.empty()) return;
-    // Stream ids derive from the genome key so results do not depend on
-    // evaluation order or thread count.
-    std::vector<StrategyPoint> points(fresh.size());
-    util::parallel_for(
-        fresh.size(),
-        [&](std::size_t i) {
-          const auto key = genome_key(fresh[i]);
-          const std::uint64_t stream =
-              util::derive_seed(static_cast<std::uint64_t>(std::get<0>(key) + 7),
-                                static_cast<std::uint64_t>(
-                                    std::get<1>(key) * 1315423911LL +
-                                    std::get<2>(key) * 2654435761LL +
-                                    std::get<3>(key)));
-          const auto cfg = strategies::make_ntdmr_strategy(fresh[i]);
-          const auto est = estimator.estimate(task_count, cfg, stream);
-          StrategyPoint p;
-          p.params = fresh[i];
-          p.metrics = est.mean;
-          p.makespan = time_metric(est.mean, options.objectives.time_objective);
-          p.cost = cost_metric(est.mean, options.objectives.cost_objective);
-          points[i] = p;
-        },
-        options.objectives.threads);
+    // RNG streams are derived by the eval layer from each genome's content
+    // (eval::EvalKey), so results do not depend on evaluation order, thread
+    // count, or which generation first proposed the genome.
+    const std::vector<eval::EvalResult> points =
+        service.evaluate(estimator, task_count, fresh, batch_options);
     for (std::size_t i = 0; i < fresh.size(); ++i) {
-      if (!points[i].metrics.finished) continue;
-      archive.emplace(genome_key(fresh[i]), points[i]);
+      if (!points[i].finished()) continue;
+      archive.emplace(genome_key(fresh[i]), points[i].point);
     }
     evaluations += fresh.size();
   };

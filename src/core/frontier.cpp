@@ -2,10 +2,10 @@
 
 #include <cmath>
 
+#include "expert/eval/service.hpp"
 #include "expert/obs/metrics.hpp"
 #include "expert/obs/tracing.hpp"
 #include "expert/util/assert.hpp"
-#include "expert/util/parallel.hpp"
 
 namespace expert::core {
 
@@ -85,49 +85,31 @@ std::vector<strategies::NTDMr> sample_strategy_space(
   return out;
 }
 
-double time_metric(const RunMetrics& m, TimeObjective objective) noexcept {
-  return objective == TimeObjective::TailMakespan ? m.tail_makespan
-                                                  : m.makespan;
-}
-
-double cost_metric(const RunMetrics& m, CostObjective objective) noexcept {
-  return objective == CostObjective::CostPerTask
-             ? m.cost_per_task_cents
-             : m.tail_cost_per_tail_task_cents;
-}
-
 std::vector<StrategyPoint> evaluate_strategies(
     const Estimator& estimator, std::size_t task_count,
     const std::vector<strategies::NTDMr>& strategies_list,
     const FrontierOptions& options) {
   EXPERT_SPAN("frontier.evaluate");
-  std::vector<StrategyPoint> points(strategies_list.size());
-  util::parallel_for(
-      strategies_list.size(),
-      [&](std::size_t i) {
-        const auto cfg = strategies::make_ntdmr_strategy(strategies_list[i]);
-        const EstimateResult est =
-            estimator.estimate(task_count, cfg, /*stream=*/i);
-        StrategyPoint p;
-        p.params = strategies_list[i];
-        p.metrics = est.mean;
-        p.makespan = time_metric(est.mean, options.time_objective);
-        p.cost = cost_metric(est.mean, options.cost_objective);
-        points[i] = p;
-      },
-      options.threads);
+  eval::EvalService& service =
+      options.service ? *options.service : eval::EvalService::global();
+  eval::BatchOptions batch;
+  batch.time_objective = options.time_objective;
+  batch.cost_objective = options.cost_objective;
+  batch.threads = options.threads;
+  const std::vector<eval::EvalResult> evaluated =
+      service.evaluate(estimator, task_count, strategies_list, batch);
 
   // Drop strategies whose runs hit the simulation horizon: their metrics
   // are lower bounds, not estimates.
   std::vector<StrategyPoint> finished;
-  finished.reserve(points.size());
-  for (auto& p : points) {
-    if (p.metrics.finished) finished.push_back(std::move(p));
+  finished.reserve(evaluated.size());
+  for (const auto& r : evaluated) {
+    if (r.finished()) finished.push_back(r.point);
   }
 
   FrontierObs& m = frontier_obs();
-  m.evaluated.inc(points.size());
-  m.unfinished.inc(points.size() - finished.size());
+  m.evaluated.inc(evaluated.size());
+  m.unfinished.inc(evaluated.size() - finished.size());
   return finished;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <optional>
 
+#include "expert/eval/service.hpp"
 #include "expert/util/assert.hpp"
 
 namespace expert::core {
@@ -10,17 +11,6 @@ namespace expert::core {
 namespace {
 
 using strategies::NTDMr;
-
-RunMetrics evaluate(const Estimator& estimator, std::size_t task_count,
-                    const NTDMr& params, std::size_t repetitions,
-                    std::uint64_t stream) {
-  auto cfg = estimator.config();
-  cfg.repetitions = repetitions;
-  Estimator local(cfg, estimator.model());
-  return local
-      .estimate(task_count, strategies::make_ntdmr_strategy(params), stream)
-      .mean;
-}
 
 double elasticity(double low_metric, double high_metric, double base_metric,
                   double low_value, double high_value, double base_value) {
@@ -49,32 +39,29 @@ SensitivityReport analyze_sensitivity(const Estimator& estimator,
 
   SensitivityReport report;
   report.strategy = strategy;
-  report.base =
-      evaluate(estimator, task_count, strategy, options.repetitions, 0);
 
   const double h = options.perturbation;
-  std::uint64_t stream = 1;
+
+  // Phase 1: collect the probes; phase 2 evaluates them all in one batch
+  // through the eval service (on the *original* estimator — the repetition
+  // override is part of the evaluation key, so no Estimator or model copy
+  // is needed) and phase 3 assembles the elasticities.
+  struct Probe {
+    std::string name;
+    NTDMr low;
+    NTDMr high;
+    double base_value = 0.0;
+    double low_value = 0.0;
+    double high_value = 0.0;
+  };
+  std::vector<Probe> probes;
 
   auto add = [&](const std::string& name, std::optional<NTDMr> low_params,
                  std::optional<NTDMr> high_params, double base_value,
                  double low_value, double high_value) {
     if (!low_params || !high_params) return;
-    ParameterSensitivity s;
-    s.parameter = name;
-    s.low_value = low_value;
-    s.high_value = high_value;
-    s.low = evaluate(estimator, task_count, *low_params, options.repetitions,
-                     stream++);
-    s.high = evaluate(estimator, task_count, *high_params,
-                      options.repetitions, stream++);
-    s.makespan_elasticity =
-        elasticity(s.low.tail_makespan, s.high.tail_makespan,
-                   report.base.tail_makespan, low_value, high_value,
-                   base_value);
-    s.cost_elasticity = elasticity(
-        s.low.cost_per_task_cents, s.high.cost_per_task_cents,
-        report.base.cost_per_task_cents, low_value, high_value, base_value);
-    report.parameters.push_back(std::move(s));
+    probes.push_back(Probe{name, *low_params, *high_params, base_value,
+                           low_value, high_value});
   };
 
   // N: +-1 around a finite value (floor at 0).
@@ -128,6 +115,41 @@ SensitivityReport analyze_sensitivity(const Estimator& estimator,
     add("Mr", low, high, strategy.mr, low.mr, high.mr);
   }
 
+  // One batch: the base strategy plus every probe's low/high perturbation.
+  std::vector<NTDMr> candidates;
+  candidates.reserve(1 + 2 * probes.size());
+  candidates.push_back(strategy);
+  for (const Probe& p : probes) {
+    candidates.push_back(p.low);
+    candidates.push_back(p.high);
+  }
+  eval::EvalService& service =
+      options.service ? *options.service : eval::EvalService::global();
+  eval::BatchOptions batch;
+  batch.repetitions = options.repetitions;
+  batch.threads = options.threads;
+  const std::vector<eval::EvalResult> evaluated =
+      service.evaluate(estimator, task_count, candidates, batch);
+
+  report.base = evaluated[0].point.metrics;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    Probe& p = probes[i];
+    ParameterSensitivity s;
+    s.parameter = std::move(p.name);
+    s.low_value = p.low_value;
+    s.high_value = p.high_value;
+    s.low = evaluated[1 + 2 * i].point.metrics;
+    s.high = evaluated[2 + 2 * i].point.metrics;
+    s.makespan_elasticity =
+        elasticity(s.low.tail_makespan, s.high.tail_makespan,
+                   report.base.tail_makespan, p.low_value, p.high_value,
+                   p.base_value);
+    s.cost_elasticity =
+        elasticity(s.low.cost_per_task_cents, s.high.cost_per_task_cents,
+                   report.base.cost_per_task_cents, p.low_value, p.high_value,
+                   p.base_value);
+    report.parameters.push_back(std::move(s));
+  }
   return report;
 }
 

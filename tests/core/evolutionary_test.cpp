@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "expert/eval/service.hpp"
 #include "expert/util/assert.hpp"
 
 namespace expert::core {
@@ -105,6 +106,31 @@ TEST_F(Evolution, DeterministicInSeed) {
   for (std::size_t i = 0; i < a.frontier.size(); ++i) {
     EXPECT_DOUBLE_EQ(a.frontier[i].makespan, b.frontier[i].makespan);
     EXPECT_DOUBLE_EQ(a.frontier[i].cost, b.frontier[i].cost);
+  }
+}
+
+TEST_F(Evolution, ByteIdenticalAcrossThreadCounts) {
+  // Offspring evaluation fans out over the eval service, but streams are
+  // key-derived, so the whole evolutionary trajectory (selection included)
+  // is byte-identical for any thread count. Fresh services keep the two
+  // runs' caches independent.
+  eval::EvalService serial_service;
+  auto serial = options();
+  serial.objectives.threads = 1;
+  serial.objectives.service = &serial_service;
+  eval::EvalService pooled_service;
+  auto pooled = options();
+  pooled.objectives.threads = 4;
+  pooled.objectives.service = &pooled_service;
+
+  const auto a = evolve_frontier(estimator_, 60, serial);
+  const auto b = evolve_frontier(estimator_, 60, pooled);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  ASSERT_EQ(a.frontier.size(), b.frontier.size());
+  for (std::size_t i = 0; i < a.frontier.size(); ++i) {
+    EXPECT_TRUE(a.frontier[i].params == b.frontier[i].params);
+    EXPECT_EQ(a.frontier[i].makespan, b.frontier[i].makespan);
+    EXPECT_EQ(a.frontier[i].cost, b.frontier[i].cost);
   }
 }
 

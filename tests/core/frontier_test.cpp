@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
+#include "expert/eval/service.hpp"
 #include "expert/util/assert.hpp"
 
 namespace expert::core {
@@ -143,6 +145,32 @@ TEST_F(FrontierGeneration, DeterministicAcrossThreadCounts) {
   for (std::size_t i = 0; i < a.sampled.size(); ++i) {
     EXPECT_DOUBLE_EQ(a.sampled[i].makespan, b.sampled[i].makespan);
     EXPECT_DOUBLE_EQ(a.sampled[i].cost, b.sampled[i].cost);
+  }
+}
+
+TEST_F(FrontierGeneration, DeterministicAcrossCandidateOrder) {
+  // Streams are derived from the evaluation content (eval::EvalKey), never
+  // from the candidate's position, so evaluating the same list in any order
+  // yields byte-identical points. Fresh services keep both runs cold.
+  const auto candidates = sample_strategy_space(small_spec());
+  std::vector<strategies::NTDMr> reversed = candidates;
+  std::reverse(reversed.begin(), reversed.end());
+
+  eval::EvalService forward_service;
+  FrontierOptions forward;
+  forward.service = &forward_service;
+  eval::EvalService reversed_service;
+  FrontierOptions backward;
+  backward.service = &reversed_service;
+
+  const auto a = evaluate_strategies(estimator_, 60, candidates, forward);
+  const auto b = evaluate_strategies(estimator_, 60, reversed, backward);
+  ASSERT_EQ(a.size(), b.size());
+  const std::size_t last = a.size() - 1;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].params == b[last - i].params);
+    EXPECT_EQ(a[i].makespan, b[last - i].makespan);
+    EXPECT_EQ(a[i].cost, b[last - i].cost);
   }
 }
 

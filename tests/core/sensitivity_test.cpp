@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "expert/eval/service.hpp"
 #include "expert/util/assert.hpp"
 
 namespace expert::core {
@@ -118,6 +119,33 @@ TEST(Sensitivity, DeterministicAcrossCalls) {
   for (std::size_t i = 0; i < a.parameters.size(); ++i) {
     EXPECT_DOUBLE_EQ(a.parameters[i].makespan_elasticity,
                      b.parameters[i].makespan_elasticity);
+  }
+}
+
+TEST(Sensitivity, ByteIdenticalAcrossThreadCounts) {
+  // The probe batch fans out over the eval service; key-derived streams
+  // make the elasticities independent of the worker count.
+  const auto est = make_estimator();
+  eval::EvalService serial_service;
+  SensitivityOptions serial;
+  serial.repetitions = 5;
+  serial.threads = 1;
+  serial.service = &serial_service;
+  eval::EvalService pooled_service;
+  SensitivityOptions pooled;
+  pooled.repetitions = 5;
+  pooled.threads = 4;
+  pooled.service = &pooled_service;
+
+  const auto a = analyze_sensitivity(est, 60, knee(), serial);
+  const auto b = analyze_sensitivity(est, 60, knee(), pooled);
+  ASSERT_EQ(a.parameters.size(), b.parameters.size());
+  EXPECT_EQ(a.base.tail_makespan, b.base.tail_makespan);
+  for (std::size_t i = 0; i < a.parameters.size(); ++i) {
+    EXPECT_EQ(a.parameters[i].makespan_elasticity,
+              b.parameters[i].makespan_elasticity);
+    EXPECT_EQ(a.parameters[i].cost_elasticity,
+              b.parameters[i].cost_elasticity);
   }
 }
 

@@ -1,0 +1,192 @@
+// EvalCache unit tests: hit/miss accounting, LRU order within a shard,
+// capacity apportioning across shards, and thread-safety under concurrent
+// hammering. Keys are fabricated directly — the cache only ever looks at
+// the digests, so synthetic EvalKeys targeting a chosen shard (shard index
+// is key.hi & (kShards - 1)) make eviction order observable.
+
+#include "expert/eval/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace expert::eval {
+namespace {
+
+/// A key in shard `shard` with per-shard ordinal `ordinal`.
+EvalKey shard_key(std::uint64_t shard, std::uint64_t ordinal) {
+  EvalKey key;
+  key.hi = shard + ordinal * EvalCache::kShards;
+  key.lo = ordinal ^ 0xAB5E;
+  key.sim = ordinal;
+  return key;
+}
+
+/// A value recognizable by its makespan marker.
+CachedEval marked(double marker) {
+  CachedEval value;
+  value.point.makespan = marker;
+  return value;
+}
+
+TEST(EvalCache, MissThenHit) {
+  EvalCache cache(64);
+  const EvalKey key = shard_key(0, 1);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  cache.insert(key, marked(42.0));
+  const auto cached = cache.lookup(key);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_DOUBLE_EQ(cached->point.makespan, 42.0);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(EvalCache, DistinctKeysAreDistinctEntries) {
+  EvalCache cache(64);
+  cache.insert(shard_key(0, 1), marked(1.0));
+  cache.insert(shard_key(1, 1), marked(2.0));
+  cache.insert(shard_key(0, 2), marked(3.0));
+  EXPECT_EQ(cache.stats().entries, 3u);
+  EXPECT_DOUBLE_EQ(cache.lookup(shard_key(0, 1))->point.makespan, 1.0);
+  EXPECT_DOUBLE_EQ(cache.lookup(shard_key(1, 1))->point.makespan, 2.0);
+  EXPECT_DOUBLE_EQ(cache.lookup(shard_key(0, 2))->point.makespan, 3.0);
+}
+
+TEST(EvalCache, ReinsertRefreshesValueWithoutGrowing) {
+  EvalCache cache(64);
+  const EvalKey key = shard_key(3, 1);
+  cache.insert(key, marked(1.0));
+  cache.insert(key, marked(2.0));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_DOUBLE_EQ(cache.lookup(key)->point.makespan, 2.0);
+}
+
+TEST(EvalCache, CapacityRoundsUpToShardMultiple) {
+  EXPECT_EQ(EvalCache(1).capacity(), EvalCache::kShards);
+  EXPECT_EQ(EvalCache(EvalCache::kShards).capacity(), EvalCache::kShards);
+  EXPECT_EQ(EvalCache(EvalCache::kShards + 1).capacity(),
+            2 * EvalCache::kShards);
+}
+
+TEST(EvalCache, EvictsLeastRecentlyUsedOfTheShard) {
+  // Per-shard capacity 1: the second insert into shard 5 must evict the
+  // first, while shard 6 keeps its own entry.
+  EvalCache cache(EvalCache::kShards);
+  cache.insert(shard_key(5, 1), marked(1.0));
+  cache.insert(shard_key(6, 1), marked(2.0));
+  cache.insert(shard_key(5, 2), marked(3.0));
+
+  EXPECT_FALSE(cache.lookup(shard_key(5, 1)).has_value());
+  EXPECT_TRUE(cache.lookup(shard_key(5, 2)).has_value());
+  EXPECT_TRUE(cache.lookup(shard_key(6, 1)).has_value());
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(EvalCache, LookupRefreshesLruPosition) {
+  // Per-shard capacity 2 (total 2 * kShards). Insert a then b, touch a,
+  // insert c: b is now the least recently used and must be the eviction.
+  EvalCache cache(2 * EvalCache::kShards);
+  const EvalKey a = shard_key(0, 1);
+  const EvalKey b = shard_key(0, 2);
+  const EvalKey c = shard_key(0, 3);
+  cache.insert(a, marked(1.0));
+  cache.insert(b, marked(2.0));
+  EXPECT_TRUE(cache.lookup(a).has_value());
+  cache.insert(c, marked(3.0));
+
+  EXPECT_TRUE(cache.lookup(a).has_value());
+  EXPECT_FALSE(cache.lookup(b).has_value());
+  EXPECT_TRUE(cache.lookup(c).has_value());
+}
+
+TEST(EvalCache, ZeroCapacityDisablesStorage) {
+  EvalCache cache(0);
+  EXPECT_EQ(cache.capacity(), 0u);
+  cache.insert(shard_key(0, 1), marked(1.0));
+  EXPECT_FALSE(cache.lookup(shard_key(0, 1)).has_value());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(EvalCache, ClearDropsEntriesKeepsCounters) {
+  EvalCache cache(64);
+  cache.insert(shard_key(0, 1), marked(1.0));
+  EXPECT_TRUE(cache.lookup(shard_key(0, 1)).has_value());
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_FALSE(cache.lookup(shard_key(0, 1)).has_value());
+  EXPECT_EQ(cache.stats().hits, 1u);  // pre-clear accounting survives
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(EvalCache, SetCapacityEvictsDown) {
+  EvalCache cache(4 * EvalCache::kShards);
+  for (std::uint64_t shard = 0; shard < EvalCache::kShards; ++shard) {
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      cache.insert(shard_key(shard, i), marked(1.0));
+    }
+  }
+  EXPECT_EQ(cache.stats().entries, 4 * EvalCache::kShards);
+
+  cache.set_capacity(EvalCache::kShards);
+  EXPECT_EQ(cache.capacity(), EvalCache::kShards);
+  EXPECT_LE(cache.stats().entries, EvalCache::kShards);
+  // The survivor of each shard is its most recently used entry.
+  for (std::uint64_t shard = 0; shard < EvalCache::kShards; ++shard) {
+    EXPECT_TRUE(cache.lookup(shard_key(shard, 3)).has_value());
+  }
+
+  cache.set_capacity(0);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(EvalCache, ConcurrentHammeringKeepsInvariants) {
+  // Several threads look up and insert overlapping key ranges. The cache
+  // makes no cross-thread ordering promise, but the bookkeeping must stay
+  // exact: every lookup is either a hit or a miss, and the entry count
+  // never exceeds capacity.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kLookupsPerThread = 4000;
+  EvalCache cache(8 * EvalCache::kShards);
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (std::size_t i = 0; i < kLookupsPerThread; ++i) {
+        // Overlapping ranges: thread t touches ordinals [t*100, t*100+500).
+        const std::uint64_t ordinal = t * 100 + (i % 500);
+        const EvalKey key = shard_key(ordinal % EvalCache::kShards, ordinal);
+        if (!cache.lookup(key).has_value()) {
+          cache.insert(key, marked(static_cast<double>(ordinal)));
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kLookupsPerThread);
+  EXPECT_LE(stats.entries, cache.capacity());
+
+  // Whatever survived holds the value its key was inserted with.
+  for (std::uint64_t ordinal = 0; ordinal < 100; ++ordinal) {
+    const EvalKey key = shard_key(ordinal % EvalCache::kShards, ordinal);
+    if (const auto cached = cache.lookup(key)) {
+      EXPECT_DOUBLE_EQ(cached->point.makespan, static_cast<double>(ordinal));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace expert::eval

