@@ -51,7 +51,7 @@ const std::vector<RuleInfo> kRules = {
 struct Scope {
   bool library = false;       ///< under an include/ or src/ segment
   bool obs = false;           ///< obs module (clock access allowed)
-  bool ordered_only = false;  ///< sim/core/gridsim/strategies module
+  bool ordered_only = false;  ///< sim/core/gridsim/strategies/eval module
   bool header = false;        ///< .hpp file
 };
 
@@ -79,7 +79,7 @@ Scope classify(std::string_view path) {
     const std::string_view seg = segments[i];
     if (seg == "obs") scope.obs = true;
     if (seg == "sim" || seg == "core" || seg == "gridsim" ||
-        seg == "strategies") {
+        seg == "strategies" || seg == "eval") {
       scope.ordered_only = true;
     }
   }
