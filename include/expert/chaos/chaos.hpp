@@ -78,6 +78,18 @@ struct ChaosConfig {
   /// the instance deadline, exactly like a silent host death.
   double result_loss_prob = 0.0;
 
+  // ---- process kill (crash-resume testing) ----
+  /// Simulation time at which the whole *process* is killed with SIGKILL,
+  /// mid-run, exactly once. 0 disables. Unlike every other fault class this
+  /// does not perturb the trace — it truncates the process, which is the
+  /// point: the crash-resume harness uses it to die at a reproducible spot
+  /// and then verify the journal-resumed campaign is byte-identical.
+  double kill_at_sim_s = 0.0;
+  /// Restrict the kill to the run with this backend stream (0 = any run).
+  /// Campaign streams start at 1, so stream k+1 kills mid-BoT k+1 when no
+  /// retries occurred before it.
+  std::uint64_t kill_stream = 0;
+
   /// True when any fault class is enabled.
   bool any() const noexcept;
   void validate() const;

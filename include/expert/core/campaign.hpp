@@ -23,6 +23,32 @@ class Campaign {
       const workload::Bot& bot, const strategies::StrategyConfig& strategy,
       std::uint64_t stream)>;
 
+  struct BotReport;
+
+  /// Everything a journal needs to persist one finished BoT: the report,
+  /// the trace as retained for characterization (nullptr when the BoT was
+  /// quarantined and contributes no history), and the stream counter value
+  /// after the BoT — restoring it replays the exact backend streams.
+  struct BotRecord {
+    const BotReport& report;
+    const trace::ExecutionTrace* history = nullptr;
+    std::uint64_t next_stream = 1;
+  };
+
+  /// Journal hook, invoked after every finished BoT (including quarantined
+  /// ones), once the report and histories are final. Exceptions propagate
+  /// to the run_bot caller: losing the journal is a hard error, since a
+  /// later resume would silently diverge.
+  using Recorder = std::function<void(const BotRecord& record)>;
+
+  /// Online drift check, invoked with the finished report and its trace
+  /// before the trace joins the history. Returning true declares model
+  /// drift: the accumulated history is discarded (re-characterization
+  /// restarts from this post-drift trace only) and the report's
+  /// degradation becomes DegradationReason::ModelDrift.
+  using DriftMonitor = std::function<bool(const BotReport& report,
+                                          const trace::ExecutionTrace& trace)>;
+
   struct Options {
     UserParams params;
     ExpertOptions expert;
@@ -37,6 +63,21 @@ class Campaign {
     /// Sample-size floor below which characterization falls back to the
     /// synthetic bootstrap model (see Expert::from_history_robust).
     QualityThresholds quality;
+    /// Journal hook (see resilience::CampaignJournal). Absent by default;
+    /// with no recorder and no drift monitor every run is byte-identical
+    /// to the pre-resilience behaviour.
+    Recorder recorder;
+    /// Drift check (see resilience::DriftDetector). Absent by default.
+    DriftMonitor drift_monitor;
+  };
+
+  /// State reconstructed from a journal, from which `resume` continues a
+  /// campaign exactly where a crash stopped it.
+  struct RestoredState {
+    std::vector<trace::ExecutionTrace> histories;
+    std::vector<BotReport> reports;
+    std::uint64_t next_stream = 1;
+    std::size_t quarantined = 0;
   };
 
   /// Terminal state of one BoT within the campaign.
@@ -67,9 +108,20 @@ class Campaign {
     /// What the accumulated history offered the characterization (absent
     /// for the first BoT, which has no history).
     std::optional<CharacterizationQuality> quality;
+    /// Digest of the turnaround model this BoT's recommendation came from
+    /// (absent for the bootstrap BoT). Drift handling uses it to invalidate
+    /// stale eval-cache entries keyed on the same model.
+    std::optional<std::uint64_t> model_digest;
   };
 
   Campaign(Backend backend, Options options);
+
+  /// Continue a campaign from journal-recovered state: the retained
+  /// histories, already-finished reports, and the stream counter are
+  /// restored exactly, so the remaining BoTs run as if the original process
+  /// had never died (see resilience::recover_campaign).
+  static Campaign resume(Backend backend, Options options,
+                         RestoredState state);
 
   /// Run one BoT: recommend from accumulated history (when any), execute
   /// with bounded retries on backend failure, record the trace for future
@@ -81,6 +133,9 @@ class Campaign {
   std::size_t completed_bots() const noexcept { return reports_.size(); }
   const std::vector<BotReport>& reports() const noexcept { return reports_; }
   std::size_t quarantined_bots() const noexcept { return quarantined_; }
+  /// BoT traces currently retained for characterization. Drops to 1 right
+  /// after a drift trip (the post-drift trace alone survives).
+  std::size_t history_depth() const noexcept { return histories_.size(); }
 
   /// Pooled characterization input: the retained histories merged into one
   /// trace (send times offset so BoTs do not overlap).

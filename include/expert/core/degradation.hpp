@@ -32,6 +32,11 @@ enum class DegradationReason {
   /// The backend returned a truncated trace (simulation horizon hit);
   /// results were kept but flagged.
   HorizonTruncated,
+  /// The drift detector tripped on this BoT: the pool's gamma(t') or
+  /// turnaround behaviour moved away from the characterized model, so the
+  /// accumulated history was discarded and re-characterization restarts
+  /// from post-drift data only.
+  ModelDrift,
 };
 
 constexpr const char* to_string(DegradationReason reason) noexcept {
@@ -54,6 +59,8 @@ constexpr const char* to_string(DegradationReason reason) noexcept {
       return "backend_failure";
     case DegradationReason::HorizonTruncated:
       return "horizon_truncated";
+    case DegradationReason::ModelDrift:
+      return "model_drift";
   }
   return "?";
 }

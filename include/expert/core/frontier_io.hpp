@@ -1,6 +1,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "expert/core/pareto.hpp"
@@ -23,5 +24,14 @@ void write_points_csv(const std::vector<StrategyPoint>& points,
 /// Parse points written by write_points_csv. Throws std::runtime_error on
 /// malformed input.
 std::vector<StrategyPoint> read_points_csv(std::istream& in);
+
+/// File-path convenience over write_points_csv, landing the CSV through
+/// util::atomic_write so a crash never leaves a truncated frontier file.
+void write_points_csv_file(const std::vector<StrategyPoint>& points,
+                           const std::string& path);
+
+/// File-path convenience over read_points_csv. Throws when the file cannot
+/// be opened or parsed.
+std::vector<StrategyPoint> read_points_csv_file(const std::string& path);
 
 }  // namespace expert::core

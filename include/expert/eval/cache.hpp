@@ -44,6 +44,7 @@ class EvalCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t invalidated = 0;
     std::size_t entries = 0;
   };
 
@@ -63,6 +64,12 @@ class EvalCache {
 
   /// Drop every entry (stats counters keep accumulating).
   void clear();
+  /// Drop every entry whose evaluation was keyed under the given
+  /// turnaround-model digest; returns how many were removed. The drift
+  /// detector calls this on a trip: entries simulated from the stale model
+  /// would otherwise keep serving pre-drift predictions for as long as
+  /// their LRU positions survive.
+  std::size_t invalidate_model(std::uint64_t model_digest);
   /// Re-bound the cache, evicting LRU entries down to the new capacity.
   void set_capacity(std::size_t capacity);
 
@@ -75,6 +82,9 @@ class EvalCache {
   struct Entry {
     CachedEval value;
     std::list<Digest>::iterator lru_pos;
+    /// Turnaround-model digest the evaluation was keyed under, so
+    /// invalidate_model can find stale entries without re-deriving keys.
+    std::uint64_t model = 0;
   };
 
   struct Shard {
@@ -85,6 +95,7 @@ class EvalCache {
     std::uint64_t hits EXPERT_GUARDED_BY(mutex) = 0;
     std::uint64_t misses EXPERT_GUARDED_BY(mutex) = 0;
     std::uint64_t evictions EXPERT_GUARDED_BY(mutex) = 0;
+    std::uint64_t invalidated EXPERT_GUARDED_BY(mutex) = 0;
     std::size_t capacity EXPERT_GUARDED_BY(mutex) = 0;
   };
 
@@ -97,6 +108,7 @@ class EvalCache {
   obs::Counter hit_counter_;
   obs::Counter miss_counter_;
   obs::Counter eviction_counter_;
+  obs::Counter invalidated_counter_;
   obs::Gauge entries_gauge_;
 };
 

@@ -34,6 +34,11 @@ struct EvalKey {
   std::uint64_t hi = 0;      ///< cache digest, upper half
   std::uint64_t lo = 0;      ///< cache digest, lower half
   std::uint64_t sim = 0;     ///< simulation-input digest; the RNG stream
+  /// The turnaround-model digest this evaluation was keyed under. Not part
+  /// of the cache identity (hi/lo already mix it via `sim`); carried so
+  /// EvalCache::invalidate_model can drop every entry derived from a model
+  /// the drift detector has declared stale.
+  std::uint64_t model = 0;
 
   /// The stream passed to Estimator::simulate for this evaluation.
   std::uint64_t stream() const noexcept { return sim; }

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "expert/chaos/chaos.hpp"
 #include "expert/gridsim/pool.hpp"
@@ -77,5 +78,24 @@ class Executor {
  private:
   ExecutorConfig config_;
 };
+
+/// One send-time bucket of a trace's unreliable-pool reliability: of the
+/// instances sent in [lo, hi), the fraction that returned a result (the
+/// empirical gamma over that window).
+struct ReliabilityWindow {
+  double lo = 0.0;
+  double hi = 0.0;
+  double gamma = 0.0;     ///< successes / sent within the window
+  std::size_t sent = 0;   ///< non-cancelled unreliable instances sent
+};
+
+/// Bucket the trace's non-cancelled unreliable instances by send time into
+/// windows of `window_s` seconds and report each window's empirical
+/// reliability. Windows with no sends are omitted. This is the γ(t′)
+/// time series the resilience drift detector watches: a pool whose
+/// reliability moves between windows no longer matches a stationary
+/// characterized gamma.
+std::vector<ReliabilityWindow> windowed_reliability(
+    const trace::ExecutionTrace& trace, double window_s);
 
 }  // namespace expert::gridsim

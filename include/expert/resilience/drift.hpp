@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "expert/core/campaign.hpp"
+#include "expert/eval/cache.hpp"
+
+namespace expert::resilience {
+
+/// Tuning of the online drift detector. The defaults are deliberately
+/// conservative: a campaign whose pool behaves stationarily should never
+/// trip, because a trip throws away every accumulated history.
+struct DriftOptions {
+  /// Width of the gamma(t') observation windows, in simulation seconds.
+  /// 0 picks a per-trace width (an eighth of the throughput phase), so
+  /// BoTs of different scales contribute comparably many observations.
+  double gamma_window_s = 0.0;
+  /// Windows with fewer sends than this are skipped — a two-instance
+  /// window's empirical gamma is noise, not signal.
+  std::size_t min_window_sends = 4;
+  /// Page-Hinkley drift magnitude tolerance on windowed gamma (absolute
+  /// reliability units) and trip threshold on the cumulative statistic.
+  double ph_delta = 0.02;
+  double ph_lambda = 0.6;
+  /// CUSUM slack and trip threshold on relative makespan residuals,
+  /// (realized - predicted) / predicted, observed once per recommended BoT.
+  double residual_delta = 0.15;
+  double residual_lambda = 1.0;
+  /// Neither statistic may trip before this many observations (of its own
+  /// series) — a detector with two samples has no business declaring drift.
+  std::size_t min_observations = 6;
+
+  void validate() const;
+};
+
+/// Online detector for γ(t′) and turnaround-model drift (paper §IV sets up
+/// the online model precisely because grid pools are non-stationary).
+///
+/// Two independent change statistics feed one verdict:
+///  * Page-Hinkley over the windowed empirical reliability of every
+///    observed trace, sensitive to a sustained *drop* in gamma (pools
+///    getting less reliable is what invalidates a characterization;
+///    improvement only makes predictions conservative);
+///  * two-sided CUSUM over relative makespan residuals of recommended
+///    BoTs, catching turnaround-distribution shifts that leave gamma
+///    intact.
+///
+/// A trip resets every internal statistic: post-trip observations start a
+/// fresh baseline, matching the campaign's history discard. The detector
+/// is deterministic — a pure fold over the observed (report, trace)
+/// sequence — so replaying journal-recovered records reproduces its state
+/// exactly.
+class DriftDetector {
+ public:
+  explicit DriftDetector(DriftOptions options = {});
+
+  /// Observe one finished BoT. Returns true when drift was declared on
+  /// this observation (the Campaign::DriftMonitor contract).
+  bool observe_bot(const core::Campaign::BotReport& report,
+                   const trace::ExecutionTrace& trace);
+
+  std::uint64_t trips() const noexcept { return trips_; }
+
+ private:
+  bool observe_gamma(double gamma);
+  bool observe_residual(double residual);
+  void reset();
+
+  DriftOptions options_;
+
+  // Page-Hinkley state over windowed gamma.
+  std::size_t gamma_n_ = 0;
+  double gamma_mean_ = 0.0;
+  double ph_cum_ = 0.0;
+  double ph_max_ = 0.0;
+
+  // Two-sided CUSUM state over makespan residuals.
+  std::size_t residual_n_ = 0;
+  double cusum_pos_ = 0.0;
+  double cusum_neg_ = 0.0;
+
+  std::uint64_t trips_ = 0;
+};
+
+/// Bind a detector (and optionally an eval cache) into a
+/// Campaign::DriftMonitor: on a trip, the BoT's turnaround-model digest is
+/// used to invalidate every cached evaluation derived from the now-stale
+/// model, and `resilience.drift.*` metrics are bumped. The detector must
+/// outlive the campaign; `cache` may be nullptr.
+core::Campaign::DriftMonitor make_drift_monitor(
+    std::shared_ptr<DriftDetector> detector, eval::EvalCache* cache = nullptr);
+
+}  // namespace expert::resilience

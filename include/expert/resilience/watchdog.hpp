@@ -1,0 +1,42 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "expert/core/campaign.hpp"
+
+namespace expert::resilience {
+
+/// Thrown by a watchdog-wrapped backend when the inner backend exceeds its
+/// wall-clock deadline. Derives from std::runtime_error so Campaign's
+/// existing retry/quarantine machinery treats a hang exactly like any
+/// other backend failure.
+class BackendTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct WatchdogOptions {
+  /// Wall-clock deadline per backend invocation, in real seconds.
+  /// <= 0 disables the watchdog (with_watchdog returns the inner backend
+  /// unchanged).
+  double timeout_s = 0.0;
+};
+
+/// Wrap a Campaign::Backend with a wall-clock watchdog: the inner backend
+/// runs on a worker thread; if it has not returned within
+/// `options.timeout_s` real seconds the call throws BackendTimeout,
+/// converting a *hung* backend into a *failed* attempt that the campaign's
+/// retry/quarantine path already handles.
+///
+/// An abandoned worker keeps running detached until its blocking call
+/// returns, then discards its result — the watchdog cannot cancel foreign
+/// blocking code, only stop waiting for it. Deliberately wall-clock and
+/// thread-based: this is for real backends (remote schedulers). The
+/// gridsim backend stays single-threaded and deterministic — its hang
+/// protection is the simulation horizon (ExecutorConfig::max_sim_time),
+/// which bounds a run in *simulated* time without any real clock.
+core::Campaign::Backend with_watchdog(core::Campaign::Backend inner,
+                                      WatchdogOptions options);
+
+}  // namespace expert::resilience

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace expert::util {
+
+/// Atomically replace the file at `path` with `contents`: write a temporary
+/// sibling (`path` + ".tmp"), fsync it, then rename it over `path`. A crash
+/// at any point leaves either the previous file or the complete new one —
+/// never a truncated artifact. The containing directory is fsynced after
+/// the rename so the replacement itself survives a power loss.
+///
+/// Throws util::ContractViolation when any step fails (the temporary file
+/// is removed on a failed write). Final-output writers across the library
+/// must route through this helper; expert_lint rule IO001 flags direct
+/// std::ofstream use outside util/.
+void atomic_write(const std::string& path, std::string_view contents);
+
+}  // namespace expert::util

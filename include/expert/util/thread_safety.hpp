@@ -1,5 +1,8 @@
 #pragma once
 
+// EXPERT_LINT_ALLOW(INC002): CondVar::wait_for needs a real-time duration;
+// the header exposes no clock and simulated code never calls the timed wait.
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -95,6 +98,16 @@ class CondVar {
   /// Atomically release `mutex`, block, and reacquire before returning.
   /// Subject to spurious wakeups: call in a `while (!condition)` loop.
   void wait(Mutex& mutex) EXPERT_REQUIRES(mutex) { cond_.wait(mutex); }
+
+  /// Timed wait: like wait(), but gives up after `seconds` of wall-clock
+  /// time. Returns false on timeout, true when notified (or woken
+  /// spuriously) — re-check the condition either way. Only wall-clock
+  /// consumers (the resilience backend watchdog) use this; simulated time
+  /// never flows through it.
+  bool wait_for(Mutex& mutex, double seconds) EXPERT_REQUIRES(mutex) {
+    return cond_.wait_for(mutex, std::chrono::duration<double>(seconds)) ==
+           std::cv_status::no_timeout;
+  }
 
   void notify_one() noexcept { cond_.notify_one(); }
   void notify_all() noexcept { cond_.notify_all(); }

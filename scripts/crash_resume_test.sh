@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Crash/resume determinism check for journaled campaigns.
+#
+# Runs an uninterrupted journaled campaign as the reference, then for each
+# kill point k: reruns with a chaos plan that raises SIGKILL from inside the
+# simulator mid-BoT k+1 (campaign streams are 1-based, one per backend
+# attempt), resumes from the journal, and requires the resumed stdout to be
+# byte-identical to the reference. Only the eval-cache summary line may
+# differ (the resumed process never re-evaluates the journaled BoTs), so it
+# is filtered out of the comparison on both sides.
+#
+# Usage: scripts/crash_resume_test.sh path/to/expert_cli
+
+set -u
+
+CLI="${1:?usage: crash_resume_test.sh path/to/expert_cli}"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+BOTS=4
+ARGS=(execute --experiment 11 --bots "$BOTS" --reps 3 --seed 7)
+
+filtered() { grep -v '^eval cache' "$1"; }
+
+echo "== reference: uninterrupted ${BOTS}-BoT campaign with journaling"
+if ! "$CLI" "${ARGS[@]}" --journal "$workdir/ref.journal" \
+    > "$workdir/ref.out" 2> "$workdir/ref.err"; then
+  echo "FAIL: reference run exited non-zero" >&2
+  cat "$workdir/ref.err" >&2
+  exit 1
+fi
+
+# Kill points: first BoT, a middle BoT, and the last BoT (k BoTs journaled,
+# killed during BoT k+1).
+for k in 1 2 "$((BOTS - 1))"; do
+  journal="$workdir/kill$k.journal"
+  echo "== kill during BoT $((k + 1)) (k=$k BoTs journaled)"
+  "$CLI" "${ARGS[@]}" --journal "$journal" \
+      --chaos "kill_at=500,kill_stream=$((k + 1))" \
+      > "$workdir/kill$k.out" 2> "$workdir/kill$k.err"
+  status=$?
+  if [ "$status" -ne 137 ]; then
+    echo "FAIL: expected SIGKILL exit status 137 for k=$k, got $status" >&2
+    cat "$workdir/kill$k.err" >&2
+    exit 1
+  fi
+
+  if ! "$CLI" "${ARGS[@]}" --journal "$journal" --resume \
+      > "$workdir/resume$k.out" 2> "$workdir/resume$k.err"; then
+    echo "FAIL: resume exited non-zero for k=$k" >&2
+    cat "$workdir/resume$k.err" >&2
+    exit 1
+  fi
+
+  if ! grep -q "resumed $k BoTs" "$workdir/resume$k.err"; then
+    echo "FAIL: resume for k=$k did not report $k restored BoTs" >&2
+    cat "$workdir/resume$k.err" >&2
+    exit 1
+  fi
+
+  if ! diff -u <(filtered "$workdir/ref.out") \
+              <(filtered "$workdir/resume$k.out"); then
+    echo "FAIL: resumed stdout differs from the uninterrupted run (k=$k)" >&2
+    exit 1
+  fi
+  echo "   resumed run byte-identical to reference"
+done
+
+echo "PASS: crash/resume determinism holds for k in {1, 2, $((BOTS - 1))}"

@@ -36,9 +36,13 @@ double parse_number(const std::string& key, const std::string& value) {
 }  // namespace
 
 bool ChaosConfig::any() const noexcept {
+  // kill_at_sim_s counts: the executor must arm the kill event even when no
+  // trace-perturbing fault is enabled. A kill-only plan stays behaviourally
+  // inert up to the kill itself — every other fault draw is gated on its
+  // own probability/count, so traces remain byte-identical.
   return blackouts_per_group > 0 || shrink_fraction > 0.0 ||
          flash_fraction > 0.0 || dispatch_failure_prob > 0.0 ||
-         result_loss_prob > 0.0;
+         result_loss_prob > 0.0 || kill_at_sim_s > 0.0;
 }
 
 void ChaosConfig::validate() const {
@@ -67,6 +71,7 @@ void ChaosConfig::validate() const {
   }
   EXPERT_REQUIRE(is_prob(result_loss_prob),
                  "result loss probability must be in [0,1]");
+  EXPERT_REQUIRE(kill_at_sim_s >= 0.0, "kill time must be >= 0");
 }
 
 std::string ChaosConfig::to_string() const {
@@ -92,6 +97,10 @@ std::string ChaosConfig::to_string() const {
        << " backoff_max=" << dispatch_backoff_max_s;
   }
   if (result_loss_prob > 0.0) os << " loss=" << result_loss_prob;
+  if (kill_at_sim_s > 0.0) {
+    os << " kill_at=" << kill_at_sim_s;
+    if (kill_stream > 0) os << " kill_stream=" << kill_stream;
+  }
   return os.str();
 }
 
@@ -138,6 +147,10 @@ ChaosConfig parse_chaos_plan(const std::string& text) {
       cfg.dispatch_backoff_base_s = num;
     } else if (key == "backoff_max") {
       cfg.dispatch_backoff_max_s = num;
+    } else if (key == "kill_at") {
+      cfg.kill_at_sim_s = num;
+    } else if (key == "kill_stream") {
+      cfg.kill_stream = static_cast<std::uint64_t>(num);
     } else {
       EXPERT_REQUIRE(key == "loss", "chaos plan: unknown key '" + key + "'");
       cfg.result_loss_prob = num;

@@ -14,6 +14,19 @@ Campaign::Campaign(Backend backend, Options options)
   options_.params.validate();
 }
 
+Campaign Campaign::resume(Backend backend, Options options,
+                          RestoredState state) {
+  Campaign campaign(std::move(backend), std::move(options));
+  EXPERT_REQUIRE(state.histories.size() <= campaign.options_.history_window,
+                 "restored state holds more histories than the window");
+  EXPERT_REQUIRE(state.next_stream >= 1, "stream counter starts at 1");
+  campaign.histories_ = std::move(state.histories);
+  campaign.reports_ = std::move(state.reports);
+  campaign.next_stream_ = state.next_stream;
+  campaign.quarantined_ = state.quarantined;
+  return campaign;
+}
+
 std::optional<trace::ExecutionTrace> Campaign::merged_history() const {
   if (histories_.empty()) return std::nullopt;
   std::size_t task_offset = 0;
@@ -48,6 +61,7 @@ Campaign::BotReport Campaign::run_bot(const workload::Bot& bot,
                                              options_.expert, options_.quality);
     report.quality = built.quality;
     report.degradation = built.degradation;
+    report.model_digest = built.expert.estimator().model().digest();
     // The degraded synthetic model still yields a recommendation, so even a
     // faulted campaign keeps making NTDMr decisions — just openly weaker
     // ones. Recommendation failure on top of it keeps the original reason.
@@ -80,6 +94,9 @@ Campaign::BotReport Campaign::run_bot(const workload::Bot& bot,
     report.degradation = DegradationReason::BackendFailure;
     ++quarantined_;
     reports_.push_back(report);
+    if (options_.recorder) {
+      options_.recorder(BotRecord{reports_.back(), nullptr, next_stream_});
+    }
     return report;  // no history from a BoT that never ran
   }
 
@@ -90,11 +107,24 @@ Campaign::BotReport Campaign::run_bot(const workload::Bot& bot,
   report.tail_makespan = trace->tail_makespan();
   report.cost_per_task_cents = trace->cost_per_task_cents();
 
+  // Drift check before the trace joins the history: a trip means the pool
+  // this trace came from no longer matches the characterized model, so the
+  // model's training data is discarded wholesale — the next BoT
+  // re-characterizes from this post-drift trace alone.
+  if (options_.drift_monitor && options_.drift_monitor(report, *trace)) {
+    report.degradation = DegradationReason::ModelDrift;
+    histories_.clear();
+  }
+
   histories_.push_back(std::move(*trace));
   if (histories_.size() > options_.history_window) {
     histories_.erase(histories_.begin());
   }
   reports_.push_back(report);
+  if (options_.recorder) {
+    options_.recorder(BotRecord{reports_.back(), &histories_.back(),
+                                next_stream_});
+  }
   return report;
 }
 

@@ -1,8 +1,11 @@
 #include "expert/core/frontier_io.hpp"
 
+#include <fstream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
+#include "expert/util/atomic_write.hpp"
 #include "expert/util/csv.hpp"
 
 namespace expert::core {
@@ -89,6 +92,21 @@ std::vector<StrategyPoint> read_points_csv(std::istream& in) {
     points.push_back(p);
   }
   return points;
+}
+
+void write_points_csv_file(const std::vector<StrategyPoint>& points,
+                           const std::string& path) {
+  std::ostringstream os;
+  write_points_csv(points, os);
+  util::atomic_write(path, os.str());
+}
+
+std::vector<StrategyPoint> read_points_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    throw std::runtime_error("cannot open frontier file: " + path);
+  }
+  return read_points_csv(in);
 }
 
 }  // namespace expert::core

@@ -16,6 +16,7 @@ EvalCache::EvalCache(std::size_t capacity) {
   hit_counter_ = reg.counter("eval.cache.hits");
   miss_counter_ = reg.counter("eval.cache.misses");
   eviction_counter_ = reg.counter("eval.cache.evictions");
+  invalidated_counter_ = reg.counter("eval.cache.invalidated");
   entries_gauge_ = reg.gauge("eval.cache.entries");
   const std::size_t per_shard = per_shard_capacity(capacity);
   for (Shard& shard : shards_) {
@@ -62,8 +63,29 @@ void EvalCache::insert(const EvalKey& key, CachedEval value) {
     entries_gauge_.add(-1.0);
   }
   shard.lru.push_front(digest);
-  shard.entries.emplace(digest, Entry{std::move(value), shard.lru.begin()});
+  shard.entries.emplace(digest,
+                        Entry{std::move(value), shard.lru.begin(), key.model});
   entries_gauge_.add(1.0);
+}
+
+std::size_t EvalCache::invalidate_model(std::uint64_t model_digest) {
+  std::size_t removed = 0;
+  for (Shard& shard : shards_) {
+    util::MutexLock lock(shard.mutex);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (it->second.model == model_digest) {
+        shard.lru.erase(it->second.lru_pos);
+        it = shard.entries.erase(it);
+        ++shard.invalidated;
+        invalidated_counter_.inc();
+        entries_gauge_.add(-1.0);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return removed;
 }
 
 void EvalCache::clear() {
@@ -106,6 +128,7 @@ EvalCache::Stats EvalCache::stats() const {
     stats.hits += shard.hits;
     stats.misses += shard.misses;
     stats.evictions += shard.evictions;
+    stats.invalidated += shard.invalidated;
     stats.entries += shard.entries.size();
   }
   return stats;

@@ -70,6 +70,7 @@ EvalKey make_eval_key(const core::EstimatorConfig& config,
   }
   key.hi = hi.digest();
   key.lo = lo.digest();
+  key.model = model_digest;
   return key;
 }
 

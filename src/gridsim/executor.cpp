@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <csignal>
 #include <deque>
 #include <limits>
+#include <map>
 
 #include "expert/obs/metrics.hpp"
 #include "expert/obs/tracing.hpp"
@@ -103,6 +105,7 @@ class Run {
         bot_(bot),
         strategy_(std::move(strategy)),
         selector_(selector),
+        stream_(stream),
         rng_(util::derive_seed(cfg.seed, stream)),
         tasks_(bot.size()),
         remaining_(bot.size()) {
@@ -136,6 +139,15 @@ class Run {
   }
 
   trace::ExecutionTrace execute() {
+    // Crash-resume testing: kill the whole process at a reproducible
+    // simulation time, before any same-time scheduling event. The event
+    // never returns, so it cannot perturb the trace of a run it does not
+    // kill — and the stream gate keeps it scoped to one BoT of a campaign.
+    if (chaos_ != nullptr && chaos_->kill_at_sim_s > 0.0 &&
+        (chaos_->kill_stream == 0 || chaos_->kill_stream == stream_)) {
+      engine_.schedule_at(chaos_->kill_at_sim_s,
+                          [] { std::raise(SIGKILL); });
+    }
     // Arm the chaos plan's forced transitions first so that, at equal
     // simulation times, a blackout start fires before any dispatch.
     for (std::size_t m = 0; m < machines_.size(); ++m) {
@@ -933,6 +945,7 @@ class Run {
   const workload::Bot& bot_;
   StrategyConfig strategy_;
   const Executor::TailStrategySelector* selector_ = nullptr;
+  std::uint64_t stream_ = 0;  ///< backend stream; gates the chaos kill
   std::vector<PendingInstance> pending_;
   util::Rng rng_;
   /// Non-null when the config carries an active chaos plan. Fault draws
@@ -1016,6 +1029,34 @@ trace::ExecutionTrace Executor::run_adaptive(
   EXPERT_REQUIRE(selector != nullptr, "run_adaptive needs a selector");
   Run run(config_, bot, initial, stream, &selector);
   return run.execute();
+}
+
+std::vector<ReliabilityWindow> windowed_reliability(
+    const trace::ExecutionTrace& trace, double window_s) {
+  EXPERT_REQUIRE(window_s > 0.0, "reliability window must be positive");
+  std::vector<ReliabilityWindow> windows;
+  // Bucket by send time. Records are appended in event order, so a single
+  // pass with a sorted bucket map keeps the output ordered by window.
+  std::map<std::size_t, std::pair<std::size_t, std::size_t>> buckets;
+  for (const auto& r : trace.records()) {
+    if (r.pool != trace::PoolKind::Unreliable) continue;
+    if (r.outcome == trace::InstanceOutcome::Cancelled) continue;
+    const auto bucket = static_cast<std::size_t>(r.send_time / window_s);
+    auto& [sent, ok] = buckets[bucket];
+    ++sent;
+    if (r.outcome == trace::InstanceOutcome::Success) ++ok;
+  }
+  windows.reserve(buckets.size());
+  for (const auto& [bucket, counts] : buckets) {
+    ReliabilityWindow w;
+    w.lo = static_cast<double>(bucket) * window_s;
+    w.hi = w.lo + window_s;
+    w.sent = counts.first;
+    w.gamma =
+        static_cast<double>(counts.second) / static_cast<double>(counts.first);
+    windows.push_back(w);
+  }
+  return windows;
 }
 
 }  // namespace expert::gridsim

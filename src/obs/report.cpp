@@ -3,12 +3,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <exception>
 #include <mutex>
 #include <ostream>
 #include <sstream>
 
-#include "expert/util/assert.hpp"
+#include "expert/util/atomic_write.hpp"
 
 namespace expert::obs {
 
@@ -95,19 +95,17 @@ std::string Snapshot::to_json() const {
 }
 
 void write_metrics_file(const std::string& path, Registry& registry) {
-  std::ofstream out(path);
-  EXPERT_REQUIRE(out.good(), "cannot open metrics output file: " + path);
-  registry.snapshot().write_json(out);
-  out.flush();
-  EXPERT_REQUIRE(out.good(), "failed writing metrics output file: " + path);
+  // Render in memory, then land atomically: a crash (or a full disk) never
+  // leaves a truncated JSON file where a dashboard expects a complete one.
+  std::ostringstream os;
+  registry.snapshot().write_json(os);
+  util::atomic_write(path, os.str());
 }
 
 void write_trace_file(const std::string& path, Tracer& tracer) {
-  std::ofstream out(path);
-  EXPERT_REQUIRE(out.good(), "cannot open trace output file: " + path);
-  tracer.write_chrome_trace(out);
-  out.flush();
-  EXPERT_REQUIRE(out.good(), "failed writing trace output file: " + path);
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  util::atomic_write(path, os.str());
 }
 
 namespace {
@@ -116,14 +114,26 @@ std::string env_metrics_path;
 std::string env_trace_path;
 
 void write_env_reports() {
-  // Errors are swallowed: this runs during exit, where throwing terminates.
+  // This runs during exit, where an escaping exception would terminate —
+  // but silence is worse: a run whose metrics file never appeared should
+  // say why. Report on stderr and carry on.
   try {
     if (!env_metrics_path.empty()) write_metrics_file(env_metrics_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "expert: failed to write metrics file '%s': %s\n",
+                 env_metrics_path.c_str(), e.what());
   } catch (...) {
+    std::fprintf(stderr, "expert: failed to write metrics file '%s'\n",
+                 env_metrics_path.c_str());
   }
   try {
     if (!env_trace_path.empty()) write_trace_file(env_trace_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "expert: failed to write trace file '%s': %s\n",
+                 env_trace_path.c_str(), e.what());
   } catch (...) {
+    std::fprintf(stderr, "expert: failed to write trace file '%s'\n",
+                 env_trace_path.c_str());
   }
 }
 

@@ -1,0 +1,136 @@
+#include "expert/resilience/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "expert/gridsim/executor.hpp"
+#include "expert/obs/metrics.hpp"
+#include "expert/util/assert.hpp"
+
+namespace expert::resilience {
+
+namespace {
+
+struct DriftObs {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter trips = reg.counter("resilience.drift.trips");
+  obs::Counter gamma_obs = reg.counter("resilience.drift.gamma_observations");
+  obs::Counter residual_obs =
+      reg.counter("resilience.drift.residual_observations");
+  obs::Counter invalidated =
+      reg.counter("resilience.drift.invalidated_evals");
+};
+
+DriftObs& drift_obs() {
+  static DriftObs metrics;
+  return metrics;
+}
+
+}  // namespace
+
+void DriftOptions::validate() const {
+  EXPERT_REQUIRE(gamma_window_s >= 0.0, "gamma window must be >= 0");
+  EXPERT_REQUIRE(ph_delta >= 0.0 && ph_lambda > 0.0,
+                 "Page-Hinkley needs delta >= 0 and lambda > 0");
+  EXPERT_REQUIRE(residual_delta >= 0.0 && residual_lambda > 0.0,
+                 "CUSUM needs delta >= 0 and lambda > 0");
+  EXPERT_REQUIRE(min_observations > 0, "min_observations must be positive");
+}
+
+DriftDetector::DriftDetector(DriftOptions options)
+    : options_(options) {
+  options_.validate();
+}
+
+void DriftDetector::reset() {
+  gamma_n_ = 0;
+  gamma_mean_ = 0.0;
+  ph_cum_ = 0.0;
+  ph_max_ = 0.0;
+  residual_n_ = 0;
+  cusum_pos_ = 0.0;
+  cusum_neg_ = 0.0;
+}
+
+bool DriftDetector::observe_gamma(double gamma) {
+  drift_obs().gamma_obs.inc();
+  ++gamma_n_;
+  // Incremental mean of the pre-change baseline, then the Page-Hinkley
+  // statistic for a downward shift: the cumulative drift of observations
+  // below the running mean (minus the tolerance delta). A sustained gamma
+  // drop makes ph_cum_ fall away from its historical maximum.
+  gamma_mean_ += (gamma - gamma_mean_) / static_cast<double>(gamma_n_);
+  ph_cum_ += gamma - gamma_mean_ + options_.ph_delta;
+  ph_max_ = std::max(ph_max_, ph_cum_);
+  return gamma_n_ >= options_.min_observations &&
+         ph_max_ - ph_cum_ > options_.ph_lambda;
+}
+
+bool DriftDetector::observe_residual(double residual) {
+  drift_obs().residual_obs.inc();
+  ++residual_n_;
+  // Two-sided CUSUM: either direction of a persistent predicted-vs-realized
+  // makespan bias means the turnaround model no longer matches the pool.
+  cusum_pos_ = std::max(0.0, cusum_pos_ + residual - options_.residual_delta);
+  cusum_neg_ = std::max(0.0, cusum_neg_ - residual - options_.residual_delta);
+  return residual_n_ >= options_.min_observations &&
+         (cusum_pos_ > options_.residual_lambda ||
+          cusum_neg_ > options_.residual_lambda);
+}
+
+bool DriftDetector::observe_bot(const core::Campaign::BotReport& report,
+                                const trace::ExecutionTrace& trace) {
+  bool tripped = false;
+
+  // gamma(t') series: windowed empirical reliability of this trace's
+  // unreliable instances. Window width adapts to the trace unless pinned,
+  // so a short BoT still contributes several observations.
+  double window_s = options_.gamma_window_s;
+  if (window_s <= 0.0) {
+    const double span = trace.t_tail() > 0.0 ? trace.t_tail()
+                                             : trace.makespan();
+    window_s = span / 8.0;
+  }
+  if (window_s > 0.0) {
+    for (const auto& w : gridsim::windowed_reliability(trace, window_s)) {
+      if (w.sent < options_.min_window_sends) continue;
+      if (observe_gamma(w.gamma)) tripped = true;
+    }
+  }
+
+  // Makespan residual: only meaningful when this BoT ran the recommended
+  // strategy that the prediction was made for.
+  if (report.predicted && report.used_recommendation &&
+      report.predicted->makespan > 0.0 && !report.truncated) {
+    const double residual =
+        (report.makespan - report.predicted->makespan) /
+        report.predicted->makespan;
+    if (observe_residual(residual)) tripped = true;
+  }
+
+  if (tripped) {
+    ++trips_;
+    drift_obs().trips.inc();
+    // Post-trip observations start a fresh baseline, mirroring the
+    // campaign's history discard — and making the detector a pure fold
+    // over its observation sequence, which journal replay relies on.
+    reset();
+  }
+  return tripped;
+}
+
+core::Campaign::DriftMonitor make_drift_monitor(
+    std::shared_ptr<DriftDetector> detector, eval::EvalCache* cache) {
+  EXPERT_REQUIRE(detector != nullptr, "drift monitor needs a detector");
+  return [detector, cache](const core::Campaign::BotReport& report,
+                           const trace::ExecutionTrace& trace) {
+    if (!detector->observe_bot(report, trace)) return false;
+    if (cache != nullptr && report.model_digest.has_value()) {
+      const std::size_t removed = cache->invalidate_model(*report.model_digest);
+      drift_obs().invalidated.inc(removed);
+    }
+    return true;
+  };
+}
+
+}  // namespace expert::resilience

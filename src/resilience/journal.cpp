@@ -1,0 +1,638 @@
+#include "expert/resilience/journal.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "expert/obs/metrics.hpp"
+#include "expert/util/assert.hpp"
+#include "expert/util/hash.hpp"
+
+namespace expert::resilience {
+
+namespace {
+
+using core::Campaign;
+using core::DegradationReason;
+
+/// Domain separators for the per-line checksum and the options digest.
+constexpr std::uint64_t kChecksumSalt = 0x70A4A15E9B3ULL;
+constexpr std::uint64_t kOptionsSalt = 0x0CA42A16D16ULL;
+
+// ---- formatting -----------------------------------------------------------
+
+/// Doubles travel as C hexfloats ("%a"): exact round-trip, locale-free,
+/// and strtod parses the "inf" that failed instances' turnarounds carry.
+std::string fmt_double(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", value);
+  return buf;
+}
+
+std::string fmt_u64(std::uint64_t value) {
+  return std::to_string(static_cast<unsigned long long>(value));
+}
+
+std::string fmt_hex16(std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+/// Strategy names may contain the journal's separators; percent-escape the
+/// three that matter (plus the escape character itself).
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case ' ': out += "%20"; break;
+      case ',': out += "%2C"; break;
+      case '\n': out += "%0A"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// ---- parsing --------------------------------------------------------------
+
+double parse_double(const std::string& text) {
+  EXPERT_REQUIRE(!text.empty(), "journal: empty number");
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  EXPERT_REQUIRE(end == text.c_str() + text.size(),
+                 "journal: bad number '" + text + "'");
+  return value;
+}
+
+std::uint64_t parse_u64(const std::string& text, int base = 10) {
+  EXPERT_REQUIRE(!text.empty(), "journal: empty integer");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, base);
+  EXPERT_REQUIRE(errno == 0 && end == text.c_str() + text.size(),
+                 "journal: bad integer '" + text + "'");
+  return static_cast<std::uint64_t>(value);
+}
+
+std::string unescape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '%') {
+      EXPERT_REQUIRE(i + 2 < text.size(), "journal: truncated escape");
+      const std::string hex = text.substr(i + 1, 2);
+      out += static_cast<char>(parse_u64(hex, 16));
+      i += 2;
+    } else {
+      out += text[i];
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+DegradationReason degradation_from_string(const std::string& name) {
+  constexpr DegradationReason kAll[] = {
+      DegradationReason::NoHistory,
+      DegradationReason::NoThroughputPhase,
+      DegradationReason::NoUnreliableInstances,
+      DegradationReason::NoObservedSuccesses,
+      DegradationReason::InsufficientSamples,
+      DegradationReason::CharacterizationError,
+      DegradationReason::RecommendationInfeasible,
+      DegradationReason::BackendFailure,
+      DegradationReason::HorizonTruncated,
+      DegradationReason::ModelDrift,
+  };
+  for (const DegradationReason r : kAll) {
+    if (name == core::to_string(r)) return r;
+  }
+  EXPERT_REQUIRE(false, "journal: unknown degradation '" + name + "'");
+  return DegradationReason::NoHistory;  // unreachable
+}
+
+Campaign::BotOutcome outcome_from_string(const std::string& name) {
+  constexpr Campaign::BotOutcome kAll[] = {
+      Campaign::BotOutcome::Completed,
+      Campaign::BotOutcome::CompletedAfterRetry,
+      Campaign::BotOutcome::Quarantined,
+  };
+  for (const Campaign::BotOutcome o : kAll) {
+    if (name == core::to_string(o)) return o;
+  }
+  EXPERT_REQUIRE(false, "journal: unknown outcome '" + name + "'");
+  return Campaign::BotOutcome::Completed;  // unreachable
+}
+
+// ---- field serializers ----------------------------------------------------
+
+std::string n_to_text(const std::optional<unsigned>& n) {
+  return n.has_value() ? fmt_u64(*n) : "inf";
+}
+
+std::optional<unsigned> n_from_text(const std::string& text) {
+  if (text == "inf") return std::nullopt;
+  return static_cast<unsigned>(parse_u64(text));
+}
+
+std::string serialize_strategy(const strategies::StrategyConfig& s) {
+  std::ostringstream os;
+  os << escape(s.name) << ',' << static_cast<int>(s.throughput) << ','
+     << static_cast<int>(s.tail_mode) << ',' << n_to_text(s.ntdmr.n) << ','
+     << fmt_double(s.ntdmr.timeout_t) << ',' << fmt_double(s.ntdmr.deadline_d)
+     << ',' << fmt_double(s.ntdmr.mr) << ',' << fmt_double(s.budget_cents);
+  return os.str();
+}
+
+strategies::StrategyConfig parse_strategy(const std::string& text) {
+  const auto parts = split(text, ',');
+  EXPERT_REQUIRE(parts.size() == 8, "journal: bad strategy field");
+  strategies::StrategyConfig s;
+  s.name = unescape(parts[0]);
+  s.throughput =
+      static_cast<strategies::ThroughputPolicy>(parse_u64(parts[1]));
+  s.tail_mode = static_cast<strategies::TailMode>(parse_u64(parts[2]));
+  s.ntdmr.n = n_from_text(parts[3]);
+  s.ntdmr.timeout_t = parse_double(parts[4]);
+  s.ntdmr.deadline_d = parse_double(parts[5]);
+  s.ntdmr.mr = parse_double(parts[6]);
+  s.budget_cents = parse_double(parts[7]);
+  return s;
+}
+
+std::string serialize_point(const core::StrategyPoint& p) {
+  const core::RunMetrics& m = p.metrics;
+  std::ostringstream os;
+  os << n_to_text(p.params.n) << ',' << fmt_double(p.params.timeout_t) << ','
+     << fmt_double(p.params.deadline_d) << ',' << fmt_double(p.params.mr)
+     << ',' << fmt_double(p.makespan) << ',' << fmt_double(p.cost) << ','
+     << (m.finished ? 1 : 0) << ',' << fmt_double(m.makespan) << ','
+     << fmt_double(m.t_tail) << ',' << fmt_double(m.tail_makespan) << ','
+     << fmt_double(m.total_cost_cents) << ','
+     << fmt_double(m.cost_per_task_cents) << ','
+     << fmt_double(m.tail_cost_per_tail_task_cents) << ','
+     << fmt_double(m.tail_tasks) << ','
+     << fmt_double(m.reliable_instances_sent) << ','
+     << fmt_double(m.unreliable_instances_sent) << ','
+     << fmt_double(m.duplicate_results) << ',' << fmt_double(m.used_mr) << ','
+     << fmt_double(m.max_reliable_queue) << ','
+     << fmt_double(m.max_reliable_queue_fraction);
+  return os.str();
+}
+
+core::StrategyPoint parse_point(const std::string& text) {
+  const auto parts = split(text, ',');
+  EXPERT_REQUIRE(parts.size() == 20, "journal: bad predicted field");
+  core::StrategyPoint p;
+  p.params.n = n_from_text(parts[0]);
+  p.params.timeout_t = parse_double(parts[1]);
+  p.params.deadline_d = parse_double(parts[2]);
+  p.params.mr = parse_double(parts[3]);
+  p.makespan = parse_double(parts[4]);
+  p.cost = parse_double(parts[5]);
+  core::RunMetrics& m = p.metrics;
+  m.finished = parse_u64(parts[6]) != 0;
+  m.makespan = parse_double(parts[7]);
+  m.t_tail = parse_double(parts[8]);
+  m.tail_makespan = parse_double(parts[9]);
+  m.total_cost_cents = parse_double(parts[10]);
+  m.cost_per_task_cents = parse_double(parts[11]);
+  m.tail_cost_per_tail_task_cents = parse_double(parts[12]);
+  m.tail_tasks = parse_double(parts[13]);
+  m.reliable_instances_sent = parse_double(parts[14]);
+  m.unreliable_instances_sent = parse_double(parts[15]);
+  m.duplicate_results = parse_double(parts[16]);
+  m.used_mr = parse_double(parts[17]);
+  m.max_reliable_queue = parse_double(parts[18]);
+  m.max_reliable_queue_fraction = parse_double(parts[19]);
+  return p;
+}
+
+std::string serialize_quality(const core::CharacterizationQuality& q) {
+  std::ostringstream os;
+  os << fmt_u64(q.unreliable_instances) << ',' << fmt_u64(q.observed_successes)
+     << ',' << fmt_double(q.censored_fraction) << ','
+     << fmt_u64(q.epoch1_instances) << ',' << fmt_u64(q.epoch2_instances)
+     << ',' << (q.sufficient ? 1 : 0);
+  return os.str();
+}
+
+core::CharacterizationQuality parse_quality(const std::string& text) {
+  const auto parts = split(text, ',');
+  EXPERT_REQUIRE(parts.size() == 6, "journal: bad quality field");
+  core::CharacterizationQuality q;
+  q.unreliable_instances = static_cast<std::size_t>(parse_u64(parts[0]));
+  q.observed_successes = static_cast<std::size_t>(parse_u64(parts[1]));
+  q.censored_fraction = parse_double(parts[2]);
+  q.epoch1_instances = static_cast<std::size_t>(parse_u64(parts[3]));
+  q.epoch2_instances = static_cast<std::size_t>(parse_u64(parts[4]));
+  q.sufficient = parse_u64(parts[5]) != 0;
+  return q;
+}
+
+std::string serialize_trace(const trace::ExecutionTrace& t) {
+  std::ostringstream os;
+  os << fmt_u64(t.task_count()) << ',' << fmt_double(t.t_tail()) << ','
+     << fmt_double(t.makespan()) << ',' << (t.truncated() ? 1 : 0) << ','
+     << fmt_u64(t.records().size());
+  for (const auto& r : t.records()) {
+    os << ';' << fmt_u64(r.task) << ':' << static_cast<int>(r.pool) << ':'
+       << fmt_double(r.send_time) << ':' << fmt_double(r.turnaround) << ':'
+       << static_cast<int>(r.outcome) << ':' << fmt_double(r.cost_cents)
+       << ':' << (r.tail_phase ? 1 : 0);
+  }
+  return os.str();
+}
+
+trace::ExecutionTrace parse_trace(const std::string& text) {
+  const auto chunks = split(text, ';');
+  EXPERT_REQUIRE(!chunks.empty(), "journal: bad history field");
+  const auto head = split(chunks[0], ',');
+  EXPERT_REQUIRE(head.size() == 5, "journal: bad history header");
+  const auto task_count = static_cast<std::size_t>(parse_u64(head[0]));
+  const double t_tail = parse_double(head[1]);
+  const double completion = parse_double(head[2]);
+  const bool truncated = parse_u64(head[3]) != 0;
+  const auto n_records = static_cast<std::size_t>(parse_u64(head[4]));
+  EXPERT_REQUIRE(chunks.size() == n_records + 1,
+                 "journal: history record count mismatch");
+  std::vector<trace::InstanceRecord> records;
+  records.reserve(n_records);
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    const auto f = split(chunks[i], ':');
+    EXPERT_REQUIRE(f.size() == 7, "journal: bad history record");
+    trace::InstanceRecord r;
+    r.task = static_cast<workload::TaskId>(parse_u64(f[0]));
+    r.pool = static_cast<trace::PoolKind>(parse_u64(f[1]));
+    r.send_time = parse_double(f[2]);
+    r.turnaround = parse_double(f[3]);
+    r.outcome = static_cast<trace::InstanceOutcome>(parse_u64(f[4]));
+    r.cost_cents = parse_double(f[5]);
+    r.tail_phase = parse_u64(f[6]) != 0;
+    records.push_back(r);
+  }
+  return trace::ExecutionTrace(task_count, std::move(records), t_tail,
+                               completion, truncated);
+}
+
+// ---- record payloads ------------------------------------------------------
+
+std::string header_payload(std::uint64_t options_digest) {
+  return "hdr v1 options=" + fmt_hex16(options_digest);
+}
+
+std::string record_payload(const Campaign::BotRecord& record) {
+  const Campaign::BotReport& r = record.report;
+  std::ostringstream os;
+  os << "bot next_stream=" << fmt_u64(record.next_stream)
+     << " outcome=" << core::to_string(r.outcome)
+     << " retries=" << fmt_u64(r.retries)
+     << " used_rec=" << (r.used_recommendation ? 1 : 0)
+     << " truncated=" << (r.truncated ? 1 : 0)
+     << " makespan=" << fmt_double(r.makespan)
+     << " tail_makespan=" << fmt_double(r.tail_makespan)
+     << " cost=" << fmt_double(r.cost_per_task_cents) << " degradation="
+     << (r.degradation ? core::to_string(*r.degradation) : "-") << " model="
+     << (r.model_digest ? fmt_hex16(*r.model_digest) : std::string("-"))
+     << " strategy=" << serialize_strategy(r.strategy) << " predicted="
+     << (r.predicted ? serialize_point(*r.predicted) : std::string("-"))
+     << " quality="
+     << (r.quality ? serialize_quality(*r.quality) : std::string("-"))
+     << " history="
+     << (record.history != nullptr ? serialize_trace(*record.history)
+                                   : std::string("-"));
+  return os.str();
+}
+
+RecoveredRecord parse_record_payload(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string token;
+  in >> token;
+  EXPERT_REQUIRE(token == "bot", "journal: expected a bot record");
+  RecoveredRecord rec;
+  bool have_stream = false;
+  Campaign::BotReport& r = rec.report;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    EXPERT_REQUIRE(eq != std::string::npos && eq > 0,
+                   "journal: expected key=value, got '" + token + "'");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "next_stream") {
+      // Consumed by parse_record_stream; its presence is still required.
+      parse_u64(value);
+      have_stream = true;
+    } else if (key == "outcome") {
+      r.outcome = outcome_from_string(value);
+    } else if (key == "retries") {
+      r.retries = static_cast<std::size_t>(parse_u64(value));
+    } else if (key == "used_rec") {
+      r.used_recommendation = parse_u64(value) != 0;
+    } else if (key == "truncated") {
+      r.truncated = parse_u64(value) != 0;
+    } else if (key == "makespan") {
+      r.makespan = parse_double(value);
+    } else if (key == "tail_makespan") {
+      r.tail_makespan = parse_double(value);
+    } else if (key == "cost") {
+      r.cost_per_task_cents = parse_double(value);
+    } else if (key == "degradation") {
+      if (value != "-") r.degradation = degradation_from_string(value);
+    } else if (key == "model") {
+      if (value != "-") r.model_digest = parse_u64(value, 16);
+    } else if (key == "strategy") {
+      r.strategy = parse_strategy(value);
+    } else if (key == "predicted") {
+      if (value != "-") r.predicted = parse_point(value);
+    } else if (key == "quality") {
+      if (value != "-") r.quality = parse_quality(value);
+    } else {
+      EXPERT_REQUIRE(key == "history",
+                     "journal: unknown field '" + key + "'");
+      if (value != "-") rec.history = parse_trace(value);
+    }
+  }
+  EXPERT_REQUIRE(have_stream, "journal: record missing next_stream");
+  return rec;
+}
+
+std::uint64_t parse_record_stream(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string token;
+  while (in >> token) {
+    if (token.rfind("next_stream=", 0) == 0) {
+      return parse_u64(token.substr(std::strlen("next_stream=")));
+    }
+  }
+  EXPERT_REQUIRE(false, "journal: record missing next_stream");
+  return 1;  // unreachable
+}
+
+std::uint64_t line_checksum(const std::string& payload) {
+  return util::HashState(kChecksumSalt).mix(std::string_view(payload))
+      .digest();
+}
+
+std::string errno_text() { return std::strerror(errno); }
+
+struct JournalObs {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter records = reg.counter("resilience.journal.records");
+  obs::Counter recovered = reg.counter("resilience.journal.recovered_records");
+  obs::Counter torn = reg.counter("resilience.journal.torn_tails");
+};
+
+JournalObs& journal_obs() {
+  static JournalObs metrics;
+  return metrics;
+}
+
+}  // namespace
+
+std::uint64_t campaign_options_digest(const Campaign::Options& options) {
+  util::HashState h(kOptionsSalt);
+  const core::UserParams& p = options.params;
+  h.mix(p.tur)
+      .mix(p.tr)
+      .mix(p.cur_cents_per_s)
+      .mix(p.cr_cents_per_s)
+      .mix(p.mr_max)
+      .mix(p.charging_period_ur_s)
+      .mix(p.charging_period_r_s);
+  const core::ExpertOptions& e = options.expert;
+  h.mix(static_cast<std::uint64_t>(e.characterization.mode))
+      .mix(e.characterization.instance_deadline)
+      .mix(static_cast<std::uint64_t>(e.characterization.windows_per_epoch));
+  h.mix(static_cast<std::uint64_t>(e.sampling.n_values.size()));
+  for (const auto& n : e.sampling.n_values) {
+    h.mix(n.has_value()).mix(static_cast<std::uint64_t>(n.value_or(0)));
+  }
+  h.mix(static_cast<std::uint64_t>(e.sampling.d_samples))
+      .mix(static_cast<std::uint64_t>(e.sampling.t_samples));
+  h.mix(static_cast<std::uint64_t>(e.sampling.mr_values.size()));
+  for (const double mr : e.sampling.mr_values) h.mix(mr);
+  h.mix(e.sampling.max_deadline).mix(e.sampling.focus_low_end);
+  // FrontierOptions::threads and ::service are deliberately excluded: the
+  // eval layer's stream-derivation contract makes results independent of
+  // both, so they may differ between the original and the resumed process.
+  h.mix(static_cast<std::uint64_t>(e.frontier.time_objective))
+      .mix(static_cast<std::uint64_t>(e.frontier.cost_objective));
+  h.mix(static_cast<std::uint64_t>(e.repetitions))
+      .mix(e.seed)
+      .mix(static_cast<std::uint64_t>(e.unreliable_size));
+  h.mix(options.bootstrap_strategy.has_value());
+  if (options.bootstrap_strategy) {
+    const strategies::StrategyConfig& s = *options.bootstrap_strategy;
+    h.mix(std::string_view(s.name))
+        .mix(static_cast<std::uint64_t>(s.throughput))
+        .mix(static_cast<std::uint64_t>(s.tail_mode))
+        .mix(s.ntdmr.n.has_value())
+        .mix(static_cast<std::uint64_t>(s.ntdmr.n.value_or(0)))
+        .mix(s.ntdmr.timeout_t)
+        .mix(s.ntdmr.deadline_d)
+        .mix(s.ntdmr.mr)
+        .mix(s.budget_cents);
+  }
+  h.mix(static_cast<std::uint64_t>(options.history_window))
+      .mix(static_cast<std::uint64_t>(options.max_backend_retries))
+      .mix(static_cast<std::uint64_t>(options.quality.min_instances))
+      .mix(static_cast<std::uint64_t>(options.quality.min_observed_successes));
+  return h.digest();
+}
+
+CampaignJournal::CampaignJournal(const std::string& path, bool fresh,
+                                 std::uint64_t options_digest)
+    : path_(path) {
+  EXPERT_REQUIRE(!path.empty(), "journal needs a non-empty path");
+  const int flags =
+      fresh ? (O_WRONLY | O_CREAT | O_TRUNC | O_APPEND) : (O_WRONLY | O_APPEND);
+  fd_ = ::open(path.c_str(), flags, 0644);
+  EXPERT_REQUIRE(fd_ >= 0,
+                 "journal: cannot open " + path + ": " + errno_text());
+  if (fresh) append_line(header_payload(options_digest));
+}
+
+CampaignJournal::CampaignJournal(const std::string& path,
+                                 const Campaign::Options& options)
+    : CampaignJournal(path, /*fresh=*/true, campaign_options_digest(options)) {}
+
+CampaignJournal CampaignJournal::reopen(const std::string& path,
+                                        const Campaign::Options& options) {
+  return CampaignJournal(path, /*fresh=*/false,
+                         campaign_options_digest(options));
+}
+
+CampaignJournal::CampaignJournal(CampaignJournal&& other) noexcept
+    : path_(std::move(other.path_)), fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+CampaignJournal::~CampaignJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void CampaignJournal::append_line(const std::string& payload) {
+  const std::string line =
+      fmt_hex16(line_checksum(payload)) + ' ' + payload + '\n';
+  // One O_APPEND write for the whole line: a crash tears at most this
+  // line, which recovery's checksum pass detects and drops.
+  const char* data = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    const ::ssize_t n = ::write(fd_, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      EXPERT_REQUIRE(false,
+                     "journal: write to " + path_ + " failed: " + errno_text());
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  EXPERT_REQUIRE(::fsync(fd_) == 0,
+                 "journal: fsync of " + path_ + " failed: " + errno_text());
+}
+
+void CampaignJournal::record(const Campaign::BotRecord& record) {
+  append_line(record_payload(record));
+  journal_obs().records.inc();
+}
+
+Campaign::Recorder CampaignJournal::recorder() {
+  return [this](const Campaign::BotRecord& record) { this->record(record); };
+}
+
+Recovered recover_campaign(const std::string& path,
+                           const Campaign::Options& options) {
+  std::ifstream in(path, std::ios::binary);
+  EXPERT_REQUIRE(in.is_open(), "journal: cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string contents = buffer.str();
+  in.close();
+
+  // Split into lines, remembering each line's start offset so a torn tail
+  // can be truncated away precisely. A trailing fragment without '\n' is a
+  // line too (it is exactly the torn-append case).
+  struct Line {
+    std::string text;
+    std::size_t offset = 0;
+  };
+  std::vector<Line> lines;
+  std::size_t start = 0;
+  while (start < contents.size()) {
+    const std::size_t nl = contents.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back({contents.substr(start), start});
+      break;
+    }
+    lines.push_back({contents.substr(start, nl - start), start});
+    start = nl + 1;
+  }
+  EXPERT_REQUIRE(!lines.empty(), "journal: " + path + " is empty");
+
+  // Checksum-validate a line; nullopt when it is torn/corrupt.
+  const auto payload_of = [](const std::string& line)
+      -> std::optional<std::string> {
+    if (line.size() < 18 || line[16] != ' ') return std::nullopt;
+    const std::string checksum_text = line.substr(0, 16);
+    for (const char c : checksum_text) {
+      const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+      if (!hex) return std::nullopt;
+    }
+    const std::string payload = line.substr(17);
+    if (parse_u64(checksum_text, 16) != line_checksum(payload)) {
+      return std::nullopt;
+    }
+    return payload;
+  };
+
+  Recovered out;
+  const std::uint64_t expected = campaign_options_digest(options);
+
+  const auto header = payload_of(lines[0].text);
+  EXPERT_REQUIRE(header.has_value(),
+                 "journal: " + path + " has a corrupt header");
+  {
+    std::istringstream hs(*header);
+    std::string magic, version, opts;
+    hs >> magic >> version >> opts;
+    EXPERT_REQUIRE(magic == "hdr" && version == "v1" &&
+                       opts.rfind("options=", 0) == 0,
+                   "journal: " + path + " is not a campaign journal");
+    const std::uint64_t digest =
+        parse_u64(opts.substr(std::strlen("options=")), 16);
+    EXPERT_REQUIRE(digest == expected,
+                   "journal: " + path +
+                       " was written under different campaign options; "
+                       "resuming would diverge from the original run");
+  }
+
+  std::size_t valid_end = contents.size();
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto payload = payload_of(lines[i].text);
+    if (!payload.has_value()) {
+      // Only the final line may be torn — that is the crash artifact the
+      // format is designed around. Corruption before it means the file was
+      // damaged some other way; refuse rather than resume from a guess.
+      EXPERT_REQUIRE(i + 1 == lines.size(),
+                     "journal: " + path + " is corrupt at line " +
+                         std::to_string(i + 1));
+      out.torn_tail = true;
+      valid_end = lines[i].offset;
+      break;
+    }
+    RecoveredRecord rec = parse_record_payload(*payload);
+    out.state.next_stream = parse_record_stream(*payload);
+    // Mirror Campaign::run_bot's history bookkeeping exactly.
+    if (rec.report.outcome == Campaign::BotOutcome::Quarantined) {
+      ++out.state.quarantined;
+    } else {
+      EXPERT_REQUIRE(rec.history.has_value(),
+                     "journal: completed record without a history");
+      if (rec.report.degradation == DegradationReason::ModelDrift) {
+        out.state.histories.clear();
+      }
+      out.state.histories.push_back(*rec.history);
+      if (out.state.histories.size() > options.history_window) {
+        out.state.histories.erase(out.state.histories.begin());
+      }
+    }
+    out.state.reports.push_back(rec.report);
+    out.records.push_back(std::move(rec));
+  }
+
+  if (out.torn_tail) {
+    EXPERT_REQUIRE(::truncate(path.c_str(),
+                              static_cast<::off_t>(valid_end)) == 0,
+                   "journal: cannot truncate torn tail of " + path + ": " +
+                       errno_text());
+    journal_obs().torn.inc();
+  }
+  journal_obs().recovered.inc(out.records.size());
+  return out;
+}
+
+}  // namespace expert::resilience

@@ -1,0 +1,101 @@
+#include "expert/resilience/watchdog.hpp"
+
+// EXPERT_LINT_ALLOW(INC002): the watchdog's whole purpose is a wall-clock
+// deadline on real backends; simulated paths never route through it.
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "expert/util/assert.hpp"
+#include "expert/util/thread_safety.hpp"
+
+namespace expert::resilience {
+
+namespace {
+
+// EXPERT_LINT_ALLOW(ND003): wall-clock deadline measurement is the
+// watchdog's contract; it never feeds results, only abandonment timing.
+using Clock = std::chrono::steady_clock;
+
+/// Shared between the waiting caller and the worker running the inner
+/// backend. The worker may outlive the call (abandoned after a timeout),
+/// so the state is shared_ptr-owned and the worker holds copies of the
+/// inputs, never references into the caller's frame.
+struct CallState {
+  util::Mutex mutex;
+  util::CondVar cond;
+  bool done EXPERT_GUARDED_BY(mutex) = false;
+  bool abandoned EXPERT_GUARDED_BY(mutex) = false;
+  std::optional<trace::ExecutionTrace> result EXPERT_GUARDED_BY(mutex);
+  std::exception_ptr error EXPERT_GUARDED_BY(mutex);
+};
+
+}  // namespace
+
+core::Campaign::Backend with_watchdog(core::Campaign::Backend inner,
+                                      WatchdogOptions options) {
+  EXPERT_REQUIRE(inner != nullptr, "watchdog needs a backend to wrap");
+  if (options.timeout_s <= 0.0) return inner;
+  const double timeout_s = options.timeout_s;
+
+  return [inner = std::move(inner), timeout_s](
+             const workload::Bot& bot,
+             const strategies::StrategyConfig& strategy,
+             std::uint64_t stream) -> trace::ExecutionTrace {
+    auto state = std::make_shared<CallState>();
+
+    // The worker owns copies of everything it touches: after abandonment
+    // the caller's frame (and its bot/strategy references) is gone.
+    std::thread worker([inner, state, bot, strategy, stream] {
+      std::optional<trace::ExecutionTrace> result;
+      std::exception_ptr error;
+      try {
+        result = inner(bot, strategy, stream);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      util::MutexLock lock(state->mutex);
+      if (state->abandoned) return;  // nobody is listening anymore
+      state->result = std::move(result);
+      state->error = error;
+      state->done = true;
+      state->cond.notify_all();
+    });
+
+    const auto deadline =
+        Clock::now() + std::chrono::duration<double>(timeout_s);
+    bool timed_out = false;
+    {
+      util::MutexLock lock(state->mutex);
+      while (!state->done) {
+        const double remaining =
+            std::chrono::duration<double>(deadline - Clock::now()).count();
+        if (remaining <= 0.0) {
+          // Mark abandonment under the lock so a worker publishing
+          // concurrently either beats the deadline (done set, loop exits)
+          // or sees the flag and discards its result.
+          state->abandoned = true;
+          timed_out = true;
+          break;
+        }
+        state->cond.wait_for(state->mutex, remaining);
+      }
+    }
+
+    if (timed_out) {
+      worker.detach();
+      throw BackendTimeout(
+          "backend exceeded the watchdog deadline (" +
+          std::to_string(timeout_s) + "s) on stream " +
+          std::to_string(static_cast<unsigned long long>(stream)));
+    }
+
+    worker.join();
+    util::MutexLock lock(state->mutex);
+    if (state->error) std::rethrow_exception(state->error);
+    return std::move(*state->result);
+  };
+}
+
+}  // namespace expert::resilience

@@ -1,0 +1,81 @@
+#include "expert/util/atomic_write.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::util {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+/// Directory part of `path` ("." when there is none), for the post-rename
+/// directory fsync that makes the replacement durable.
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void atomic_write(const std::string& path, std::string_view contents) {
+  EXPERT_REQUIRE(!path.empty(), "atomic_write needs a non-empty path");
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  EXPERT_REQUIRE(fd >= 0,
+                 "atomic_write: cannot create " + tmp + ": " + errno_text());
+
+  bool ok = true;
+  std::string error;
+  const char* data = contents.data();
+  std::size_t left = contents.size();
+  while (left > 0) {
+    const ::ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      error = "write failed: " + errno_text();
+      break;
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (ok && ::fsync(fd) != 0) {
+    ok = false;
+    error = "fsync failed: " + errno_text();
+  }
+  if (::close(fd) != 0 && ok) {
+    ok = false;
+    error = "close failed: " + errno_text();
+  }
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    EXPERT_REQUIRE(false, "atomic_write: " + tmp + ": " + error);
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = errno_text();
+    ::unlink(tmp.c_str());
+    EXPERT_REQUIRE(false, "atomic_write: cannot rename " + tmp + " to " +
+                              path + ": " + why);
+  }
+
+  // Persist the directory entry; without this the rename itself may be
+  // lost on power failure even though both files were durable.
+  const std::string dir = parent_dir(path);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);  // best-effort: some filesystems refuse directory fsync
+    ::close(dir_fd);
+  }
+}
+
+}  // namespace expert::util

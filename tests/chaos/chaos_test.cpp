@@ -95,6 +95,31 @@ TEST(ChaosPlanParser, RoundTripsThroughToString) {
   EXPECT_EQ(again.to_string(), cfg.to_string());
 }
 
+TEST(ChaosConfig, KillFaultDetectionAndRoundTrip) {
+  ChaosConfig cfg;
+  cfg.kill_at_sim_s = 500.0;
+  EXPECT_TRUE(cfg.any());
+  EXPECT_NO_THROW(cfg.validate());
+  // kill_stream alone arms nothing: it only scopes an enabled kill.
+  cfg = ChaosConfig{};
+  cfg.kill_stream = 3;
+  EXPECT_FALSE(cfg.any());
+
+  const auto parsed = parse_chaos_plan("kill_at=500,kill_stream=3");
+  EXPECT_DOUBLE_EQ(parsed.kill_at_sim_s, 500.0);
+  EXPECT_EQ(parsed.kill_stream, 3u);
+  const auto again = parse_chaos_plan(parsed.to_string());
+  EXPECT_EQ(again.to_string(), parsed.to_string());
+
+  const auto unscoped = parse_chaos_plan("kill_at=750");
+  EXPECT_DOUBLE_EQ(unscoped.kill_at_sim_s, 750.0);
+  EXPECT_EQ(unscoped.kill_stream, 0u);
+  EXPECT_EQ(parse_chaos_plan(unscoped.to_string()).to_string(),
+            unscoped.to_string());
+
+  EXPECT_THROW(parse_chaos_plan("kill_at=-1"), util::ContractViolation);
+}
+
 TEST(ChaosPlanParser, RejectsUnknownKeysAndBadValues) {
   EXPECT_THROW(parse_chaos_plan("frobnicate=1"), util::ContractViolation);
   EXPECT_THROW(parse_chaos_plan("loss=abc"), util::ContractViolation);

@@ -150,6 +150,33 @@ TEST(EvalCache, SetCapacityEvictsDown) {
   EXPECT_EQ(cache.stats().entries, 0u);
 }
 
+TEST(EvalCache, InvalidateModelRemovesOnlyMatchingEntries) {
+  EvalCache cache(64);
+  const std::uint64_t stale = 0xAAAA;
+  const std::uint64_t fresh = 0xBBBB;
+  EvalKey a = shard_key(0, 1);
+  a.model = stale;
+  EvalKey b = shard_key(1, 2);
+  b.model = fresh;
+  EvalKey c = shard_key(2, 3);  // different shard, same stale model
+  c.model = stale;
+  cache.insert(a, marked(1.0));
+  cache.insert(b, marked(2.0));
+  cache.insert(c, marked(3.0));
+
+  EXPECT_EQ(cache.invalidate_model(stale), 2u);
+  EXPECT_FALSE(cache.lookup(a).has_value());
+  EXPECT_FALSE(cache.lookup(c).has_value());
+  EXPECT_TRUE(cache.lookup(b).has_value());
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.invalidated, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+  // Invalidation is not eviction: the LRU accounting stays separate.
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(cache.invalidate_model(stale), 0u);
+}
+
 TEST(EvalCache, ConcurrentHammeringKeepsInvariants) {
   // Several threads look up and insert overlapping key ranges. The cache
   // makes no cross-thread ordering promise, but the bookkeeping must stay

@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+#include <limits>
 #include <memory>
 #include <stdexcept>
+#include <vector>
 
+#include "expert/core/characterization.hpp"
 #include "expert/gridsim/executor.hpp"
 #include "expert/gridsim/presets.hpp"
 #include "expert/util/assert.hpp"
@@ -89,6 +94,114 @@ TEST(Campaign, MergedHistoryConcatenates) {
     if (r.send_time > first_makespan) any_after = true;
   }
   EXPECT_TRUE(any_after);
+}
+
+/// Wraps the gridsim backend and keeps a copy of every trace it returned,
+/// so tests can compare the merged history against the raw per-BoT traces.
+Campaign::Backend recording_backend(
+    std::shared_ptr<std::vector<trace::ExecutionTrace>> captured) {
+  auto real = gridsim_backend();
+  return [real, captured](const workload::Bot& b,
+                          const strategies::StrategyConfig& s,
+                          std::uint64_t stream) {
+    auto trace = real(b, s, stream);
+    captured->push_back(trace);
+    return trace;
+  };
+}
+
+TEST(Campaign, MergedHistoryOffsetsNeverOverlap) {
+  // Property: merged_history() shifts each BoT's records past everything
+  // recorded before it. For every adjacent pair of BoT groups, the latest
+  // send time of the earlier group must be strictly below the earliest send
+  // time of the later one, and task ids must not collide across groups.
+  auto captured = std::make_shared<std::vector<trace::ExecutionTrace>>();
+  Campaign campaign(recording_backend(captured), options());
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    campaign.run_bot(bot(40 + i, 60 + 20 * i), Utility::cheapest());
+  }
+  ASSERT_EQ(captured->size(), 4u);
+  const auto merged = campaign.merged_history();
+  ASSERT_TRUE(merged.has_value());
+
+  std::size_t cursor = 0;
+  double prev_group_max_send = -1.0;
+  workload::TaskId prev_group_max_task = 0;
+  bool first_group = true;
+  for (const auto& h : *captured) {
+    ASSERT_LE(cursor + h.records().size(), merged->records().size());
+    double group_min_send = std::numeric_limits<double>::infinity();
+    double group_max_send = -std::numeric_limits<double>::infinity();
+    workload::TaskId group_min_task =
+        std::numeric_limits<workload::TaskId>::max();
+    workload::TaskId group_max_task = 0;
+    for (std::size_t i = 0; i < h.records().size(); ++i) {
+      const auto& r = merged->records()[cursor + i];
+      group_min_send = std::min(group_min_send, r.send_time);
+      group_max_send = std::max(group_max_send, r.send_time);
+      group_min_task = std::min(group_min_task, r.task);
+      group_max_task = std::max(group_max_task, r.task);
+    }
+    if (!first_group) {
+      EXPECT_LT(prev_group_max_send, group_min_send);
+      EXPECT_LT(prev_group_max_task, group_min_task);
+    }
+    first_group = false;
+    prev_group_max_send = group_max_send;
+    prev_group_max_task = group_max_task;
+    cursor += h.records().size();
+  }
+  EXPECT_EQ(cursor, merged->records().size());
+}
+
+TEST(Campaign, MergedHistoryEqualsManualConcatenation) {
+  // Property: pooling through merged_history() is exactly the documented
+  // offset rule — shift each BoT's send times by the cumulative prior
+  // makespans plus a one-second separator and its task ids by the prior
+  // task counts. Characterizing the merged trace must therefore give the
+  // content-identical model to characterizing the manual concatenation.
+  auto captured = std::make_shared<std::vector<trace::ExecutionTrace>>();
+  Campaign campaign(recording_backend(captured), options());
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    campaign.run_bot(bot(50 + i, 100), Utility::cheapest());
+  }
+  const auto merged = campaign.merged_history();
+  ASSERT_TRUE(merged.has_value());
+
+  std::vector<trace::InstanceRecord> records;
+  double offset = 0.0;
+  std::size_t task_offset = 0;
+  for (const auto& h : *captured) {
+    for (auto r : h.records()) {
+      r.send_time += offset;
+      r.task += static_cast<workload::TaskId>(task_offset);
+      records.push_back(r);
+    }
+    task_offset += h.task_count();
+    offset += h.makespan() + 1.0;
+  }
+  const trace::ExecutionTrace manual(task_offset, std::move(records), offset,
+                                     offset);
+
+  ASSERT_EQ(merged->records().size(), manual.records().size());
+  EXPECT_EQ(merged->task_count(), manual.task_count());
+  EXPECT_EQ(merged->t_tail(), manual.t_tail());
+  EXPECT_EQ(merged->makespan(), manual.makespan());
+  for (std::size_t i = 0; i < manual.records().size(); ++i) {
+    const auto& a = merged->records()[i];
+    const auto& b = manual.records()[i];
+    EXPECT_EQ(a.task, b.task);
+    EXPECT_EQ(a.pool, b.pool);
+    EXPECT_EQ(a.send_time, b.send_time);  // bitwise: same fold, same shift
+    EXPECT_EQ(a.turnaround, b.turnaround);
+    EXPECT_EQ(a.outcome, b.outcome);
+    EXPECT_EQ(a.cost_cents, b.cost_cents);
+    EXPECT_EQ(a.tail_phase, b.tail_phase);
+  }
+
+  const auto pooled = characterize(*merged);
+  const auto concatenated = characterize(manual);
+  EXPECT_EQ(pooled.digest(), concatenated.digest());
 }
 
 TEST(Campaign, HistoryWindowBoundsMemory) {

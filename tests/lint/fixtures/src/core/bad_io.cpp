@@ -1,0 +1,16 @@
+// Seeded IO001 violations: direct std::ofstream writes outside util/.
+#include <fstream>
+
+void write_report(const char* path) {
+  std::ofstream out(path);  // IO001: in-place write, torn on crash
+  out << "partial\n";
+}
+
+void write_scratch(const char* path) {
+  // EXPERT_LINT_ALLOW(IO001): scratch file on a path nothing reads back;
+  // atomicity buys nothing here.
+  std::ofstream scratch(path);
+  scratch << "ok\n";
+}
+
+std::ofstream open_log();  // IO001: even the type name signals in-place IO

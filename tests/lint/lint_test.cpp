@@ -115,6 +115,14 @@ TEST(LintFixtures, BadHeader) {
   EXPECT_EQ(got, want);
 }
 
+TEST(LintFixtures, BadIo) {
+  const auto findings = lint_paths({kFixtures + "/src/core/bad_io.cpp"});
+  const auto got = rule_lines(findings);
+  const std::vector<std::pair<std::string, int>> want = {
+      {"IO001", 5}, {"IO001", 16}};
+  EXPECT_EQ(got, want);
+}
+
 TEST(LintFixtures, BadSuppressions) {
   const auto findings =
       lint_paths({kFixtures + "/src/core/bad_suppressions.cpp"});
@@ -141,6 +149,7 @@ TEST(LintFixtures, DirectoryWalkFindsEverySeededFile) {
   EXPECT_TRUE(has_file("bad_determinism.cpp"));
   EXPECT_TRUE(has_file("bad_float.cpp"));
   EXPECT_TRUE(has_file("bad_header.hpp"));
+  EXPECT_TRUE(has_file("bad_io.cpp"));
   EXPECT_TRUE(has_file("bad_suppressions.cpp"));
   EXPECT_FALSE(has_file("clean_core.cpp"));
   EXPECT_FALSE(has_file("clean_clock.cpp"));
@@ -162,6 +171,15 @@ TEST(LintScope, ObsModuleMayUseClocks) {
   const std::string header = "#pragma once\n" + source;
   EXPECT_TRUE(lint_source("include/expert/obs/tracing.hpp", header).empty());
   EXPECT_FALSE(lint_source("src/sim/engine.cpp", source).empty());
+}
+
+TEST(LintScope, OfstreamAllowedOnlyUnderUtil) {
+  const std::string source = "std::ofstream out(\"final.json\");\n";
+  EXPECT_TRUE(lint_source("src/util/atomic_write.cpp", source).empty());
+  EXPECT_FALSE(lint_source("src/obs/report.cpp", source).empty());
+  EXPECT_FALSE(lint_source("src/core/frontier_io.cpp", source).empty());
+  // Out of library scope entirely: not flagged.
+  EXPECT_TRUE(lint_source("tools/expert_cli.cpp", source).empty());
 }
 
 TEST(LintScope, UnorderedContainersAllowedOutsideReplayModules) {

@@ -1,0 +1,106 @@
+// Backend watchdog tests: pass-through for prompt backends, BackendTimeout
+// for hung ones, exception transparency, and the campaign-level conversion
+// of a hang into quarantine.
+
+#include "expert/resilience/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "expert/workload/presets.hpp"
+
+namespace expert::resilience {
+namespace {
+
+using core::Campaign;
+using trace::ExecutionTrace;
+
+ExecutionTrace marker_trace(double makespan) {
+  std::vector<trace::InstanceRecord> records(1);
+  records[0].outcome = trace::InstanceOutcome::Success;
+  records[0].turnaround = makespan / 2.0;
+  records[0].cost_cents = 1.0;
+  return ExecutionTrace(1, std::move(records), makespan / 2.0, makespan);
+}
+
+workload::Bot bot() {
+  return workload::make_synthetic_bot("bot", 10, 1000.0, 400.0, 2500.0, 1);
+}
+
+Campaign::Backend prompt_backend() {
+  return [](const workload::Bot&, const strategies::StrategyConfig&,
+            std::uint64_t stream) {
+    return marker_trace(100.0 + static_cast<double>(stream));
+  };
+}
+
+Campaign::Backend hung_backend() {
+  return [](const workload::Bot&, const strategies::StrategyConfig&,
+            std::uint64_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+    return marker_trace(1.0);
+  };
+}
+
+TEST(Watchdog, PromptBackendPassesThrough) {
+  auto wrapped = with_watchdog(prompt_backend(), WatchdogOptions{5.0});
+  const auto trace = wrapped(bot(), strategies::StrategyConfig{}, 9);
+  EXPECT_DOUBLE_EQ(trace.makespan(), 109.0);
+}
+
+TEST(Watchdog, HungBackendThrowsBackendTimeout) {
+  auto wrapped = with_watchdog(hung_backend(), WatchdogOptions{0.05});
+  EXPECT_THROW(wrapped(bot(), strategies::StrategyConfig{}, 1),
+               BackendTimeout);
+}
+
+TEST(Watchdog, DisabledTimeoutReturnsInnerUnchanged) {
+  // timeout <= 0 means "no watchdog": even a slow backend completes.
+  auto slow = [](const workload::Bot&, const strategies::StrategyConfig&,
+                 std::uint64_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    return marker_trace(7.0);
+  };
+  auto wrapped = with_watchdog(slow, WatchdogOptions{0.0});
+  EXPECT_DOUBLE_EQ(wrapped(bot(), strategies::StrategyConfig{}, 1).makespan(),
+                   7.0);
+}
+
+TEST(Watchdog, PropagatesInnerExceptions) {
+  Campaign::Backend throwing =
+      [](const workload::Bot&, const strategies::StrategyConfig&,
+         std::uint64_t) -> ExecutionTrace {
+    throw std::runtime_error("inner backend failure");
+  };
+  auto wrapped = with_watchdog(throwing, WatchdogOptions{5.0});
+  try {
+    wrapped(bot(), strategies::StrategyConfig{}, 1);
+    FAIL() << "expected the inner exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "inner backend failure");
+  }
+}
+
+TEST(Watchdog, CampaignQuarantinesHungBackend) {
+  // A hang becomes a failed attempt: the campaign retries on fresh streams
+  // and quarantines when every attempt times out, instead of hanging
+  // forever.
+  Campaign::Options opts;
+  opts.params.tur = 1000.0;
+  opts.params.tr = 1000.0;
+  opts.max_backend_retries = 1;
+  Campaign campaign(with_watchdog(hung_backend(), WatchdogOptions{0.05}),
+                    opts);
+  const auto report = campaign.run_bot(bot(), core::Utility::cheapest());
+  EXPECT_EQ(report.outcome, Campaign::BotOutcome::Quarantined);
+  EXPECT_EQ(report.retries, 2u);
+  ASSERT_TRUE(report.degradation.has_value());
+  EXPECT_EQ(*report.degradation, core::DegradationReason::BackendFailure);
+}
+
+}  // namespace
+}  // namespace expert::resilience

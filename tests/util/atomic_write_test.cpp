@@ -1,0 +1,55 @@
+// util::atomic_write tests: contents land exactly, replacement is
+// all-or-nothing, no temporary residue survives, and failures throw.
+
+#include "expert/util/atomic_write.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "expert/util/assert.hpp"
+
+namespace expert::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(AtomicWrite, WritesExactContents) {
+  const std::string path = ::testing::TempDir() + "atomic_write_new.txt";
+  const std::string contents("line one\nline two\0with a NUL\n", 29);
+  atomic_write(path, contents);
+  EXPECT_EQ(slurp(path), contents);
+}
+
+TEST(AtomicWrite, ReplacesExistingFileAndLeavesNoResidue) {
+  const std::string path = ::testing::TempDir() + "atomic_write_replace.txt";
+  atomic_write(path, "old contents, longer than the new ones\n");
+  atomic_write(path, "new\n");
+  EXPECT_EQ(slurp(path), "new\n");
+  // The temporary sibling must not survive a successful write.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(AtomicWrite, EmptyContentsTruncate) {
+  const std::string path = ::testing::TempDir() + "atomic_write_empty.txt";
+  atomic_write(path, "something\n");
+  atomic_write(path, "");
+  EXPECT_EQ(slurp(path), "");
+}
+
+TEST(AtomicWrite, ThrowsWhenDirectoryIsMissing) {
+  const std::string path =
+      ::testing::TempDir() + "no_such_dir_for_atomic_write/out.txt";
+  EXPECT_THROW(atomic_write(path, "x"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace expert::util

@@ -16,13 +16,19 @@
 //     Estimate makespan/cost of a strategy on a synthetic pool model.
 //
 //   expert_cli execute [--experiment K] [--reps R] [--mode online|offline]
-//       [--chaos PLAN] [--bots K] [--utility U]
+//       [--chaos PLAN] [--bots K] [--utility U] [--journal FILE] [--resume]
+//       [--drift] [--backend-timeout S]
 //     Run one Table V validation experiment machine-level (gridsim) and
 //     compare against the Estimator's prediction. With --chaos, inject the
 //     deterministic fault plan (see docs/robustness.md for the plan
 //     grammar); with --bots K > 1, run a K-BoT campaign through the full
 //     characterize -> recommend -> execute loop and report per-BoT
 //     outcomes (completed / retried / quarantined) plus any degradation.
+//     --journal FILE journals every finished BoT; --resume continues a
+//     killed campaign from that journal, reproducing the uninterrupted
+//     run's remaining BoTs exactly. --drift enables the online drift
+//     detector; --backend-timeout S arms a wall-clock watchdog per backend
+//     invocation.
 //
 // Every command accepts --metrics-out=FILE and --trace-out=FILE to dump
 // the run's metrics snapshot (JSON) and Chrome-trace spans.
@@ -30,12 +36,19 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
+#include <utility>
 
 #include "expert/chaos/chaos.hpp"
 #include "expert/core/campaign.hpp"
 #include "expert/core/expert.hpp"
+#include "expert/core/frontier_io.hpp"
 #include "expert/core/report.hpp"
 #include "expert/core/sensitivity.hpp"
+#include "expert/resilience/drift.hpp"
+#include "expert/resilience/journal.hpp"
+#include "expert/resilience/watchdog.hpp"
 #include "expert/gridsim/scenarios.hpp"
 #include "expert/eval/service.hpp"
 #include "expert/obs/report.hpp"
@@ -57,6 +70,7 @@ int usage() {
       "[options]\n"
       "  characterize --trace FILE [--mode online|offline] [--deadline S]\n"
       "  frontier     --trace FILE --tasks N [--reps R] [--csv]\n"
+      "               [--out FILE] (persist frontier points as CSV)\n"
       "  recommend    --trace FILE --tasks N --utility U [--reps R]\n"
       "               U: fastest|cheapest|product|budget:<c/task>|"
       "deadline:<s>\n"
@@ -65,6 +79,10 @@ int usage() {
       "  execute      [--experiment 1..13] [--reps R] [--mode online|offline]\n"
       "               [--seed S] [--chaos PLAN] [--bots K] [--utility U]\n"
       "               PLAN e.g. 'blackouts=2,dispatch_fail=0.2,loss=0.05'\n"
+      "               [--journal FILE] (journal each finished BoT)\n"
+      "               [--resume] (continue a killed campaign from --journal)\n"
+      "               [--drift] (online gamma/turnaround drift detection)\n"
+      "               [--backend-timeout S] (wall-clock watchdog per BoT)\n"
       "global: --metrics-out FILE (metrics JSON), --trace-out FILE\n"
       "        (Chrome trace JSON for chrome://tracing / Perfetto)\n"
       "        --eval-cache N (strategy-evaluation cache capacity in\n"
@@ -163,6 +181,11 @@ int cmd_frontier(const util::Args& args) {
       history, core::UserParams{}, expert_options(args));
   const auto result = expert.build_frontier(tasks);
 
+  if (const auto out = args.option("out")) {
+    core::write_points_csv_file(result.frontier(), *out);
+    std::cerr << "wrote " << result.frontier().size()
+              << " frontier points to " << *out << "\n";
+  }
   if (args.has_flag("csv")) {
     std::cout << "tail_makespan_s,cost_cents_per_task,n,t_s,d_s,mr\n";
     for (const auto& p : result.frontier()) {
@@ -326,36 +349,92 @@ int run_campaign(const util::Args& args, const gridsim::TableVExperiment& exp,
       static_cast<std::size_t>(args.number_or("reps", 5.0));
   const auto utility = parse_utility(args.option_or("utility", "product"));
 
-  core::Campaign campaign(
+  core::Campaign::Backend backend =
       [&executor](const workload::Bot& bot,
                   const strategies::StrategyConfig& strategy,
                   std::uint64_t stream) {
         return executor.run(bot, strategy, stream);
-      },
-      copts);
+      };
+  const double backend_timeout = args.number_or("backend-timeout", 0.0);
+  if (backend_timeout > 0.0) {
+    backend = resilience::with_watchdog(
+        std::move(backend), resilience::WatchdogOptions{backend_timeout});
+  }
+
+  std::shared_ptr<resilience::DriftDetector> detector;
+  if (args.has_flag("drift")) {
+    detector = std::make_shared<resilience::DriftDetector>();
+    copts.drift_monitor = resilience::make_drift_monitor(
+        detector, &eval::EvalService::global().cache());
+  }
+
+  // Journal / resume. Resume chatter goes to stderr so a resumed campaign's
+  // stdout stays byte-identical to the uninterrupted run's.
+  const auto journal_path = args.option("journal");
+  EXPERT_REQUIRE(!args.has_flag("resume") || journal_path.has_value(),
+                 "--resume requires --journal FILE");
+  std::optional<resilience::CampaignJournal> journal;
+  std::optional<core::Campaign> campaign;
+  std::size_t resumed = 0;
+  if (journal_path && args.has_flag("resume")) {
+    auto recovered = resilience::recover_campaign(*journal_path, copts);
+    if (recovered.torn_tail)
+      std::cerr << "journal: dropped a torn trailing record\n";
+    if (detector) {
+      // Replay the detector's pure fold over the recovered records so its
+      // state matches the uninterrupted run's at this point.
+      for (const auto& rec : recovered.records) {
+        if (rec.history) detector->observe_bot(rec.report, *rec.history);
+      }
+    }
+    resumed = recovered.state.reports.size();
+    std::cerr << "resumed " << resumed << " BoTs from journal "
+              << *journal_path << "\n";
+    journal.emplace(resilience::CampaignJournal::reopen(*journal_path, copts));
+    copts.recorder = journal->recorder();
+    campaign.emplace(core::Campaign::resume(backend, copts,
+                                            std::move(recovered.state)));
+  } else if (journal_path) {
+    journal.emplace(*journal_path, copts);
+    copts.recorder = journal->recorder();
+    campaign.emplace(backend, copts);
+  } else {
+    campaign.emplace(backend, copts);
+  }
 
   util::Table table({"bot", "strategy", "outcome", "makespan [s]",
                      "cost [c/task]", "degradation"});
   for (std::size_t i = 0; i < bots; ++i) {
-    const auto bot = workload::make_bot(exp.workload, 0xB07 + seed + i);
-    const auto report = campaign.run_bot(bot, utility);
-    std::string outcome = core::to_string(report.outcome);
-    if (report.retries > 0)
-      outcome += " (x" + std::to_string(report.retries) + " retry)";
-    if (report.truncated) outcome += " [truncated]";
-    const bool ran = report.outcome != core::Campaign::BotOutcome::Quarantined;
+    const core::Campaign::BotReport* report = nullptr;
+    if (i < resumed) {
+      report = &campaign->reports()[i];
+    } else {
+      const auto bot = workload::make_bot(exp.workload, 0xB07 + seed + i);
+      campaign->run_bot(bot, utility);
+      report = &campaign->reports().back();
+    }
+    std::string outcome = core::to_string(report->outcome);
+    if (report->retries > 0)
+      outcome += " (x" + std::to_string(report->retries) + " retry)";
+    if (report->truncated) outcome += " [truncated]";
+    const bool ran =
+        report->outcome != core::Campaign::BotOutcome::Quarantined;
     table.add_row(
-        {std::to_string(i + 1), report.strategy.name, outcome,
-         ran ? util::fmt(report.makespan, 0) : "-",
-         ran ? util::fmt(report.cost_per_task_cents, 3) : "-",
-         report.degradation ? core::to_string(*report.degradation) : "-"});
+        {std::to_string(i + 1), report->strategy.name, outcome,
+         ran ? util::fmt(report->makespan, 0) : "-",
+         ran ? util::fmt(report->cost_per_task_cents, 3) : "-",
+         report->degradation ? core::to_string(*report->degradation) : "-"});
   }
   table.print(std::cout);
   if (env.chaos && env.chaos->any())
     std::cout << "chaos plan: " << env.chaos->to_string() << "\n";
-  std::cout << campaign.completed_bots() - campaign.quarantined_bots()
+  if (detector != nullptr && detector->trips() > 0)
+    std::cout << "drift: " << detector->trips()
+              << " trip(s); history re-characterized from post-drift "
+                 "traces only\n";
+  std::cout << campaign->completed_bots() - campaign->quarantined_bots()
             << "/" << bots << " BoTs completed, "
-            << campaign.quarantined_bots() << " quarantined\n";
+            << campaign->quarantined_bots() << " quarantined\n";
   // Re-planning across BoTs repeats many strategy evaluations whenever the
   // history window (and so the model) is stable; show how much the shared
   // evaluation cache absorbed.
@@ -469,8 +548,9 @@ int main(int argc, char** argv) {
       argc, argv,
       {"trace", "tasks", "utility", "reps", "mode", "deadline", "strategy",
        "pool", "gamma", "tur", "experiment", "seed", "chaos", "bots",
-       "eval-cache", "metrics-out", "trace-out"},
-      {"csv"});
+       "eval-cache", "metrics-out", "trace-out", "journal",
+       "backend-timeout", "out"},
+      {"csv", "resume", "drift"});
   try {
     if (!args.unknown_options().empty()) {
       std::cerr << "unknown option --" << args.unknown_options().front()

@@ -42,6 +42,9 @@ const std::vector<RuleInfo> kRules = {
     {"INC003", "#include path contains '..'"},
     {"SUP001", "EXPERT_LINT_ALLOW without a written justification"},
     {"SUP002", "EXPERT_LINT_ALLOW naming an unknown rule id"},
+    {"IO001", "direct std::ofstream write in library code outside util/ "
+              "(a crash mid-write leaves a torn file; route output "
+              "through util::atomic_write)"},
     {"IO000", "file could not be read"},
 };
 
@@ -51,6 +54,7 @@ const std::vector<RuleInfo> kRules = {
 struct Scope {
   bool library = false;       ///< under an include/ or src/ segment
   bool obs = false;           ///< obs module (clock access allowed)
+  bool util = false;          ///< util module (atomic_write lives here)
   bool ordered_only = false;  ///< sim/core/gridsim/strategies/eval module
   bool header = false;        ///< .hpp file
 };
@@ -78,6 +82,7 @@ Scope classify(std::string_view path) {
   for (std::size_t i = marker + 1; i < segments.size(); ++i) {
     const std::string_view seg = segments[i];
     if (seg == "obs") scope.obs = true;
+    if (seg == "util") scope.util = true;
     if (seg == "sim" || seg == "core" || seg == "gridsim" ||
         seg == "strategies" || seg == "eval") {
       scope.ordered_only = true;
@@ -269,6 +274,16 @@ std::vector<Finding> lint_source(std::string_view path,
                    " is banned in sim/core/gridsim/strategies: iteration "
                    "order is unspecified and leaks into results; use the "
                    "ordered counterpart");
+      }
+
+      // IO001: direct ofstream writes outside util/. util::atomic_write is
+      // the one sanctioned path to a final output file — everything else
+      // risks leaving a torn file behind a crash.
+      if (!scope.util && id == "ofstream") {
+        report("IO001", tok.line,
+               "std::ofstream writes a final output path in place; a "
+               "crash mid-write leaves a torn file — render to a string "
+               "and land it with util::atomic_write");
       }
 
       // FLT002: float in library code.
