@@ -11,6 +11,7 @@
 #include "expert/gridsim/executor.hpp"
 #include "expert/gridsim/presets.hpp"
 #include "expert/trace/csv_io.hpp"
+#include "expert/util/atomic_write.hpp"
 #include "expert/workload/presets.hpp"
 
 int main(int argc, char** argv) {
@@ -33,10 +34,13 @@ int main(int argc, char** argv) {
   p.mr = 0.1;
   const auto trace = executor.run(bot, strategies::make_ntdmr_strategy(p));
 
-  // Export.
+  // Export. Render to memory first so the file appears atomically — a
+  // crash mid-export must not leave a torn CSV for the re-import below
+  // (or a real analysis pipeline) to trip over.
   {
-    std::ofstream out(path);
+    std::ostringstream out;
     trace::write_csv(trace, out);
+    util::atomic_write(path, out.str());
   }
   std::printf("wrote %zu instance records to %s\n", trace.records().size(),
               path.c_str());

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "expert/core/estimator.hpp"
@@ -51,6 +52,10 @@ struct FrontierOptions {
   /// eval::EvalService::global(). Sweeps over an unchanged estimator and
   /// candidate are then served from its cache without re-simulating.
   eval::EvalService* service = nullptr;
+  /// Consumer tag forwarded to eval::BatchOptions::consumer, labeling the
+  /// batch-latency metric. Campaign re-planning overrides this so its
+  /// frontier sweeps are attributable separately.
+  std::string consumer = "frontier";
 };
 
 struct FrontierResult {

@@ -99,14 +99,20 @@ class EvalCache {
     std::size_t capacity EXPERT_GUARDED_BY(mutex) = 0;
   };
 
+  static std::size_t shard_index(const EvalKey& key) noexcept {
+    return key.hi & (kShards - 1);
+  }
   Shard& shard_for(const EvalKey& key) noexcept {
-    return shards_[key.hi & (kShards - 1)];
+    return shards_[shard_index(key)];
   }
 
   std::array<Shard, kShards> shards_;
 
-  obs::Counter hit_counter_;
-  obs::Counter miss_counter_;
+  /// Hits and misses are labeled per shard ({"shard","00".."15"}) so a
+  /// metrics snapshot shows whether the digest spreads load evenly;
+  /// `Snapshot::counter_total` recovers the cache-wide numbers.
+  std::array<obs::Counter, kShards> hit_counters_;
+  std::array<obs::Counter, kShards> miss_counters_;
   obs::Counter eviction_counter_;
   obs::Counter invalidated_counter_;
   obs::Gauge entries_gauge_;

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "expert/core/estimator.hpp"
@@ -27,6 +28,13 @@ struct BatchOptions {
   /// When false the batch bypasses the cache entirely (no lookups, no
   /// inserts) — for benchmarks that need guaranteed-cold evaluations.
   bool use_cache = true;
+  /// Which consumer issued this batch ("frontier", "evolution",
+  /// "sensitivity", "campaign", ...). Labels the per-batch wall-time
+  /// histogram (`eval.batch.wall_seconds{consumer=...}`) so a metrics
+  /// snapshot attributes eval latency to the layer that paid for it. Must
+  /// be a closed set of literals, never a per-request value (the registry
+  /// caps label cardinality).
+  std::string consumer = "direct";
 };
 
 /// One evaluated candidate, in the order it was requested.

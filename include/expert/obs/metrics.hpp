@@ -2,10 +2,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <initializer_list>
 #include <iosfwd>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "expert/util/thread_safety.hpp"
@@ -14,6 +16,39 @@ namespace expert::obs {
 
 class Registry;
 struct RegistryShard;
+
+/// One dimension of a labeled series, e.g. {"pool", "reliable"}.
+using Label = std::pair<std::string, std::string>;
+
+/// Canonicalized label set: keys sorted, unique, values attached. Two label
+/// sets written in different orders name the same series. Keys and values
+/// must be non-empty. Stored as a sorted vector (never an unordered map) so
+/// iteration — and therefore snapshot and JSON ordering — is deterministic.
+class Labels {
+ public:
+  Labels() = default;
+  Labels(std::initializer_list<Label> items);
+  explicit Labels(std::vector<Label> items);
+
+  bool empty() const noexcept { return items_.empty(); }
+  std::size_t size() const noexcept { return items_.size(); }
+  const std::vector<Label>& items() const noexcept { return items_; }
+  /// Value for `key`, or nullptr when the key is absent.
+  const std::string* value(std::string_view key) const noexcept;
+
+  /// Prometheus-style rendering: `{k="v",k2="v2"}`; empty set renders "".
+  std::string render() const;
+
+  friend bool operator==(const Labels& a, const Labels& b) noexcept {
+    return a.items_ == b.items_;
+  }
+  friend bool operator<(const Labels& a, const Labels& b) noexcept {
+    return a.items_ < b.items_;
+  }
+
+ private:
+  std::vector<Label> items_;  ///< sorted by key, keys unique
+};
 
 /// Fixed bucket layout of a histogram: strictly ascending upper bounds,
 /// with an implicit +inf overflow bucket appended on registration.
@@ -79,26 +114,37 @@ class Histogram {
 
 struct CounterSnapshot {
   std::string name;
+  Labels labels;
   std::uint64_t value = 0;
 };
 
 struct GaugeSnapshot {
   std::string name;
+  Labels labels;
   double value = 0.0;
 };
 
 struct HistogramSnapshot {
   std::string name;
+  Labels labels;
   std::vector<double> bounds;           ///< upper bounds, ascending
   std::vector<std::uint64_t> buckets;   ///< bounds.size() + 1 (overflow last)
   std::uint64_t count = 0;
   double sum = 0.0;
   double min = 0.0;  ///< meaningful only when count > 0
   double max = 0.0;  ///< meaningful only when count > 0
+
+  /// Quantile estimate by linear interpolation inside the bucket holding
+  /// the q-th ranked observation, clamped to [min, max]. The first bucket
+  /// interpolates from `min`, the overflow bucket toward `max`, so the
+  /// estimate error is bounded by one bucket width. Returns 0 when empty.
+  double quantile(double q) const;
 };
 
 /// Point-in-time aggregate of every metric in a registry, summed across
-/// all per-thread shards. Entries are sorted by name within each kind.
+/// all per-thread shards. Entries are sorted by (name, labels) within each
+/// kind, so two snapshots of the same registered series render identically
+/// regardless of registration or write order.
 struct Snapshot {
   std::vector<CounterSnapshot> counters;
   std::vector<GaugeSnapshot> gauges;
@@ -107,12 +153,24 @@ struct Snapshot {
   std::size_t size() const noexcept {
     return counters.size() + gauges.size() + histograms.size();
   }
+  /// Exact lookup of the unlabeled series `name`.
   const CounterSnapshot* counter(std::string_view name) const;
   const GaugeSnapshot* gauge(std::string_view name) const;
   const HistogramSnapshot* histogram(std::string_view name) const;
+  /// Exact lookup of the series (name, labels).
+  const CounterSnapshot* counter(std::string_view name,
+                                 const Labels& labels) const;
+  const GaugeSnapshot* gauge(std::string_view name,
+                             const Labels& labels) const;
+  const HistogramSnapshot* histogram(std::string_view name,
+                                     const Labels& labels) const;
+  /// Sum of every series named `name` across all label sets.
+  std::uint64_t counter_total(std::string_view name) const;
 
-  /// Serialize as the `expert.metrics.v1` JSON document (see
-  /// docs/observability.md).
+  /// Serialize as the `expert.metrics.v2` JSON document (see
+  /// docs/observability.md): counters/gauges/histograms are arrays of
+  /// series objects with optional `labels`, and histograms carry
+  /// p50/p95/p99 quantile estimates.
   void write_json(std::ostream& os) const;
   std::string to_json() const;
 };
@@ -124,10 +182,23 @@ struct Snapshot {
 /// joined workers are never lost. Gauges are registry-level atomics
 /// (an instantaneous value has no meaningful per-thread sum).
 ///
+/// Series may carry a label set (e.g. {"pool","reliable"}). Labeled
+/// registration is a cold-path lookup; the returned handle indexes the
+/// same flat sharded storage as an unlabeled one, so the write fast path
+/// is identical. Cardinality is bounded: at most kMaxSeriesPerName label
+/// sets per metric name (registration beyond that throws) — labels are for
+/// small closed dimensions (pool, shard, phase, tenant), never unbounded
+/// values.
+///
 /// When disabled, every write is a single relaxed atomic load and a
 /// branch. Registration is allowed while disabled.
 class Registry {
  public:
+  /// Upper bound on label sets per metric name. Generous for closed
+  /// dimensions (16 cache shards, a handful of pools/phases/tenants) while
+  /// catching unbounded label values at the registration site.
+  static constexpr std::size_t kMaxSeriesPerName = 64;
+
   explicit Registry(bool enabled = true);
   ~Registry();
   Registry(const Registry&) = delete;
@@ -145,12 +216,18 @@ class Registry {
     enabled_.store(on, std::memory_order_relaxed);
   }
 
-  /// Register (or look up) a metric. Names must be unique across kinds;
-  /// re-registering the same name and kind returns a handle to the same
-  /// metric. Histogram re-registration requires an identical bucket layout.
+  /// Register (or look up) a metric series. A series is identified by
+  /// (name, labels); names must be unique across kinds (a counter name
+  /// cannot double as a gauge name, labeled or not). Re-registering the
+  /// same series returns a handle to the same storage. Histogram
+  /// re-registration requires an identical bucket layout.
   Counter counter(std::string_view name);
+  Counter counter(std::string_view name, const Labels& labels);
   Gauge gauge(std::string_view name);
+  Gauge gauge(std::string_view name, const Labels& labels);
   Histogram histogram(std::string_view name,
+                      const HistogramSpec& spec = HistogramSpec::latency_seconds());
+  Histogram histogram(std::string_view name, const Labels& labels,
                       const HistogramSpec& spec = HistogramSpec::latency_seconds());
 
   /// Aggregate every shard. Safe to call while other threads write:
@@ -164,10 +241,20 @@ class Registry {
   friend class Gauge;
   friend class Histogram;
 
+  /// Identity of one registered series.
+  struct SeriesName {
+    std::string name;
+    Labels labels;
+  };
+
   RegistryShard& local_shard() const;
   void grow_shard(RegistryShard& shard) const EXPERT_EXCLUDES(mutex_);
   void counter_add(std::uint32_t index, std::uint64_t n) const;
   void histogram_observe(std::uint32_t index, double value) const;
+  void check_name_free(std::string_view name, const char* kind) const
+      EXPERT_REQUIRES(mutex_);
+  void check_cardinality(const std::vector<SeriesName>& series,
+                         std::string_view name) const EXPERT_REQUIRES(mutex_);
 
   std::atomic<bool> enabled_;
   const std::uint64_t gen_;  ///< process-unique id keying the TLS cache
@@ -176,9 +263,9 @@ class Registry {
   /// guarded: they are atomics written by the owning thread and summed by
   /// snapshot(), which locks only to pin the shard list.
   mutable util::Mutex mutex_;
-  std::vector<std::string> counter_names_ EXPERT_GUARDED_BY(mutex_);
-  std::vector<std::string> gauge_names_ EXPERT_GUARDED_BY(mutex_);
-  std::vector<std::string> histogram_names_ EXPERT_GUARDED_BY(mutex_);
+  std::vector<SeriesName> counter_series_ EXPERT_GUARDED_BY(mutex_);
+  std::vector<SeriesName> gauge_series_ EXPERT_GUARDED_BY(mutex_);
+  std::vector<SeriesName> histogram_series_ EXPERT_GUARDED_BY(mutex_);
   /// Stable-address storage; set once in the constructor, contents guarded.
   std::unique_ptr<struct RegistryTables> tables_ EXPERT_PT_GUARDED_BY(mutex_);
   mutable std::vector<std::unique_ptr<RegistryShard>> shards_

@@ -2,9 +2,48 @@
 
 #include <algorithm>
 
+#include "expert/obs/metrics.hpp"
 #include "expert/util/assert.hpp"
 
 namespace expert::core {
+
+namespace {
+
+/// Campaign-level instrumentation: one bots counter per outcome (so a
+/// metrics snapshot shows the campaign's health mix directly) plus the
+/// total backend retry count.
+struct CampaignObs {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter completed =
+      reg.counter("core.campaign.bots", obs::Labels{{"outcome", "completed"}});
+  obs::Counter completed_after_retry = reg.counter(
+      "core.campaign.bots",
+      obs::Labels{{"outcome", "completed_after_retry"}});
+  obs::Counter quarantined = reg.counter(
+      "core.campaign.bots", obs::Labels{{"outcome", "quarantined"}});
+  obs::Counter backend_retries = reg.counter("core.campaign.backend_retries");
+
+  void count(Campaign::BotOutcome outcome) {
+    switch (outcome) {
+      case Campaign::BotOutcome::Completed:
+        completed.inc();
+        break;
+      case Campaign::BotOutcome::CompletedAfterRetry:
+        completed_after_retry.inc();
+        break;
+      case Campaign::BotOutcome::Quarantined:
+        quarantined.inc();
+        break;
+    }
+  }
+};
+
+CampaignObs& campaign_obs() {
+  static CampaignObs metrics;
+  return metrics;
+}
+
+}  // namespace
 
 Campaign::Campaign(Backend backend, Options options)
     : backend_(std::move(backend)), options_(std::move(options)) {
@@ -12,6 +51,12 @@ Campaign::Campaign(Backend backend, Options options)
   EXPERT_REQUIRE(options_.history_window > 0,
                  "history window must be positive");
   options_.params.validate();
+  // Frontier sweeps issued by campaign re-planning should be attributed to
+  // the campaign, not lumped under ad-hoc frontier calls; respect an
+  // explicit caller override.
+  if (options_.expert.frontier.consumer == "frontier") {
+    options_.expert.frontier.consumer = "campaign";
+  }
 }
 
 Campaign Campaign::resume(Backend backend, Options options,
@@ -89,9 +134,12 @@ Campaign::BotReport Campaign::run_bot(const workload::Bot& bot,
     }
   }
 
+  if (report.retries > 0) campaign_obs().backend_retries.inc(report.retries);
+
   if (!trace) {
     report.outcome = BotOutcome::Quarantined;
     report.degradation = DegradationReason::BackendFailure;
+    campaign_obs().count(report.outcome);
     ++quarantined_;
     reports_.push_back(report);
     if (options_.recorder) {
@@ -102,6 +150,7 @@ Campaign::BotReport Campaign::run_bot(const workload::Bot& bot,
 
   report.outcome = report.retries > 0 ? BotOutcome::CompletedAfterRetry
                                       : BotOutcome::Completed;
+  campaign_obs().count(report.outcome);
   report.truncated = trace->truncated();
   report.makespan = trace->makespan();
   report.tail_makespan = trace->tail_makespan();

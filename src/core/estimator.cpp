@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "expert/obs/metrics.hpp"
+#include "expert/obs/profile.hpp"
 #include "expert/obs/tracing.hpp"
 #include "expert/sim/engine.hpp"
 #include "expert/util/assert.hpp"
@@ -89,6 +90,7 @@ class Run {
   }
 
   std::pair<RunMetrics, trace::ExecutionTrace> execute() {
+    EXPERT_PHASE(ReplicationLoop);
     maybe_start_tail();
     for (workload::TaskId t = 0; t < tasks_.size(); ++t) consider_enqueue(t);
     dispatch();
@@ -261,7 +263,13 @@ class Run {
       ++busy_ur_;
       ++unreliable_sent_;
       const double deadline = current_rules().deadline_d;
-      const double draw = model_.sample(rng_, now);
+      double draw;
+      {
+        // Nested inside the replication loop; the profiler charges draw
+        // time to TaskTimeDraw and suspends the loop's clock meanwhile.
+        EXPERT_PHASE(TaskTimeDraw);
+        draw = model_.sample(rng_, now);
+      }
       if (draw < deadline) {
         engine_.schedule_in(draw, [this, task, now, draw] {
           on_finish(task, PoolKind::Unreliable, now, draw, true);
@@ -521,6 +529,7 @@ std::pair<RunMetrics, trace::ExecutionTrace> Estimator::simulate(
 }
 
 EstimateResult aggregate_runs(std::vector<RunMetrics> runs) {
+  EXPERT_PHASE(Aggregation);
   EXPERT_REQUIRE(!runs.empty(), "aggregate over zero runs");
   EstimateResult result;
   result.runs = std::move(runs);

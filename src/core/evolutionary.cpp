@@ -112,6 +112,7 @@ EvolutionResult evolve_frontier(const Estimator& estimator,
   batch_options.time_objective = options.objectives.time_objective;
   batch_options.cost_objective = options.objectives.cost_objective;
   batch_options.threads = options.objectives.threads;
+  batch_options.consumer = "evolution";
 
   auto evaluate_batch = [&](std::vector<NTDMr> genomes) {
     // Deduplicate against the archive and within the batch in one pass.

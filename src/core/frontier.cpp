@@ -96,6 +96,7 @@ std::vector<StrategyPoint> evaluate_strategies(
   batch.time_objective = options.time_objective;
   batch.cost_objective = options.cost_objective;
   batch.threads = options.threads;
+  batch.consumer = options.consumer;
   const std::vector<eval::EvalResult> evaluated =
       service.evaluate(estimator, task_count, strategies_list, batch);
 

@@ -128,6 +128,7 @@ SensitivityReport analyze_sensitivity(const Estimator& estimator,
   eval::BatchOptions batch;
   batch.repetitions = options.repetitions;
   batch.threads = options.threads;
+  batch.consumer = "sensitivity";
   const std::vector<eval::EvalResult> evaluated =
       service.evaluate(estimator, task_count, candidates, batch);
 

@@ -11,10 +11,26 @@ std::size_t per_shard_capacity(std::size_t capacity) {
 
 }  // namespace
 
+namespace {
+
+/// Fixed-width shard label ("00".."15") so the per-shard series sort
+/// numerically in snapshots.
+std::string shard_label(std::size_t index) {
+  std::string label = "00";
+  label[0] = static_cast<char>('0' + index / 10);
+  label[1] = static_cast<char>('0' + index % 10);
+  return label;
+}
+
+}  // namespace
+
 EvalCache::EvalCache(std::size_t capacity) {
   obs::Registry& reg = obs::Registry::global();
-  hit_counter_ = reg.counter("eval.cache.hits");
-  miss_counter_ = reg.counter("eval.cache.misses");
+  for (std::size_t i = 0; i < kShards; ++i) {
+    const obs::Labels labels{{"shard", shard_label(i)}};
+    hit_counters_[i] = reg.counter("eval.cache.hits", labels);
+    miss_counters_[i] = reg.counter("eval.cache.misses", labels);
+  }
   eviction_counter_ = reg.counter("eval.cache.evictions");
   invalidated_counter_ = reg.counter("eval.cache.invalidated");
   entries_gauge_ = reg.gauge("eval.cache.entries");
@@ -26,19 +42,20 @@ EvalCache::EvalCache(std::size_t capacity) {
 }
 
 std::optional<CachedEval> EvalCache::lookup(const EvalKey& key) {
-  Shard& shard = shard_for(key);
+  const std::size_t index = shard_index(key);
+  Shard& shard = shards_[index];
   const Digest digest{key.hi, key.lo};
   util::MutexLock lock(shard.mutex);
   const auto it = shard.entries.find(digest);
   if (it == shard.entries.end()) {
     ++shard.misses;
-    miss_counter_.inc();
+    miss_counters_[index].inc();
     return std::nullopt;
   }
   // Refresh: move this entry to the MRU end of the shard's LRU list.
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
   ++shard.hits;
-  hit_counter_.inc();
+  hit_counters_[index].inc();
   return it->second.value;
 }
 

@@ -1,6 +1,7 @@
 #include "expert/eval/service.hpp"
 
 #include "expert/obs/metrics.hpp"
+#include "expert/obs/profile.hpp"
 #include "expert/obs/tracing.hpp"
 #include "expert/strategies/static_strategies.hpp"
 #include "expert/util/assert.hpp"
@@ -15,7 +16,14 @@ struct EvalObs {
   obs::Counter candidates = reg.counter("eval.batch.candidates");
   /// Simulated (candidate x repetition) units — cache hits spawn none.
   obs::Counter units = reg.counter("eval.batch.units");
-  obs::Histogram batch_wall = reg.histogram("eval.batch.wall_seconds");
+
+  /// Per-consumer batch wall time. Registration is a cold-path lookup and
+  /// consumers are a closed set of literals, so registering on first use
+  /// per batch is fine.
+  obs::Histogram batch_wall(const std::string& consumer) {
+    return reg.histogram("eval.batch.wall_seconds",
+                         obs::Labels{{"consumer", consumer}});
+  }
 };
 
 EvalObs& eval_obs() {
@@ -98,19 +106,22 @@ std::vector<EvalResult> EvalService::evaluate(
   std::vector<EvalKey> keys;
   keys.reserve(candidates.size());
   std::vector<std::size_t> misses;
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    keys.push_back(make_eval_key(
-        estimator.config(), estimator.model().digest(), candidates[i],
-        task_count, repetitions, options.time_objective,
-        options.cost_objective));
-    std::optional<CachedEval> cached =
-        options.use_cache ? cache_.lookup(keys.back()) : std::nullopt;
-    if (cached) {
-      results[i].point = std::move(cached->point);
-      results[i].stddev = cached->stddev;
-      results[i].from_cache = true;
-    } else {
-      misses.push_back(i);
+  {
+    EXPERT_PHASE(CacheLookup);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      keys.push_back(make_eval_key(
+          estimator.config(), estimator.model().digest(), candidates[i],
+          task_count, repetitions, options.time_objective,
+          options.cost_objective));
+      std::optional<CachedEval> cached =
+          options.use_cache ? cache_.lookup(keys.back()) : std::nullopt;
+      if (cached) {
+        results[i].point = std::move(cached->point);
+        results[i].stddev = cached->stddev;
+        results[i].from_cache = true;
+      } else {
+        misses.push_back(i);
+      }
     }
   }
 
@@ -153,8 +164,10 @@ std::vector<EvalResult> EvalService::evaluate(
       out.point.cost = cost_metric(est.mean, options.cost_objective);
       out.stddev = est.stddev;
       out.from_cache = false;
-      if (options.use_cache)
+      if (options.use_cache) {
+        EXPERT_PHASE(CacheLookup);
         cache_.insert(keys[i], CachedEval{out.point, out.stddev});
+      }
     }
 
     if (observed) eval_obs().units.inc(unit_count);
@@ -164,9 +177,10 @@ std::vector<EvalResult> EvalService::evaluate(
     EvalObs& m = eval_obs();
     m.batches.inc();
     m.candidates.inc(candidates.size());
-    m.batch_wall.observe(
-        static_cast<double>(obs::Tracer::global().now_ns() - wall_start) /
-        1e9);
+    m.batch_wall(options.consumer)
+        .observe(static_cast<double>(obs::Tracer::global().now_ns() -
+                                     wall_start) /
+                 1e9);
   }
   return results;
 }

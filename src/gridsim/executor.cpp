@@ -17,28 +17,41 @@ namespace expert::gridsim {
 
 namespace {
 
+/// Per-pool instance lifecycle counters share one metric name split by a
+/// {"pool"} label (v2 labeled series), so dashboards sum a family with
+/// counter_total() instead of knowing every pool-suffixed name. Chaos fault
+/// counters carry the pool they strike: dispatch faults exist only on the
+/// reliable (cloud) path, blackouts / forced-down / silent result loss only
+/// on the unreliable grid.
 struct ExecutorObs {
   obs::Registry& reg = obs::Registry::global();
+  obs::Labels unreliable = obs::Labels{{"pool", "unreliable"}};
+  obs::Labels reliable = obs::Labels{{"pool", "reliable"}};
   obs::Counter runs = reg.counter("gridsim.executor.runs");
-  obs::Counter ur_sent = reg.counter("gridsim.unreliable.instances_sent");
+  obs::Counter ur_sent = reg.counter("gridsim.instances.sent", unreliable);
   obs::Counter ur_completed =
-      reg.counter("gridsim.unreliable.instances_completed");
+      reg.counter("gridsim.instances.completed", unreliable);
   obs::Counter ur_preempted =
-      reg.counter("gridsim.unreliable.instances_preempted");
-  obs::Counter r_sent = reg.counter("gridsim.reliable.instances_sent");
+      reg.counter("gridsim.instances.preempted", unreliable);
+  obs::Counter r_sent = reg.counter("gridsim.instances.sent", reliable);
   obs::Counter r_completed =
-      reg.counter("gridsim.reliable.instances_completed");
+      reg.counter("gridsim.instances.completed", reliable);
   obs::Counter r_preempted =
-      reg.counter("gridsim.reliable.instances_preempted");
+      reg.counter("gridsim.instances.preempted", reliable);
   obs::Counter down = reg.counter("gridsim.availability.down_transitions");
   obs::Counter up = reg.counter("gridsim.availability.up_transitions");
   obs::Counter truncated = reg.counter("gridsim.executor.truncated_runs");
-  obs::Counter blackouts = reg.counter("chaos.blackout_windows");
-  obs::Counter forced_down = reg.counter("chaos.forced_down_transitions");
-  obs::Counter dispatch_failures = reg.counter("chaos.dispatch_failures");
-  obs::Counter dispatch_retries = reg.counter("chaos.dispatch_retries");
-  obs::Counter dispatch_abandoned = reg.counter("chaos.dispatch_abandoned");
-  obs::Counter results_lost = reg.counter("chaos.results_lost");
+  obs::Counter blackouts =
+      reg.counter("chaos.blackout_windows", unreliable);
+  obs::Counter forced_down =
+      reg.counter("chaos.forced_down_transitions", unreliable);
+  obs::Counter dispatch_failures =
+      reg.counter("chaos.dispatch_failures", reliable);
+  obs::Counter dispatch_retries =
+      reg.counter("chaos.dispatch_retries", reliable);
+  obs::Counter dispatch_abandoned =
+      reg.counter("chaos.dispatch_abandoned", reliable);
+  obs::Counter results_lost = reg.counter("chaos.results_lost", unreliable);
   obs::Histogram makespan = reg.histogram(
       "gridsim.executor.makespan_sim_seconds",
       obs::HistogramSpec::exponential(1.0, 1e8, 33));

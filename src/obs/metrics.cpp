@@ -29,17 +29,56 @@ void atomic_max(std::atomic<double>& cell, double value) {
   }
 }
 
-std::uint32_t find_or_npos(const std::vector<std::string>& names,
-                           std::string_view name) {
-  for (std::uint32_t i = 0; i < names.size(); ++i) {
-    if (names[i] == name) return i;
-  }
-  return std::numeric_limits<std::uint32_t>::max();
-}
-
 constexpr std::uint32_t kNpos = std::numeric_limits<std::uint32_t>::max();
 
 }  // namespace
+
+// ---- labels ----
+
+namespace {
+
+void canonicalize(std::vector<Label>& items) {
+  for (const Label& item : items) {
+    EXPERT_REQUIRE(!item.first.empty() && !item.second.empty(),
+                   "label keys and values must be non-empty");
+  }
+  std::sort(items.begin(), items.end());
+  for (std::size_t i = 0; i + 1 < items.size(); ++i) {
+    EXPERT_REQUIRE(items[i].first != items[i + 1].first,
+                   "duplicate label key in label set");
+  }
+}
+
+}  // namespace
+
+Labels::Labels(std::initializer_list<Label> items) : items_(items) {
+  canonicalize(items_);
+}
+
+Labels::Labels(std::vector<Label> items) : items_(std::move(items)) {
+  canonicalize(items_);
+}
+
+const std::string* Labels::value(std::string_view key) const noexcept {
+  for (const Label& item : items_) {
+    if (item.first == key) return &item.second;
+  }
+  return nullptr;
+}
+
+std::string Labels::render() const {
+  if (items_.empty()) return {};
+  std::string out = "{";
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += items_[i].first;
+    out += "=\"";
+    out += items_[i].second;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
 
 // ---- bucket layouts ----
 
@@ -115,6 +154,30 @@ thread_local std::vector<TlsEntry> tls_shards;
 
 }  // namespace
 
+namespace {
+
+/// Index of the series (name, labels), or kNpos. Linear scan: registration
+/// is cold and series counts are small (tens, bounded by the cardinality
+/// cap), so a side map isn't worth its iteration-order hazards.
+template <typename S>
+std::uint32_t find_series(const std::vector<S>& series, std::string_view name,
+                          const Labels& labels) {
+  for (std::uint32_t i = 0; i < series.size(); ++i) {
+    if (series[i].name == name && series[i].labels == labels) return i;
+  }
+  return kNpos;
+}
+
+template <typename S>
+bool name_in_use(const std::vector<S>& series, std::string_view name) {
+  for (const S& s : series) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 // ---- registry ----
 
 Registry::Registry(bool enabled)
@@ -145,10 +208,10 @@ RegistryShard& Registry::local_shard() const {
 /// observes a half-grown shard and the owner never writes during growth.
 void Registry::grow_shard(RegistryShard& shard) const {
   util::MutexLock lock(mutex_);
-  while (shard.counters.size() < counter_names_.size()) {
+  while (shard.counters.size() < counter_series_.size()) {
     shard.counters.emplace_back(0);
   }
-  while (shard.histograms.size() < histogram_names_.size()) {
+  while (shard.histograms.size() < histogram_series_.size()) {
     const HistogramSpec& spec =
         tables_->histogram_specs[shard.histograms.size()];
     auto& cells = shard.histograms.emplace_back();
@@ -159,49 +222,79 @@ void Registry::grow_shard(RegistryShard& shard) const {
   }
 }
 
-Counter Registry::counter(std::string_view name) {
+void Registry::check_name_free(std::string_view name, const char* kind) const {
   EXPERT_REQUIRE(!name.empty(), "metric name must not be empty");
-  util::MutexLock lock(mutex_);
-  const std::uint32_t existing = find_or_npos(counter_names_, name);
-  if (existing != kNpos) return Counter(this, existing);
-  EXPERT_REQUIRE(find_or_npos(gauge_names_, name) == kNpos &&
-                     find_or_npos(histogram_names_, name) == kNpos,
+  const bool counter_taken = name_in_use(counter_series_, name);
+  const bool gauge_taken = name_in_use(gauge_series_, name);
+  const bool histogram_taken = name_in_use(histogram_series_, name);
+  const bool taken_elsewhere =
+      (counter_taken && kind != std::string_view("counter")) ||
+      (gauge_taken && kind != std::string_view("gauge")) ||
+      (histogram_taken && kind != std::string_view("histogram"));
+  EXPERT_REQUIRE(!taken_elsewhere,
                  "metric name already registered with a different kind");
-  counter_names_.emplace_back(name);
-  return Counter(this, static_cast<std::uint32_t>(counter_names_.size() - 1));
 }
 
-Gauge Registry::gauge(std::string_view name) {
-  EXPERT_REQUIRE(!name.empty(), "metric name must not be empty");
+void Registry::check_cardinality(const std::vector<SeriesName>& series,
+                                 std::string_view name) const {
+  std::size_t existing = 0;
+  for (const SeriesName& s : series) {
+    if (s.name == name) ++existing;
+  }
+  EXPERT_REQUIRE(existing < kMaxSeriesPerName,
+                 "metric label cardinality cap exceeded — labels must be "
+                 "small closed dimensions, not unbounded values");
+}
+
+Counter Registry::counter(std::string_view name) {
+  return counter(name, Labels{});
+}
+
+Counter Registry::counter(std::string_view name, const Labels& labels) {
   util::MutexLock lock(mutex_);
-  const std::uint32_t existing = find_or_npos(gauge_names_, name);
+  const std::uint32_t existing = find_series(counter_series_, name, labels);
+  if (existing != kNpos) return Counter(this, existing);
+  check_name_free(name, "counter");
+  check_cardinality(counter_series_, name);
+  counter_series_.push_back(SeriesName{std::string(name), labels});
+  return Counter(this,
+                 static_cast<std::uint32_t>(counter_series_.size() - 1));
+}
+
+Gauge Registry::gauge(std::string_view name) { return gauge(name, Labels{}); }
+
+Gauge Registry::gauge(std::string_view name, const Labels& labels) {
+  util::MutexLock lock(mutex_);
+  const std::uint32_t existing = find_series(gauge_series_, name, labels);
   if (existing != kNpos) return Gauge(this, &tables_->gauges[existing]);
-  EXPERT_REQUIRE(find_or_npos(counter_names_, name) == kNpos &&
-                     find_or_npos(histogram_names_, name) == kNpos,
-                 "metric name already registered with a different kind");
-  gauge_names_.emplace_back(name);
+  check_name_free(name, "gauge");
+  check_cardinality(gauge_series_, name);
+  gauge_series_.push_back(SeriesName{std::string(name), labels});
   tables_->gauges.emplace_back(0.0);
   return Gauge(this, &tables_->gauges.back());
 }
 
 Histogram Registry::histogram(std::string_view name,
                               const HistogramSpec& spec) {
-  EXPERT_REQUIRE(!name.empty(), "metric name must not be empty");
+  return histogram(name, Labels{}, spec);
+}
+
+Histogram Registry::histogram(std::string_view name, const Labels& labels,
+                              const HistogramSpec& spec) {
   spec.validate();
   util::MutexLock lock(mutex_);
-  const std::uint32_t existing = find_or_npos(histogram_names_, name);
+  const std::uint32_t existing = find_series(histogram_series_, name, labels);
   if (existing != kNpos) {
     EXPERT_REQUIRE(tables_->histogram_specs[existing].bounds == spec.bounds,
                    "histogram re-registered with a different bucket layout");
     return Histogram(this, existing);
   }
-  EXPERT_REQUIRE(find_or_npos(counter_names_, name) == kNpos &&
-                     find_or_npos(gauge_names_, name) == kNpos,
-                 "metric name already registered with a different kind");
-  histogram_names_.emplace_back(name);
+  check_name_free(name, "histogram");
+  check_cardinality(histogram_series_, name);
+  histogram_series_.push_back(SeriesName{std::string(name), labels});
   tables_->histogram_specs.push_back(spec);
   return Histogram(this,
-                   static_cast<std::uint32_t>(histogram_names_.size() - 1));
+                   static_cast<std::uint32_t>(histogram_series_.size() - 1));
 }
 
 void Registry::counter_add(std::uint32_t index, std::uint64_t n) const {
@@ -231,9 +324,10 @@ Snapshot Registry::snapshot() const {
   util::MutexLock lock(mutex_);
   Snapshot snap;
 
-  snap.counters.resize(counter_names_.size());
-  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
-    snap.counters[i].name = counter_names_[i];
+  snap.counters.resize(counter_series_.size());
+  for (std::size_t i = 0; i < counter_series_.size(); ++i) {
+    snap.counters[i].name = counter_series_[i].name;
+    snap.counters[i].labels = counter_series_[i].labels;
   }
   for (const auto& shard : shards_) {
     for (std::size_t i = 0; i < shard->counters.size(); ++i) {
@@ -242,17 +336,19 @@ Snapshot Registry::snapshot() const {
     }
   }
 
-  snap.gauges.resize(gauge_names_.size());
-  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
-    snap.gauges[i].name = gauge_names_[i];
+  snap.gauges.resize(gauge_series_.size());
+  for (std::size_t i = 0; i < gauge_series_.size(); ++i) {
+    snap.gauges[i].name = gauge_series_[i].name;
+    snap.gauges[i].labels = gauge_series_[i].labels;
     snap.gauges[i].value =
         tables_->gauges[i].load(std::memory_order_relaxed);
   }
 
-  snap.histograms.resize(histogram_names_.size());
-  for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
+  snap.histograms.resize(histogram_series_.size());
+  for (std::size_t i = 0; i < histogram_series_.size(); ++i) {
     HistogramSnapshot& h = snap.histograms[i];
-    h.name = histogram_names_[i];
+    h.name = histogram_series_[i].name;
+    h.labels = histogram_series_[i].labels;
     h.bounds = tables_->histogram_specs[i].bounds;
     h.buckets.assign(h.bounds.size() + 1, 0);
     h.min = kInf;
@@ -275,12 +371,13 @@ Snapshot Registry::snapshot() const {
     if (h.count == 0) h.min = h.max = 0.0;
   }
 
-  const auto by_name = [](const auto& a, const auto& b) {
-    return a.name < b.name;
+  const auto by_series = [](const auto& a, const auto& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.labels < b.labels;
   };
-  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
-  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
-  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  std::sort(snap.counters.begin(), snap.counters.end(), by_series);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_series);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_series);
   return snap;
 }
 
@@ -332,27 +429,81 @@ void Histogram::observe(double value) const {
   registry_->histogram_observe(index_, value);
 }
 
+// ---- quantiles ----
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::uint64_t before = cumulative;
+    cumulative += buckets[b];
+    if (buckets[b] == 0 || static_cast<double>(cumulative) < rank) continue;
+    // The q-th observation falls in bucket b, spanning (prev bound, bound].
+    // The first bucket starts at the observed min, the overflow bucket ends
+    // at the observed max; interpolate linearly and clamp so an estimate
+    // never leaves the observed range.
+    double lo = (b == 0) ? min : bounds[b - 1];
+    double hi = (b < bounds.size()) ? bounds[b] : max;
+    lo = std::max(lo, min);
+    hi = std::min(hi, max);
+    if (hi < lo) hi = lo;
+    const double frac =
+        (rank - static_cast<double>(before)) / static_cast<double>(buckets[b]);
+    return std::clamp(lo + frac * (hi - lo), min, max);
+  }
+  return max;
+}
+
 // ---- snapshot lookup ----
 
-const CounterSnapshot* Snapshot::counter(std::string_view name) const {
-  for (const auto& c : counters) {
-    if (c.name == name) return &c;
+namespace {
+
+template <typename Series>
+const Series* find_exact(const std::vector<Series>& entries,
+                         std::string_view name, const Labels& labels) {
+  for (const Series& entry : entries) {
+    if (entry.name == name && entry.labels == labels) return &entry;
   }
   return nullptr;
+}
+
+}  // namespace
+
+const CounterSnapshot* Snapshot::counter(std::string_view name) const {
+  return find_exact(counters, name, Labels{});
 }
 
 const GaugeSnapshot* Snapshot::gauge(std::string_view name) const {
-  for (const auto& g : gauges) {
-    if (g.name == name) return &g;
-  }
-  return nullptr;
+  return find_exact(gauges, name, Labels{});
 }
 
 const HistogramSnapshot* Snapshot::histogram(std::string_view name) const {
-  for (const auto& h : histograms) {
-    if (h.name == name) return &h;
+  return find_exact(histograms, name, Labels{});
+}
+
+const CounterSnapshot* Snapshot::counter(std::string_view name,
+                                         const Labels& labels) const {
+  return find_exact(counters, name, labels);
+}
+
+const GaugeSnapshot* Snapshot::gauge(std::string_view name,
+                                     const Labels& labels) const {
+  return find_exact(gauges, name, labels);
+}
+
+const HistogramSnapshot* Snapshot::histogram(std::string_view name,
+                                             const Labels& labels) const {
+  return find_exact(histograms, name, labels);
+}
+
+std::uint64_t Snapshot::counter_total(std::string_view name) const {
+  std::uint64_t total = 0;
+  for (const CounterSnapshot& c : counters) {
+    if (c.name == name) total += c.value;
   }
-  return nullptr;
+  return total;
 }
 
 }  // namespace expert::obs

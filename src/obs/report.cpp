@@ -43,34 +43,66 @@ void write_string(std::ostream& os, const std::string& text) {
 
 }  // namespace
 
+namespace {
+
+/// Series prefix shared by every kind: `"name":...` plus the optional
+/// `"labels":{...}` object. Labels are already canonically sorted, so the
+/// rendered JSON is deterministic for a fixed set of registered series.
+void write_series_head(std::ostream& os, const std::string& name,
+                       const Labels& labels) {
+  os << "{\"name\":";
+  write_string(os, name);
+  if (!labels.empty()) {
+    os << ",\"labels\":{";
+    const auto& items = labels.items();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) os << ',';
+      write_string(os, items[i].first);
+      os << ':';
+      write_string(os, items[i].second);
+    }
+    os << '}';
+  }
+}
+
+}  // namespace
+
 void Snapshot::write_json(std::ostream& os) const {
-  os << "{\n\"schema\":\"expert.metrics.v1\",\n\"counters\":{";
+  os << "{\n\"schema\":\"expert.metrics.v2\",\n\"counters\":[";
   for (std::size_t i = 0; i < counters.size(); ++i) {
     os << (i == 0 ? "\n" : ",\n");
-    write_string(os, counters[i].name);
-    os << ':' << counters[i].value;
+    write_series_head(os, counters[i].name, counters[i].labels);
+    os << ",\"value\":" << counters[i].value << '}';
   }
-  os << "\n},\n\"gauges\":{";
+  os << "\n],\n\"gauges\":[";
   for (std::size_t i = 0; i < gauges.size(); ++i) {
     os << (i == 0 ? "\n" : ",\n");
-    write_string(os, gauges[i].name);
-    os << ':';
+    write_series_head(os, gauges[i].name, gauges[i].labels);
+    os << ",\"value\":";
     write_number(os, gauges[i].value);
+    os << '}';
   }
-  os << "\n},\n\"histograms\":{";
+  os << "\n],\n\"histograms\":[";
   for (std::size_t i = 0; i < histograms.size(); ++i) {
     const HistogramSnapshot& h = histograms[i];
     os << (i == 0 ? "\n" : ",\n");
-    write_string(os, h.name);
-    os << ":{\"count\":" << h.count << ",\"sum\":";
+    write_series_head(os, h.name, h.labels);
+    os << ",\"count\":" << h.count << ",\"sum\":";
     write_number(os, h.sum);
     if (h.count > 0) {
       os << ",\"min\":";
       write_number(os, h.min);
       os << ",\"max\":";
       write_number(os, h.max);
+      os << ",\"p50\":";
+      write_number(os, h.quantile(0.50));
+      os << ",\"p95\":";
+      write_number(os, h.quantile(0.95));
+      os << ",\"p99\":";
+      write_number(os, h.quantile(0.99));
     } else {
-      os << ",\"min\":null,\"max\":null";
+      os << ",\"min\":null,\"max\":null,\"p50\":null,\"p95\":null,"
+            "\"p99\":null";
     }
     os << ",\"buckets\":[";
     for (std::size_t b = 0; b < h.buckets.size(); ++b) {
@@ -85,7 +117,7 @@ void Snapshot::write_json(std::ostream& os) const {
     }
     os << "]}";
   }
-  os << "\n}\n}\n";
+  os << "\n]\n}\n";
 }
 
 std::string Snapshot::to_json() const {
@@ -113,28 +145,37 @@ namespace {
 std::string env_metrics_path;
 std::string env_trace_path;
 
+/// Run one exit-time report writer, swallowing (but reporting) failure.
+/// This runs during exit, where an escaping exception would terminate —
+/// but silence is worse: a run whose metrics file never appeared should
+/// say why. A metrics failure must never suppress the trace flush (or
+/// vice versa), so each writer is contained independently and both always
+/// get their chance. Returns false on failure.
+bool flush_report(const char* kind, const std::string& path,
+                  void (*writer)(const std::string&)) {
+  if (path.empty()) return true;
+  try {
+    writer(path);
+    return true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "expert: failed to write %s file '%s': %s\n", kind,
+                 path.c_str(), e.what());
+  } catch (...) {
+    std::fprintf(stderr, "expert: failed to write %s file '%s'\n", kind,
+                 path.c_str());
+  }
+  return false;
+}
+
+void write_env_metrics(const std::string& path) { write_metrics_file(path); }
+void write_env_trace(const std::string& path) { write_trace_file(path); }
+
+/// The single registered-at-exit handler: every env-configured report sink
+/// flushes through here, each via util::atomic_write (inside the write_*
+/// helpers), so a crash mid-exit never leaves a truncated report.
 void write_env_reports() {
-  // This runs during exit, where an escaping exception would terminate —
-  // but silence is worse: a run whose metrics file never appeared should
-  // say why. Report on stderr and carry on.
-  try {
-    if (!env_metrics_path.empty()) write_metrics_file(env_metrics_path);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "expert: failed to write metrics file '%s': %s\n",
-                 env_metrics_path.c_str(), e.what());
-  } catch (...) {
-    std::fprintf(stderr, "expert: failed to write metrics file '%s'\n",
-                 env_metrics_path.c_str());
-  }
-  try {
-    if (!env_trace_path.empty()) write_trace_file(env_trace_path);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "expert: failed to write trace file '%s': %s\n",
-                 env_trace_path.c_str(), e.what());
-  } catch (...) {
-    std::fprintf(stderr, "expert: failed to write trace file '%s'\n",
-                 env_trace_path.c_str());
-  }
+  flush_report("metrics", env_metrics_path, &write_env_metrics);
+  flush_report("trace", env_trace_path, &write_env_trace);
 }
 
 }  // namespace

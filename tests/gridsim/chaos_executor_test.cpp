@@ -290,9 +290,10 @@ TEST(ChaosExecutor, FaultsAreVisibleInObsMetrics) {
 
   const auto snap = reg.snapshot();
   reg.set_enabled(false);
+  // Chaos fault counters are pool-labeled in the v2 schema; sum the
+  // family rather than pinning the label here.
   const auto count_of = [&](const char* name) {
-    const auto* c = snap.counter(name);
-    return c ? c->value : 0u;
+    return snap.counter_total(name);
   };
   EXPECT_GT(count_of("chaos.blackout_windows"), 0u);
   EXPECT_GT(count_of("chaos.forced_down_transitions"), 0u);

@@ -187,6 +187,13 @@ TEST(LintScope, UnorderedContainersAllowedOutsideReplayModules) {
   EXPECT_TRUE(lint_source("src/util/pool.cpp", source).empty());
   EXPECT_FALSE(lint_source("src/core/frontier.cpp", source).empty());
   EXPECT_FALSE(lint_source("src/strategies/parser.cpp", source).empty());
+  // obs promises deterministic snapshot ordering, so its label/series
+  // maps are replay-sensitive too.
+  EXPECT_FALSE(lint_source("src/obs/metrics.cpp", source).empty());
+  EXPECT_FALSE(
+      lint_source("include/expert/obs/metrics.hpp",
+                  "#pragma once\n" + source)
+          .empty());
 }
 
 // ---- suppression semantics ----

@@ -77,8 +77,10 @@ TEST(Instrumentation, OneRunPopulatesAllLayers) {
   EXPECT_GT(snap.counter("sim.engine.events_fired")->value, 0u);
   ASSERT_NE(snap.counter("core.estimator.runs"), nullptr);
   EXPECT_EQ(snap.counter("core.estimator.runs")->value, 2u);
-  ASSERT_NE(snap.counter("gridsim.unreliable.instances_sent"), nullptr);
-  EXPECT_GT(snap.counter("gridsim.unreliable.instances_sent")->value, 0u);
+  const obs::Labels unreliable{{"pool", "unreliable"}};
+  ASSERT_NE(snap.counter("gridsim.instances.sent", unreliable), nullptr);
+  EXPECT_GT(snap.counter("gridsim.instances.sent", unreliable)->value, 0u);
+  EXPECT_GT(snap.counter_total("gridsim.instances.sent"), 0u);
 
   // The spans around estimate() and run() landed in the tracer.
   EXPECT_GT(tracer.event_count(), 0u);

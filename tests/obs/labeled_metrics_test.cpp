@@ -1,0 +1,251 @@
+// Labeled metric series: canonicalization, identity, bounded cardinality,
+// deterministic snapshot ordering, quantile estimates, and exactness under
+// concurrent writers (the obs_test binary carries the `concurrency` label,
+// so these also run under TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "expert/obs/metrics.hpp"
+#include "expert/util/assert.hpp"
+
+namespace expert::obs {
+namespace {
+
+TEST(Labels, CanonicalizesKeyOrder) {
+  const Labels a{{"pool", "reliable"}, {"cloud", "ec2"}};
+  const Labels b{{"cloud", "ec2"}, {"pool", "reliable"}};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.render(), "{cloud=\"ec2\",pool=\"reliable\"}");
+  EXPECT_EQ(Labels{}.render(), "");
+}
+
+TEST(Labels, ValueLookup) {
+  const Labels l{{"pool", "reliable"}};
+  ASSERT_NE(l.value("pool"), nullptr);
+  EXPECT_EQ(*l.value("pool"), "reliable");
+  EXPECT_EQ(l.value("absent"), nullptr);
+}
+
+TEST(Labels, RejectsDuplicateAndEmptyKeys) {
+  EXPECT_THROW((Labels{{"k", "a"}, {"k", "b"}}), util::ContractViolation);
+  EXPECT_THROW((Labels{{"", "v"}}), util::ContractViolation);
+  EXPECT_THROW((Labels{{"k", ""}}), util::ContractViolation);
+}
+
+TEST(LabeledRegistry, LabelSetsAreDistinctSeries) {
+  Registry reg;
+  Counter a = reg.counter("jobs", Labels{{"pool", "reliable"}});
+  Counter b = reg.counter("jobs", Labels{{"pool", "unreliable"}});
+  Counter plain = reg.counter("jobs");
+  a.inc(2);
+  b.inc(3);
+  plain.inc(5);
+
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("jobs", Labels{{"pool", "reliable"}})->value, 2u);
+  EXPECT_EQ(snap.counter("jobs", Labels{{"pool", "unreliable"}})->value, 3u);
+  EXPECT_EQ(snap.counter("jobs")->value, 5u);
+  EXPECT_EQ(snap.counter_total("jobs"), 10u);
+}
+
+TEST(LabeledRegistry, ReregistrationReturnsSameSeries) {
+  Registry reg;
+  reg.counter("c", Labels{{"pool", "r"}}).inc(1);
+  // Same set, different written order — must hit the same storage.
+  reg.counter("c", Labels{{"pool", "r"}}).inc(1);
+  EXPECT_EQ(reg.snapshot().counter("c", Labels{{"pool", "r"}})->value, 2u);
+}
+
+TEST(LabeledRegistry, KindConflictRejectedAcrossLabelSets) {
+  Registry reg;
+  reg.counter("m", Labels{{"pool", "r"}});
+  EXPECT_THROW(reg.gauge("m"), util::ContractViolation);
+  EXPECT_THROW(reg.histogram("m", Labels{{"pool", "u"}}),
+               util::ContractViolation);
+}
+
+TEST(LabeledRegistry, CardinalityCapEnforced) {
+  Registry reg;
+  for (std::size_t i = 0; i < Registry::kMaxSeriesPerName; ++i) {
+    reg.counter("capped", Labels{{"id", std::to_string(i)}});
+  }
+  EXPECT_THROW(reg.counter("capped", Labels{{"id", "overflow"}}),
+               util::ContractViolation);
+  // Re-registering an existing series is still fine at the cap.
+  reg.counter("capped", Labels{{"id", "0"}}).inc();
+}
+
+TEST(LabeledRegistry, LabeledGaugesAndHistograms) {
+  Registry reg;
+  reg.gauge("load", Labels{{"pool", "r"}}).set(0.25);
+  reg.gauge("load", Labels{{"pool", "u"}}).set(0.75);
+  HistogramSpec spec;
+  spec.bounds = {1.0, 10.0};
+  reg.histogram("lat", Labels{{"pool", "r"}}, spec).observe(0.5);
+
+  const auto snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.gauge("load", Labels{{"pool", "r"}})->value, 0.25);
+  EXPECT_DOUBLE_EQ(snap.gauge("load", Labels{{"pool", "u"}})->value, 0.75);
+  ASSERT_NE(snap.histogram("lat", Labels{{"pool", "r"}}), nullptr);
+  EXPECT_EQ(snap.histogram("lat", Labels{{"pool", "r"}})->count, 1u);
+  EXPECT_EQ(snap.histogram("lat"), nullptr);  // unlabeled series not created
+}
+
+// Property: however series are registered (order, interleaving, threads),
+// a snapshot lists them sorted by (name, labels) — byte-identical JSON for
+// the same registered set.
+TEST(LabeledRegistry, SnapshotOrderingIsDeterministic) {
+  const std::vector<std::pair<std::string, Labels>> series = {
+      {"b", Labels{}},
+      {"a", Labels{{"pool", "u"}}},
+      {"a", Labels{}},
+      {"c", Labels{{"pool", "r"}, {"zone", "1"}}},
+      {"a", Labels{{"pool", "r"}}},
+      {"c", Labels{{"pool", "r"}}},
+  };
+
+  const std::vector<std::string> expected = {
+      "a",
+      "a{pool=\"r\"}",
+      "a{pool=\"u\"}",
+      "b",
+      "c{pool=\"r\"}",
+      "c{pool=\"r\",zone=\"1\"}",
+  };
+  for (int perm = 0; perm < 8; ++perm) {
+    Registry reg;
+    auto shuffled = series;
+    // Deterministic distinct registration orders via rotation + reversal.
+    std::rotate(shuffled.begin(), shuffled.begin() + (perm % 6),
+                shuffled.end());
+    if (perm >= 4) std::reverse(shuffled.begin(), shuffled.end());
+    for (const auto& [name, labels] : shuffled) {
+      reg.counter(name, labels).inc();
+    }
+    const auto snap = reg.snapshot();
+    std::vector<std::string> order;
+    for (const auto& c : snap.counters) {
+      order.push_back(c.name + c.labels.render());
+    }
+    EXPECT_EQ(order, expected) << "permutation " << perm;
+  }
+}
+
+TEST(LabeledRegistry, ConcurrentLabeledWritesSumExactly) {
+  Registry reg;
+  const Labels pool_r{{"pool", "r"}};
+  const Labels pool_u{{"pool", "u"}};
+  Counter cr = reg.counter("hits", pool_r);
+  Counter cu = reg.counter("hits", pool_u);
+  HistogramSpec spec;
+  spec.bounds = {1.0, 2.0};
+  Histogram h = reg.histogram("vals", pool_r, spec);
+
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        cr.inc();
+        if (i % 2 == 0) cu.inc(2);
+        h.observe(static_cast<double>(t % 3));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("hits", pool_r)->value, kThreads * kPerThread);
+  EXPECT_EQ(snap.counter("hits", pool_u)->value, kThreads * kPerThread);
+  EXPECT_EQ(snap.counter_total("hits"), 2 * kThreads * kPerThread);
+  const auto* hist = snap.histogram("vals", pool_r);
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, kThreads * kPerThread);
+}
+
+// Registration itself racing against writers must also be safe: threads
+// register-and-increment distinct labeled series concurrently.
+TEST(LabeledRegistry, ConcurrentRegistrationIsSafe) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const Labels mine{{"worker", std::to_string(t)}};
+      for (int i = 0; i < 1000; ++i) {
+        reg.counter("races", mine).inc();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.snapshot().counter_total("races"), kThreads * 1000u);
+}
+
+TEST(HistogramQuantile, InterpolatesWithinBuckets) {
+  Registry reg;
+  HistogramSpec spec;
+  spec.bounds = {10.0, 20.0, 30.0, 40.0};
+  Histogram h = reg.histogram("q", spec);
+  // 100 observations spread uniformly over (0, 40].
+  for (int i = 1; i <= 100; ++i) h.observe(0.4 * i);
+
+  const auto full = reg.snapshot();
+  const auto* snap = full.histogram("q");
+  ASSERT_NE(snap, nullptr);
+  // True percentiles: p50 = 20, p95 = 38, p99 = 39.6; bucket interpolation
+  // lands within one bucket width.
+  EXPECT_NEAR(snap->quantile(0.50), 20.0, 0.5);
+  EXPECT_NEAR(snap->quantile(0.95), 38.0, 1.0);
+  EXPECT_NEAR(snap->quantile(0.99), 39.6, 1.0);
+  // Estimates never leave the observed range.
+  EXPECT_GE(snap->quantile(0.0), snap->min);
+  EXPECT_LE(snap->quantile(1.0), snap->max);
+}
+
+TEST(HistogramQuantile, ClampedToObservedRange) {
+  Registry reg;
+  HistogramSpec spec;
+  spec.bounds = {100.0};
+  Histogram h = reg.histogram("q", spec);
+  h.observe(5.0);
+  h.observe(7.0);
+
+  const auto full = reg.snapshot();
+  const auto* snap = full.histogram("q");
+  // Both land in the first bucket (le=100); interpolation must stay within
+  // [min, max] = [5, 7], not stretch toward the bucket bound.
+  EXPECT_GE(snap->quantile(0.5), 5.0);
+  EXPECT_LE(snap->quantile(0.99), 7.0);
+}
+
+TEST(HistogramQuantile, OverflowBucketUsesMax) {
+  Registry reg;
+  HistogramSpec spec;
+  spec.bounds = {1.0};
+  Histogram h = reg.histogram("q", spec);
+  h.observe(50.0);
+  h.observe(60.0);
+
+  const auto full = reg.snapshot();
+  const auto* snap = full.histogram("q");
+  EXPECT_GE(snap->quantile(0.99), 50.0);
+  EXPECT_LE(snap->quantile(0.99), 60.0);
+}
+
+TEST(HistogramQuantile, EmptyHistogramReturnsZero) {
+  Registry reg;
+  reg.histogram("q");
+  const auto full = reg.snapshot();
+  EXPECT_DOUBLE_EQ(full.histogram("q")->quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace expert::obs

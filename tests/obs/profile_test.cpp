@@ -1,0 +1,140 @@
+// PhaseProfiler: self-time attribution across nested phases, thread
+// aggregation, disabled-cost semantics, publish() into a registry, and the
+// breakdown table shape.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "expert/obs/metrics.hpp"
+#include "expert/obs/profile.hpp"
+
+namespace expert::obs {
+namespace {
+
+void spin_for(PhaseProfiler& profiler, std::uint64_t ns) {
+  const std::uint64_t start = profiler.now_ns();
+  while (profiler.now_ns() - start < ns) {
+  }
+}
+
+PhaseStats stats_for(const std::array<PhaseStats, kPhaseCount>& stats,
+                     Phase phase) {
+  return stats[static_cast<std::size_t>(phase)];
+}
+
+TEST(PhaseProfiler, DisabledScopesRecordNothing) {
+  PhaseProfiler profiler;
+  { PhaseScope s(Phase::Aggregation, profiler); }
+  for (const PhaseStats& s : profiler.snapshot()) {
+    EXPECT_EQ(s.entries, 0u);
+    EXPECT_EQ(s.self_ns, 0u);
+  }
+}
+
+TEST(PhaseProfiler, RecordsEntriesAndTime) {
+  PhaseProfiler profiler;
+  profiler.set_enabled(true);
+  for (int i = 0; i < 3; ++i) {
+    PhaseScope s(Phase::ReplicationLoop, profiler);
+    spin_for(profiler, 200'000);
+  }
+  const auto stats = profiler.snapshot();
+  const auto loop = stats_for(stats, Phase::ReplicationLoop);
+  EXPECT_EQ(loop.entries, 3u);
+  EXPECT_GE(loop.self_ns, 3u * 200'000);
+  EXPECT_EQ(stats_for(stats, Phase::Aggregation).entries, 0u);
+}
+
+TEST(PhaseProfiler, NestedScopesAttributeSelfTime) {
+  PhaseProfiler profiler;
+  profiler.set_enabled(true);
+  {
+    PhaseScope outer(Phase::ReplicationLoop, profiler);
+    spin_for(profiler, 1'000'000);
+    {
+      PhaseScope inner(Phase::TaskTimeDraw, profiler);
+      spin_for(profiler, 4'000'000);
+    }
+    spin_for(profiler, 1'000'000);
+  }
+  const auto stats = profiler.snapshot();
+  const auto outer = stats_for(stats, Phase::ReplicationLoop);
+  const auto inner = stats_for(stats, Phase::TaskTimeDraw);
+  // The inner 4ms must be charged to TaskTimeDraw, NOT to the enclosing
+  // loop: self times are disjoint.
+  EXPECT_GE(inner.self_ns, 4'000'000u);
+  EXPECT_GE(outer.self_ns, 2'000'000u);
+  EXPECT_LT(outer.self_ns, 4'000'000u);
+}
+
+TEST(PhaseProfiler, AggregatesAcrossThreads) {
+  PhaseProfiler profiler;
+  profiler.set_enabled(true);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10; ++i) {
+        PhaseScope s(Phase::CacheLookup, profiler);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(stats_for(profiler.snapshot(), Phase::CacheLookup).entries, 40u);
+}
+
+TEST(PhaseProfiler, ResetZeroesCounts) {
+  PhaseProfiler profiler;
+  profiler.set_enabled(true);
+  { PhaseScope s(Phase::Aggregation, profiler); }
+  profiler.reset();
+  EXPECT_EQ(stats_for(profiler.snapshot(), Phase::Aggregation).entries, 0u);
+}
+
+TEST(PhaseProfiler, PublishesLabeledGauges) {
+  PhaseProfiler profiler;
+  profiler.set_enabled(true);
+  {
+    PhaseScope s(Phase::Aggregation, profiler);
+    spin_for(profiler, 100'000);
+  }
+  Registry reg;
+  profiler.publish(reg);
+  const auto snap = reg.snapshot();
+  const Labels agg{{"phase", "aggregation"}};
+  ASSERT_NE(snap.gauge("obs.phase.entries", agg), nullptr);
+  EXPECT_DOUBLE_EQ(snap.gauge("obs.phase.entries", agg)->value, 1.0);
+  EXPECT_GT(snap.gauge("obs.phase.self_seconds", agg)->value, 0.0);
+  // Every phase is published, even idle ones.
+  EXPECT_NE(snap.gauge("obs.phase.entries", Labels{{"phase", "cache_lookup"}}),
+            nullptr);
+}
+
+TEST(PhaseProfiler, TableListsEveryPhaseAndTotal) {
+  PhaseProfiler profiler;
+  profiler.set_enabled(true);
+  { PhaseScope s(Phase::TaskTimeDraw, profiler); }
+  std::ostringstream os;
+  profiler.write_table(os);
+  const std::string table = os.str();
+  EXPECT_NE(table.find("task_time_draw"), std::string::npos);
+  EXPECT_NE(table.find("replication_loop"), std::string::npos);
+  EXPECT_NE(table.find("aggregation"), std::string::npos);
+  EXPECT_NE(table.find("cache_lookup"), std::string::npos);
+  EXPECT_NE(table.find("total"), std::string::npos);
+}
+
+TEST(PhaseProfiler, MacroCompilesAndRecordsOnGlobal) {
+  PhaseProfiler& profiler = PhaseProfiler::global();
+  profiler.reset();
+  profiler.set_enabled(true);
+  { EXPERT_PHASE(Aggregation); }
+  profiler.set_enabled(false);
+  EXPECT_EQ(stats_for(profiler.snapshot(), Phase::Aggregation).entries, 1u);
+  profiler.reset();
+}
+
+}  // namespace
+}  // namespace expert::obs

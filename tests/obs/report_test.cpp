@@ -28,8 +28,8 @@ TEST(Report, SnapshotJsonIsWellFormed) {
   const std::string json = reg.snapshot().to_json();
   std::string error;
   EXPECT_TRUE(testing::JsonLint::valid(json, &error)) << error << "\n" << json;
-  EXPECT_NE(json.find("\"schema\":\"expert.metrics.v1\""), std::string::npos);
-  EXPECT_NE(json.find("\"runs\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"expert.metrics.v2\""), std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"runs\",\"value\":3}"), std::string::npos);
 }
 
 TEST(Report, EmptyRegistryJsonIsWellFormed) {
@@ -37,9 +37,9 @@ TEST(Report, EmptyRegistryJsonIsWellFormed) {
   const std::string json = reg.snapshot().to_json();
   std::string error;
   EXPECT_TRUE(testing::JsonLint::valid(json, &error)) << error;
-  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
-  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
-  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\":["), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":["), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":["), std::string::npos);
 }
 
 TEST(Report, NonFiniteValuesSerializedAsStrings) {
@@ -49,8 +49,41 @@ TEST(Report, NonFiniteValuesSerializedAsStrings) {
   const std::string json = reg.snapshot().to_json();
   std::string error;
   EXPECT_TRUE(testing::JsonLint::valid(json, &error)) << error;
-  EXPECT_NE(json.find("\"inf\":\"+Inf\""), std::string::npos);
-  EXPECT_NE(json.find("\"ninf\":\"-Inf\""), std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"inf\",\"value\":\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"ninf\",\"value\":\"-Inf\"}"),
+            std::string::npos);
+}
+
+TEST(Report, LabeledSeriesCarryLabelsObject) {
+  Registry reg;
+  // Registered in non-sorted label order on purpose: the rendered JSON must
+  // still be canonical (keys sorted inside the labels object).
+  reg.counter("jobs", Labels{{"pool", "reliable"}, {"cloud", "ec2"}}).inc(7);
+  reg.counter("jobs").inc(1);
+  const std::string json = reg.snapshot().to_json();
+  std::string error;
+  EXPECT_TRUE(testing::JsonLint::valid(json, &error)) << error << "\n" << json;
+  EXPECT_NE(
+      json.find("{\"name\":\"jobs\",\"labels\":{\"cloud\":\"ec2\","
+                "\"pool\":\"reliable\"},\"value\":7}"),
+      std::string::npos);
+  // The unlabeled series has no labels key at all.
+  EXPECT_NE(json.find("{\"name\":\"jobs\",\"value\":1}"), std::string::npos);
+}
+
+TEST(Report, HistogramJsonIncludesQuantiles) {
+  Registry reg;
+  HistogramSpec spec;
+  spec.bounds = {1.0, 2.0, 4.0};
+  auto h = reg.histogram("q", spec);
+  for (int i = 0; i < 100; ++i) h.observe(0.5);
+  const std::string json = reg.snapshot().to_json();
+  std::string error;
+  EXPECT_TRUE(testing::JsonLint::valid(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"p50\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":0.5"), std::string::npos);
 }
 
 TEST(Report, EmptyHistogramHasNullMinMax) {
@@ -85,7 +118,8 @@ TEST(Report, WriteMetricsFileRoundTrips) {
   const std::string json = slurp(path);
   std::string error;
   EXPECT_TRUE(testing::JsonLint::valid(json, &error)) << error;
-  EXPECT_NE(json.find("\"written\":9"), std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"written\",\"value\":9}"),
+            std::string::npos);
 }
 
 TEST(Report, WriteTraceFileRoundTrips) {

@@ -15,6 +15,12 @@
 //       [--pool L] [--gamma G] [--tur S] [--reps R]
 //     Estimate makespan/cost of a strategy on a synthetic pool model.
 //
+//   expert_cli profile [--tasks N] [--pool L] [--gamma G] [--tur S]
+//       [--reps R]
+//     Run a synthetic frontier sweep with the phase profiler armed and
+//     print the per-phase wall-time table (task-time draws, replication
+//     loop, aggregation, cache lookups).
+//
 //   expert_cli execute [--experiment K] [--reps R] [--mode online|offline]
 //       [--chaos PLAN] [--bots K] [--utility U] [--journal FILE] [--resume]
 //       [--drift] [--backend-timeout S]
@@ -31,7 +37,8 @@
 //     invocation.
 //
 // Every command accepts --metrics-out=FILE and --trace-out=FILE to dump
-// the run's metrics snapshot (JSON) and Chrome-trace spans.
+// the run's metrics snapshot (JSON) and Chrome-trace spans, and --profile
+// to print the phase-profiler table after the command finishes.
 
 #include <algorithm>
 #include <fstream>
@@ -43,6 +50,7 @@
 #include "expert/chaos/chaos.hpp"
 #include "expert/core/campaign.hpp"
 #include "expert/core/expert.hpp"
+#include "expert/core/frontier.hpp"
 #include "expert/core/frontier_io.hpp"
 #include "expert/core/report.hpp"
 #include "expert/core/sensitivity.hpp"
@@ -51,6 +59,7 @@
 #include "expert/resilience/watchdog.hpp"
 #include "expert/gridsim/scenarios.hpp"
 #include "expert/eval/service.hpp"
+#include "expert/obs/profile.hpp"
 #include "expert/obs/report.hpp"
 #include "expert/strategies/parser.hpp"
 #include "expert/trace/csv_io.hpp"
@@ -66,8 +75,8 @@ using namespace expert;
 int usage() {
   std::cerr <<
       "usage: expert_cli "
-      "<characterize|frontier|recommend|simulate|execute|sensitivity|report> "
-      "[options]\n"
+      "<characterize|frontier|recommend|simulate|execute|sensitivity|report"
+      "|profile> [options]\n"
       "  characterize --trace FILE [--mode online|offline] [--deadline S]\n"
       "  frontier     --trace FILE --tasks N [--reps R] [--csv]\n"
       "               [--out FILE] (persist frontier points as CSV)\n"
@@ -83,10 +92,14 @@ int usage() {
       "               [--resume] (continue a killed campaign from --journal)\n"
       "               [--drift] (online gamma/turnaround drift detection)\n"
       "               [--backend-timeout S] (wall-clock watchdog per BoT)\n"
+      "  profile      [--tasks N] [--pool L] [--gamma G] [--tur S] [--reps R]\n"
+      "               (frontier sweep with the phase profiler armed; prints\n"
+      "               per-phase wall time)\n"
       "global: --metrics-out FILE (metrics JSON), --trace-out FILE\n"
       "        (Chrome trace JSON for chrome://tracing / Perfetto)\n"
       "        --eval-cache N (strategy-evaluation cache capacity in\n"
-      "        entries; 0 disables caching)\n";
+      "        entries; 0 disables caching)\n"
+      "        --profile (print the phase-profiler table after the command)\n";
   return 2;
 }
 
@@ -261,6 +274,44 @@ int cmd_simulate(const util::Args& args) {
   table.add_row({"used Mr", util::fmt(est.mean.used_mr, 3),
                  util::fmt(est.stddev.used_mr, 3)});
   table.print(std::cout);
+  return 0;
+}
+
+/// Canned workload for the phase profiler: a full paper-style frontier
+/// sweep over a synthetic pool model, routed through the shared eval
+/// service so every estimator hot phase — cache lookups, task-time draws,
+/// the replication loop and aggregation — shows up in the table.
+int cmd_profile(const util::Args& args) {
+  EXPERT_SPAN("cli.profile");
+  const double tur = args.number_or("tur", 2066.0);
+  const auto tasks = static_cast<std::size_t>(args.number_or("tasks", 150.0));
+  EXPERT_REQUIRE(tasks > 0, "--tasks must be positive");
+  const auto pool = static_cast<std::size_t>(args.number_or("pool", 50.0));
+  const double gamma = args.number_or("gamma", 0.85);
+
+  core::UserParams params;
+  params.tur = tur;
+  params.tr = tur;
+  auto cfg = core::EstimatorConfig::from_user_params(params, pool);
+  cfg.repetitions = static_cast<std::size_t>(args.number_or("reps", 5.0));
+  core::Estimator estimator(
+      cfg, core::make_synthetic_model(tur, 0.15 * tur, 3.0 * tur, gamma));
+
+  obs::PhaseProfiler& profiler = obs::PhaseProfiler::global();
+  profiler.set_enabled(true);
+  profiler.reset();
+
+  core::SamplingSpec spec;
+  spec.max_deadline = params.throughput_deadline();
+  core::FrontierOptions fopts;
+  fopts.consumer = "profile";
+  const auto result = core::generate_frontier(estimator, tasks, spec, fopts);
+
+  std::cout << "profiled " << result.sampled.size()
+            << " strategy evaluations (" << cfg.repetitions
+            << " repetitions each, " << tasks << " tasks, pool " << pool
+            << ")\n";
+  profiler.write_table(std::cout);
   return 0;
 }
 
@@ -550,7 +601,7 @@ int main(int argc, char** argv) {
        "pool", "gamma", "tur", "experiment", "seed", "chaos", "bots",
        "eval-cache", "metrics-out", "trace-out", "journal",
        "backend-timeout", "out"},
-      {"csv", "resume", "drift"});
+      {"csv", "resume", "drift", "profile"});
   try {
     if (!args.unknown_options().empty()) {
       std::cerr << "unknown option --" << args.unknown_options().front()
@@ -562,8 +613,10 @@ int main(int argc, char** argv) {
 
     const auto metrics_out = args.option("metrics-out");
     const auto trace_out = args.option("trace-out");
+    const bool profile = args.has_flag("profile");
     if (metrics_out) obs::Registry::global().set_enabled(true);
     if (trace_out) obs::Tracer::global().set_enabled(true);
+    if (profile) obs::PhaseProfiler::global().set_enabled(true);
     if (args.option("eval-cache")) {
       eval::EvalService::global().cache().set_capacity(
           static_cast<std::size_t>(args.number_or("eval-cache", 0.0)));
@@ -577,9 +630,23 @@ int main(int argc, char** argv) {
     else if (*command == "sensitivity") rc = cmd_sensitivity(args);
     else if (*command == "simulate") rc = cmd_simulate(args);
     else if (*command == "execute") rc = cmd_execute(args);
+    else if (*command == "profile") rc = cmd_profile(args);
     else return usage();
 
-    if (metrics_out) obs::write_metrics_file(*metrics_out);
+    // `profile` prints its own table; the global flag appends one to any
+    // other command's output.
+    if (profile && *command != "profile") {
+      std::cout << "\nphase profile:\n";
+      obs::PhaseProfiler::global().write_table(std::cout);
+    }
+    if (metrics_out) {
+      // Surface phase attribution in the metrics JSON whenever the
+      // profiler was armed this run (via `profile` or --profile).
+      if (obs::PhaseProfiler::global().enabled()) {
+        obs::PhaseProfiler::global().publish(obs::Registry::global());
+      }
+      obs::write_metrics_file(*metrics_out);
+    }
     if (trace_out) obs::write_trace_file(*trace_out);
     return rc;
   } catch (const std::exception& e) {

@@ -55,7 +55,7 @@ struct Scope {
   bool library = false;       ///< under an include/ or src/ segment
   bool obs = false;           ///< obs module (clock access allowed)
   bool util = false;          ///< util module (atomic_write lives here)
-  bool ordered_only = false;  ///< sim/core/gridsim/strategies/eval module
+  bool ordered_only = false;  ///< sim/core/gridsim/strategies/eval/obs
   bool header = false;        ///< .hpp file
 };
 
@@ -83,8 +83,10 @@ Scope classify(std::string_view path) {
     const std::string_view seg = segments[i];
     if (seg == "obs") scope.obs = true;
     if (seg == "util") scope.util = true;
+    // obs is ordered-only too: metric snapshots promise deterministic
+    // series ordering, so its label/series maps must iterate stably.
     if (seg == "sim" || seg == "core" || seg == "gridsim" ||
-        seg == "strategies" || seg == "eval") {
+        seg == "strategies" || seg == "eval" || seg == "obs") {
       scope.ordered_only = true;
     }
   }
@@ -271,9 +273,9 @@ std::vector<Finding> lint_source(std::string_view path,
       if (scope.ordered_only && kUnorderedContainers.count(id) > 0) {
         report("ITER001", tok.line,
                "std::" + id +
-                   " is banned in sim/core/gridsim/strategies: iteration "
-                   "order is unspecified and leaks into results; use the "
-                   "ordered counterpart");
+                   " is banned in sim/core/gridsim/strategies/eval/obs: "
+                   "iteration order is unspecified and leaks into results "
+                   "and metric snapshots; use the ordered counterpart");
       }
 
       // IO001: direct ofstream writes outside util/. util::atomic_write is
