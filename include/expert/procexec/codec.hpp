@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "expert/strategies/static_strategies.hpp"
+#include "expert/trace/trace.hpp"
+#include "expert/workload/bot.hpp"
+
+namespace expert::procexec {
+
+/// Payload codec for Request/Response frames. Text-based, built on the
+/// same resilience::serial primitives as the campaign journal, so a trace
+/// that crosses the process boundary re-serializes into the journal
+/// byte-for-byte identically to one produced in-process — the property
+/// the differential backend test asserts.
+struct Request {
+  workload::Bot bot;
+  strategies::StrategyConfig strategy;
+  std::uint64_t stream = 0;
+};
+
+std::string encode_request(const workload::Bot& bot,
+                           const strategies::StrategyConfig& strategy,
+                           std::uint64_t stream);
+/// Throws util::ContractViolation on a malformed payload.
+Request decode_request(const std::string& payload);
+
+std::string encode_response(const trace::ExecutionTrace& trace);
+/// Throws util::ContractViolation on a malformed payload.
+trace::ExecutionTrace decode_response(const std::string& payload);
+
+}  // namespace expert::procexec

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "expert/procexec/worker.hpp"
+
+namespace expert::procexec {
+
+/// How a worker attempt ended when it did not produce a Response frame.
+/// Maps onto the campaign's existing backend-failure path: every kind is
+/// thrown as WorkerFailure (a std::runtime_error), which Campaign::run_bot
+/// catches, retries on a fresh stream, and quarantines past the retry cap.
+enum class FailureKind : std::uint8_t {
+  CleanExit,         ///< worker exited 0 mid-request (EOF before Response)
+  NonzeroExit,       ///< worker exited with a nonzero status
+  KilledBySignal,    ///< worker died to a signal (chaos SIGKILL lands here)
+  HeartbeatTimeout,  ///< no frame within heartbeat_timeout_s; worker killed
+  DeadlineExceeded,  ///< request ran past bot_deadline_s; worker killed
+  CorruptFrame,      ///< undecodable bytes on the channel; worker killed
+  HandlerError,      ///< worker sent an Error frame (its handler threw)
+  SpawnFailure,      ///< could not fork/exec a worker for the slot
+};
+
+const char* to_string(FailureKind kind) noexcept;
+
+/// Thrown by ProcessPool::run for every non-Response outcome.
+class WorkerFailure : public std::runtime_error {
+ public:
+  WorkerFailure(FailureKind kind, int detail, const std::string& what)
+      : std::runtime_error(what), kind_(kind), detail_(detail) {}
+
+  FailureKind kind() const noexcept { return kind_; }
+  /// Exit status for NonzeroExit, signal number for KilledBySignal,
+  /// otherwise 0.
+  int detail() const noexcept { return detail_; }
+
+ private:
+  FailureKind kind_;
+  int detail_;
+};
+
+struct SupervisorOptions {
+  /// Worker slots. Each slot owns at most one live worker process.
+  int workers = 1;
+  /// Program to exec for each worker — normally the running binary itself
+  /// (self-exec), so parent and worker share one build of the simulator.
+  std::string worker_program;
+  /// argv tail after the program name, e.g. {"worker", "--experiment=11"}.
+  /// The channel is not an argument: it is always kWorkerChannelFd.
+  std::vector<std::string> worker_args;
+  /// Kill a worker that produces no frame for this long mid-request.
+  double heartbeat_timeout_s = 5.0;
+  /// Wall-clock cap per request; 0 disables. On expiry the worker is
+  /// SIGKILLed and the attempt fails as DeadlineExceeded.
+  double bot_deadline_s = 0.0;
+  /// On shutdown, how long to wait for a worker to exit after its channel
+  /// closes before escalating to SIGKILL.
+  double shutdown_grace_s = 2.0;
+};
+
+/// Supervises a pool of worker processes speaking the wire protocol.
+/// Workers are spawned lazily per slot, restarted after any failure, and
+/// every spawned pid is reaped exactly once (stats().spawned ==
+/// stats().reaped after destruction) — the no-orphans invariant the kill
+/// matrix asserts. Thread-safe: concurrent run() calls occupy distinct
+/// slots and block when all slots are busy.
+class ProcessPool {
+ public:
+  explicit ProcessPool(SupervisorOptions options);
+  ~ProcessPool();
+  ProcessPool(const ProcessPool&) = delete;
+  ProcessPool& operator=(const ProcessPool&) = delete;
+
+  /// Evaluate one (bot, strategy, stream) in a worker process. Returns the
+  /// worker's trace, or throws WorkerFailure describing how the attempt
+  /// died. The slot is restarted afterwards, so a failure never poisons
+  /// later calls.
+  trace::ExecutionTrace run(const workload::Bot& bot,
+                            const strategies::StrategyConfig& strategy,
+                            std::uint64_t stream);
+
+  /// Adapter with the core::Campaign::Backend signature, bound to this
+  /// pool. The pool must outlive the campaign using it.
+  WorkerHandler backend();
+
+  /// SIGKILL every worker currently evaluating a request. Wired into
+  /// resilience::WatchdogOptions::on_timeout so a BackendTimeout actually
+  /// terminates the runaway process instead of stranding it behind an
+  /// abandoned thread.
+  void kill_inflight();
+
+  struct Stats {
+    std::uint64_t spawned = 0;   ///< workers forked over the pool's lifetime
+    std::uint64_t reaped = 0;    ///< pids collected via waitpid
+    std::uint64_t restarts = 0;  ///< respawns after a failure
+  };
+  Stats stats() const;
+
+  /// Pids of currently live workers (for tests asserting liveness/death).
+  std::vector<int> worker_pids() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace expert::procexec

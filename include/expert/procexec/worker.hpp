@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "expert/strategies/static_strategies.hpp"
+#include "expert/trace/trace.hpp"
+#include "expert/workload/bot.hpp"
+
+namespace expert::procexec {
+
+/// The fd the supervisor dup2's the worker's end of the channel onto
+/// before exec. Chosen above stderr so the worker keeps its stdio.
+inline constexpr int kWorkerChannelFd = 3;
+
+/// Evaluates one (bot, strategy, stream) request inside the worker. Same
+/// shape as core::Campaign::Backend; a thrown exception becomes an Error
+/// frame back to the supervisor, which retries the BoT on a fresh stream.
+using WorkerHandler = std::function<trace::ExecutionTrace(
+    const workload::Bot& bot, const strategies::StrategyConfig& strategy,
+    std::uint64_t stream)>;
+
+struct WorkerOptions {
+  /// Seconds between Heartbeat frames while a request is being evaluated.
+  /// Must be well under the supervisor's heartbeat_timeout_s.
+  double heartbeat_interval_s = 0.1;
+};
+
+/// Protocol loop of a worker process: read Request frames from
+/// `channel_fd`, answer each with Heartbeat frames while `handler` runs
+/// and exactly one Response (or Error, if the handler threw) frame.
+///
+/// Returns the process exit code: 0 on clean shutdown (EOF from the
+/// supervisor, i.e. the parent closed its end), nonzero when the channel
+/// itself fails (corrupt frame, write error). Call it from main() and
+/// return its result.
+int worker_main(const WorkerHandler& handler, const WorkerOptions& options = {},
+                int channel_fd = kWorkerChannelFd);
+
+}  // namespace expert::procexec

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -21,6 +22,15 @@ struct WatchdogOptions {
   /// <= 0 disables the watchdog (with_watchdog returns the inner backend
   /// unchanged).
   double timeout_s = 0.0;
+
+  /// Invoked (once per timed-out call, after the call is marked abandoned
+  /// but before BackendTimeout is thrown) to cancel whatever the inner
+  /// backend is blocked on. The process backend wires this to
+  /// procexec::ProcessPool::kill_inflight, so a timeout SIGKILLs the
+  /// worker process: the abandoned thread then unblocks on the worker's
+  /// EOF and the child is reaped instead of outliving the timeout.
+  /// Must not throw. May be null (thread-abandonment only).
+  std::function<void()> on_timeout;
 };
 
 /// Wrap a Campaign::Backend with a wall-clock watchdog: the inner backend
@@ -29,13 +39,16 @@ struct WatchdogOptions {
 /// converting a *hung* backend into a *failed* attempt that the campaign's
 /// retry/quarantine path already handles.
 ///
-/// An abandoned worker keeps running detached until its blocking call
-/// returns, then discards its result — the watchdog cannot cancel foreign
-/// blocking code, only stop waiting for it. Deliberately wall-clock and
-/// thread-based: this is for real backends (remote schedulers). The
-/// gridsim backend stays single-threaded and deterministic — its hang
-/// protection is the simulation horizon (ExecutorConfig::max_sim_time),
-/// which bounds a run in *simulated* time without any real clock.
+/// Without on_timeout, an abandoned worker keeps running detached until
+/// its blocking call returns, then discards its result — the watchdog
+/// cannot cancel foreign blocking code, only stop waiting for it. With
+/// on_timeout (the process backend), the blocking call itself is cut
+/// short by killing the worker process. Deliberately wall-clock and
+/// thread-based: this is for real backends (worker processes, remote
+/// schedulers). The gridsim backend stays single-threaded and
+/// deterministic — its hang protection is the simulation horizon
+/// (ExecutorConfig::max_sim_time), which bounds a run in *simulated* time
+/// without any real clock.
 core::Campaign::Backend with_watchdog(core::Campaign::Backend inner,
                                       WatchdogOptions options);
 

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cerrno>
+
+namespace expert::util {
+
+/// Retry a POSIX-style call (returns < 0 with errno on failure) while it
+/// keeps failing with EINTR, returning the first non-EINTR result.
+///
+/// Exists because the process-execution backend makes signal interruption
+/// a normal event in this codebase: a dying worker delivers SIGCHLD to the
+/// campaign process, and any journal append or atomic write in flight at
+/// that moment may return EINTR instead of completing. Durability code
+/// must treat that as "go again", never as a failed write — a campaign
+/// that aborts its journal because a *worker* died defeats the entire
+/// resilience design.
+///
+/// Use for open/read/write/fsync/poll/waitpid and friends. Deliberately
+/// NOT for close: on Linux the descriptor is released even when close
+/// fails with EINTR, so retrying can close a descriptor an unrelated
+/// thread just received.
+template <typename Fn>
+auto retry_eintr(Fn&& fn) -> decltype(fn()) {
+  for (;;) {
+    const auto result = fn();
+    if (result >= 0 || errno != EINTR) return result;
+  }
+}
+
+}  // namespace expert::util

@@ -9,6 +9,12 @@
 # differ (the resumed process never re-evaluates the journaled BoTs), so it
 # is filtered out of the comparison on both sides.
 #
+# A second leg repeats the exercise with --backend process: the campaign
+# itself is SIGKILLed (--kill-after-bots) while a pool of worker processes
+# is live, the resumed run must still be byte-identical to the *gridsim*
+# reference (the process backend's differential guarantee), and no worker
+# may outlive its killed parent.
+#
 # Usage: scripts/crash_resume_test.sh path/to/expert_cli
 
 set -u
@@ -66,4 +72,60 @@ for k in 1 2 "$((BOTS - 1))"; do
   echo "   resumed run byte-identical to reference"
 done
 
-echo "PASS: crash/resume determinism holds for k in {1, 2, $((BOTS - 1))}"
+# ---- process-backend leg ----
+# Chaos kill_at cannot kill the campaign here: it SIGKILLs the *worker*,
+# which the supervisor absorbs as a retry. --kill-after-bots raises SIGKILL
+# in the campaign process itself after k BoTs completed and were journaled.
+CLI_REAL="$(readlink -f "$CLI")"
+PARGS=("${ARGS[@]}" --backend process --workers 2)
+
+orphan_workers() { pgrep -f "$CLI_REAL worker" || true; }
+
+for k in 1 2 "$((BOTS - 1))"; do
+  journal="$workdir/proc$k.journal"
+  echo "== process backend: SIGKILL campaign after $k journaled BoTs"
+  "$CLI" "${PARGS[@]}" --journal "$journal" --kill-after-bots "$k" \
+      > "$workdir/prockill$k.out" 2> "$workdir/prockill$k.err"
+  status=$?
+  if [ "$status" -ne 137 ]; then
+    echo "FAIL: expected SIGKILL exit status 137 for process k=$k, got $status" >&2
+    cat "$workdir/prockill$k.err" >&2
+    exit 1
+  fi
+
+  # Workers see EOF on their channel when the parent dies and must exit on
+  # their own; give them a moment, then require zero survivors.
+  for _ in 1 2 3 4 5 6 7 8 9 10; do
+    [ -z "$(orphan_workers)" ] && break
+    sleep 0.2
+  done
+  if [ -n "$(orphan_workers)" ]; then
+    echo "FAIL: worker processes outlived the SIGKILLed campaign (k=$k):" >&2
+    orphan_workers >&2
+    exit 1
+  fi
+
+  if ! "$CLI" "${PARGS[@]}" --journal "$journal" --resume \
+      > "$workdir/procresume$k.out" 2> "$workdir/procresume$k.err"; then
+    echo "FAIL: process-backend resume exited non-zero for k=$k" >&2
+    cat "$workdir/procresume$k.err" >&2
+    exit 1
+  fi
+
+  if ! grep -q "resumed $k BoTs" "$workdir/procresume$k.err"; then
+    echo "FAIL: process-backend resume for k=$k did not report $k restored BoTs" >&2
+    cat "$workdir/procresume$k.err" >&2
+    exit 1
+  fi
+
+  # Strongest form: the resumed process-backend stdout must equal the
+  # uninterrupted *in-process* reference byte for byte.
+  if ! diff -u <(filtered "$workdir/ref.out") \
+              <(filtered "$workdir/procresume$k.out"); then
+    echo "FAIL: process-backend resumed stdout differs from reference (k=$k)" >&2
+    exit 1
+  fi
+  echo "   process-backend resume byte-identical to gridsim reference, no orphans"
+done
+
+echo "PASS: crash/resume determinism holds for k in {1, 2, $((BOTS - 1))} on both backends"

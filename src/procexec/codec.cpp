@@ -1,0 +1,83 @@
+#include "expert/procexec/codec.hpp"
+
+#include <sstream>
+
+#include "expert/resilience/serial.hpp"
+#include "expert/util/assert.hpp"
+
+namespace expert::procexec {
+
+namespace ser = resilience::serial;
+
+// Request payload:
+//   req v1 stream=<u64> strategy=<serial strategy> bot=<escaped name>
+//   tasks=<id:cpu_hexfloat>[;...]
+// Response payload:
+//   trace <serial trace>
+// Field order is fixed; the decoder rejects anything it does not expect —
+// wire payloads come from a process we forked ourselves, so leniency only
+// hides corruption.
+
+std::string encode_request(const workload::Bot& bot,
+                           const strategies::StrategyConfig& strategy,
+                           std::uint64_t stream) {
+  std::ostringstream os;
+  os << "req v1 stream=" << ser::fmt_u64(stream)
+     << " strategy=" << ser::serialize_strategy(strategy)
+     << " bot=" << ser::escape(bot.name()) << " tasks=";
+  bool first = true;
+  for (const auto& task : bot.tasks()) {
+    if (!first) os << ';';
+    first = false;
+    os << ser::fmt_u64(task.id) << ':' << ser::fmt_double(task.cpu_seconds);
+  }
+  return os.str();
+}
+
+Request decode_request(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string magic, version, stream_kv, strategy_kv, bot_kv, tasks_kv;
+  in >> magic >> version >> stream_kv >> strategy_kv >> bot_kv >> tasks_kv;
+  EXPERT_REQUIRE(magic == "req" && version == "v1",
+                 "procexec: not a v1 request payload");
+  EXPERT_REQUIRE(stream_kv.rfind("stream=", 0) == 0 &&
+                     strategy_kv.rfind("strategy=", 0) == 0 &&
+                     bot_kv.rfind("bot=", 0) == 0 &&
+                     tasks_kv.rfind("tasks=", 0) == 0,
+                 "procexec: malformed request fields");
+  std::string trailing;
+  EXPERT_REQUIRE(!(in >> trailing),
+                 "procexec: trailing data after request fields");
+
+  Request request;
+  request.stream = ser::parse_u64(stream_kv.substr(7));
+  request.strategy = ser::parse_strategy(strategy_kv.substr(9));
+  const std::string name = ser::unescape(bot_kv.substr(4));
+
+  std::vector<workload::Task> tasks;
+  const std::string task_list = tasks_kv.substr(6);
+  if (!task_list.empty()) {
+    for (const std::string& chunk : ser::split(task_list, ';')) {
+      const auto fields = ser::split(chunk, ':');
+      EXPERT_REQUIRE(fields.size() == 2, "procexec: malformed task entry");
+      workload::Task task;
+      task.id = static_cast<workload::TaskId>(ser::parse_u64(fields[0]));
+      task.cpu_seconds = ser::parse_double(fields[1]);
+      tasks.push_back(task);
+    }
+  }
+  request.bot = workload::Bot(name, std::move(tasks));
+  return request;
+}
+
+std::string encode_response(const trace::ExecutionTrace& trace) {
+  return "trace " + ser::serialize_trace(trace);
+}
+
+trace::ExecutionTrace decode_response(const std::string& payload) {
+  EXPERT_REQUIRE(payload.rfind("trace ", 0) == 0,
+                 "procexec: not a trace response payload");
+  return ser::parse_trace(payload.substr(6));
+}
+
+}  // namespace expert::procexec

@@ -1,0 +1,134 @@
+#include "expert/procexec/wire.hpp"
+
+#include <algorithm>
+
+#include "expert/util/hash.hpp"
+
+namespace expert::procexec {
+
+namespace {
+
+constexpr char kMagic[4] = {'X', 'P', 'F', '1'};
+/// Domain separator for the frame checksum.
+constexpr std::uint64_t kFrameSalt = 0xF4A3EC0DEULL;
+
+bool known_type(std::uint8_t value) {
+  return value >= static_cast<std::uint8_t>(FrameType::Request) &&
+         value <= static_cast<std::uint8_t>(FrameType::Error);
+}
+
+std::uint64_t frame_checksum(FrameType type, std::string_view payload) {
+  return util::HashState(kFrameSalt)
+      .mix(static_cast<std::uint64_t>(type))
+      .mix(payload)
+      .digest();
+}
+
+void put_u32(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint32_t get_u32(std::string_view in, std::size_t at) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(in[at + static_cast<std::size_t>(i)]))
+             << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t get_u64(std::string_view in, std::size_t at) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(in[at + static_cast<std::size_t>(i)]))
+             << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+const char* to_string(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::Request: return "request";
+    case FrameType::Response: return "response";
+    case FrameType::Heartbeat: return "heartbeat";
+    case FrameType::Error: return "error";
+  }
+  return "?";
+}
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  out.append(kMagic, sizeof kMagic);
+  out.push_back(static_cast<char>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u64(out, frame_checksum(type, payload));
+  out.append(payload);
+  return out;
+}
+
+DecodeResult decode_frame(std::string_view buffer) {
+  DecodeResult result;
+
+  // Validate the prefix eagerly: bad bytes are Corrupt the moment they
+  // arrive, even before a full header is buffered.
+  const std::size_t magic_have = std::min(buffer.size(), sizeof kMagic);
+  for (std::size_t i = 0; i < magic_have; ++i) {
+    if (buffer[i] != kMagic[i]) {
+      result.status = DecodeStatus::Corrupt;
+      result.error = "bad frame magic";
+      return result;
+    }
+  }
+  if (buffer.size() >= 5 &&
+      !known_type(static_cast<std::uint8_t>(buffer[4]))) {
+    result.status = DecodeStatus::Corrupt;
+    result.error = "unknown frame type " +
+                   std::to_string(static_cast<unsigned>(
+                       static_cast<unsigned char>(buffer[4])));
+    return result;
+  }
+  if (buffer.size() >= 9) {
+    const std::uint32_t length = get_u32(buffer, 5);
+    if (length > kMaxFramePayload) {
+      result.status = DecodeStatus::Corrupt;
+      result.error = "frame payload of " + std::to_string(length) +
+                     " bytes exceeds the " +
+                     std::to_string(kMaxFramePayload) + "-byte cap";
+      return result;
+    }
+  }
+  if (buffer.size() < kFrameHeaderSize) return result;  // NeedMore
+
+  const auto type = static_cast<FrameType>(buffer[4]);
+  const std::uint32_t length = get_u32(buffer, 5);
+  const std::uint64_t checksum = get_u64(buffer, 9);
+  if (buffer.size() < kFrameHeaderSize + length) return result;  // NeedMore
+
+  const std::string_view payload = buffer.substr(kFrameHeaderSize, length);
+  if (checksum != frame_checksum(type, payload)) {
+    result.status = DecodeStatus::Corrupt;
+    result.error = "frame checksum mismatch";
+    return result;
+  }
+
+  result.status = DecodeStatus::Ok;
+  result.frame.type = type;
+  result.frame.payload.assign(payload);
+  result.consumed = kFrameHeaderSize + length;
+  return result;
+}
+
+}  // namespace expert::procexec

@@ -1,0 +1,115 @@
+#include "expert/procexec/worker.hpp"
+
+// EXPERT_LINT_ALLOW(INC002): the heartbeat cadence is wall-clock by nature —
+// the supervisor's liveness deadline is real time, not simulated time.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <thread>
+
+#include "expert/procexec/codec.hpp"
+#include "expert/procexec/wire.hpp"
+#include "expert/util/eintr.hpp"
+#include "expert/util/thread_safety.hpp"
+
+namespace expert::procexec {
+
+namespace {
+
+/// Writes the whole buffer or returns false. Uses send(MSG_NOSIGNAL) so a
+/// supervisor that died mid-request surfaces as EPIPE instead of SIGPIPE —
+/// the worker must not depend on process-global signal disposition.
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ::ssize_t n = util::retry_eintr([&] {
+      return ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    });
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Sends Heartbeat frames every interval until stopped. Only runs while a
+/// request is being evaluated: between requests the worker is silent, so
+/// an idle pool cannot fill the channel's socket buffer with heartbeats.
+class HeartbeatPump {
+ public:
+  HeartbeatPump(int fd, util::Mutex& write_mutex, double interval_s)
+      : thread_([this, fd, &write_mutex, interval_s] {
+          util::MutexLock lock(state_mutex_);
+          while (!stop_) {
+            if (cond_.wait_for(state_mutex_, interval_s)) continue;
+            if (stop_) break;
+            const std::string frame = encode_frame(FrameType::Heartbeat, "");
+            util::MutexLock write_lock(write_mutex);
+            if (!send_all(fd, frame)) break;  // supervisor is gone
+          }
+        }) {}
+
+  ~HeartbeatPump() {
+    {
+      util::MutexLock lock(state_mutex_);
+      stop_ = true;
+    }
+    cond_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  util::Mutex state_mutex_;
+  util::CondVar cond_;
+  bool stop_ EXPERT_GUARDED_BY(state_mutex_) = false;
+  std::thread thread_;
+};
+
+}  // namespace
+
+int worker_main(const WorkerHandler& handler, const WorkerOptions& options,
+                int channel_fd) {
+  // Serializes Response/Error frames against the heartbeat thread so frames
+  // never interleave on the byte stream.
+  util::Mutex write_mutex;
+  std::string buffer;
+  char chunk[4096];
+
+  for (;;) {
+    // Drain every complete frame already buffered before reading more.
+    while (!buffer.empty()) {
+      const DecodeResult decoded = decode_frame(buffer);
+      if (decoded.status == DecodeStatus::Corrupt) return 2;
+      if (decoded.status == DecodeStatus::NeedMore) break;
+      buffer.erase(0, decoded.consumed);
+      if (decoded.frame.type != FrameType::Request) return 2;
+
+      std::string reply;
+      try {
+        const Request request = decode_request(decoded.frame.payload);
+        trace::ExecutionTrace result;
+        {
+          HeartbeatPump pump(channel_fd, write_mutex,
+                             options.heartbeat_interval_s);
+          result = handler(request.bot, request.strategy, request.stream);
+        }
+        reply = encode_frame(FrameType::Response, encode_response(result));
+      } catch (const std::exception& e) {
+        reply = encode_frame(FrameType::Error, e.what());
+      }
+      util::MutexLock write_lock(write_mutex);
+      if (!send_all(channel_fd, reply)) return 3;
+    }
+
+    const ::ssize_t n = util::retry_eintr(
+        [&] { return ::read(channel_fd, chunk, sizeof chunk); });
+    if (n == 0) return buffer.empty() ? 0 : 2;  // EOF mid-frame is corrupt
+    if (n < 0) return 3;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace expert::procexec

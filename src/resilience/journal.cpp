@@ -1,8 +1,6 @@
 #include "expert/resilience/journal.hpp"
 
 #include <cerrno>
-#include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -11,7 +9,9 @@
 #include <unistd.h>
 
 #include "expert/obs/metrics.hpp"
+#include "expert/resilience/serial.hpp"
 #include "expert/util/assert.hpp"
+#include "expert/util/eintr.hpp"
 #include "expert/util/hash.hpp"
 
 namespace expert::resilience {
@@ -20,309 +20,37 @@ namespace {
 
 using core::Campaign;
 using core::DegradationReason;
+namespace ser = serial;
 
 /// Domain separators for the per-line checksum and the options digest.
 constexpr std::uint64_t kChecksumSalt = 0x70A4A15E9B3ULL;
 constexpr std::uint64_t kOptionsSalt = 0x0CA42A16D16ULL;
 
-// ---- formatting -----------------------------------------------------------
-
-/// Doubles travel as C hexfloats ("%a"): exact round-trip, locale-free,
-/// and strtod parses the "inf" that failed instances' turnarounds carry.
-std::string fmt_double(double value) {
-  char buf[48];
-  std::snprintf(buf, sizeof buf, "%a", value);
-  return buf;
-}
-
-std::string fmt_u64(std::uint64_t value) {
-  return std::to_string(static_cast<unsigned long long>(value));
-}
-
-std::string fmt_hex16(std::uint64_t value) {
-  char buf[24];
-  std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(value));
-  return buf;
-}
-
-/// Strategy names may contain the journal's separators; percent-escape the
-/// three that matter (plus the escape character itself).
-std::string escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '%': out += "%25"; break;
-      case ' ': out += "%20"; break;
-      case ',': out += "%2C"; break;
-      case '\n': out += "%0A"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
-// ---- parsing --------------------------------------------------------------
-
-double parse_double(const std::string& text) {
-  EXPERT_REQUIRE(!text.empty(), "journal: empty number");
-  char* end = nullptr;
-  const double value = std::strtod(text.c_str(), &end);
-  EXPERT_REQUIRE(end == text.c_str() + text.size(),
-                 "journal: bad number '" + text + "'");
-  return value;
-}
-
-std::uint64_t parse_u64(const std::string& text, int base = 10) {
-  EXPERT_REQUIRE(!text.empty(), "journal: empty integer");
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(text.c_str(), &end, base);
-  EXPERT_REQUIRE(errno == 0 && end == text.c_str() + text.size(),
-                 "journal: bad integer '" + text + "'");
-  return static_cast<std::uint64_t>(value);
-}
-
-std::string unescape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    if (text[i] == '%') {
-      EXPERT_REQUIRE(i + 2 < text.size(), "journal: truncated escape");
-      const std::string hex = text.substr(i + 1, 2);
-      out += static_cast<char>(parse_u64(hex, 16));
-      i += 2;
-    } else {
-      out += text[i];
-    }
-  }
-  return out;
-}
-
-std::vector<std::string> split(const std::string& text, char sep) {
-  std::vector<std::string> parts;
-  std::size_t start = 0;
-  for (;;) {
-    const std::size_t pos = text.find(sep, start);
-    if (pos == std::string::npos) {
-      parts.push_back(text.substr(start));
-      return parts;
-    }
-    parts.push_back(text.substr(start, pos - start));
-    start = pos + 1;
-  }
-}
-
-DegradationReason degradation_from_string(const std::string& name) {
-  constexpr DegradationReason kAll[] = {
-      DegradationReason::NoHistory,
-      DegradationReason::NoThroughputPhase,
-      DegradationReason::NoUnreliableInstances,
-      DegradationReason::NoObservedSuccesses,
-      DegradationReason::InsufficientSamples,
-      DegradationReason::CharacterizationError,
-      DegradationReason::RecommendationInfeasible,
-      DegradationReason::BackendFailure,
-      DegradationReason::HorizonTruncated,
-      DegradationReason::ModelDrift,
-  };
-  for (const DegradationReason r : kAll) {
-    if (name == core::to_string(r)) return r;
-  }
-  EXPERT_REQUIRE(false, "journal: unknown degradation '" + name + "'");
-  return DegradationReason::NoHistory;  // unreachable
-}
-
-Campaign::BotOutcome outcome_from_string(const std::string& name) {
-  constexpr Campaign::BotOutcome kAll[] = {
-      Campaign::BotOutcome::Completed,
-      Campaign::BotOutcome::CompletedAfterRetry,
-      Campaign::BotOutcome::Quarantined,
-  };
-  for (const Campaign::BotOutcome o : kAll) {
-    if (name == core::to_string(o)) return o;
-  }
-  EXPERT_REQUIRE(false, "journal: unknown outcome '" + name + "'");
-  return Campaign::BotOutcome::Completed;  // unreachable
-}
-
-// ---- field serializers ----------------------------------------------------
-
-std::string n_to_text(const std::optional<unsigned>& n) {
-  return n.has_value() ? fmt_u64(*n) : "inf";
-}
-
-std::optional<unsigned> n_from_text(const std::string& text) {
-  if (text == "inf") return std::nullopt;
-  return static_cast<unsigned>(parse_u64(text));
-}
-
-std::string serialize_strategy(const strategies::StrategyConfig& s) {
-  std::ostringstream os;
-  os << escape(s.name) << ',' << static_cast<int>(s.throughput) << ','
-     << static_cast<int>(s.tail_mode) << ',' << n_to_text(s.ntdmr.n) << ','
-     << fmt_double(s.ntdmr.timeout_t) << ',' << fmt_double(s.ntdmr.deadline_d)
-     << ',' << fmt_double(s.ntdmr.mr) << ',' << fmt_double(s.budget_cents);
-  return os.str();
-}
-
-strategies::StrategyConfig parse_strategy(const std::string& text) {
-  const auto parts = split(text, ',');
-  EXPERT_REQUIRE(parts.size() == 8, "journal: bad strategy field");
-  strategies::StrategyConfig s;
-  s.name = unescape(parts[0]);
-  s.throughput =
-      static_cast<strategies::ThroughputPolicy>(parse_u64(parts[1]));
-  s.tail_mode = static_cast<strategies::TailMode>(parse_u64(parts[2]));
-  s.ntdmr.n = n_from_text(parts[3]);
-  s.ntdmr.timeout_t = parse_double(parts[4]);
-  s.ntdmr.deadline_d = parse_double(parts[5]);
-  s.ntdmr.mr = parse_double(parts[6]);
-  s.budget_cents = parse_double(parts[7]);
-  return s;
-}
-
-std::string serialize_point(const core::StrategyPoint& p) {
-  const core::RunMetrics& m = p.metrics;
-  std::ostringstream os;
-  os << n_to_text(p.params.n) << ',' << fmt_double(p.params.timeout_t) << ','
-     << fmt_double(p.params.deadline_d) << ',' << fmt_double(p.params.mr)
-     << ',' << fmt_double(p.makespan) << ',' << fmt_double(p.cost) << ','
-     << (m.finished ? 1 : 0) << ',' << fmt_double(m.makespan) << ','
-     << fmt_double(m.t_tail) << ',' << fmt_double(m.tail_makespan) << ','
-     << fmt_double(m.total_cost_cents) << ','
-     << fmt_double(m.cost_per_task_cents) << ','
-     << fmt_double(m.tail_cost_per_tail_task_cents) << ','
-     << fmt_double(m.tail_tasks) << ','
-     << fmt_double(m.reliable_instances_sent) << ','
-     << fmt_double(m.unreliable_instances_sent) << ','
-     << fmt_double(m.duplicate_results) << ',' << fmt_double(m.used_mr) << ','
-     << fmt_double(m.max_reliable_queue) << ','
-     << fmt_double(m.max_reliable_queue_fraction);
-  return os.str();
-}
-
-core::StrategyPoint parse_point(const std::string& text) {
-  const auto parts = split(text, ',');
-  EXPERT_REQUIRE(parts.size() == 20, "journal: bad predicted field");
-  core::StrategyPoint p;
-  p.params.n = n_from_text(parts[0]);
-  p.params.timeout_t = parse_double(parts[1]);
-  p.params.deadline_d = parse_double(parts[2]);
-  p.params.mr = parse_double(parts[3]);
-  p.makespan = parse_double(parts[4]);
-  p.cost = parse_double(parts[5]);
-  core::RunMetrics& m = p.metrics;
-  m.finished = parse_u64(parts[6]) != 0;
-  m.makespan = parse_double(parts[7]);
-  m.t_tail = parse_double(parts[8]);
-  m.tail_makespan = parse_double(parts[9]);
-  m.total_cost_cents = parse_double(parts[10]);
-  m.cost_per_task_cents = parse_double(parts[11]);
-  m.tail_cost_per_tail_task_cents = parse_double(parts[12]);
-  m.tail_tasks = parse_double(parts[13]);
-  m.reliable_instances_sent = parse_double(parts[14]);
-  m.unreliable_instances_sent = parse_double(parts[15]);
-  m.duplicate_results = parse_double(parts[16]);
-  m.used_mr = parse_double(parts[17]);
-  m.max_reliable_queue = parse_double(parts[18]);
-  m.max_reliable_queue_fraction = parse_double(parts[19]);
-  return p;
-}
-
-std::string serialize_quality(const core::CharacterizationQuality& q) {
-  std::ostringstream os;
-  os << fmt_u64(q.unreliable_instances) << ',' << fmt_u64(q.observed_successes)
-     << ',' << fmt_double(q.censored_fraction) << ','
-     << fmt_u64(q.epoch1_instances) << ',' << fmt_u64(q.epoch2_instances)
-     << ',' << (q.sufficient ? 1 : 0);
-  return os.str();
-}
-
-core::CharacterizationQuality parse_quality(const std::string& text) {
-  const auto parts = split(text, ',');
-  EXPERT_REQUIRE(parts.size() == 6, "journal: bad quality field");
-  core::CharacterizationQuality q;
-  q.unreliable_instances = static_cast<std::size_t>(parse_u64(parts[0]));
-  q.observed_successes = static_cast<std::size_t>(parse_u64(parts[1]));
-  q.censored_fraction = parse_double(parts[2]);
-  q.epoch1_instances = static_cast<std::size_t>(parse_u64(parts[3]));
-  q.epoch2_instances = static_cast<std::size_t>(parse_u64(parts[4]));
-  q.sufficient = parse_u64(parts[5]) != 0;
-  return q;
-}
-
-std::string serialize_trace(const trace::ExecutionTrace& t) {
-  std::ostringstream os;
-  os << fmt_u64(t.task_count()) << ',' << fmt_double(t.t_tail()) << ','
-     << fmt_double(t.makespan()) << ',' << (t.truncated() ? 1 : 0) << ','
-     << fmt_u64(t.records().size());
-  for (const auto& r : t.records()) {
-    os << ';' << fmt_u64(r.task) << ':' << static_cast<int>(r.pool) << ':'
-       << fmt_double(r.send_time) << ':' << fmt_double(r.turnaround) << ':'
-       << static_cast<int>(r.outcome) << ':' << fmt_double(r.cost_cents)
-       << ':' << (r.tail_phase ? 1 : 0);
-  }
-  return os.str();
-}
-
-trace::ExecutionTrace parse_trace(const std::string& text) {
-  const auto chunks = split(text, ';');
-  EXPERT_REQUIRE(!chunks.empty(), "journal: bad history field");
-  const auto head = split(chunks[0], ',');
-  EXPERT_REQUIRE(head.size() == 5, "journal: bad history header");
-  const auto task_count = static_cast<std::size_t>(parse_u64(head[0]));
-  const double t_tail = parse_double(head[1]);
-  const double completion = parse_double(head[2]);
-  const bool truncated = parse_u64(head[3]) != 0;
-  const auto n_records = static_cast<std::size_t>(parse_u64(head[4]));
-  EXPERT_REQUIRE(chunks.size() == n_records + 1,
-                 "journal: history record count mismatch");
-  std::vector<trace::InstanceRecord> records;
-  records.reserve(n_records);
-  for (std::size_t i = 1; i < chunks.size(); ++i) {
-    const auto f = split(chunks[i], ':');
-    EXPERT_REQUIRE(f.size() == 7, "journal: bad history record");
-    trace::InstanceRecord r;
-    r.task = static_cast<workload::TaskId>(parse_u64(f[0]));
-    r.pool = static_cast<trace::PoolKind>(parse_u64(f[1]));
-    r.send_time = parse_double(f[2]);
-    r.turnaround = parse_double(f[3]);
-    r.outcome = static_cast<trace::InstanceOutcome>(parse_u64(f[4]));
-    r.cost_cents = parse_double(f[5]);
-    r.tail_phase = parse_u64(f[6]) != 0;
-    records.push_back(r);
-  }
-  return trace::ExecutionTrace(task_count, std::move(records), t_tail,
-                               completion, truncated);
-}
-
 // ---- record payloads ------------------------------------------------------
 
 std::string header_payload(std::uint64_t options_digest) {
-  return "hdr v1 options=" + fmt_hex16(options_digest);
+  return "hdr v1 options=" + ser::fmt_hex16(options_digest);
 }
 
 std::string record_payload(const Campaign::BotRecord& record) {
   const Campaign::BotReport& r = record.report;
   std::ostringstream os;
-  os << "bot next_stream=" << fmt_u64(record.next_stream)
+  os << "bot next_stream=" << ser::fmt_u64(record.next_stream)
      << " outcome=" << core::to_string(r.outcome)
-     << " retries=" << fmt_u64(r.retries)
+     << " retries=" << ser::fmt_u64(r.retries)
      << " used_rec=" << (r.used_recommendation ? 1 : 0)
      << " truncated=" << (r.truncated ? 1 : 0)
-     << " makespan=" << fmt_double(r.makespan)
-     << " tail_makespan=" << fmt_double(r.tail_makespan)
-     << " cost=" << fmt_double(r.cost_per_task_cents) << " degradation="
+     << " makespan=" << ser::fmt_double(r.makespan)
+     << " tail_makespan=" << ser::fmt_double(r.tail_makespan)
+     << " cost=" << ser::fmt_double(r.cost_per_task_cents) << " degradation="
      << (r.degradation ? core::to_string(*r.degradation) : "-") << " model="
-     << (r.model_digest ? fmt_hex16(*r.model_digest) : std::string("-"))
-     << " strategy=" << serialize_strategy(r.strategy) << " predicted="
-     << (r.predicted ? serialize_point(*r.predicted) : std::string("-"))
+     << (r.model_digest ? ser::fmt_hex16(*r.model_digest) : std::string("-"))
+     << " strategy=" << ser::serialize_strategy(r.strategy) << " predicted="
+     << (r.predicted ? ser::serialize_point(*r.predicted) : std::string("-"))
      << " quality="
-     << (r.quality ? serialize_quality(*r.quality) : std::string("-"))
+     << (r.quality ? ser::serialize_quality(*r.quality) : std::string("-"))
      << " history="
-     << (record.history != nullptr ? serialize_trace(*record.history)
+     << (record.history != nullptr ? ser::serialize_trace(*record.history)
                                    : std::string("-"));
   return os.str();
 }
@@ -343,36 +71,36 @@ RecoveredRecord parse_record_payload(const std::string& payload) {
     const std::string value = token.substr(eq + 1);
     if (key == "next_stream") {
       // Consumed by parse_record_stream; its presence is still required.
-      parse_u64(value);
+      ser::parse_u64(value);
       have_stream = true;
     } else if (key == "outcome") {
-      r.outcome = outcome_from_string(value);
+      r.outcome = ser::outcome_from_string(value);
     } else if (key == "retries") {
-      r.retries = static_cast<std::size_t>(parse_u64(value));
+      r.retries = static_cast<std::size_t>(ser::parse_u64(value));
     } else if (key == "used_rec") {
-      r.used_recommendation = parse_u64(value) != 0;
+      r.used_recommendation = ser::parse_u64(value) != 0;
     } else if (key == "truncated") {
-      r.truncated = parse_u64(value) != 0;
+      r.truncated = ser::parse_u64(value) != 0;
     } else if (key == "makespan") {
-      r.makespan = parse_double(value);
+      r.makespan = ser::parse_double(value);
     } else if (key == "tail_makespan") {
-      r.tail_makespan = parse_double(value);
+      r.tail_makespan = ser::parse_double(value);
     } else if (key == "cost") {
-      r.cost_per_task_cents = parse_double(value);
+      r.cost_per_task_cents = ser::parse_double(value);
     } else if (key == "degradation") {
-      if (value != "-") r.degradation = degradation_from_string(value);
+      if (value != "-") r.degradation = ser::degradation_from_string(value);
     } else if (key == "model") {
-      if (value != "-") r.model_digest = parse_u64(value, 16);
+      if (value != "-") r.model_digest = ser::parse_u64(value, 16);
     } else if (key == "strategy") {
-      r.strategy = parse_strategy(value);
+      r.strategy = ser::parse_strategy(value);
     } else if (key == "predicted") {
-      if (value != "-") r.predicted = parse_point(value);
+      if (value != "-") r.predicted = ser::parse_point(value);
     } else if (key == "quality") {
-      if (value != "-") r.quality = parse_quality(value);
+      if (value != "-") r.quality = ser::parse_quality(value);
     } else {
       EXPERT_REQUIRE(key == "history",
                      "journal: unknown field '" + key + "'");
-      if (value != "-") rec.history = parse_trace(value);
+      if (value != "-") rec.history = ser::parse_trace(value);
     }
   }
   EXPERT_REQUIRE(have_stream, "journal: record missing next_stream");
@@ -384,7 +112,7 @@ std::uint64_t parse_record_stream(const std::string& payload) {
   std::string token;
   while (in >> token) {
     if (token.rfind("next_stream=", 0) == 0) {
-      return parse_u64(token.substr(std::strlen("next_stream=")));
+      return ser::parse_u64(token.substr(std::strlen("next_stream=")));
     }
   }
   EXPERT_REQUIRE(false, "journal: record missing next_stream");
@@ -469,7 +197,9 @@ CampaignJournal::CampaignJournal(const std::string& path, bool fresh,
   EXPERT_REQUIRE(!path.empty(), "journal needs a non-empty path");
   const int flags =
       fresh ? (O_WRONLY | O_CREAT | O_TRUNC | O_APPEND) : (O_WRONLY | O_APPEND);
-  fd_ = ::open(path.c_str(), flags, 0644);
+  // EINTR-safe open: with the process backend, SIGCHLD from a dying worker
+  // can interrupt any slow syscall in the campaign process.
+  fd_ = util::retry_eintr([&] { return ::open(path.c_str(), flags, 0644); });
   EXPERT_REQUIRE(fd_ >= 0,
                  "journal: cannot open " + path + ": " + errno_text());
   if (fresh) append_line(header_payload(options_digest));
@@ -496,22 +226,22 @@ CampaignJournal::~CampaignJournal() {
 
 void CampaignJournal::append_line(const std::string& payload) {
   const std::string line =
-      fmt_hex16(line_checksum(payload)) + ' ' + payload + '\n';
+      ser::fmt_hex16(line_checksum(payload)) + ' ' + payload + '\n';
   // One O_APPEND write for the whole line: a crash tears at most this
-  // line, which recovery's checksum pass detects and drops.
+  // line, which recovery's checksum pass detects and drops. Both the write
+  // and the fsync retry EINTR — a worker's death notification arriving
+  // mid-append must not be mistaken for a durability failure.
   const char* data = line.data();
   std::size_t left = line.size();
   while (left > 0) {
-    const ::ssize_t n = ::write(fd_, data, left);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      EXPERT_REQUIRE(false,
-                     "journal: write to " + path_ + " failed: " + errno_text());
-    }
+    const ::ssize_t n =
+        util::retry_eintr([&] { return ::write(fd_, data, left); });
+    EXPERT_REQUIRE(n >= 0,
+                   "journal: write to " + path_ + " failed: " + errno_text());
     data += n;
     left -= static_cast<std::size_t>(n);
   }
-  EXPERT_REQUIRE(::fsync(fd_) == 0,
+  EXPERT_REQUIRE(util::retry_eintr([&] { return ::fsync(fd_); }) == 0,
                  "journal: fsync of " + path_ + " failed: " + errno_text());
 }
 
@@ -563,7 +293,7 @@ Recovered recover_campaign(const std::string& path,
       if (!hex) return std::nullopt;
     }
     const std::string payload = line.substr(17);
-    if (parse_u64(checksum_text, 16) != line_checksum(payload)) {
+    if (ser::parse_u64(checksum_text, 16) != line_checksum(payload)) {
       return std::nullopt;
     }
     return payload;
@@ -583,7 +313,7 @@ Recovered recover_campaign(const std::string& path,
                        opts.rfind("options=", 0) == 0,
                    "journal: " + path + " is not a campaign journal");
     const std::uint64_t digest =
-        parse_u64(opts.substr(std::strlen("options=")), 16);
+        ser::parse_u64(opts.substr(std::strlen("options=")), 16);
     EXPERT_REQUIRE(digest == expected,
                    "journal: " + path +
                        " was written under different campaign options; "

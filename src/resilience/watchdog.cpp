@@ -39,7 +39,8 @@ core::Campaign::Backend with_watchdog(core::Campaign::Backend inner,
   if (options.timeout_s <= 0.0) return inner;
   const double timeout_s = options.timeout_s;
 
-  return [inner = std::move(inner), timeout_s](
+  return [inner = std::move(inner), timeout_s,
+          on_timeout = std::move(options.on_timeout)](
              const workload::Bot& bot,
              const strategies::StrategyConfig& strategy,
              std::uint64_t stream) -> trace::ExecutionTrace {
@@ -84,6 +85,10 @@ core::Campaign::Backend with_watchdog(core::Campaign::Backend inner,
     }
 
     if (timed_out) {
+      // Cancel outside the lock: the hook (e.g. SIGKILLing a worker
+      // process) unblocks the abandoned thread, which then needs the lock
+      // to publish its discarded outcome.
+      if (on_timeout) on_timeout();
       worker.detach();
       throw BackendTimeout(
           "backend exceeded the watchdog deadline (" +

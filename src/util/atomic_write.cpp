@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include "expert/util/assert.hpp"
+#include "expert/util/eintr.hpp"
 
 namespace expert::util {
 
@@ -29,7 +30,12 @@ std::string parent_dir(const std::string& path) {
 void atomic_write(const std::string& path, std::string_view contents) {
   EXPERT_REQUIRE(!path.empty(), "atomic_write needs a non-empty path");
   const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  // Every syscall on this path retries EINTR (see util::retry_eintr): with
+  // the process-execution backend, worker-death SIGCHLD signals can land
+  // mid-write in the campaign process, and an interrupted report write
+  // must not be misread as a failed one.
+  const int fd = util::retry_eintr(
+      [&] { return ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644); });
   EXPERT_REQUIRE(fd >= 0,
                  "atomic_write: cannot create " + tmp + ": " + errno_text());
 
@@ -38,9 +44,8 @@ void atomic_write(const std::string& path, std::string_view contents) {
   const char* data = contents.data();
   std::size_t left = contents.size();
   while (left > 0) {
-    const ::ssize_t n = ::write(fd, data, left);
+    const ::ssize_t n = retry_eintr([&] { return ::write(fd, data, left); });
     if (n < 0) {
-      if (errno == EINTR) continue;
       ok = false;
       error = "write failed: " + errno_text();
       break;
@@ -48,7 +53,7 @@ void atomic_write(const std::string& path, std::string_view contents) {
     data += n;
     left -= static_cast<std::size_t>(n);
   }
-  if (ok && ::fsync(fd) != 0) {
+  if (ok && retry_eintr([&] { return ::fsync(fd); }) != 0) {
     ok = false;
     error = "fsync failed: " + errno_text();
   }
@@ -71,9 +76,11 @@ void atomic_write(const std::string& path, std::string_view contents) {
   // Persist the directory entry; without this the rename itself may be
   // lost on power failure even though both files were durable.
   const std::string dir = parent_dir(path);
-  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  const int dir_fd = retry_eintr(
+      [&] { return ::open(dir.c_str(), O_RDONLY | O_DIRECTORY); });
   if (dir_fd >= 0) {
-    ::fsync(dir_fd);  // best-effort: some filesystems refuse directory fsync
+    // best-effort: some filesystems refuse directory fsync
+    retry_eintr([&] { return ::fsync(dir_fd); });
     ::close(dir_fd);
   }
 }

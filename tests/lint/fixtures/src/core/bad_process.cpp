@@ -1,0 +1,21 @@
+// PROC001 fixture: raw process syscalls outside procexec/.
+#include <sys/types.h>
+
+void spawn_unsupervised() {
+  pid_t pid = fork();
+  if (pid == 0) {
+    execv("/bin/true", nullptr);
+  }
+  ::kill(pid, 9);
+  waitpid(pid, nullptr, 0);
+}
+
+struct Rng {
+  Rng fork(int idx) const;
+};
+
+void not_flagged(const Rng& rng) {
+  // Member and class-qualified names are not the syscall.
+  (void)rng.fork(1);
+  (void)Rng::fork;
+}

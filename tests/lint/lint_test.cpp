@@ -123,6 +123,14 @@ TEST(LintFixtures, BadIo) {
   EXPECT_EQ(got, want);
 }
 
+TEST(LintFixtures, BadProcess) {
+  const auto findings = lint_paths({kFixtures + "/src/core/bad_process.cpp"});
+  const auto got = rule_lines(findings);
+  const std::vector<std::pair<std::string, int>> want = {
+      {"PROC001", 5}, {"PROC001", 7}, {"PROC001", 9}, {"PROC001", 10}};
+  EXPECT_EQ(got, want);
+}
+
 TEST(LintFixtures, BadSuppressions) {
   const auto findings =
       lint_paths({kFixtures + "/src/core/bad_suppressions.cpp"});
@@ -150,6 +158,7 @@ TEST(LintFixtures, DirectoryWalkFindsEverySeededFile) {
   EXPECT_TRUE(has_file("bad_float.cpp"));
   EXPECT_TRUE(has_file("bad_header.hpp"));
   EXPECT_TRUE(has_file("bad_io.cpp"));
+  EXPECT_TRUE(has_file("bad_process.cpp"));
   EXPECT_TRUE(has_file("bad_suppressions.cpp"));
   EXPECT_FALSE(has_file("clean_core.cpp"));
   EXPECT_FALSE(has_file("clean_clock.cpp"));
@@ -180,6 +189,18 @@ TEST(LintScope, OfstreamAllowedOnlyUnderUtil) {
   EXPECT_FALSE(lint_source("src/core/frontier_io.cpp", source).empty());
   // Out of library scope entirely: not flagged.
   EXPECT_TRUE(lint_source("tools/expert_cli.cpp", source).empty());
+}
+
+TEST(LintScope, ProcexecMayUseProcessSyscalls) {
+  const std::string source = "int r = fork();\n::kill(1, 9);\n";
+  EXPECT_FALSE(lint_source("src/core/campaign.cpp", source).empty());
+  EXPECT_FALSE(lint_source("src/resilience/journal.cpp", source).empty());
+  // The supervised pool is the one sanctioned home for these syscalls.
+  EXPECT_TRUE(lint_source("src/procexec/supervisor.cpp", source).empty());
+  EXPECT_TRUE(
+      lint_source("include/expert/procexec/supervisor.hpp",
+                  "#pragma once\n" + source)
+          .empty());
 }
 
 TEST(LintScope, UnorderedContainersAllowedOutsideReplayModules) {

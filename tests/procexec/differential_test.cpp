@@ -1,0 +1,155 @@
+// The keystone differential test: a campaign evaluated through the process
+// backend must be byte-identical to one evaluated in-process — same
+// journal bytes, same frontiers, same reports — including when a worker is
+// SIGKILLed mid-BoT and the campaign retries on a fresh stream.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "expert/core/campaign.hpp"
+#include "expert/gridsim/executor.hpp"
+#include "expert/procexec/supervisor.hpp"
+#include "expert/resilience/journal.hpp"
+#include "test_env.hpp"
+
+namespace expert::procexec {
+namespace {
+
+using core::Campaign;
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "procexec_diff_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+Campaign::Options campaign_options() {
+  Campaign::Options opts;
+  opts.params.tur = 1000.0;
+  opts.params.tr = 1000.0;
+  opts.expert.repetitions = 3;
+  return opts;
+}
+
+/// Run a bots-long campaign against `backend`, journaling to `path`;
+/// returns the number of retries summed over all BoTs.
+std::size_t run_campaign(Campaign::Backend backend, const std::string& path,
+                         std::size_t bots) {
+  auto opts = campaign_options();
+  resilience::CampaignJournal journal(path, opts);
+  opts.recorder = journal.recorder();
+  Campaign campaign(std::move(backend), opts);
+  std::size_t retries = 0;
+  for (std::size_t i = 0; i < bots; ++i) {
+    const auto& report =
+        campaign.run_bot(testing::make_test_bot(i), core::Utility::cheapest());
+    EXPECT_NE(report.outcome, Campaign::BotOutcome::Quarantined)
+        << "bot " << i;
+    retries += report.retries;
+  }
+  return retries;
+}
+
+SupervisorOptions pool_options(std::vector<std::string> worker_args) {
+  SupervisorOptions o;
+  o.worker_program = TEST_WORKER_PATH;
+  o.worker_args = std::move(worker_args);
+  o.heartbeat_timeout_s = 30.0;
+  return o;
+}
+
+TEST(ProcessBackendDifferential, JournalsAreByteIdentical) {
+  // In-process gridsim backend.
+  const std::string in_path = tmp_path("inprocess");
+  gridsim::Executor executor(testing::make_test_env());
+  const std::size_t in_retries = run_campaign(
+      [&executor](const workload::Bot& bot,
+                  const strategies::StrategyConfig& strategy,
+                  std::uint64_t stream) {
+        return executor.run(bot, strategy, stream);
+      },
+      in_path, 3);
+
+  // Same campaign, every evaluation in a worker subprocess.
+  const std::string proc_path = tmp_path("process");
+  ProcessPool pool(pool_options({"gridsim"}));
+  const std::size_t proc_retries = run_campaign(pool.backend(), proc_path, 3);
+
+  EXPECT_EQ(in_retries, 0u);
+  EXPECT_EQ(proc_retries, 0u);
+  const std::string in_bytes = slurp(in_path);
+  ASSERT_FALSE(in_bytes.empty());
+  EXPECT_EQ(in_bytes, slurp(proc_path));
+}
+
+TEST(ProcessBackendDifferential, ByteIdenticalUnderWorkerKillRetry) {
+  // Retry leg: the in-process backend throws on stream 2; the process
+  // backend's worker is SIGKILLed on stream 2 (a real OS death). Both
+  // consume stream 2 as a failed attempt and succeed on stream 3, so the
+  // journals — which record retries and the final trace — must still match
+  // byte for byte.
+  const std::string in_path = tmp_path("inprocess_kill");
+  gridsim::Executor executor(testing::make_test_env());
+  const std::size_t in_retries = run_campaign(
+      [&executor](const workload::Bot& bot,
+                  const strategies::StrategyConfig& strategy,
+                  std::uint64_t stream) {
+        if (stream == 2) {
+          throw std::runtime_error("injected backend failure on stream 2");
+        }
+        return executor.run(bot, strategy, stream);
+      },
+      in_path, 3);
+
+  const std::string proc_path = tmp_path("process_kill");
+  ProcessPool pool(pool_options({"gridsim-kill", "2"}));
+  const std::size_t proc_retries = run_campaign(pool.backend(), proc_path, 3);
+
+  // Both sides retried exactly once (stream 2), then recovered.
+  EXPECT_EQ(in_retries, 1u);
+  EXPECT_EQ(proc_retries, 1u);
+  EXPECT_EQ(pool.stats().restarts, 1u);
+  const std::string in_bytes = slurp(in_path);
+  ASSERT_FALSE(in_bytes.empty());
+  EXPECT_EQ(in_bytes, slurp(proc_path));
+}
+
+TEST(ProcessBackendDifferential, ReportsMatchFieldByField) {
+  // Belt and braces on top of the byte comparison: compare the in-memory
+  // reports the two campaigns produce (strategy choice, makespan, cost).
+  gridsim::Executor executor(testing::make_test_env());
+  auto opts = campaign_options();
+  Campaign in_campaign(
+      [&executor](const workload::Bot& bot,
+                  const strategies::StrategyConfig& strategy,
+                  std::uint64_t stream) {
+        return executor.run(bot, strategy, stream);
+      },
+      opts);
+  ProcessPool pool(pool_options({"gridsim"}));
+  Campaign proc_campaign(pool.backend(), opts);
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto bot = testing::make_test_bot(i);
+    const auto& a = in_campaign.run_bot(bot, core::Utility::cheapest());
+    const auto& b = proc_campaign.run_bot(bot, core::Utility::cheapest());
+    EXPECT_EQ(a.strategy.name, b.strategy.name) << "bot " << i;
+    EXPECT_DOUBLE_EQ(a.makespan, b.makespan) << "bot " << i;
+    EXPECT_DOUBLE_EQ(a.cost_per_task_cents, b.cost_per_task_cents)
+        << "bot " << i;
+    EXPECT_EQ(a.outcome, b.outcome) << "bot " << i;
+  }
+}
+
+}  // namespace
+}  // namespace expert::procexec

@@ -1,0 +1,103 @@
+// Worker binary for the procexec supervisor tests. argv[1] selects a
+// failure behavior; supervisor_test.cpp matches each mode against the
+// failure classification it must produce.
+//
+//   echo                 answer every request with a deterministic trace
+//   slow                 echo after ~600 ms (heartbeats keep flowing)
+//   silent               never touch the channel (heartbeat-gap detection)
+//   exit3                exit(3) immediately (NonzeroExit)
+//   die-signal           SIGKILL self immediately (KilledBySignal)
+//   kill-stream K        echo, but SIGKILL self on stream K
+//   throw-on K           echo, but throw on stream K (HandlerError)
+//   garbage              write junk bytes to the channel (CorruptFrame)
+//   gridsim              serve requests with the shared test executor
+//   gridsim-kill K       gridsim, but SIGKILL self on stream K
+
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "expert/procexec/worker.hpp"
+#include "expert/trace/trace.hpp"
+#include "test_env.hpp"
+
+namespace {
+
+using namespace expert;
+
+/// Deterministic trace the supervisor test can recompute: makespan encodes
+/// the stream, records echo the bot's size.
+trace::ExecutionTrace echo_trace(const workload::Bot& bot,
+                                 std::uint64_t stream) {
+  std::vector<trace::InstanceRecord> records(bot.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    records[i].task = static_cast<workload::TaskId>(i);
+    records[i].outcome = trace::InstanceOutcome::Success;
+    records[i].send_time = static_cast<double>(i);
+    records[i].turnaround = 100.0 + static_cast<double>(stream);
+    records[i].cost_cents = 0.5;
+  }
+  const double makespan = 1000.0 * static_cast<double>(stream) +
+                          static_cast<double>(bot.size());
+  return trace::ExecutionTrace(bot.size(), std::move(records),
+                               makespan / 2.0, makespan);
+}
+
+int run(const std::string& mode, std::uint64_t arg) {
+  if (mode == "exit3") ::_exit(3);
+  if (mode == "die-signal") {
+    std::raise(SIGKILL);
+  }
+  if (mode == "silent") {
+    // Hold the channel open without ever answering; the supervisor's
+    // heartbeat deadline must kill us.
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
+  if (mode == "garbage") {
+    const char junk[] = "this is not a frame and never will be";
+    [[maybe_unused]] const auto n =
+        ::write(procexec::kWorkerChannelFd, junk, sizeof junk);
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
+
+  if (mode == "gridsim" || mode == "gridsim-kill") {
+    gridsim::Executor executor(procexec::testing::make_test_env());
+    return procexec::worker_main(
+        [&executor, mode, arg](const workload::Bot& bot,
+                               const strategies::StrategyConfig& strategy,
+                               std::uint64_t stream) {
+          if (mode == "gridsim-kill" && stream == arg) std::raise(SIGKILL);
+          return executor.run(bot, strategy, stream);
+        });
+  }
+
+  // echo / slow / kill-stream / throw-on
+  return procexec::worker_main(
+      [mode, arg](const workload::Bot& bot,
+                  const strategies::StrategyConfig&, std::uint64_t stream) {
+        if (mode == "kill-stream" && stream == arg) std::raise(SIGKILL);
+        if (mode == "throw-on" && stream == arg) {
+          throw std::runtime_error("boom on stream " + std::to_string(stream));
+        }
+        if (mode == "slow") {
+          std::this_thread::sleep_for(std::chrono::milliseconds(600));
+        }
+        return echo_trace(bot, stream);
+      });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "echo";
+  const std::uint64_t arg =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 0;
+  return run(mode, arg);
+}

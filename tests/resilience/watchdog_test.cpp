@@ -31,6 +31,12 @@ workload::Bot bot() {
   return workload::make_synthetic_bot("bot", 10, 1000.0, 400.0, 2500.0, 1);
 }
 
+WatchdogOptions timeout_only(double timeout_s) {
+  WatchdogOptions options;
+  options.timeout_s = timeout_s;
+  return options;
+}
+
 Campaign::Backend prompt_backend() {
   return [](const workload::Bot&, const strategies::StrategyConfig&,
             std::uint64_t stream) {
@@ -47,13 +53,13 @@ Campaign::Backend hung_backend() {
 }
 
 TEST(Watchdog, PromptBackendPassesThrough) {
-  auto wrapped = with_watchdog(prompt_backend(), WatchdogOptions{5.0});
+  auto wrapped = with_watchdog(prompt_backend(), timeout_only(5.0));
   const auto trace = wrapped(bot(), strategies::StrategyConfig{}, 9);
   EXPECT_DOUBLE_EQ(trace.makespan(), 109.0);
 }
 
 TEST(Watchdog, HungBackendThrowsBackendTimeout) {
-  auto wrapped = with_watchdog(hung_backend(), WatchdogOptions{0.05});
+  auto wrapped = with_watchdog(hung_backend(), timeout_only(0.05));
   EXPECT_THROW(wrapped(bot(), strategies::StrategyConfig{}, 1),
                BackendTimeout);
 }
@@ -65,7 +71,7 @@ TEST(Watchdog, DisabledTimeoutReturnsInnerUnchanged) {
     std::this_thread::sleep_for(std::chrono::milliseconds(80));
     return marker_trace(7.0);
   };
-  auto wrapped = with_watchdog(slow, WatchdogOptions{0.0});
+  auto wrapped = with_watchdog(slow, timeout_only(0.0));
   EXPECT_DOUBLE_EQ(wrapped(bot(), strategies::StrategyConfig{}, 1).makespan(),
                    7.0);
 }
@@ -76,13 +82,34 @@ TEST(Watchdog, PropagatesInnerExceptions) {
          std::uint64_t) -> ExecutionTrace {
     throw std::runtime_error("inner backend failure");
   };
-  auto wrapped = with_watchdog(throwing, WatchdogOptions{5.0});
+  auto wrapped = with_watchdog(throwing, timeout_only(5.0));
   try {
     wrapped(bot(), strategies::StrategyConfig{}, 1);
     FAIL() << "expected the inner exception to propagate";
   } catch (const std::runtime_error& e) {
     EXPECT_STREQ(e.what(), "inner backend failure");
   }
+}
+
+TEST(Watchdog, OnTimeoutHookFiresExactlyOncePerTimeout) {
+  // The cancel hook is how the process backend turns "stop waiting" into
+  // "kill the worker": it must run on timeout, before the throw, and never
+  // on a prompt call.
+  int fired = 0;
+  WatchdogOptions options;
+  options.timeout_s = 0.05;
+  options.on_timeout = [&fired] { ++fired; };
+  auto wrapped = with_watchdog(hung_backend(), options);
+  EXPECT_THROW(wrapped(bot(), strategies::StrategyConfig{}, 1),
+               BackendTimeout);
+  EXPECT_EQ(fired, 1);
+
+  WatchdogOptions prompt_options;
+  prompt_options.timeout_s = 5.0;
+  prompt_options.on_timeout = [&fired] { ++fired; };
+  auto prompt = with_watchdog(prompt_backend(), prompt_options);
+  prompt(bot(), strategies::StrategyConfig{}, 1);
+  EXPECT_EQ(fired, 1);
 }
 
 TEST(Watchdog, CampaignQuarantinesHungBackend) {
@@ -93,7 +120,7 @@ TEST(Watchdog, CampaignQuarantinesHungBackend) {
   opts.params.tur = 1000.0;
   opts.params.tr = 1000.0;
   opts.max_backend_retries = 1;
-  Campaign campaign(with_watchdog(hung_backend(), WatchdogOptions{0.05}),
+  Campaign campaign(with_watchdog(hung_backend(), timeout_only(0.05)),
                     opts);
   const auto report = campaign.run_bot(bot(), core::Utility::cheapest());
   EXPECT_EQ(report.outcome, Campaign::BotOutcome::Quarantined);

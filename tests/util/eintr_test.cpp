@@ -1,0 +1,108 @@
+// util::retry_eintr: the EINTR-safe syscall wrapper the journal's fsync
+// path, atomic_write, and the procexec supervisor all route through.
+
+#include "expert/util/eintr.hpp"
+
+#include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <thread>
+
+namespace expert::util {
+namespace {
+
+TEST(RetryEintr, RetriesWhileInterrupted) {
+  int calls = 0;
+  const int result = retry_eintr([&] {
+    if (++calls < 4) {
+      errno = EINTR;
+      return -1;
+    }
+    return 42;
+  });
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(RetryEintr, SuccessPassesThroughWithoutRetry) {
+  int calls = 0;
+  const long result = retry_eintr([&]() -> long {
+    ++calls;
+    return 7;
+  });
+  EXPECT_EQ(result, 7);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryEintr, ZeroIsSuccess) {
+  // fsync() and close-like calls signal success with 0; 0 must not retry.
+  int calls = 0;
+  EXPECT_EQ(retry_eintr([&] {
+              ++calls;
+              return 0;
+            }),
+            0);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryEintr, RealErrorsAreNotRetried) {
+  int calls = 0;
+  const int result = retry_eintr([&] {
+    ++calls;
+    errno = EBADF;
+    return -1;
+  });
+  EXPECT_EQ(result, -1);
+  EXPECT_EQ(errno, EBADF);
+  EXPECT_EQ(calls, 1);
+}
+
+volatile sig_atomic_t g_signal_seen = 0;
+void note_signal(int) { g_signal_seen = 1; }
+
+TEST(RetryEintr, ResumesAGenuinelyInterruptedRead) {
+  // A blocking read() interrupted by a handler installed *without*
+  // SA_RESTART fails with EINTR; retry_eintr must resume it and return the
+  // data that arrives afterwards. (If the signal wins the race and lands
+  // before read() blocks, the read simply completes — the test is
+  // insensitive to that ordering.)
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+
+  struct sigaction action = {};
+  action.sa_handler = note_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction previous = {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &action, &previous), 0);
+  g_signal_seen = 0;
+
+  const pthread_t reader = ::pthread_self();
+  std::thread interrupter([reader, fd = fds[1]] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ::pthread_kill(reader, SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    char byte = 'x';
+    ASSERT_EQ(::write(fd, &byte, 1), 1);
+  });
+
+  char got = 0;
+  const ::ssize_t n = retry_eintr([&] { return ::read(fds[0], &got, 1); });
+  interrupter.join();
+
+  EXPECT_EQ(n, 1);
+  EXPECT_EQ(got, 'x');
+  EXPECT_EQ(g_signal_seen, 1);
+
+  ::sigaction(SIGUSR1, &previous, nullptr);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+}  // namespace
+}  // namespace expert::util

@@ -34,13 +34,23 @@
 //     killed campaign from that journal, reproducing the uninterrupted
 //     run's remaining BoTs exactly. --drift enables the online drift
 //     detector; --backend-timeout S arms a wall-clock watchdog per backend
-//     invocation.
+//     invocation. --backend process runs each BoT evaluation in a
+//     supervised worker subprocess (--workers N slots; see
+//     docs/process-backend.md); deterministic output is unchanged.
+//
+//   expert_cli worker [--experiment K] [--seed S] [--chaos PLAN]
+//     Internal: the process the supervisor self-execs for --backend
+//     process. Speaks the procexec wire protocol on fd 3; not for
+//     interactive use.
 //
 // Every command accepts --metrics-out=FILE and --trace-out=FILE to dump
 // the run's metrics snapshot (JSON) and Chrome-trace spans, and --profile
 // to print the phase-profiler table after the command finishes.
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -54,6 +64,8 @@
 #include "expert/core/frontier_io.hpp"
 #include "expert/core/report.hpp"
 #include "expert/core/sensitivity.hpp"
+#include "expert/procexec/supervisor.hpp"
+#include "expert/procexec/worker.hpp"
 #include "expert/resilience/drift.hpp"
 #include "expert/resilience/journal.hpp"
 #include "expert/resilience/watchdog.hpp"
@@ -92,6 +104,11 @@ int usage() {
       "               [--resume] (continue a killed campaign from --journal)\n"
       "               [--drift] (online gamma/turnaround drift detection)\n"
       "               [--backend-timeout S] (wall-clock watchdog per BoT)\n"
+      "               [--backend gridsim|process] [--workers N]\n"
+      "               (process: evaluate each BoT in a supervised worker\n"
+      "               subprocess; same bytes out as gridsim)\n"
+      "  worker       internal target of --backend process (wire protocol\n"
+      "               on fd 3); never invoke by hand\n"
       "  profile      [--tasks N] [--pool L] [--gamma G] [--tur S] [--reps R]\n"
       "               (frontier sweep with the phase profiler armed; prints\n"
       "               per-phase wall time)\n"
@@ -382,6 +399,45 @@ int cmd_report(const util::Args& args) {
   return 0;
 }
 
+const gridsim::TableVExperiment* find_experiment(int number) {
+  const gridsim::TableVExperiment* exp = nullptr;
+  for (const auto& e : gridsim::table_v_experiments()) {
+    if (e.number == number) exp = &e;
+  }
+  return exp;
+}
+
+std::string self_exe_path() {
+  char buf[4096];
+  const ::ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  EXPERT_REQUIRE(n > 0, "cannot resolve /proc/self/exe for worker self-exec");
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+/// Internal subcommand the supervisor self-execs for --backend process.
+/// Rebuilds the exact executor environment the in-process backend would
+/// use (same experiment, same derived seed, same chaos plan) and serves
+/// (bot, strategy, stream) requests over the wire protocol on fd 3 —
+/// which is what makes the process backend byte-identical to gridsim.
+int cmd_worker(const util::Args& args) {
+  const int number = static_cast<int>(args.number_or("experiment", 11.0));
+  const gridsim::TableVExperiment* exp = find_experiment(number);
+  EXPERT_REQUIRE(exp != nullptr,
+                 "--experiment must name a Table V row (1..13)");
+  const auto seed = static_cast<std::uint64_t>(args.number_or("seed", 0.0));
+  auto env = gridsim::make_experiment_environment(
+      *exp, 0x7AB1E + seed + static_cast<std::uint64_t>(number));
+  if (const auto plan = args.option("chaos"))
+    env.chaos = chaos::parse_chaos_plan(*plan);
+  gridsim::Executor executor(env);
+  return procexec::worker_main(
+      [&executor](const workload::Bot& bot,
+                  const strategies::StrategyConfig& strategy,
+                  std::uint64_t stream) {
+        return executor.run(bot, strategy, stream);
+      });
+}
+
 /// Campaign mode of `execute`: K BoTs through the full
 /// characterize -> recommend -> execute loop, with per-BoT outcome and
 /// degradation reporting — the chaos-facing face of the pipeline.
@@ -400,16 +456,41 @@ int run_campaign(const util::Args& args, const gridsim::TableVExperiment& exp,
       static_cast<std::size_t>(args.number_or("reps", 5.0));
   const auto utility = parse_utility(args.option_or("utility", "product"));
 
-  core::Campaign::Backend backend =
-      [&executor](const workload::Bot& bot,
-                  const strategies::StrategyConfig& strategy,
-                  std::uint64_t stream) {
-        return executor.run(bot, strategy, stream);
-      };
+  const std::string backend_kind = args.option_or("backend", "gridsim");
+  EXPERT_REQUIRE(backend_kind == "gridsim" || backend_kind == "process",
+                 "--backend must be gridsim or process");
+  std::unique_ptr<procexec::ProcessPool> pool;
+  core::Campaign::Backend backend;
+  if (backend_kind == "process") {
+    procexec::SupervisorOptions popts;
+    popts.workers = static_cast<int>(args.number_or("workers", 1.0));
+    popts.worker_program = self_exe_path();
+    popts.worker_args = {"worker", "--experiment", std::to_string(exp.number),
+                         "--seed", std::to_string(seed)};
+    if (const auto plan = args.option("chaos")) {
+      popts.worker_args.push_back("--chaos");
+      popts.worker_args.push_back(*plan);
+    }
+    pool = std::make_unique<procexec::ProcessPool>(std::move(popts));
+    backend = pool->backend();
+  } else {
+    backend = [&executor](const workload::Bot& bot,
+                          const strategies::StrategyConfig& strategy,
+                          std::uint64_t stream) {
+      return executor.run(bot, strategy, stream);
+    };
+  }
   const double backend_timeout = args.number_or("backend-timeout", 0.0);
   if (backend_timeout > 0.0) {
-    backend = resilience::with_watchdog(
-        std::move(backend), resilience::WatchdogOptions{backend_timeout});
+    resilience::WatchdogOptions wopts;
+    wopts.timeout_s = backend_timeout;
+    // With the process backend a timeout must *kill* the runaway worker,
+    // not just abandon the thread waiting on it: the SIGKILL unblocks the
+    // abandoned thread via the worker's EOF and the child is reaped.
+    if (pool != nullptr) {
+      wopts.on_timeout = [p = pool.get()] { p->kill_inflight(); };
+    }
+    backend = resilience::with_watchdog(std::move(backend), std::move(wopts));
   }
 
   std::shared_ptr<resilience::DriftDetector> detector;
@@ -453,6 +534,14 @@ int run_campaign(const util::Args& args, const gridsim::TableVExperiment& exp,
     campaign.emplace(backend, copts);
   }
 
+  // Test hook for the crash/resume harness: die the hard way (SIGKILL,
+  // nothing flushed beyond what the journal already fsynced) right after
+  // the K-th BoT completes. Chaos kill_at cannot serve this role for the
+  // process backend — there it kills the *worker*, which the supervisor
+  // absorbs as a retried attempt.
+  const auto kill_after =
+      static_cast<std::size_t>(args.number_or("kill-after-bots", 0.0));
+
   util::Table table({"bot", "strategy", "outcome", "makespan [s]",
                      "cost [c/task]", "degradation"});
   for (std::size_t i = 0; i < bots; ++i) {
@@ -463,6 +552,7 @@ int run_campaign(const util::Args& args, const gridsim::TableVExperiment& exp,
       const auto bot = workload::make_bot(exp.workload, 0xB07 + seed + i);
       campaign->run_bot(bot, utility);
       report = &campaign->reports().back();
+      if (kill_after > 0 && i + 1 == kill_after) std::raise(SIGKILL);
     }
     std::string outcome = core::to_string(report->outcome);
     if (report->retries > 0)
@@ -505,10 +595,7 @@ int run_campaign(const util::Args& args, const gridsim::TableVExperiment& exp,
 int cmd_execute(const util::Args& args) {
   EXPERT_SPAN("cli.execute");
   const int number = static_cast<int>(args.number_or("experiment", 11.0));
-  const gridsim::TableVExperiment* exp = nullptr;
-  for (const auto& e : gridsim::table_v_experiments()) {
-    if (e.number == number) exp = &e;
-  }
+  const gridsim::TableVExperiment* exp = find_experiment(number);
   EXPERT_REQUIRE(exp != nullptr,
                  "--experiment must name a Table V row (1..13)");
   const auto seed = static_cast<std::uint64_t>(args.number_or("seed", 0.0));
@@ -524,6 +611,8 @@ int cmd_execute(const util::Args& args) {
 
   const auto bots = static_cast<std::size_t>(args.number_or("bots", 1.0));
   if (bots > 1) return run_campaign(args, *exp, env, bots, seed);
+  EXPERT_REQUIRE(args.option_or("backend", "gridsim") == "gridsim",
+                 "--backend process needs a campaign (--bots > 1)");
 
   gridsim::Executor executor(env);
   const auto strategy = gridsim::make_experiment_strategy(*exp);
@@ -600,7 +689,7 @@ int main(int argc, char** argv) {
       {"trace", "tasks", "utility", "reps", "mode", "deadline", "strategy",
        "pool", "gamma", "tur", "experiment", "seed", "chaos", "bots",
        "eval-cache", "metrics-out", "trace-out", "journal",
-       "backend-timeout", "out"},
+       "backend-timeout", "backend", "workers", "kill-after-bots", "out"},
       {"csv", "resume", "drift", "profile"});
   try {
     if (!args.unknown_options().empty()) {
@@ -631,6 +720,7 @@ int main(int argc, char** argv) {
     else if (*command == "simulate") rc = cmd_simulate(args);
     else if (*command == "execute") rc = cmd_execute(args);
     else if (*command == "profile") rc = cmd_profile(args);
+    else if (*command == "worker") rc = cmd_worker(args);
     else return usage();
 
     // `profile` prints its own table; the global flag appends one to any

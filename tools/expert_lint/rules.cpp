@@ -45,6 +45,9 @@ const std::vector<RuleInfo> kRules = {
     {"IO001", "direct std::ofstream write in library code outside util/ "
               "(a crash mid-write leaves a torn file; route output "
               "through util::atomic_write)"},
+    {"PROC001", "raw process syscall (fork/exec*/waitpid/kill) outside "
+                "procexec/ (worker lifecycles must go through the "
+                "supervised pool so every child is reaped)"},
     {"IO000", "file could not be read"},
 };
 
@@ -55,6 +58,7 @@ struct Scope {
   bool library = false;       ///< under an include/ or src/ segment
   bool obs = false;           ///< obs module (clock access allowed)
   bool util = false;          ///< util module (atomic_write lives here)
+  bool procexec = false;      ///< procexec module (process syscalls allowed)
   bool ordered_only = false;  ///< sim/core/gridsim/strategies/eval/obs
   bool header = false;        ///< .hpp file
 };
@@ -83,6 +87,7 @@ Scope classify(std::string_view path) {
     const std::string_view seg = segments[i];
     if (seg == "obs") scope.obs = true;
     if (seg == "util") scope.util = true;
+    if (seg == "procexec") scope.procexec = true;
     // obs is ordered-only too: metric snapshots promise deterministic
     // series ordering, so its label/series maps must iterate stably.
     if (seg == "sim" || seg == "core" || seg == "gridsim" ||
@@ -118,6 +123,14 @@ const std::unordered_set<std::string> kBannedClockCalls = {
 const std::unordered_set<std::string> kUnorderedContainers = {
     "unordered_map", "unordered_set", "unordered_multimap",
     "unordered_multiset",
+};
+
+// Raw process-lifecycle syscalls. `raise` is deliberately absent: a
+// process signalling *itself* (chaos kill_at) cannot orphan a child.
+const std::unordered_set<std::string> kProcessCalls = {
+    "fork",   "vfork",  "execv",  "execve", "execvp", "execvpe",
+    "execl",  "execle", "execlp", "waitpid", "kill",  "posix_spawn",
+    "posix_spawnp",
 };
 
 std::string trim(std::string_view s) {
@@ -162,6 +175,21 @@ std::vector<Finding> lint_source(std::string_view path,
     if (prev == "." || prev == "->") return false;
     if (prev == "::") {
       return i >= 2 && text(i - 2) == "std";
+    }
+    if (toks[i - 1].kind == TokenKind::Identifier) {
+      return kCallContextKeywords.count(prev) > 0;
+    }
+    return true;
+  };
+  // Like free_call_context, but global qualification (`::kill(`) is still
+  // the raw syscall, while a class/namespace qualifier (`Rng::fork(`) and
+  // member access (`rng.fork(`) are not.
+  const auto process_call_context = [&](std::size_t i) {
+    if (i == 0) return true;
+    const std::string& prev = text(i - 1);
+    if (prev == "." || prev == "->") return false;
+    if (prev == "::") {
+      return !(i >= 2 && toks[i - 2].kind == TokenKind::Identifier);
     }
     if (toks[i - 1].kind == TokenKind::Identifier) {
       return kCallContextKeywords.count(prev) > 0;
@@ -286,6 +314,18 @@ std::vector<Finding> lint_source(std::string_view path,
                "std::ofstream writes a final output path in place; a "
                "crash mid-write leaves a torn file — render to a string "
                "and land it with util::atomic_write");
+      }
+
+      // PROC001: raw process-lifecycle syscalls outside procexec/. A bare
+      // fork/exec/waitpid/kill elsewhere can leak an unreaped child past
+      // the no-orphans guarantee the supervised pool maintains.
+      if (!scope.procexec && kProcessCalls.count(id) > 0 && next_is_call &&
+          process_call_context(i)) {
+        report("PROC001", tok.line,
+               "raw '" + id +
+                   "' outside procexec/: spawn and signal workers through "
+                   "procexec::ProcessPool so every child is supervised, "
+                   "deadlined, and reaped");
       }
 
       // FLT002: float in library code.
