@@ -1,12 +1,14 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "expert/procexec/worker.hpp"
+#include "expert/util/thread_safety.hpp"
 
 namespace expert::procexec {
 
@@ -104,8 +106,58 @@ class ProcessPool {
   std::vector<int> worker_pids() const;
 
  private:
-  struct Impl;
-  std::unique_ptr<Impl> impl_;
+  /// One worker slot. `busy` hands a slot to exactly one run() call at a
+  /// time; while busy, `buffer` belongs to that call alone. `pid`/`fd` are
+  /// mutated only under `mutex_` so kill_inflight() and worker_pids()
+  /// always see either a live worker or -1, never a reaped pid
+  /// (kill-after-reuse is the race that matters — pids recycle).
+  struct Slot {
+    int pid = -1;
+    int fd = -1;
+    bool busy = false;
+    bool had_worker = false;  ///< a respawn after this counts as a restart
+    std::string buffer;       ///< unread tail of the channel byte stream
+  };
+
+  /// Block until a slot is free and claim it for one run() call.
+  std::size_t acquire_slot() EXPERT_EXCLUDES(mutex_);
+  void release_slot(std::size_t index) EXPERT_EXCLUDES(mutex_);
+
+  /// Fork + exec a worker into the slot. The argv block is assembled
+  /// before fork so the child performs only async-signal-safe calls.
+  void spawn(std::size_t index) EXPERT_EXCLUDES(mutex_);
+
+  /// Take ownership of the slot's worker for reaping: clears pid/fd under
+  /// the lock first so no other thread can signal a pid that is about to
+  /// be (or was just) reaped and possibly recycled by the kernel.
+  std::pair<int, int> detach_worker(std::size_t index)
+      EXPERT_EXCLUDES(mutex_);
+
+  /// Blocking waitpid on a detached worker; returns the raw wait status.
+  int reap(int pid) EXPERT_EXCLUDES(mutex_);
+
+  [[noreturn]] void fail_from_status(int status, std::uint64_t stream);
+
+  /// Kill + reap the slot's worker and throw the given failure.
+  [[noreturn]] void kill_and_fail(std::size_t index, FailureKind kind,
+                                  const std::string& what)
+      EXPERT_EXCLUDES(mutex_);
+
+  trace::ExecutionTrace run_on_slot(std::size_t index,
+                                    const workload::Bot& bot,
+                                    const strategies::StrategyConfig& strategy,
+                                    std::uint64_t stream)
+      EXPERT_EXCLUDES(mutex_);
+
+  /// Close every channel, then reap every worker: graceful window first,
+  /// SIGKILL past shutdown_grace_s. Never leaks a child.
+  void shutdown() EXPERT_EXCLUDES(mutex_);
+
+  SupervisorOptions options_;
+  mutable util::Mutex mutex_;
+  util::CondVar slot_freed_;
+  std::vector<Slot> slots_ EXPERT_GUARDED_BY(mutex_);
+  Stats stats_ EXPERT_GUARDED_BY(mutex_);
 };
 
 }  // namespace expert::procexec

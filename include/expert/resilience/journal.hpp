@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "expert/core/campaign.hpp"
+#include "expert/util/thread_safety.hpp"
 
 namespace expert::resilience {
 
@@ -71,8 +72,11 @@ class CampaignJournal {
 
   /// Append one finished BoT. Throws util::ContractViolation when the
   /// append cannot be made durable — see Campaign::Recorder for why that
-  /// must propagate.
-  void record(const core::Campaign::BotRecord& record);
+  /// must propagate. Thread-safe: concurrent recorders (a campaign driving
+  /// a multi-worker backend) serialize on the journal's mutex, so two
+  /// records never interleave within one O_APPEND write window.
+  void record(const core::Campaign::BotRecord& record)
+      EXPERT_EXCLUDES(mutex_);
 
   /// Recorder closure bound to this journal; the journal must outlive the
   /// Campaign it is attached to.
@@ -84,10 +88,14 @@ class CampaignJournal {
   CampaignJournal(const std::string& path, bool fresh,
                   std::uint64_t options_digest);
 
-  void append_line(const std::string& payload);
+  void append_line(const std::string& payload) EXPERT_REQUIRES(mutex_);
 
   std::string path_;
-  int fd_ = -1;
+  /// Serializes appends and guards the descriptor against a concurrent
+  /// close: record() may be called from any backend thread, and the fd
+  /// must not be torn down (move, destruction) mid-append.
+  mutable util::Mutex mutex_;
+  int fd_ EXPERT_GUARDED_BY(mutex_) = -1;
 };
 
 /// Parse the journal at `path`, validate it against `options`, truncate a

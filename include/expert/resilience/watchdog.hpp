@@ -1,10 +1,13 @@
 #pragma once
 
+#include <exception>
 #include <functional>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "expert/core/campaign.hpp"
+#include "expert/util/thread_safety.hpp"
 
 namespace expert::resilience {
 
@@ -31,6 +34,28 @@ struct WatchdogOptions {
   /// EOF and the child is reaped instead of outliving the timeout.
   /// Must not throw. May be null (thread-abandonment only).
   std::function<void()> on_timeout;
+};
+
+/// Shared between a watchdog-wrapped call and the worker thread running
+/// the inner backend. The worker may outlive the call (abandoned after a
+/// timeout), so the state is shared_ptr-owned and the worker holds copies
+/// of the inputs, never references into the caller's frame. Annotated so
+/// -Wthread-safety machine-checks the publish/abandon handshake that makes
+/// abandonment race-free.
+struct WatchdogCallState {
+  util::Mutex mutex;
+  util::CondVar cond;
+  bool done EXPERT_GUARDED_BY(mutex) = false;
+  bool abandoned EXPERT_GUARDED_BY(mutex) = false;
+  std::optional<trace::ExecutionTrace> result EXPERT_GUARDED_BY(mutex);
+  std::exception_ptr error EXPERT_GUARDED_BY(mutex);
+
+  /// Worker side: hand over the call's outcome (a trace or the exception
+  /// the inner backend threw) and wake the waiter. Publishing after the
+  /// caller marked the call abandoned discards the outcome silently —
+  /// nobody is listening anymore.
+  void publish(std::optional<trace::ExecutionTrace> outcome,
+               std::exception_ptr failure) EXPERT_EXCLUDES(mutex);
 };
 
 /// Wrap a Campaign::Backend with a wall-clock watchdog: the inner backend

@@ -2,6 +2,8 @@
 
 #include <cerrno>
 
+#include <unistd.h>
+
 namespace expert::util {
 
 /// Retry a POSIX-style call (returns < 0 with errno on failure) while it
@@ -25,6 +27,19 @@ auto retry_eintr(Fn&& fn) -> decltype(fn()) {
     const auto result = fn();
     if (result >= 0 || errno != EINTR) return result;
   }
+}
+
+/// The one sanctioned way to close a descriptor: close exactly once and
+/// treat EINTR as success, because on Linux the descriptor is released
+/// even when close reports EINTR — a retry could close a descriptor an
+/// unrelated thread was just handed by open/socket/accept. Returns 0 on
+/// success (including the EINTR case), -1 with errno set on a real
+/// failure (EBADF, EIO). expert_lint's SYS001 routes every raw close()
+/// in library code here.
+inline int close_fd(int fd) noexcept {
+  const int rc = ::close(fd);
+  if (rc == 0 || errno == EINTR) return 0;
+  return -1;
 }
 
 }  // namespace expert::util

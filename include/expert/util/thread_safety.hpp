@@ -51,6 +51,14 @@
 #define EXPERT_NO_THREAD_SAFETY_ANALYSIS \
   EXPERT_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+/// Marks a function that runs between fork() and exec() (or in another
+/// signal-adjacent path) and therefore may only call the POSIX
+/// async-signal-safe set — after fork the child's heap locks may be held
+/// by threads that no longer exist, so even malloc can deadlock. The
+/// compiler sees nothing; expert_lint's SIG001 enforces the allowlist on
+/// every function carrying this marker.
+#define EXPERT_SIGNAL_SAFE
+
 namespace expert::util {
 
 /// std::mutex with a capability annotation, so -Wthread-safety can track

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Self-test for expert_lint's machine-readable report contract.
+
+Runs the analyzer over tests/lint/selftest_tree/ (a pristine set of seeded
+violations covering the token rules and every cross-TU rule family) and
+diffs the --json output byte-for-byte against the committed golden file.
+Any change to the report schema, field order, finding messages, or the
+analyzer's findings on the pinned tree fails this gate — schema drift must
+be deliberate and reviewed, not incidental.
+
+Usage: lint_selftest.py <expert_lint-binary> <tests/lint-dir> <golden.json>
+
+The analyzer is invoked with cwd=<tests/lint-dir> and the relative path
+"selftest_tree", so the report's file paths are machine-independent.
+
+Regenerating after a deliberate change:
+  cd tests/lint && <build>/tools/expert_lint/expert_lint \
+      --json golden/selftest_report.json selftest_tree
+"""
+
+import difflib
+import json
+import subprocess
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    binary, lint_dir, golden_path = sys.argv[1:4]
+
+    proc = subprocess.run(
+        [binary, "--json", "-", "selftest_tree"],
+        cwd=lint_dir,
+        capture_output=True,
+        text=True,
+    )
+    # Exit 1 = findings reported, which is exactly what the seeded tree
+    # must produce; anything else is a usage or I/O failure.
+    if proc.returncode != 1:
+        print(f"expert_lint exited {proc.returncode}, expected 1 "
+              f"(seeded findings)", file=sys.stderr)
+        print(proc.stderr, file=sys.stderr)
+        return 1
+
+    with open(golden_path, encoding="utf-8") as f:
+        golden = f.read()
+
+    if proc.stdout != golden:
+        print("expert_lint JSON report drifted from the golden file "
+              f"({golden_path}).", file=sys.stderr)
+        print("If the change is deliberate, regenerate per the header of "
+              "scripts/lint_selftest.py.", file=sys.stderr)
+        sys.stderr.writelines(difflib.unified_diff(
+            golden.splitlines(keepends=True),
+            proc.stdout.splitlines(keepends=True),
+            fromfile="golden",
+            tofile="actual",
+        ))
+        return 1
+
+    # Belt and braces: the golden itself must stay a valid v1 report with
+    # the cross-TU families represented, or the byte-diff gates nothing.
+    report = json.loads(golden)
+    if report.get("schema") != "expert-lint-report-v1":
+        print("golden file is not an expert-lint-report-v1 document",
+              file=sys.stderr)
+        return 1
+    seeded = {"LOCK001", "ANN001", "SYS001", "SIG001"}
+    present = set(report.get("counts", {}))
+    missing = seeded - present
+    if missing:
+        print(f"golden report lost seeded rule coverage: {sorted(missing)}",
+              file=sys.stderr)
+        return 1
+
+    print(f"lint.selftest: report matches golden "
+          f"({len(report['findings'])} findings, "
+          f"{len(present)} rules)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

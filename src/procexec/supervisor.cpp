@@ -89,6 +89,33 @@ bool send_all(int fd, const std::string& data) {
   return true;
 }
 
+/// Child-side half of spawn(), running between fork() and exec. The
+/// parent's other threads do not exist in the child, but whatever locks
+/// they held at fork (including malloc's) stay locked forever — so this
+/// function may only call the POSIX async-signal-safe set. expert_lint's
+/// SIG001 machine-checks that via the EXPERT_SIGNAL_SAFE marker.
+///
+/// dup2 clears CLOEXEC on the worker's channel end; every other
+/// descriptor (including siblings' channels) was opened CLOEXEC, so exec
+/// leaves the worker holding exactly kWorkerChannelFd — a sibling must
+/// not keep a copy of this slot's parent end alive, or closing it would
+/// stop delivering EOF.
+[[noreturn]] EXPERT_SIGNAL_SAFE void exec_worker_or_die(int channel_fd,
+                                                        char* const* argv) {
+  if (channel_fd == kWorkerChannelFd) {
+    // dup2(fd, fd) would not clear CLOEXEC; strip it directly.
+    const int fd_flags = ::fcntl(channel_fd, F_GETFD);
+    if (fd_flags < 0 ||
+        ::fcntl(channel_fd, F_SETFD, fd_flags & ~FD_CLOEXEC) < 0) {
+      ::_exit(127);
+    }
+  } else if (::dup2(channel_fd, kWorkerChannelFd) < 0) {
+    ::_exit(127);
+  }
+  ::execv(argv[0], argv);
+  ::_exit(127);
+}
+
 using TimePoint =
     std::chrono::time_point<Clock, std::chrono::duration<double>>;
 
@@ -112,361 +139,312 @@ const char* to_string(FailureKind kind) noexcept {
   return "?";
 }
 
-struct ProcessPool::Impl {
-  /// One worker slot. `busy` hands a slot to exactly one run() call at a
-  /// time; while busy, `buffer` belongs to that call alone. `pid`/`fd` are
-  /// mutated only under `mutex` so kill_inflight() and worker_pids() always
-  /// see either a live worker or -1, never a reaped pid (kill-after-reuse
-  /// is the race that matters — pids recycle).
-  struct Slot {
-    int pid = -1;
-    int fd = -1;
-    bool busy = false;
-    bool had_worker = false;  ///< a respawn after this counts as a restart
-    std::string buffer;       ///< unread tail of the channel byte stream
-  };
+ProcessPool::ProcessPool(SupervisorOptions options)
+    : options_(std::move(options)) {
+  EXPERT_REQUIRE(options_.workers >= 1, "process pool needs >= 1 worker");
+  EXPERT_REQUIRE(!options_.worker_program.empty(),
+                 "process pool needs a worker program to exec");
+  EXPERT_REQUIRE(options_.heartbeat_timeout_s > 0.0,
+                 "heartbeat timeout must be positive");
+  slots_.resize(static_cast<std::size_t>(options_.workers));
+}
 
-  SupervisorOptions options;
-  mutable util::Mutex mutex;
-  util::CondVar slot_freed;
-  std::vector<Slot> slots EXPERT_GUARDED_BY(mutex);
-  Stats stats EXPERT_GUARDED_BY(mutex);
+ProcessPool::~ProcessPool() { shutdown(); }
 
-  explicit Impl(SupervisorOptions opts) : options(std::move(opts)) {
-    EXPERT_REQUIRE(options.workers >= 1, "process pool needs >= 1 worker");
-    EXPERT_REQUIRE(!options.worker_program.empty(),
-                   "process pool needs a worker program to exec");
-    EXPERT_REQUIRE(options.heartbeat_timeout_s > 0.0,
-                   "heartbeat timeout must be positive");
-    slots.resize(static_cast<std::size_t>(options.workers));
-  }
-
-  std::size_t acquire_slot() EXPERT_EXCLUDES(mutex) {
-    util::MutexLock lock(mutex);
-    for (;;) {
-      for (std::size_t i = 0; i < slots.size(); ++i) {
-        if (!slots[i].busy) {
-          slots[i].busy = true;
-          return i;
-        }
+std::size_t ProcessPool::acquire_slot() {
+  util::MutexLock lock(mutex_);
+  for (;;) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (!slots_[i].busy) {
+        slots_[i].busy = true;
+        return i;
       }
-      slot_freed.wait(mutex);
     }
+    slot_freed_.wait(mutex_);
   }
+}
 
-  void release_slot(std::size_t index) EXPERT_EXCLUDES(mutex) {
-    {
-      util::MutexLock lock(mutex);
-      slots[index].busy = false;
-    }
-    slot_freed.notify_one();
+void ProcessPool::release_slot(std::size_t index) {
+  {
+    util::MutexLock lock(mutex_);
+    slots_[index].busy = false;
   }
+  slot_freed_.notify_one();
+}
 
-  /// Fork + exec a worker into the slot. The argv block is assembled
-  /// before fork so the child performs only async-signal-safe calls
-  /// (dup2/execv/_exit) — the parent may be running threads.
-  void spawn(std::size_t index) EXPERT_EXCLUDES(mutex) {
-    std::vector<char*> argv;
-    argv.push_back(const_cast<char*>(options.worker_program.c_str()));
-    for (const std::string& arg : options.worker_args) {
-      argv.push_back(const_cast<char*>(arg.c_str()));
-    }
-    argv.push_back(nullptr);
-
-    int sv[2];
-    if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0) {
-      throw WorkerFailure(FailureKind::SpawnFailure, 0,
-                          std::string("socketpair failed: ") +
-                              std::strerror(errno));
-    }
-    const ::pid_t pid = ::fork();
-    if (pid < 0) {
-      ::close(sv[0]);
-      ::close(sv[1]);
-      throw WorkerFailure(FailureKind::SpawnFailure, 0,
-                          std::string("fork failed: ") + std::strerror(errno));
-    }
-    if (pid == 0) {
-      // Child. dup2 clears CLOEXEC on the worker's channel end; every other
-      // descriptor (including siblings' channels) was opened CLOEXEC, so
-      // exec leaves the worker holding exactly fd 3 — a sibling must not
-      // keep a copy of this slot's parent end alive, or closing it would
-      // stop delivering EOF.
-      if (sv[1] == kWorkerChannelFd) {
-        // dup2(fd, fd) would not clear CLOEXEC; strip it directly.
-        const int fd_flags = ::fcntl(sv[1], F_GETFD);
-        if (fd_flags < 0 ||
-            ::fcntl(sv[1], F_SETFD, fd_flags & ~FD_CLOEXEC) < 0) {
-          ::_exit(127);
-        }
-      } else if (::dup2(sv[1], kWorkerChannelFd) < 0) {
-        ::_exit(127);
-      }
-      ::execv(argv[0], argv.data());
-      ::_exit(127);
-    }
-    ::close(sv[1]);
-    {
-      util::MutexLock lock(mutex);
-      Slot& slot = slots[index];
-      slot.pid = static_cast<int>(pid);
-      slot.fd = sv[0];
-      slot.buffer.clear();
-      if (slot.had_worker) {
-        ++stats.restarts;
-        procexec_obs().restarts.inc();
-      }
-      slot.had_worker = true;
-      ++stats.spawned;
-    }
-    procexec_obs().spawned.inc();
+void ProcessPool::spawn(std::size_t index) {
+  // The argv block is assembled before fork: the child may not allocate.
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(options_.worker_program.c_str()));
+  for (const std::string& arg : options_.worker_args) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
   }
+  argv.push_back(nullptr);
 
-  /// Take ownership of the slot's worker for reaping: clears pid/fd under
-  /// the lock first so no other thread can signal a pid that is about to
-  /// be (or was just) reaped and possibly recycled by the kernel.
-  std::pair<int, int> detach_worker(std::size_t index)
-      EXPERT_EXCLUDES(mutex) {
-    util::MutexLock lock(mutex);
-    Slot& slot = slots[index];
-    const std::pair<int, int> owned{slot.pid, slot.fd};
-    slot.pid = -1;
-    slot.fd = -1;
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0) {
+    throw WorkerFailure(FailureKind::SpawnFailure, 0,
+                        std::string("socketpair failed: ") +
+                            std::strerror(errno));
+  }
+  const ::pid_t pid = ::fork();
+  if (pid < 0) {
+    util::close_fd(sv[0]);
+    util::close_fd(sv[1]);
+    throw WorkerFailure(FailureKind::SpawnFailure, 0,
+                        std::string("fork failed: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    exec_worker_or_die(sv[1], argv.data());
+  }
+  util::close_fd(sv[1]);
+  {
+    util::MutexLock lock(mutex_);
+    Slot& slot = slots_[index];
+    slot.pid = static_cast<int>(pid);
+    slot.fd = sv[0];
     slot.buffer.clear();
-    return owned;
-  }
-
-  /// Blocking waitpid on a detached worker; returns the raw wait status.
-  int reap(int pid) EXPERT_EXCLUDES(mutex) {
-    int status = 0;
-    const ::pid_t got = util::retry_eintr(
-        [&] { return ::waitpid(static_cast<::pid_t>(pid), &status, 0); });
-    EXPERT_CHECK(got == pid, "waitpid lost track of a worker");
-    util::MutexLock lock(mutex);
-    ++stats.reaped;
-    return status;
-  }
-
-  [[noreturn]] void fail_from_status(int status, std::uint64_t stream) {
-    if (WIFSIGNALED(status)) {
-      const int sig = WTERMSIG(status);
-      throw WorkerFailure(FailureKind::KilledBySignal, sig,
-                          "worker killed by signal " + std::to_string(sig) +
-                              " on stream " + std::to_string(stream));
+    if (slot.had_worker) {
+      ++stats_.restarts;
+      procexec_obs().restarts.inc();
     }
-    const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
-    if (code == 0) {
-      throw WorkerFailure(FailureKind::CleanExit, 0,
-                          "worker exited before answering stream " +
-                              std::to_string(stream));
-    }
-    throw WorkerFailure(FailureKind::NonzeroExit, code,
-                        "worker exited with status " + std::to_string(code) +
+    slot.had_worker = true;
+    ++stats_.spawned;
+  }
+  procexec_obs().spawned.inc();
+}
+
+std::pair<int, int> ProcessPool::detach_worker(std::size_t index) {
+  util::MutexLock lock(mutex_);
+  Slot& slot = slots_[index];
+  const std::pair<int, int> owned{slot.pid, slot.fd};
+  slot.pid = -1;
+  slot.fd = -1;
+  slot.buffer.clear();
+  return owned;
+}
+
+int ProcessPool::reap(int pid) {
+  int status = 0;
+  const ::pid_t got = util::retry_eintr(
+      [&] { return ::waitpid(static_cast<::pid_t>(pid), &status, 0); });
+  EXPERT_CHECK(got == pid, "waitpid lost track of a worker");
+  util::MutexLock lock(mutex_);
+  ++stats_.reaped;
+  return status;
+}
+
+void ProcessPool::fail_from_status(int status, std::uint64_t stream) {
+  if (WIFSIGNALED(status)) {
+    const int sig = WTERMSIG(status);
+    throw WorkerFailure(FailureKind::KilledBySignal, sig,
+                        "worker killed by signal " + std::to_string(sig) +
                             " on stream " + std::to_string(stream));
   }
+  const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  if (code == 0) {
+    throw WorkerFailure(FailureKind::CleanExit, 0,
+                        "worker exited before answering stream " +
+                            std::to_string(stream));
+  }
+  throw WorkerFailure(FailureKind::NonzeroExit, code,
+                      "worker exited with status " + std::to_string(code) +
+                          " on stream " + std::to_string(stream));
+}
 
-  /// Kill + reap the slot's worker and throw the given failure.
-  [[noreturn]] void kill_and_fail(std::size_t index, FailureKind kind,
-                                  const std::string& what) {
-    const auto [pid, fd] = detach_worker(index);
-    if (pid != -1) {
-      ::kill(static_cast<::pid_t>(pid), SIGKILL);
-      reap(pid);
-    }
-    if (fd != -1) ::close(fd);
-    throw WorkerFailure(kind, 0, what);
+void ProcessPool::kill_and_fail(std::size_t index, FailureKind kind,
+                                const std::string& what) {
+  const auto [pid, fd] = detach_worker(index);
+  if (pid != -1) {
+    ::kill(static_cast<::pid_t>(pid), SIGKILL);
+    reap(pid);
+  }
+  if (fd != -1) util::close_fd(fd);
+  throw WorkerFailure(kind, 0, what);
+}
+
+trace::ExecutionTrace ProcessPool::run_on_slot(
+    std::size_t index, const workload::Bot& bot,
+    const strategies::StrategyConfig& strategy, std::uint64_t stream) {
+  int fd = -1;
+  {
+    util::MutexLock lock(mutex_);
+    fd = slots_[index].fd;
+  }
+  if (fd == -1) {
+    spawn(index);
+    util::MutexLock lock(mutex_);
+    fd = slots_[index].fd;
   }
 
-  trace::ExecutionTrace run_on_slot(std::size_t index,
-                                    const workload::Bot& bot,
-                                    const strategies::StrategyConfig& strategy,
-                                    std::uint64_t stream) {
-    int fd = -1;
-    {
-      util::MutexLock lock(mutex);
-      fd = slots[index].fd;
-    }
-    if (fd == -1) {
-      spawn(index);
-      util::MutexLock lock(mutex);
-      fd = slots[index].fd;
-    }
+  const std::string request =
+      encode_frame(FrameType::Request,
+                   encode_request(bot, strategy, stream));
+  if (!send_all(fd, request)) {
+    // The worker died between requests; reap and classify its exit.
+    const auto [pid, owned_fd] = detach_worker(index);
+    if (owned_fd != -1) util::close_fd(owned_fd);
+    if (pid != -1) fail_from_status(reap(pid), stream);
+    throw WorkerFailure(FailureKind::SpawnFailure, 0,
+                        "worker channel lost before request");
+  }
 
-    const std::string request =
-        encode_frame(FrameType::Request,
-                     encode_request(bot, strategy, stream));
-    if (!send_all(fd, request)) {
-      // The worker died between requests; reap and classify its exit.
-      const auto [pid, owned_fd] = detach_worker(index);
-      if (owned_fd != -1) ::close(owned_fd);
-      if (pid != -1) fail_from_status(reap(pid), stream);
-      throw WorkerFailure(FailureKind::SpawnFailure, 0,
-                          "worker channel lost before request");
-    }
+  const auto started = Clock::now();
+  auto heartbeat_deadline =
+      started + std::chrono::duration<double>(options_.heartbeat_timeout_s);
+  const bool has_bot_deadline = options_.bot_deadline_s > 0.0;
+  const auto bot_deadline =
+      started + std::chrono::duration<double>(options_.bot_deadline_s);
 
-    const auto started = Clock::now();
-    auto heartbeat_deadline =
-        started + std::chrono::duration<double>(options.heartbeat_timeout_s);
-    const bool has_bot_deadline = options.bot_deadline_s > 0.0;
-    const auto bot_deadline =
-        started + std::chrono::duration<double>(options.bot_deadline_s);
+  std::string local;  // decoded against slot.buffer's content, owner-only
+  {
+    util::MutexLock lock(mutex_);
+    local = std::move(slots_[index].buffer);
+  }
 
-    std::string local;  // decoded against slot.buffer's content, owner-only
-    {
-      util::MutexLock lock(mutex);
-      local = std::move(slots[index].buffer);
-    }
-
-    char chunk[4096];
-    for (;;) {
-      while (!local.empty()) {
-        const DecodeResult decoded = decode_frame(local);
-        if (decoded.status == DecodeStatus::Corrupt) {
-          kill_and_fail(index, FailureKind::CorruptFrame,
-                        "corrupt frame from worker on stream " +
-                            std::to_string(stream) + ": " + decoded.error);
-        }
-        if (decoded.status == DecodeStatus::NeedMore) break;
-        local.erase(0, decoded.consumed);
-        switch (decoded.frame.type) {
-          case FrameType::Heartbeat:
-            heartbeat_deadline =
-                Clock::now() +
-                std::chrono::duration<double>(options.heartbeat_timeout_s);
-            continue;
-          case FrameType::Response: {
-            trace::ExecutionTrace result;
-            try {
-              result = decode_response(decoded.frame.payload);
-            } catch (const std::exception& e) {
-              kill_and_fail(index, FailureKind::CorruptFrame,
-                            std::string("undecodable response payload: ") +
-                                e.what());
-            }
-            util::MutexLock lock(mutex);
-            slots[index].buffer = std::move(local);
-            return result;
-          }
-          case FrameType::Error:
-            // The worker's handler threw but the worker itself is healthy:
-            // keep it for the retry instead of paying a respawn.
-            {
-              util::MutexLock lock(mutex);
-              slots[index].buffer = std::move(local);
-            }
-            throw WorkerFailure(FailureKind::HandlerError, 0,
-                                "worker handler failed on stream " +
-                                    std::to_string(stream) + ": " +
-                                    decoded.frame.payload);
-          case FrameType::Request:
+  char chunk[4096];
+  for (;;) {
+    while (!local.empty()) {
+      const DecodeResult decoded = decode_frame(local);
+      if (decoded.status == DecodeStatus::Corrupt) {
+        kill_and_fail(index, FailureKind::CorruptFrame,
+                      "corrupt frame from worker on stream " +
+                          std::to_string(stream) + ": " + decoded.error);
+      }
+      if (decoded.status == DecodeStatus::NeedMore) break;
+      local.erase(0, decoded.consumed);
+      switch (decoded.frame.type) {
+        case FrameType::Heartbeat:
+          heartbeat_deadline =
+              Clock::now() +
+              std::chrono::duration<double>(options_.heartbeat_timeout_s);
+          continue;
+        case FrameType::Response: {
+          trace::ExecutionTrace result;
+          try {
+            result = decode_response(decoded.frame.payload);
+          } catch (const std::exception& e) {
             kill_and_fail(index, FailureKind::CorruptFrame,
-                          "worker sent a request frame to the supervisor");
+                          std::string("undecodable response payload: ") +
+                              e.what());
+          }
+          util::MutexLock lock(mutex_);
+          slots_[index].buffer = std::move(local);
+          return result;
         }
+        case FrameType::Error:
+          // The worker's handler threw but the worker itself is healthy:
+          // keep it for the retry instead of paying a respawn.
+          {
+            util::MutexLock lock(mutex_);
+            slots_[index].buffer = std::move(local);
+          }
+          throw WorkerFailure(FailureKind::HandlerError, 0,
+                              "worker handler failed on stream " +
+                                  std::to_string(stream) + ": " +
+                                  decoded.frame.payload);
+        case FrameType::Request:
+          kill_and_fail(index, FailureKind::CorruptFrame,
+                        "worker sent a request frame to the supervisor");
       }
-
-      double wait_s = seconds_until(heartbeat_deadline);
-      if (has_bot_deadline) {
-        wait_s = std::min(wait_s, seconds_until(bot_deadline));
-      }
-      if (has_bot_deadline && seconds_until(bot_deadline) <= 0.0) {
-        kill_and_fail(index, FailureKind::DeadlineExceeded,
-                      "worker exceeded the " +
-                          std::to_string(options.bot_deadline_s) +
-                          "s per-BoT deadline on stream " +
-                          std::to_string(stream));
-      }
-      if (seconds_until(heartbeat_deadline) <= 0.0) {
-        kill_and_fail(index, FailureKind::HeartbeatTimeout,
-                      "no heartbeat from worker for " +
-                          std::to_string(options.heartbeat_timeout_s) +
-                          "s on stream " + std::to_string(stream));
-      }
-
-      ::pollfd pfd{};
-      pfd.fd = fd;
-      pfd.events = POLLIN;
-      const int timeout_ms =
-          std::max(1, static_cast<int>(wait_s * 1000.0) + 1);
-      const int ready =
-          util::retry_eintr([&] { return ::poll(&pfd, 1, timeout_ms); });
-      if (ready == 0) continue;  // a deadline expired; re-check above
-      EXPERT_CHECK(ready > 0, "poll failed on a worker channel");
-
-      const ::ssize_t n = util::retry_eintr(
-          [&] { return ::read(fd, chunk, sizeof chunk); });
-      if (n > 0) {
-        local.append(chunk, static_cast<std::size_t>(n));
-        continue;
-      }
-      // EOF (or a torn connection): the worker is gone; classify its exit.
-      const auto [pid, owned_fd] = detach_worker(index);
-      if (owned_fd != -1) ::close(owned_fd);
-      if (pid == -1) {
-        throw WorkerFailure(FailureKind::CleanExit, 0,
-                            "worker vanished on stream " +
-                                std::to_string(stream));
-      }
-      fail_from_status(reap(pid), stream);
     }
-  }
 
-  void shutdown() EXPERT_EXCLUDES(mutex) {
-    for (std::size_t i = 0; i < slots.size(); ++i) {
-      const auto [pid, fd] = detach_worker(i);
-      if (fd != -1) ::close(fd);  // EOF tells the worker to exit 0
-      if (pid == -1) continue;
-
-      // Graceful window, then escalate: never leak a child.
-      const auto deadline =
-          Clock::now() +
-          std::chrono::duration<double>(options.shutdown_grace_s);
-      bool reaped = false;
-      for (;;) {
-        int status = 0;
-        const ::pid_t got = util::retry_eintr([&] {
-          return ::waitpid(static_cast<::pid_t>(pid), &status, WNOHANG);
-        });
-        if (got == pid) {
-          reaped = true;
-          break;
-        }
-        if (Clock::now() >= deadline) break;
-        ::timespec nap{0, 5 * 1000 * 1000};  // 5 ms
-        ::nanosleep(&nap, nullptr);
-      }
-      if (!reaped) {
-        ::kill(static_cast<::pid_t>(pid), SIGKILL);
-        int status = 0;
-        util::retry_eintr(
-            [&] { return ::waitpid(static_cast<::pid_t>(pid), &status, 0); });
-      }
-      util::MutexLock lock(mutex);
-      ++stats.reaped;
+    double wait_s = seconds_until(heartbeat_deadline);
+    if (has_bot_deadline) {
+      wait_s = std::min(wait_s, seconds_until(bot_deadline));
     }
+    if (has_bot_deadline && seconds_until(bot_deadline) <= 0.0) {
+      kill_and_fail(index, FailureKind::DeadlineExceeded,
+                    "worker exceeded the " +
+                        std::to_string(options_.bot_deadline_s) +
+                        "s per-BoT deadline on stream " +
+                        std::to_string(stream));
+    }
+    if (seconds_until(heartbeat_deadline) <= 0.0) {
+      kill_and_fail(index, FailureKind::HeartbeatTimeout,
+                    "no heartbeat from worker for " +
+                        std::to_string(options_.heartbeat_timeout_s) +
+                        "s on stream " + std::to_string(stream));
+    }
+
+    ::pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int timeout_ms =
+        std::max(1, static_cast<int>(wait_s * 1000.0) + 1);
+    const int ready =
+        util::retry_eintr([&] { return ::poll(&pfd, 1, timeout_ms); });
+    if (ready == 0) continue;  // a deadline expired; re-check above
+    EXPERT_CHECK(ready > 0, "poll failed on a worker channel");
+
+    const ::ssize_t n = util::retry_eintr(
+        [&] { return ::read(fd, chunk, sizeof chunk); });
+    if (n > 0) {
+      local.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    // EOF (or a torn connection): the worker is gone; classify its exit.
+    const auto [pid, owned_fd] = detach_worker(index);
+    if (owned_fd != -1) util::close_fd(owned_fd);
+    if (pid == -1) {
+      throw WorkerFailure(FailureKind::CleanExit, 0,
+                          "worker vanished on stream " +
+                              std::to_string(stream));
+    }
+    fail_from_status(reap(pid), stream);
   }
-};
+}
 
-ProcessPool::ProcessPool(SupervisorOptions options)
-    : impl_(std::make_unique<Impl>(std::move(options))) {}
+void ProcessPool::shutdown() {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const auto [pid, fd] = detach_worker(i);
+    if (fd != -1) util::close_fd(fd);  // EOF tells the worker to exit 0
+    if (pid == -1) continue;
 
-ProcessPool::~ProcessPool() { impl_->shutdown(); }
+    // Graceful window, then escalate: never leak a child.
+    const auto deadline =
+        Clock::now() +
+        std::chrono::duration<double>(options_.shutdown_grace_s);
+    bool reaped = false;
+    for (;;) {
+      int status = 0;
+      const ::pid_t got = util::retry_eintr([&] {
+        return ::waitpid(static_cast<::pid_t>(pid), &status, WNOHANG);
+      });
+      if (got == pid) {
+        reaped = true;
+        break;
+      }
+      if (Clock::now() >= deadline) break;
+      ::timespec nap{0, 5 * 1000 * 1000};  // 5 ms
+      util::retry_eintr([&] { return ::nanosleep(&nap, nullptr); });
+    }
+    if (!reaped) {
+      ::kill(static_cast<::pid_t>(pid), SIGKILL);
+      int status = 0;
+      util::retry_eintr(
+          [&] { return ::waitpid(static_cast<::pid_t>(pid), &status, 0); });
+    }
+    util::MutexLock lock(mutex_);
+    ++stats_.reaped;
+  }
+}
 
 trace::ExecutionTrace ProcessPool::run(
     const workload::Bot& bot, const strategies::StrategyConfig& strategy,
     std::uint64_t stream) {
-  const std::size_t index = impl_->acquire_slot();
+  const std::size_t index = acquire_slot();
   try {
-    trace::ExecutionTrace result =
-        impl_->run_on_slot(index, bot, strategy, stream);
-    impl_->release_slot(index);
+    trace::ExecutionTrace result = run_on_slot(index, bot, strategy, stream);
+    release_slot(index);
     procexec_obs().ok.inc();
     return result;
   } catch (const WorkerFailure& failure) {
-    impl_->release_slot(index);
+    release_slot(index);
     procexec_obs().count_failure(failure.kind());
     throw;
   } catch (...) {
-    impl_->release_slot(index);
+    release_slot(index);
     throw;
   }
 }
@@ -478,8 +456,8 @@ WorkerHandler ProcessPool::backend() {
 }
 
 void ProcessPool::kill_inflight() {
-  util::MutexLock lock(impl_->mutex);
-  for (const Impl::Slot& slot : impl_->slots) {
+  util::MutexLock lock(mutex_);
+  for (const Slot& slot : slots_) {
     if (slot.busy && slot.pid != -1) {
       ::kill(static_cast<::pid_t>(slot.pid), SIGKILL);
     }
@@ -487,14 +465,14 @@ void ProcessPool::kill_inflight() {
 }
 
 ProcessPool::Stats ProcessPool::stats() const {
-  util::MutexLock lock(impl_->mutex);
-  return impl_->stats;
+  util::MutexLock lock(mutex_);
+  return stats_;
 }
 
 std::vector<int> ProcessPool::worker_pids() const {
-  util::MutexLock lock(impl_->mutex);
+  util::MutexLock lock(mutex_);
   std::vector<int> pids;
-  for (const Impl::Slot& slot : impl_->slots) {
+  for (const Slot& slot : slots_) {
     if (slot.pid != -1) pids.push_back(slot.pid);
   }
   return pids;

@@ -202,7 +202,10 @@ CampaignJournal::CampaignJournal(const std::string& path, bool fresh,
   fd_ = util::retry_eintr([&] { return ::open(path.c_str(), flags, 0644); });
   EXPERT_REQUIRE(fd_ >= 0,
                  "journal: cannot open " + path + ": " + errno_text());
-  if (fresh) append_line(header_payload(options_digest));
+  if (fresh) {
+    util::MutexLock lock(mutex_);
+    append_line(header_payload(options_digest));
+  }
 }
 
 CampaignJournal::CampaignJournal(const std::string& path,
@@ -221,7 +224,8 @@ CampaignJournal::CampaignJournal(CampaignJournal&& other) noexcept
 }
 
 CampaignJournal::~CampaignJournal() {
-  if (fd_ >= 0) ::close(fd_);
+  util::MutexLock lock(mutex_);
+  if (fd_ >= 0) util::close_fd(fd_);
 }
 
 void CampaignJournal::append_line(const std::string& payload) {
@@ -246,7 +250,10 @@ void CampaignJournal::append_line(const std::string& payload) {
 }
 
 void CampaignJournal::record(const Campaign::BotRecord& record) {
-  append_line(record_payload(record));
+  {
+    util::MutexLock lock(mutex_);
+    append_line(record_payload(record));
+  }
   journal_obs().records.inc();
 }
 
@@ -355,8 +362,12 @@ Recovered recover_campaign(const std::string& path,
   }
 
   if (out.torn_tail) {
-    EXPERT_REQUIRE(::truncate(path.c_str(),
-                              static_cast<::off_t>(valid_end)) == 0,
+    // EINTR-safe like every other syscall here: a SIGCHLD landing during
+    // the truncate must not abort an otherwise valid recovery.
+    EXPERT_REQUIRE(util::retry_eintr([&] {
+                     return ::truncate(path.c_str(),
+                                       static_cast<::off_t>(valid_end));
+                   }) == 0,
                    "journal: cannot truncate torn tail of " + path + ": " +
                        errno_text());
     journal_obs().torn.inc();

@@ -18,20 +18,17 @@ namespace {
 // watchdog's contract; it never feeds results, only abandonment timing.
 using Clock = std::chrono::steady_clock;
 
-/// Shared between the waiting caller and the worker running the inner
-/// backend. The worker may outlive the call (abandoned after a timeout),
-/// so the state is shared_ptr-owned and the worker holds copies of the
-/// inputs, never references into the caller's frame.
-struct CallState {
-  util::Mutex mutex;
-  util::CondVar cond;
-  bool done EXPERT_GUARDED_BY(mutex) = false;
-  bool abandoned EXPERT_GUARDED_BY(mutex) = false;
-  std::optional<trace::ExecutionTrace> result EXPERT_GUARDED_BY(mutex);
-  std::exception_ptr error EXPERT_GUARDED_BY(mutex);
-};
-
 }  // namespace
+
+void WatchdogCallState::publish(std::optional<trace::ExecutionTrace> outcome,
+                                std::exception_ptr failure) {
+  util::MutexLock lock(mutex);
+  if (abandoned) return;  // nobody is listening anymore
+  result = std::move(outcome);
+  error = failure;
+  done = true;
+  cond.notify_all();
+}
 
 core::Campaign::Backend with_watchdog(core::Campaign::Backend inner,
                                       WatchdogOptions options) {
@@ -44,7 +41,7 @@ core::Campaign::Backend with_watchdog(core::Campaign::Backend inner,
              const workload::Bot& bot,
              const strategies::StrategyConfig& strategy,
              std::uint64_t stream) -> trace::ExecutionTrace {
-    auto state = std::make_shared<CallState>();
+    auto state = std::make_shared<WatchdogCallState>();
 
     // The worker owns copies of everything it touches: after abandonment
     // the caller's frame (and its bot/strategy references) is gone.
@@ -56,12 +53,7 @@ core::Campaign::Backend with_watchdog(core::Campaign::Backend inner,
       } catch (...) {
         error = std::current_exception();
       }
-      util::MutexLock lock(state->mutex);
-      if (state->abandoned) return;  // nobody is listening anymore
-      state->result = std::move(result);
-      state->error = error;
-      state->done = true;
-      state->cond.notify_all();
+      state->publish(std::move(result), error);
     });
 
     const auto deadline =

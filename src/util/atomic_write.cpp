@@ -57,7 +57,7 @@ void atomic_write(const std::string& path, std::string_view contents) {
     ok = false;
     error = "fsync failed: " + errno_text();
   }
-  if (::close(fd) != 0 && ok) {
+  if (util::close_fd(fd) != 0 && ok) {
     ok = false;
     error = "close failed: " + errno_text();
   }
@@ -81,7 +81,7 @@ void atomic_write(const std::string& path, std::string_view contents) {
   if (dir_fd >= 0) {
     // best-effort: some filesystems refuse directory fsync
     retry_eintr([&] { return ::fsync(dir_fd); });
-    ::close(dir_fd);
+    close_fd(dir_fd);
   }
 }
 

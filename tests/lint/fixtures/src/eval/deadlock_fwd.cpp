@@ -1,0 +1,21 @@
+// Seeded LOCK001 violation, first half: acquires a then b. The reverse
+// order lives in deadlock_rev.cpp — the cycle is only visible cross-TU.
+#include "expert/util/thread_safety.hpp"
+
+namespace expert::eval {
+
+struct LockPair {
+  util::Mutex a;
+  util::Mutex b;
+  bool flag EXPERT_GUARDED_BY(a) = false;
+  void forward();
+  void backward();
+};
+
+void LockPair::forward() {
+  util::MutexLock first(a);
+  util::MutexLock second(b);
+  flag = true;
+}
+
+}  // namespace expert::eval

@@ -1,0 +1,21 @@
+// Seeded LOCK001 violation, second half: acquires b then a, the opposite
+// of deadlock_fwd.cpp. Each TU is deadlock-free on its own.
+#include "expert/util/thread_safety.hpp"
+
+namespace expert::eval {
+
+struct LockPair {
+  util::Mutex a;
+  util::Mutex b;
+  bool flag EXPERT_GUARDED_BY(a) = false;
+  void forward();
+  void backward();
+};
+
+void LockPair::backward() {
+  util::MutexLock first(b);
+  util::MutexLock second(a);
+  flag = false;
+}
+
+}  // namespace expert::eval

@@ -1,0 +1,19 @@
+// Seeded ANN001 violations: a std mutex member (invisible to
+// -Wthread-safety) and a util::Mutex whose class annotates nothing.
+#include <mutex>
+
+#include "expert/util/thread_safety.hpp"
+
+namespace expert::procexec {
+
+class UnauditedQueue {
+ public:
+  void push(int value);
+
+ private:
+  std::mutex mutex_;
+  util::Mutex gate_;
+  int queue_depth_ = 0;
+};
+
+}  // namespace expert::procexec

@@ -1,0 +1,19 @@
+// Seeded SIG001 violation: malloc between fork and exec. The child may
+// hold malloc's arena lock forever (its owner thread did not survive the
+// fork), so the allocation can deadlock before execv is ever reached.
+#include <cstdlib>
+
+#include <unistd.h>
+
+#include "expert/util/thread_safety.hpp"
+
+namespace expert::procexec {
+
+EXPERT_SIGNAL_SAFE void child_after_fork(char* const* argv) {
+  char* scratch = static_cast<char*>(malloc(64));
+  (void)scratch;
+  execv(argv[0], argv);
+  _exit(127);
+}
+
+}  // namespace expert::procexec

@@ -1,0 +1,16 @@
+// Seeded SYS001 violations: a bare read() retry loop that spins on any
+// negative return (not just EINTR) and a raw close().
+#include <unistd.h>
+
+namespace expert::resilience {
+
+int drain(int fd, char* buf, unsigned long len) {
+  long n = read(fd, buf, len);
+  while (n < 0) {
+    n = ::read(fd, buf, len);
+  }
+  close(fd);
+  return static_cast<int>(n);
+}
+
+}  // namespace expert::resilience

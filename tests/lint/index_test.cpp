@@ -1,0 +1,306 @@
+// Unit tests for the cross-TU layers under tools/expert_lint: the
+// declaration index (pass 1), the lock-order graph's cycle detector, and
+// the report/baseline serialization that CI consumes.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph.hpp"
+#include "index.hpp"
+#include "lexer.hpp"
+#include "report.hpp"
+
+namespace {
+
+using expert::lint::build_file_index;
+using expert::lint::Baseline;
+using expert::lint::CallSite;
+using expert::lint::ClassDecl;
+using expert::lint::FileIndex;
+using expert::lint::Finding;
+using expert::lint::FunctionDecl;
+using expert::lint::LockCycle;
+using expert::lint::LockEvent;
+using expert::lint::LockGraph;
+using expert::lint::TreeIndex;
+
+FileIndex index_of(std::string_view path, std::string_view source) {
+  return build_file_index(path, expert::lint::lex(source));
+}
+
+const FunctionDecl* find_fn(const FileIndex& file, std::string_view name) {
+  for (const FunctionDecl& fn : file.functions) {
+    if (fn.name == name) return &fn;
+  }
+  return nullptr;
+}
+
+// ---- declaration index: classes and members ----
+
+TEST(DeclIndex, ClassWithMutexMembersAndAnnotations) {
+  const auto file = index_of("src/util/a.cpp",
+                             "namespace expert::util {\n"
+                             "class Registry {\n"
+                             " public:\n"
+                             "  void add(int v);\n"
+                             " private:\n"
+                             "  util::Mutex mutex_;\n"
+                             "  std::mutex raw_;\n"
+                             "  int count_ EXPERT_GUARDED_BY(mutex_) = 0;\n"
+                             "};\n"
+                             "}\n");
+  ASSERT_EQ(file.classes.size(), 1u);
+  const ClassDecl& cls = file.classes[0];
+  EXPECT_EQ(cls.name, "Registry");
+  EXPECT_EQ(cls.line, 2);
+  EXPECT_FALSE(cls.capability);
+  EXPECT_TRUE(cls.any_guarded_member);
+  ASSERT_EQ(cls.mutex_members.size(), 2u);
+  EXPECT_EQ(cls.mutex_members[0].name, "mutex_");
+  EXPECT_FALSE(cls.mutex_members[0].is_std);
+  EXPECT_EQ(cls.mutex_members[1].name, "raw_");
+  EXPECT_TRUE(cls.mutex_members[1].is_std);
+}
+
+TEST(DeclIndex, CapabilityClassIsMarked) {
+  const auto file = index_of("include/expert/util/a.hpp",
+                             "#pragma once\n"
+                             "class EXPERT_CAPABILITY(\"mutex\") Mutex {\n"
+                             " private:\n"
+                             "  std::mutex mutex_;\n"
+                             "};\n");
+  ASSERT_EQ(file.classes.size(), 1u);
+  EXPECT_EQ(file.classes[0].name, "Mutex");
+  EXPECT_TRUE(file.classes[0].capability);
+}
+
+// ---- declaration index: functions and call sites ----
+
+TEST(DeclIndex, CallSitesRecordQualificationShape) {
+  const auto file = index_of("src/core/a.cpp",
+                             "void f() {\n"
+                             "  helper();\n"
+                             "  obj.method();\n"
+                             "  ptr->other();\n"
+                             "  Util::qualified();\n"
+                             "  ::global();\n"
+                             "}\n");
+  const FunctionDecl* fn = find_fn(file, "f");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->calls.size(), 5u);
+  EXPECT_EQ(fn->calls[0].name, "helper");
+  EXPECT_FALSE(fn->calls[0].member_access);
+  EXPECT_TRUE(fn->calls[1].member_access);
+  EXPECT_TRUE(fn->calls[2].member_access);
+  EXPECT_EQ(fn->calls[3].qualifier, "Util");
+  EXPECT_TRUE(fn->calls[4].global_qualified);
+}
+
+TEST(DeclIndex, RetryEintrArgumentsAreMarked) {
+  const auto file = index_of(
+      "src/util/a.cpp",
+      "int f(int fd) {\n"
+      "  int n = util::retry_eintr([&] { return ::read(fd, b, 1); });\n"
+      "  return ::read(fd, b, 1);\n"
+      "}\n");
+  const FunctionDecl* fn = find_fn(file, "f");
+  ASSERT_NE(fn, nullptr);
+  const CallSite* inside = nullptr;
+  const CallSite* outside = nullptr;
+  for (const CallSite& cs : fn->calls) {
+    if (cs.name != "read") continue;
+    (cs.line == 2 ? inside : outside) = &cs;
+  }
+  ASSERT_NE(inside, nullptr);
+  ASSERT_NE(outside, nullptr);
+  EXPECT_TRUE(inside->in_retry_eintr);
+  EXPECT_FALSE(outside->in_retry_eintr);
+}
+
+TEST(DeclIndex, SignalSafeMarkerAndOutOfLineClass) {
+  const auto file = index_of("src/procexec/a.cpp",
+                             "EXPERT_SIGNAL_SAFE void in_child() {\n"
+                             "  ::_exit(1);\n"
+                             "}\n"
+                             "void Pool::spawn() {\n"
+                             "  in_child();\n"
+                             "}\n");
+  const FunctionDecl* child = find_fn(file, "in_child");
+  ASSERT_NE(child, nullptr);
+  EXPECT_TRUE(child->signal_safe);
+  const FunctionDecl* spawn = find_fn(file, "spawn");
+  ASSERT_NE(spawn, nullptr);
+  EXPECT_EQ(spawn->cls, "Pool");
+  EXPECT_FALSE(spawn->signal_safe);
+}
+
+// ---- declaration index: lock events ----
+
+TEST(DeclIndex, RaiiLockScopesEmitAcquireReleasePairs) {
+  const auto file = index_of("src/core/a.cpp",
+                             "void f() {\n"
+                             "  util::MutexLock lock(a_);\n"
+                             "  {\n"
+                             "    std::lock_guard<std::mutex> inner(b_);\n"
+                             "  }\n"
+                             "}\n");
+  const FunctionDecl* fn = find_fn(file, "f");
+  ASSERT_NE(fn, nullptr);
+  std::vector<std::pair<LockEvent::Kind, std::string>> got;
+  for (const LockEvent& ev : fn->events) {
+    if (ev.kind != LockEvent::Kind::Call) got.emplace_back(ev.kind, ev.mutex);
+  }
+  const std::vector<std::pair<LockEvent::Kind, std::string>> want = {
+      {LockEvent::Kind::Acquire, "a_"},
+      {LockEvent::Kind::Acquire, "b_"},
+      {LockEvent::Kind::Release, "b_"},  // inner scope closes first
+      {LockEvent::Kind::Release, "a_"},
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(DeclIndex, DeferLockIsNotAnAcquire) {
+  const auto file = index_of(
+      "src/core/a.cpp",
+      "void f() {\n"
+      "  std::unique_lock<std::mutex> lk(m_, std::defer_lock);\n"
+      "}\n");
+  const FunctionDecl* fn = find_fn(file, "f");
+  ASSERT_NE(fn, nullptr);
+  for (const LockEvent& ev : fn->events) {
+    EXPECT_NE(ev.kind, LockEvent::Kind::Acquire);
+  }
+}
+
+// ---- merged tree lookups ----
+
+TEST(TreeIndexLookup, MergesClassesAndFunctionsAcrossFiles) {
+  TreeIndex tree;
+  tree.merge(index_of("src/core/a.cpp",
+                      "class Widget {\n"
+                      "  util::Mutex lock_;\n"
+                      "};\n"
+                      "void free_helper() {}\n"));
+  tree.merge(index_of("src/core/b.cpp", "void Widget::spin() {}\n"));
+
+  const ClassDecl* cls = tree.find_class("Widget");
+  ASSERT_NE(cls, nullptr);
+  EXPECT_TRUE(tree.class_has_mutex_member("Widget", "lock_"));
+  EXPECT_FALSE(tree.class_has_mutex_member("Widget", "other_"));
+  ASSERT_EQ(tree.classes_with_mutex_member("lock_").size(), 1u);
+
+  EXPECT_NE(tree.find_function("Widget", "spin"), nullptr);
+  EXPECT_EQ(tree.find_function("Widget", "absent"), nullptr);
+  EXPECT_EQ(tree.functions_named("free_helper").size(), 1u);
+}
+
+// ---- lock-order graph ----
+
+TEST(LockGraphCycles, TwoNodeCycleIsReported) {
+  LockGraph g;
+  g.add_edge("A", "B", "f1.cpp", 10);
+  g.add_edge("B", "A", "f2.cpp", 20);
+  g.add_edge("B", "C", "f1.cpp", 30);  // dangling edge, not in a cycle
+  const auto cycles = g.cycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].nodes, (std::vector<std::string>{"A", "B"}));
+  ASSERT_EQ(cycles[0].edges.size(), 2u);
+  EXPECT_EQ(cycles[0].edges[0].from, "A");
+  EXPECT_EQ(cycles[0].edges[0].file, "f1.cpp");
+}
+
+TEST(LockGraphCycles, AcyclicOrderingsProduceNothing) {
+  LockGraph g;
+  g.add_edge("A", "B", "f.cpp", 1);
+  g.add_edge("B", "C", "f.cpp", 2);
+  g.add_edge("A", "C", "f.cpp", 3);
+  EXPECT_TRUE(g.cycles().empty());
+  EXPECT_EQ(g.edge_count(), 3u);
+}
+
+TEST(LockGraphCycles, SelfLoopIsACycle) {
+  LockGraph g;
+  g.add_edge("A", "A", "f.cpp", 5);
+  const auto cycles = g.cycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].nodes, (std::vector<std::string>{"A"}));
+}
+
+TEST(LockGraphCycles, WitnessSiteIsInsertionOrderIndependent) {
+  // The same edges added in any order keep the lexicographically-first
+  // witness — the determinism contract the parallel walk relies on.
+  LockGraph forward;
+  forward.add_edge("A", "B", "a.cpp", 1);
+  forward.add_edge("A", "B", "z.cpp", 9);
+  LockGraph backward;
+  backward.add_edge("A", "B", "z.cpp", 9);
+  backward.add_edge("A", "B", "a.cpp", 1);
+  for (LockGraph* g : {&forward, &backward}) {
+    g->add_edge("B", "A", "m.cpp", 5);
+    const auto cycles = g->cycles();
+    ASSERT_EQ(cycles.size(), 1u);
+    EXPECT_EQ(cycles[0].edges[0].file, "a.cpp");
+    EXPECT_EQ(cycles[0].edges[0].line, 1);
+  }
+}
+
+// ---- report / baseline ----
+
+TEST(LintReport, BaselineFingerprintIgnoresLineNumbers) {
+  const Finding shifted_a{"SYS001", "src/a.cpp", 10, "raw read"};
+  const Finding shifted_b{"SYS001", "src/a.cpp", 99, "raw read"};
+  const Finding other{"SYS001", "src/a.cpp", 10, "raw write"};
+  EXPECT_EQ(Baseline::fingerprint(shifted_a), Baseline::fingerprint(shifted_b));
+  EXPECT_NE(Baseline::fingerprint(shifted_a), Baseline::fingerprint(other));
+}
+
+TEST(LintReport, BaselineRoundTripFiltersKnownFindings) {
+  const std::vector<Finding> known = {
+      {"SYS001", "src/a.cpp", 10, "raw read"}};
+  const std::string doc = expert::lint::render_baseline(known);
+
+  Baseline baseline;
+  ASSERT_TRUE(expert::lint::parse_baseline(doc, baseline));
+  EXPECT_TRUE(baseline.contains(known[0]));
+
+  const std::vector<Finding> current = {
+      {"SYS001", "src/a.cpp", 42, "raw read"},   // shifted: still baselined
+      {"LOCK001", "src/b.cpp", 7, "new cycle"},  // new: must gate
+  };
+  const auto gated = expert::lint::apply_baseline(current, baseline);
+  ASSERT_EQ(gated.size(), 1u);
+  EXPECT_EQ(gated[0].rule, "LOCK001");
+}
+
+TEST(LintReport, MalformedBaselineIsRejected) {
+  Baseline baseline;
+  EXPECT_FALSE(expert::lint::parse_baseline("not json", baseline));
+  EXPECT_FALSE(expert::lint::parse_baseline(
+      "{\"schema\": \"something-else\", \"entries\": []}", baseline));
+  EXPECT_TRUE(baseline.fingerprints.empty());
+}
+
+TEST(LintReport, JsonReportEscapesAndCounts) {
+  const std::vector<Finding> findings = {
+      {"FLT001", "src/a \"b\".cpp", 3, "line1\nline2"}};
+  const std::string json = expert::lint::render_json_report(findings);
+  EXPECT_NE(json.find("\"expert-lint-report-v1\""), std::string::npos);
+  EXPECT_NE(json.find("src/a \\\"b\\\".cpp"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+  EXPECT_NE(json.find("\"counts\": {\"FLT001\": 1}"), std::string::npos);
+}
+
+TEST(LintReport, SarifNamesTheRuleAndLocation) {
+  const std::vector<Finding> findings = {
+      {"SYS001", "src/a.cpp", 12, "raw read"}};
+  const std::string sarif = expert::lint::render_sarif(findings);
+  EXPECT_NE(sarif.find("\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"SYS001\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 12"), std::string::npos);
+  EXPECT_NE(sarif.find("src/a.cpp"), std::string::npos);
+}
+
+}  // namespace

@@ -10,12 +10,14 @@
 
 #include "lexer.hpp"
 #include "lint.hpp"
+#include "report.hpp"
 
 namespace {
 
 using expert::lint::Finding;
 using expert::lint::lint_paths;
 using expert::lint::lint_source;
+using expert::lint::lint_tree;
 
 const std::string kFixtures = EXPERT_LINT_FIXTURES;
 
@@ -140,6 +142,54 @@ TEST(LintFixtures, BadSuppressions) {
   EXPECT_EQ(got, want);
 }
 
+TEST(LintFixtures, SeededLockOrderCycle) {
+  // The cycle only exists across both TUs; each half alone is clean.
+  const auto fwd = lint_paths({kFixtures + "/src/eval/deadlock_fwd.cpp"});
+  EXPECT_TRUE(fwd.empty());
+
+  const auto findings =
+      lint_paths({kFixtures + "/src/eval/deadlock_fwd.cpp",
+                  kFixtures + "/src/eval/deadlock_rev.cpp"});
+  const auto got = rule_lines(findings);
+  const std::vector<std::pair<std::string, int>> want = {{"LOCK001", 17}};
+  EXPECT_EQ(got, want);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings[0].message.find(
+                "lock-order cycle between {LockPair::a, LockPair::b}"),
+            std::string::npos);
+  // The finding names both witness sites so either TU can be fixed.
+  EXPECT_NE(findings[0].message.find("deadlock_rev.cpp:17"),
+            std::string::npos);
+}
+
+TEST(LintFixtures, SeededAnnotationGaps) {
+  const auto findings =
+      lint_paths({kFixtures + "/src/procexec/bad_annotations.cpp"});
+  const auto got = rule_lines(findings);
+  const std::vector<std::pair<std::string, int>> want = {
+      {"ANN001", 9}, {"ANN001", 14}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(LintFixtures, SeededEintrDiscipline) {
+  const auto findings =
+      lint_paths({kFixtures + "/src/resilience/bad_eintr.cpp"});
+  const auto got = rule_lines(findings);
+  const std::vector<std::pair<std::string, int>> want = {
+      {"SYS001", 8}, {"SYS001", 10}, {"SYS001", 12}};
+  EXPECT_EQ(got, want);
+  // The close() finding routes to util::close_fd, not retry_eintr.
+  EXPECT_NE(findings[2].message.find("util::close_fd"), std::string::npos);
+}
+
+TEST(LintFixtures, SeededSignalSafety) {
+  const auto findings =
+      lint_paths({kFixtures + "/src/procexec/bad_signal.cpp"});
+  const auto got = rule_lines(findings);
+  const std::vector<std::pair<std::string, int>> want = {{"SIG001", 13}};
+  EXPECT_EQ(got, want);
+}
+
 TEST(LintFixtures, CleanCounterpartsHaveNoFindings) {
   EXPECT_TRUE(lint_paths({kFixtures + "/src/core/clean_core.cpp"}).empty());
   EXPECT_TRUE(lint_paths({kFixtures + "/src/obs/clean_clock.cpp"}).empty());
@@ -160,8 +210,38 @@ TEST(LintFixtures, DirectoryWalkFindsEverySeededFile) {
   EXPECT_TRUE(has_file("bad_io.cpp"));
   EXPECT_TRUE(has_file("bad_process.cpp"));
   EXPECT_TRUE(has_file("bad_suppressions.cpp"));
+  EXPECT_TRUE(has_file("deadlock_fwd.cpp"));
+  EXPECT_TRUE(has_file("bad_annotations.cpp"));
+  EXPECT_TRUE(has_file("bad_eintr.cpp"));
+  EXPECT_TRUE(has_file("bad_signal.cpp"));
   EXPECT_FALSE(has_file("clean_core.cpp"));
   EXPECT_FALSE(has_file("clean_clock.cpp"));
+}
+
+// ---- parallel walk determinism ----
+
+std::vector<std::string> formatted(const std::vector<Finding>& findings) {
+  std::vector<std::string> out;
+  out.reserve(findings.size());
+  for (const Finding& f : findings) out.push_back(expert::lint::format(f));
+  return out;
+}
+
+TEST(LintTree, ThreadCountNeverChangesOutput) {
+  // The property the parallel walk promises: 1 worker and N workers
+  // produce byte-identical reports, down to cross-TU finding order.
+  const auto sequential =
+      lint_tree({kFixtures}, expert::lint::TreeOptions{1});
+  ASSERT_FALSE(sequential.empty());
+  for (const int threads : {2, 3, 8}) {
+    const auto parallel =
+        lint_tree({kFixtures}, expert::lint::TreeOptions{threads});
+    EXPECT_EQ(formatted(sequential), formatted(parallel))
+        << "thread count " << threads << " changed the findings";
+    EXPECT_EQ(expert::lint::render_json_report(sequential),
+              expert::lint::render_json_report(parallel))
+        << "thread count " << threads << " changed the JSON bytes";
+  }
 }
 
 // ---- scope classification ----

@@ -1,0 +1,10 @@
+// Pristine input for lint.selftest. The analyzer's JSON report over
+// selftest_tree/ is pinned byte-for-byte in ../golden/selftest_report.json;
+// editing any file here (or the analyzer's output format) requires
+// regenerating the golden — see docs/static-analysis.md.
+#include <random>
+
+int entropy() {
+  std::random_device dev;
+  return static_cast<int>(dev());
+}

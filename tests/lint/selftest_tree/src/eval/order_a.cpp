@@ -1,0 +1,21 @@
+// lint.selftest input: half of a cross-TU lock-order cycle (see
+// order_b.cpp for the reverse order).
+#include "expert/util/thread_safety.hpp"
+
+namespace expert::eval {
+
+struct Ledger {
+  util::Mutex rows;
+  util::Mutex totals;
+  int balance EXPERT_GUARDED_BY(rows) = 0;
+  void credit();
+  void audit();
+};
+
+void Ledger::credit() {
+  util::MutexLock outer(rows);
+  util::MutexLock inner(totals);
+  balance = 1;
+}
+
+}  // namespace expert::eval

@@ -1,0 +1,20 @@
+// lint.selftest input: the opposite acquisition order from order_a.cpp.
+#include "expert/util/thread_safety.hpp"
+
+namespace expert::eval {
+
+struct Ledger {
+  util::Mutex rows;
+  util::Mutex totals;
+  int balance EXPERT_GUARDED_BY(rows) = 0;
+  void credit();
+  void audit();
+};
+
+void Ledger::audit() {
+  util::MutexLock outer(totals);
+  util::MutexLock inner(rows);
+  balance = 0;
+}
+
+}  // namespace expert::eval

@@ -1,0 +1,17 @@
+// lint.selftest input: heap allocation between fork and exec (SIG001).
+#include <cstdlib>
+
+#include <unistd.h>
+
+#include "expert/util/thread_safety.hpp"
+
+namespace expert::procexec {
+
+EXPERT_SIGNAL_SAFE void launch(char* const* argv) {
+  char* banner = static_cast<char*>(calloc(1, 32));
+  (void)banner;
+  execv(argv[0], argv);
+  _exit(127);
+}
+
+}  // namespace expert::procexec

@@ -1,0 +1,25 @@
+// lint.selftest input: EINTR-undisciplined syscalls and an unannotated
+// mutex, exercising SYS001 and ANN001 in one translation unit.
+#include <mutex>
+
+#include <unistd.h>
+
+namespace expert::resilience {
+
+class Spool {
+ public:
+  int flush(int fd);
+
+ private:
+  std::mutex mutex_;
+  int pending_ = 0;
+};
+
+int Spool::flush(int fd) {
+  char byte = 0;
+  long n = write(fd, &byte, 1);
+  close(fd);
+  return static_cast<int>(n);
+}
+
+}  // namespace expert::resilience

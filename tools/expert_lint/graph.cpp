@@ -1,0 +1,122 @@
+#include "graph.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace expert::lint {
+
+void LockGraph::add_edge(std::string from, std::string to, std::string file,
+                         int line) {
+  const auto key = std::make_pair(std::move(from), std::move(to));
+  auto site = std::make_pair(std::move(file), line);
+  const auto it = edges_.find(key);
+  if (it == edges_.end()) {
+    edges_.emplace(key, std::move(site));
+  } else if (site < it->second) {
+    it->second = std::move(site);
+  }
+}
+
+std::vector<LockCycle> LockGraph::cycles() const {
+  // Collect nodes in sorted order (std::map keys are already sorted, so
+  // index assignment is deterministic).
+  std::map<std::string, std::size_t> node_ids;
+  for (const auto& [key, site] : edges_) {
+    (void)site;
+    node_ids.emplace(key.first, 0);
+    node_ids.emplace(key.second, 0);
+  }
+  std::vector<std::string> names;
+  names.reserve(node_ids.size());
+  for (auto& [name, id] : node_ids) {
+    id = names.size();
+    names.push_back(name);
+  }
+  std::vector<std::vector<std::size_t>> adj(names.size());
+  for (const auto& [key, site] : edges_) {
+    (void)site;
+    adj[node_ids[key.first]].push_back(node_ids[key.second]);
+  }
+
+  // Iterative Tarjan SCC. Nodes are visited in sorted-name order and
+  // adjacency lists are built from the sorted edge map, so component
+  // discovery order is a pure function of the graph.
+  const std::size_t n = names.size();
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> index(n, kUnvisited), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<std::size_t>> components;
+  std::size_t next_index = 0;
+
+  struct WorkItem {
+    std::size_t node;
+    std::size_t edge;  // next adjacency position to explore
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    std::vector<WorkItem> work{{root, 0}};
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!work.empty()) {
+      WorkItem& top = work.back();
+      if (top.edge < adj[top.node].size()) {
+        const std::size_t next = adj[top.node][top.edge++];
+        if (index[next] == kUnvisited) {
+          index[next] = low[next] = next_index++;
+          stack.push_back(next);
+          on_stack[next] = true;
+          work.push_back(WorkItem{next, 0});
+        } else if (on_stack[next]) {
+          low[top.node] = std::min(low[top.node], index[next]);
+        }
+      } else {
+        const std::size_t node = top.node;
+        work.pop_back();
+        if (!work.empty()) {
+          low[work.back().node] = std::min(low[work.back().node], low[node]);
+        }
+        if (low[node] == index[node]) {
+          std::vector<std::size_t> component;
+          std::size_t member = 0;
+          do {
+            member = stack.back();
+            stack.pop_back();
+            on_stack[member] = false;
+            component.push_back(member);
+          } while (member != node);
+          components.push_back(std::move(component));
+        }
+      }
+    }
+  }
+
+  std::vector<LockCycle> out;
+  for (const std::vector<std::size_t>& component : components) {
+    const bool self_loop =
+        component.size() == 1 &&
+        edges_.count({names[component[0]], names[component[0]]}) > 0;
+    if (component.size() < 2 && !self_loop) continue;
+    LockCycle cycle;
+    for (const std::size_t id : component) cycle.nodes.push_back(names[id]);
+    std::sort(cycle.nodes.begin(), cycle.nodes.end());
+    for (const auto& [key, site] : edges_) {
+      const bool from_in = std::binary_search(cycle.nodes.begin(),
+                                              cycle.nodes.end(), key.first);
+      const bool to_in = std::binary_search(cycle.nodes.begin(),
+                                            cycle.nodes.end(), key.second);
+      if (from_in && to_in) {
+        cycle.edges.push_back(
+            LockEdge{key.first, key.second, site.first, site.second});
+      }
+    }
+    out.push_back(std::move(cycle));
+  }
+  std::sort(out.begin(), out.end(), [](const LockCycle& a, const LockCycle& b) {
+    return a.nodes < b.nodes;
+  });
+  return out;
+}
+
+}  // namespace expert::lint

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace expert::lint {
+
+/// One observed acquisition ordering: `to` was acquired while `from` was
+/// held, first witnessed at file:line (the acquisition site of `to`).
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string file;
+  int line = 0;
+};
+
+/// A strongly connected component of the lock-order graph with more than
+/// one node (or a self-loop): a potential deadlock. `nodes` is sorted;
+/// `edges` are the component-internal edges in (from, to) order.
+struct LockCycle {
+  std::vector<std::string> nodes;
+  std::vector<LockEdge> edges;
+};
+
+/// Directed graph over canonical mutex names. Everything about it is
+/// deterministic: edges dedupe to the lexicographically-first witness
+/// site, nodes iterate in name order, and cycle output is sorted — so the
+/// same tree always produces byte-identical findings regardless of
+/// insertion order or thread count.
+class LockGraph {
+ public:
+  void add_edge(std::string from, std::string to, std::string file, int line);
+
+  /// All strongly connected components that can deadlock (size >= 2, or a
+  /// single node with a self-edge), sorted by their smallest node name.
+  std::vector<LockCycle> cycles() const;
+
+  std::size_t edge_count() const noexcept { return edges_.size(); }
+
+ private:
+  /// (from, to) -> first witness site.
+  std::map<std::pair<std::string, std::string>, std::pair<std::string, int>>
+      edges_;
+};
+
+}  // namespace expert::lint

@@ -1,0 +1,558 @@
+#include "index.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace expert::lint {
+
+namespace {
+
+/// Identifiers that read as `name (` but are never call sites we want.
+const std::unordered_set<std::string> kNeverCalls = {
+    "if",       "for",      "while",        "switch",       "catch",
+    "sizeof",   "alignof",  "alignas",      "decltype",     "noexcept",
+    "new",      "delete",   "co_await",     "static_assert", "defined",
+    "typeid",   "return",   "throw",        "assert",
+};
+
+/// Keywords that may directly precede a call target (`return f(x)`); any
+/// other identifier before `f (` makes it a declarator (`Type f(x)`).
+const std::unordered_set<std::string> kCallPrevKeywords = {
+    "return", "co_return", "co_yield", "if", "while", "do", "else",
+    "case",   "throw",     "co_await",
+};
+
+const std::unordered_set<std::string> kStdMutexTypes = {
+    "mutex",        "recursive_mutex",       "timed_mutex",
+    "shared_mutex", "recursive_timed_mutex", "shared_timed_mutex",
+};
+
+/// RAII lock declarations that open a critical section.
+const std::unordered_set<std::string> kLockDeclTypes = {
+    "MutexLock", "lock_guard", "unique_lock", "scoped_lock",
+};
+
+/// std lock tag arguments that are not mutexes.
+const std::unordered_set<std::string> kLockTags = {
+    "defer_lock", "adopt_lock", "try_to_lock",
+};
+
+bool is_class_key(const std::string& t) {
+  return t == "class" || t == "struct" || t == "union" || t == "enum";
+}
+
+bool starts_with(const std::string& s, std::string_view prefix) {
+  return s.size() >= prefix.size() &&
+         std::string_view(s).substr(0, prefix.size()) == prefix;
+}
+
+/// Walks the token stream once, maintaining a context stack (namespace /
+/// class / function / block frames keyed by brace depth) plus running
+/// paren depth, and materializes a FileIndex. The statement buffer resets
+/// on `;` `{` `}` only at paren depth zero, so a lambda passed as an
+/// argument does not split the declaration that contains it.
+class IndexBuilder {
+ public:
+  IndexBuilder(std::string_view path, const std::vector<Token>& toks)
+      : toks_(toks) {
+    out_.path = std::string(path);
+    FunctionDecl file_scope;
+    file_scope.name = "<file-scope>";
+    file_scope.file = out_.path;
+    file_scope.line = 1;
+    out_.functions.push_back(std::move(file_scope));
+  }
+
+  FileIndex run() {
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (t.kind == TokenKind::Punct) {
+        if (t.text == "(") {
+          ++paren_depth_;
+        } else if (t.text == ")") {
+          if (paren_depth_ > 0) --paren_depth_;
+          while (!retry_stack_.empty() && retry_stack_.back() > paren_depth_) {
+            retry_stack_.pop_back();
+          }
+        } else if (t.text == "{") {
+          open_brace(t.line);
+          continue;
+        } else if (t.text == "}") {
+          close_brace(t.line);
+          continue;
+        } else if (t.text == ";" && paren_depth_ == 0) {
+          end_statement();
+          continue;
+        }
+      } else if (t.kind == TokenKind::Identifier) {
+        if (maybe_lock_decl(i)) {
+          // fall through: the declaration tokens still join the statement
+        }
+        maybe_call(i);
+      }
+      stmt_.push_back(i);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  struct Frame {
+    enum class Kind { Namespace, Class, Function, Block };
+    Kind kind = Kind::Block;
+    int depth = 0;        ///< brace depth of the frame's body
+    std::size_t decl = 0; ///< index into out_.classes / out_.functions
+  };
+
+  struct LockScope {
+    int depth = 0;
+    std::string mutex;
+    std::size_t fn = 0;
+  };
+
+  /// A function head whose `{` turned out to open a member brace-init
+  /// (`Foo::Foo() : bar_{1} {`); the body brace arrives later at the same
+  /// depth with an empty or init-remnant statement.
+  struct PendingFn {
+    int depth = 0;
+    std::size_t decl = 0;
+    bool valid = false;
+  };
+
+  std::size_t current_function() const {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->kind == Frame::Kind::Function) return it->decl;
+    }
+    return 0;  // "<file-scope>"
+  }
+
+  std::string enclosing_class() const {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->kind == Frame::Kind::Class) {
+        return out_.classes[it->decl].name;
+      }
+      if (it->kind == Frame::Kind::Function) break;
+    }
+    return "";
+  }
+
+  bool in_function() const {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->kind == Frame::Kind::Function) return true;
+    }
+    return false;
+  }
+
+  bool stmt_has(std::string_view text) const {
+    return std::any_of(stmt_.begin(), stmt_.end(), [&](std::size_t k) {
+      return toks_[k].text == text;
+    });
+  }
+
+  // ---- call and lock recognition --------------------------------------
+
+  void maybe_call(std::size_t i) {
+    if (i == lock_var_index_) return;  // the RAII lock variable name
+    if (i + 1 >= toks_.size() || toks_[i + 1].text != "(") return;
+    const std::string& name = toks_[i].text;
+    if (kNeverCalls.count(name) > 0) return;
+    if (starts_with(name, "EXPERT_")) return;  // annotation macros
+
+    CallSite cs;
+    cs.name = name;
+    cs.line = toks_[i].line;
+    if (i > 0) {
+      const Token& prev = toks_[i - 1];
+      if (prev.text == "." || prev.text == "->") {
+        cs.member_access = true;
+      } else if (prev.text == "::") {
+        if (i >= 2 && toks_[i - 2].kind == TokenKind::Identifier) {
+          cs.qualifier = toks_[i - 2].text;
+        } else {
+          cs.global_qualified = true;
+        }
+      } else if (prev.kind == TokenKind::Identifier) {
+        if (kCallPrevKeywords.count(prev.text) == 0) return;  // declarator
+      }
+    }
+    cs.in_retry_eintr = !retry_stack_.empty();
+
+    FunctionDecl& fn = out_.functions[current_function()];
+    fn.events.push_back(
+        LockEvent{LockEvent::Kind::Call, "", fn.calls.size(), cs.line});
+    const bool is_retry = cs.name == "retry_eintr";
+    fn.calls.push_back(std::move(cs));
+    if (is_retry) retry_stack_.push_back(paren_depth_ + 1);
+  }
+
+  /// Recognize `util::MutexLock lk(expr);` and
+  /// `std::lock_guard<T> lk(expr);` declarations, emitting Acquire events
+  /// and registering the lock with the current brace depth so the matching
+  /// Release is emitted when the scope closes.
+  bool maybe_lock_decl(std::size_t i) {
+    if (kLockDeclTypes.count(toks_[i].text) == 0) return false;
+    std::size_t j = i + 1;
+    if (j < toks_.size() && toks_[j].text == "<") {
+      int angle = 1;
+      ++j;
+      while (j < toks_.size() && angle > 0) {
+        if (toks_[j].text == "<") ++angle;
+        else if (toks_[j].text == ">") --angle;
+        else if (toks_[j].text == ">>") angle -= 2;
+        ++j;
+      }
+    }
+    if (j + 1 >= toks_.size()) return false;
+    if (toks_[j].kind != TokenKind::Identifier) return false;
+    const std::size_t var = j;
+    const std::string open = toks_[j + 1].text;
+    if (open != "(" && open != "{") return false;
+    const std::string close = open == "(" ? ")" : "}";
+
+    // Collect the last identifier of each top-level argument.
+    std::vector<std::pair<std::string, int>> mutexes;
+    std::string last_ident;
+    int last_line = 0;
+    int depth = 1;
+    std::size_t k = var + 2;
+    for (; k < toks_.size() && depth > 0; ++k) {
+      const std::string& tx = toks_[k].text;
+      if (tx == "(" || tx == "{") {
+        ++depth;
+      } else if (tx == ")" || tx == "}") {
+        --depth;
+      } else if (tx == "," && depth == 1) {
+        if (!last_ident.empty()) mutexes.emplace_back(last_ident, last_line);
+        last_ident.clear();
+        continue;
+      }
+      if (depth > 0 && toks_[k].kind == TokenKind::Identifier) {
+        last_ident = toks_[k].text;
+        last_line = toks_[k].line;
+      }
+    }
+    if (!last_ident.empty()) mutexes.emplace_back(last_ident, last_line);
+    if (mutexes.empty()) return false;
+    // std::defer_lock means nothing is held at declaration; other tag
+    // arguments are just not mutexes.
+    for (const auto& [name, line] : mutexes) {
+      (void)line;
+      if (name == "defer_lock") return false;
+    }
+
+    const std::size_t fn_idx = current_function();
+    FunctionDecl& fn = out_.functions[fn_idx];
+    for (const auto& [name, line] : mutexes) {
+      if (kLockTags.count(name) > 0) continue;
+      fn.events.push_back(
+          LockEvent{LockEvent::Kind::Acquire, name, 0, line});
+      lock_scopes_.push_back(LockScope{brace_depth_, name, fn_idx});
+    }
+    lock_var_index_ = var;
+    return true;
+  }
+
+  // ---- statement / scope handling -------------------------------------
+
+  void end_statement() {
+    if (!stack_.empty() && stack_.back().kind == Frame::Kind::Class &&
+        brace_depth_ == stack_.back().depth) {
+      scan_member_statement(out_.classes[stack_.back().decl]);
+    }
+    if (pending_fn_.valid && pending_fn_.depth == brace_depth_) {
+      pending_fn_.valid = false;
+    }
+    stmt_.clear();
+  }
+
+  void scan_member_statement(ClassDecl& cls) {
+    for (std::size_t s = 0; s < stmt_.size(); ++s) {
+      const Token& t = toks_[stmt_[s]];
+      if (t.kind != TokenKind::Identifier) continue;
+      if (t.text == "EXPERT_GUARDED_BY" || t.text == "EXPERT_PT_GUARDED_BY") {
+        cls.any_guarded_member = true;
+        continue;
+      }
+      bool is_std = false;
+      if (t.text == "Mutex") {
+        // `util::Mutex` or bare `Mutex`; any other qualifier is a
+        // different type.
+        if (s >= 1 && toks_[stmt_[s - 1]].text == "::" &&
+            !(s >= 2 && toks_[stmt_[s - 2]].text == "util")) {
+          continue;
+        }
+      } else if (kStdMutexTypes.count(t.text) > 0) {
+        if (!(s >= 2 && toks_[stmt_[s - 1]].text == "::" &&
+              toks_[stmt_[s - 2]].text == "std")) {
+          continue;
+        }
+        is_std = true;
+      } else {
+        continue;
+      }
+      // The member name must directly follow the type (a `&` or `*` in
+      // between makes it a reference/pointer member, which guards
+      // nothing), and must not open a function declaration.
+      if (s + 1 >= stmt_.size()) continue;
+      const Token& name = toks_[stmt_[s + 1]];
+      if (name.kind != TokenKind::Identifier) continue;
+      if (s + 2 < stmt_.size() && toks_[stmt_[s + 2]].text == "(") continue;
+      cls.mutex_members.push_back(MutexMember{name.text, name.line, is_std});
+    }
+  }
+
+  void open_brace(int line) {
+    ++brace_depth_;
+    if (paren_depth_ > 0) {
+      // Lambda body inside an argument list: a plain block, and the
+      // surrounding statement stays intact.
+      stack_.push_back(Frame{Frame::Kind::Block, brace_depth_, 0});
+      return;
+    }
+    classify_brace(line);
+    stmt_.clear();
+  }
+
+  void classify_brace(int line) {
+    // Resume a function head whose init-list braces we already consumed.
+    if (pending_fn_.valid && pending_fn_.depth == brace_depth_ - 1) {
+      const bool init_remnant =
+          !stmt_.empty() &&
+          toks_[stmt_.back()].kind == TokenKind::Identifier;
+      if (!init_remnant) {
+        stack_.push_back(
+            Frame{Frame::Kind::Function, brace_depth_, pending_fn_.decl});
+        pending_fn_.valid = false;
+        return;
+      }
+      // `, next_member_ {` — another init brace; keep waiting.
+      stack_.push_back(Frame{Frame::Kind::Block, brace_depth_, 0});
+      return;
+    }
+
+    if (in_function()) {
+      stack_.push_back(Frame{Frame::Kind::Block, brace_depth_, 0});
+      return;
+    }
+    if (stmt_.empty()) {
+      stack_.push_back(Frame{Frame::Kind::Block, brace_depth_, 0});
+      return;
+    }
+
+    if (stmt_has("namespace")) {
+      stack_.push_back(Frame{Frame::Kind::Namespace, brace_depth_, 0});
+      return;
+    }
+
+    // Class head: a class-key before any `(` (so `void f(struct x)` stays
+    // a function head).
+    std::size_t class_key = stmt_.size();
+    std::size_t first_paren = stmt_.size();
+    for (std::size_t s = 0; s < stmt_.size(); ++s) {
+      const std::string& tx = toks_[stmt_[s]].text;
+      if (class_key == stmt_.size() && is_class_key(tx)) class_key = s;
+      if (first_paren == stmt_.size() && tx == "(") first_paren = s;
+    }
+    if (class_key < stmt_.size() && class_key < first_paren) {
+      ClassDecl cls;
+      cls.file = out_.path;
+      cls.line = toks_[stmt_[class_key]].line;
+      std::size_t n = class_key + 1;
+      while (n < stmt_.size() && is_class_key(toks_[stmt_[n]].text)) ++n;
+      // Annotation macros sit between the class-key and the name
+      // (`class EXPERT_CAPABILITY("mutex") Mutex`); skip each one along
+      // with its balanced argument list.
+      while (n < stmt_.size() &&
+             toks_[stmt_[n]].kind == TokenKind::Identifier &&
+             starts_with(toks_[stmt_[n]].text, "EXPERT_")) {
+        ++n;
+        if (n < stmt_.size() && toks_[stmt_[n]].text == "(") {
+          int macro_depth = 0;
+          while (n < stmt_.size()) {
+            const std::string& mt = toks_[stmt_[n]].text;
+            if (mt == "(") ++macro_depth;
+            if (mt == ")" && --macro_depth == 0) {
+              ++n;
+              break;
+            }
+            ++n;
+          }
+        }
+      }
+      if (n < stmt_.size() &&
+          toks_[stmt_[n]].kind == TokenKind::Identifier) {
+        cls.name = toks_[stmt_[n]].text;
+      }
+      cls.capability = stmt_has("EXPERT_CAPABILITY") ||
+                       stmt_has("EXPERT_SCOPED_CAPABILITY");
+      out_.classes.push_back(std::move(cls));
+      stack_.push_back(
+          Frame{Frame::Kind::Class, brace_depth_, out_.classes.size() - 1});
+      return;
+    }
+
+    // `= { ... }` initializers (aggregate inits, file-scope lambdas) are
+    // plain blocks. Only `=` before the first paren counts, and template
+    // default arguments (`template <class T = X>`) are shielded by angle
+    // tracking.
+    int angle = 0;
+    for (std::size_t s = 0; s < stmt_.size() && s < first_paren; ++s) {
+      const std::string& tx = toks_[stmt_[s]].text;
+      if (tx == "<") ++angle;
+      else if (tx == ">") angle = std::max(0, angle - 1);
+      else if (tx == ">>") angle = std::max(0, angle - 2);
+      else if (tx == "=" && angle == 0) {
+        stack_.push_back(Frame{Frame::Kind::Block, brace_depth_, 0});
+        return;
+      }
+    }
+
+    if (first_paren == stmt_.size() || first_paren == 0) {
+      stack_.push_back(Frame{Frame::Kind::Block, brace_depth_, 0});
+      return;
+    }
+
+    // Function head. Name: the identifier before the first depth-0 `(`;
+    // qualifier: a preceding `Cls ::`, else the enclosing class.
+    FunctionDecl fn;
+    fn.file = out_.path;
+    fn.line = line;
+    const Token& before = toks_[stmt_[first_paren - 1]];
+    if (before.kind == TokenKind::Identifier) {
+      fn.name = before.text;
+      fn.line = before.line;
+      if (first_paren >= 3 && toks_[stmt_[first_paren - 2]].text == "::" &&
+          toks_[stmt_[first_paren - 3]].kind == TokenKind::Identifier) {
+        fn.cls = toks_[stmt_[first_paren - 3]].text;
+      }
+      if (first_paren >= 2 && toks_[stmt_[first_paren - 2]].text == "~") {
+        fn.name = "~" + fn.name;
+      }
+    } else {
+      fn.name = "<anon>";
+    }
+    if (fn.cls.empty()) fn.cls = enclosing_class();
+    fn.signal_safe = stmt_has("EXPERT_SIGNAL_SAFE");
+
+    // Distinguish the body brace from a member brace-init in a ctor
+    // init-list: the body follows `)` / `const` / `noexcept` / ... while
+    // `: member_ {` follows the member identifier.
+    const Token& last = toks_[stmt_.back()];
+    const bool init_brace =
+        last.kind == TokenKind::Identifier &&
+        !(stmt_.size() >= 2 &&
+          toks_[stmt_[stmt_.size() - 2]].text == "->") &&
+        last.text != "const" && last.text != "noexcept" &&
+        last.text != "override" && last.text != "final" &&
+        last.text != "try" && last.text != "mutable";
+    out_.functions.push_back(std::move(fn));
+    if (init_brace) {
+      pending_fn_ =
+          PendingFn{brace_depth_ - 1, out_.functions.size() - 1, true};
+      stack_.push_back(Frame{Frame::Kind::Block, brace_depth_, 0});
+    } else {
+      stack_.push_back(Frame{Frame::Kind::Function, brace_depth_,
+                             out_.functions.size() - 1});
+    }
+  }
+
+  void close_brace(int line) {
+    while (!lock_scopes_.empty() &&
+           lock_scopes_.back().depth >= brace_depth_) {
+      const LockScope& ls = lock_scopes_.back();
+      out_.functions[ls.fn].events.push_back(
+          LockEvent{LockEvent::Kind::Release, ls.mutex, 0, line});
+      lock_scopes_.pop_back();
+    }
+    if (!stack_.empty() && stack_.back().depth == brace_depth_) {
+      stack_.pop_back();
+    }
+    if (brace_depth_ > 0) --brace_depth_;
+    if (paren_depth_ == 0) stmt_.clear();
+  }
+
+  const std::vector<Token>& toks_;
+  FileIndex out_;
+  std::vector<Frame> stack_;
+  std::vector<LockScope> lock_scopes_;
+  std::vector<std::size_t> stmt_;
+  std::vector<int> retry_stack_;  ///< paren depths of open retry_eintr args
+  PendingFn pending_fn_;
+  std::size_t lock_var_index_ = static_cast<std::size_t>(-1);
+  int brace_depth_ = 0;
+  int paren_depth_ = 0;
+};
+
+}  // namespace
+
+FileIndex build_file_index(std::string_view path, const LexResult& lex) {
+  return IndexBuilder(path, lex.tokens).run();
+}
+
+void TreeIndex::merge(FileIndex file) {
+  for (const ClassDecl& cls : file.classes) {
+    if (cls.name.empty()) continue;
+    if (class_by_name_.find(cls.name) == class_by_name_.end()) {
+      class_by_name_[cls.name] = flat_classes_.size();
+      flat_classes_.push_back(cls);
+    }
+  }
+  for (const FunctionDecl& fn : file.functions) {
+    fn_by_name_[fn.name].push_back(flat_functions_.size());
+    flat_functions_.push_back(fn);
+  }
+  files_.push_back(std::move(file));
+}
+
+const ClassDecl* TreeIndex::find_class(std::string_view name) const {
+  const auto it = class_by_name_.find(std::string(name));
+  if (it == class_by_name_.end()) return nullptr;
+  return &flat_classes_[it->second];
+}
+
+bool TreeIndex::class_has_mutex_member(std::string_view cls,
+                                       std::string_view member) const {
+  const ClassDecl* decl = find_class(cls);
+  if (decl == nullptr) return false;
+  return std::any_of(decl->mutex_members.begin(), decl->mutex_members.end(),
+                     [&](const MutexMember& m) {
+                       return !m.is_std && m.name == member;
+                     });
+}
+
+std::vector<const ClassDecl*> TreeIndex::classes_with_mutex_member(
+    std::string_view member) const {
+  std::vector<const ClassDecl*> out;
+  for (const ClassDecl& cls : flat_classes_) {
+    for (const MutexMember& m : cls.mutex_members) {
+      if (!m.is_std && m.name == member) {
+        out.push_back(&cls);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<const FunctionDecl*> TreeIndex::functions_named(
+    std::string_view name) const {
+  std::vector<const FunctionDecl*> out;
+  const auto it = fn_by_name_.find(std::string(name));
+  if (it == fn_by_name_.end()) return out;
+  out.reserve(it->second.size());
+  for (const std::size_t idx : it->second) {
+    out.push_back(&flat_functions_[idx]);
+  }
+  return out;
+}
+
+const FunctionDecl* TreeIndex::find_function(std::string_view cls,
+                                             std::string_view name) const {
+  const auto it = fn_by_name_.find(std::string(name));
+  if (it == fn_by_name_.end()) return nullptr;
+  for (const std::size_t idx : it->second) {
+    if (flat_functions_[idx].cls == cls) return &flat_functions_[idx];
+  }
+  return nullptr;
+}
+
+}  // namespace expert::lint

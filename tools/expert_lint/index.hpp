@@ -1,0 +1,127 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace expert::lint {
+
+/// Pass 1 of the two-pass analyzer: a per-file declaration index built from
+/// the token stream, merged across every scanned translation unit into a
+/// TreeIndex. Pass 2's rule families (LOCK001 lock-order cycles, ANN001
+/// annotation coverage, SYS001 EINTR discipline, SIG001 async-signal
+/// safety, PROC001 process-syscall scoping) read only the index — they
+/// never re-lex, which is what makes them cheap enough to run cross-TU on
+/// every ctest invocation.
+///
+/// The index is intentionally approximate in the same way the lexer is: it
+/// tracks brace/paren structure, not grammar. Classes, member declarations,
+/// function bodies, lock-acquisition scopes, and call sites are recognized
+/// by local token patterns that hold for this codebase's style (and are
+/// pinned by tests/lint fixtures), not by a full parse.
+
+/// A mutex-typed data member (util::Mutex or a raw std:: mutex type).
+struct MutexMember {
+  std::string name;
+  int line = 0;
+  bool is_std = false;  ///< std::mutex & friends — invisible to -Wthread-safety
+};
+
+/// One class/struct declaration and what ANN001/LOCK001 need from it.
+struct ClassDecl {
+  std::string name;
+  std::string file;
+  int line = 0;
+  /// EXPERT_CAPABILITY / EXPERT_SCOPED_CAPABILITY on the class head: the
+  /// class IS a capability (Mutex, MutexLock), so its internal mutex is the
+  /// implementation, not an unannotated guard.
+  bool capability = false;
+  /// Any member carries EXPERT_GUARDED_BY / EXPERT_PT_GUARDED_BY.
+  bool any_guarded_member = false;
+  std::vector<MutexMember> mutex_members;
+};
+
+/// One call site inside a function body (or at file scope).
+struct CallSite {
+  std::string qualifier;  ///< "Cls" for Cls::f(, "" otherwise
+  std::string name;
+  int line = 0;
+  bool member_access = false;    ///< obj.f( / obj->f(
+  bool global_qualified = false; ///< ::f(
+  bool in_retry_eintr = false;   ///< lexically inside a retry_eintr(...) argument
+};
+
+/// Events inside one function, in source order. Acquire/Release pairs are
+/// derived from RAII lock declarations (util::MutexLock, std::lock_guard,
+/// std::unique_lock, std::scoped_lock) and their enclosing brace scope;
+/// manual .lock()/.unlock() calls are not tracked.
+struct LockEvent {
+  enum class Kind { Acquire, Release, Call };
+  Kind kind = Kind::Call;
+  /// Acquire/Release: the raw argument's trailing member name (e.g. "mutex_"
+  /// for `impl_->mutex_`); Call: index into FunctionDecl::calls.
+  std::string mutex;
+  std::size_t call = 0;
+  int line = 0;
+};
+
+struct FunctionDecl {
+  std::string cls;   ///< enclosing or qualifying class, "" for free functions
+  std::string name;  ///< "<file-scope>" collects tokens outside any function
+  std::string file;
+  int line = 0;
+  bool signal_safe = false;  ///< EXPERT_SIGNAL_SAFE marker on the declaration
+  std::vector<CallSite> calls;
+  std::vector<LockEvent> events;
+};
+
+struct FileIndex {
+  std::string path;
+  std::vector<ClassDecl> classes;
+  std::vector<FunctionDecl> functions;
+};
+
+/// Build one file's index from its token stream.
+FileIndex build_file_index(std::string_view path, const LexResult& lex);
+
+/// The merged cross-TU index. Files must be merged in sorted-path order so
+/// every lookup (and therefore every finding) is deterministic.
+class TreeIndex {
+ public:
+  void merge(FileIndex file);
+
+  const std::vector<FileIndex>& files() const noexcept { return files_; }
+
+  /// Classes by name across every TU (first merged declaration wins; the
+  /// tree has no meaningful cross-TU name collisions for lock-bearing
+  /// types, and determinism matters more than redeclaration nuance).
+  const ClassDecl* find_class(std::string_view name) const;
+
+  /// True when `cls` declares a util::Mutex (non-std) member called `member`.
+  bool class_has_mutex_member(std::string_view cls,
+                              std::string_view member) const;
+
+  /// Classes declaring a util::Mutex member with this name; used to decide
+  /// whether an unqualified lock expression resolves uniquely.
+  std::vector<const ClassDecl*> classes_with_mutex_member(
+      std::string_view member) const;
+
+  /// Functions by simple name (across classes and files).
+  std::vector<const FunctionDecl*> functions_named(std::string_view name) const;
+
+  /// Function by (class, name); nullptr when absent.
+  const FunctionDecl* find_function(std::string_view cls,
+                                    std::string_view name) const;
+
+ private:
+  std::vector<FileIndex> files_;
+  std::map<std::string, std::size_t> class_by_name_;        // -> flat index
+  std::vector<ClassDecl> flat_classes_;
+  std::map<std::string, std::vector<std::size_t>> fn_by_name_;
+  std::vector<FunctionDecl> flat_functions_;
+};
+
+}  // namespace expert::lint

@@ -38,6 +38,21 @@ std::vector<Finding> lint_source(std::string_view path,
 /// yields an "IO000" finding rather than a crash.
 std::vector<Finding> lint_paths(const std::vector<std::string>& paths);
 
+struct TreeOptions {
+  /// Worker threads for the per-file pass. 0 = hardware concurrency,
+  /// 1 = fully sequential. Output is byte-identical for any value.
+  int threads = 0;
+};
+
+/// The two-pass cross-TU analyzer: pass 1 lexes every file (in parallel)
+/// into token-rule findings plus a declaration index; pass 2 merges the
+/// indexes in sorted-path order and runs the cross-TU rule families
+/// (LOCK001 lock-order cycles, ANN001 annotation coverage, SYS001 EINTR
+/// discipline, SIG001 async-signal-safety, PROC001 process-syscall
+/// scoping). Findings are sorted by (file, line, rule, message).
+std::vector<Finding> lint_tree(const std::vector<std::string>& paths,
+                               const TreeOptions& options = {});
+
 /// "file:line: RULE: message" — the clickable single-line format.
 std::string format(const Finding& finding);
 

@@ -1,20 +1,63 @@
 // expert_lint — ExPERT-specific determinism & thread-safety source linter.
 //
-//   expert_lint [--list-rules] path...
+//   expert_lint [--list-rules] [--threads N] [--json FILE|-] [--sarif FILE|-]
+//               [--baseline FILE] [--write-baseline FILE] path...
 //
-// Walks the given files/directories (*.hpp, *.cpp), enforces the invariant
-// catalogue documented in docs/static-analysis.md, and exits non-zero when
-// any finding survives suppression. Registered as the `lint.tree` ctest so
+// Walks the given files/directories (*.hpp, *.cpp) with the two-pass
+// cross-TU analyzer, enforces the invariant catalogue documented in
+// docs/static-analysis.md, and exits non-zero when any finding survives
+// suppression and the baseline. Registered as the `lint.tree` ctest so
 // tier-1 fails on a new violation.
+//
+// --json / --sarif write machine-readable reports ("-" = stdout); the
+// report always contains every finding, including ones the baseline
+// absorbs, so CI artifacts show the full picture while the exit code
+// gates only on new findings.
 
 #include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "lint.hpp"
+#include "report.hpp"
+
+namespace {
+
+bool write_output(const std::string& target, const std::string& content) {
+  if (target == "-") {
+    std::fputs(content.c_str(), stdout);
+    return true;
+  }
+  std::ofstream out(target, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+int usage(int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: expert_lint [--list-rules] [--threads N] [--json FILE|-]\n"
+      "                   [--sarif FILE|-] [--baseline FILE]\n"
+      "                   [--write-baseline FILE] path...\n");
+  return code;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
+  expert::lint::TreeOptions options;
+  std::optional<std::string> json_out, sarif_out, baseline_in, baseline_out;
+
+  const auto next_arg = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
@@ -25,9 +68,22 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
-    if (arg == "--help" || arg == "-h") {
-      std::printf("usage: expert_lint [--list-rules] path...\n");
-      return 0;
+    if (arg == "--help" || arg == "-h") return usage(0);
+    if (arg == "--threads") {
+      const char* value = next_arg(i);
+      if (value == nullptr) return usage(2);
+      options.threads = std::atoi(value);
+      continue;
+    }
+    if (arg == "--json" || arg == "--sarif" || arg == "--baseline" ||
+        arg == "--write-baseline") {
+      const char* value = next_arg(i);
+      if (value == nullptr) return usage(2);
+      if (arg == "--json") json_out = value;
+      else if (arg == "--sarif") sarif_out = value;
+      else if (arg == "--baseline") baseline_in = value;
+      else baseline_out = value;
+      continue;
     }
     paths.push_back(arg);
   }
@@ -37,15 +93,55 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<expert::lint::Finding> findings =
-      expert::lint::lint_paths(paths);
-  for (const expert::lint::Finding& finding : findings) {
-    std::printf("%s\n", expert::lint::format(finding).c_str());
+      expert::lint::lint_tree(paths, options);
+
+  if (json_out.has_value() &&
+      !write_output(*json_out, expert::lint::render_json_report(findings))) {
+    std::fprintf(stderr, "expert_lint: cannot write %s\n", json_out->c_str());
+    return 2;
   }
-  if (!findings.empty()) {
+  if (sarif_out.has_value() &&
+      !write_output(*sarif_out, expert::lint::render_sarif(findings))) {
+    std::fprintf(stderr, "expert_lint: cannot write %s\n", sarif_out->c_str());
+    return 2;
+  }
+  if (baseline_out.has_value()) {
+    if (!write_output(*baseline_out,
+                      expert::lint::render_baseline(findings))) {
+      std::fprintf(stderr, "expert_lint: cannot write %s\n",
+                   baseline_out->c_str());
+      return 2;
+    }
+    return 0;  // recording a baseline is not a gate
+  }
+
+  std::vector<expert::lint::Finding> gated = findings;
+  if (baseline_in.has_value()) {
+    std::ifstream in(*baseline_in, std::ios::binary);
+    std::ostringstream buffer;
+    if (in) buffer << in.rdbuf();
+    expert::lint::Baseline baseline;
+    if (!in || !expert::lint::parse_baseline(buffer.str(), baseline)) {
+      std::fprintf(stderr, "expert_lint: cannot read baseline %s\n",
+                   baseline_in->c_str());
+      return 2;
+    }
+    gated = expert::lint::apply_baseline(std::move(gated), baseline);
+  }
+
+  // When a machine-readable report owns stdout, the human-readable lines
+  // move to stderr so the report stays parseable as a whole.
+  const bool stdout_is_report = (json_out.has_value() && *json_out == "-") ||
+                                (sarif_out.has_value() && *sarif_out == "-");
+  std::FILE* text_out = stdout_is_report ? stderr : stdout;
+  for (const expert::lint::Finding& finding : gated) {
+    std::fprintf(text_out, "%s\n", expert::lint::format(finding).c_str());
+  }
+  if (!gated.empty()) {
     std::fprintf(stderr,
                  "expert_lint: %zu finding(s); suppress only with "
                  "// EXPERT_LINT_ALLOW(RULE): <justification>\n",
-                 findings.size());
+                 gated.size());
     return 1;
   }
   return 0;

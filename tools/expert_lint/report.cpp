@@ -1,0 +1,305 @@
+#include "report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+namespace expert::lint {
+
+namespace {
+
+/// Minimal recursive-descent JSON reader, just enough to load a baseline
+/// document (objects, arrays, strings; numbers/bools/null are skipped
+/// structurally). No allocation-happy DOM: callers pull the few string
+/// fields they need via callbacks.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            // Baselines only ever contain paths and rule prose; non-BMP
+            // escapes are preserved verbatim as \uXXXX.
+            if (pos_ + 4 > text_.size()) return false;
+            out.append("\\u").append(text_.substr(pos_, 4));
+            pos_ += 4;
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return false;
+  }
+
+  /// Parse an object, invoking fn(key) positioned at each value; fn must
+  /// consume the value (or call skip_value()).
+  template <typename Fn>
+  bool parse_object(Fn&& fn) {
+    skip_ws();
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      if (!fn(key)) return false;
+      skip_ws();
+      if (consume(',')) continue;
+      return consume('}');
+    }
+  }
+
+  /// Parse an array, invoking fn() positioned at each element.
+  template <typename Fn>
+  bool parse_array(Fn&& fn) {
+    skip_ws();
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      if (!fn()) return false;
+      skip_ws();
+      if (consume(',')) continue;
+      return consume(']');
+    }
+  }
+
+  bool skip_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '"') {
+      std::string sink;
+      return parse_string(sink);
+    }
+    if (c == '{') {
+      return parse_object([&](const std::string&) { return skip_value(); });
+    }
+    if (c == '[') {
+      return parse_array([&] { return skip_value(); });
+    }
+    // number / true / false / null
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+           text_[pos_] != ']' &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void append_finding_json(std::ostringstream& os, const Finding& f,
+                         const char* indent) {
+  os << indent << "{\"rule\": \"" << json_escape(f.rule) << "\", \"file\": \""
+     << json_escape(f.file) << "\", \"line\": " << f.line
+     << ", \"message\": \"" << json_escape(f.message) << "\"}";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_json_report(const std::vector<Finding>& findings) {
+  std::map<std::string, int> counts;
+  for (const Finding& f : findings) ++counts[f.rule];
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"expert-lint-report-v1\",\n";
+  os << "  \"tool\": {\"name\": \"expert_lint\", \"version\": 2},\n";
+  os << "  \"counts\": {";
+  bool first = true;
+  for (const auto& [rule, count] : counts) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << json_escape(rule) << "\": " << count;
+  }
+  os << "},\n";
+  os << "  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    append_finding_json(os, findings[i], "    ");
+  }
+  if (!findings.empty()) os << "\n  ";
+  os << "]\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string render_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"$schema\": "
+        "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+        "Schemata/sarif-schema-2.1.0.json\",\n";
+  os << "  \"version\": \"2.1.0\",\n";
+  os << "  \"runs\": [\n";
+  os << "    {\n";
+  os << "      \"tool\": {\n";
+  os << "        \"driver\": {\n";
+  os << "          \"name\": \"expert_lint\",\n";
+  os << "          \"informationUri\": "
+        "\"docs/static-analysis.md\",\n";
+  os << "          \"rules\": [";
+  const auto& rules = rule_catalogue();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    os << "            {\"id\": \"" << json_escape(rules[i].id)
+       << "\", \"shortDescription\": {\"text\": \""
+       << json_escape(rules[i].summary) << "\"}}";
+  }
+  os << "\n          ]\n";
+  os << "        }\n";
+  os << "      },\n";
+  os << "      \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "        {\"ruleId\": \"" << json_escape(f.rule)
+       << "\", \"level\": \"error\", \"message\": {\"text\": \""
+       << json_escape(f.message) << "\"}, \"locations\": [{"
+       << "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+       << json_escape(f.file) << "\"}, \"region\": {\"startLine\": "
+       << std::max(1, f.line) << "}}}]}";
+  }
+  if (!findings.empty()) os << "\n      ";
+  os << "]\n";
+  os << "    }\n";
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string Baseline::fingerprint(const Finding& finding) {
+  return finding.rule + "|" + finding.file + "|" + finding.message;
+}
+
+bool Baseline::contains(const Finding& finding) const {
+  return fingerprints.count(fingerprint(finding)) > 0;
+}
+
+std::string render_baseline(const std::vector<Finding>& findings) {
+  std::set<std::string> keys;  // sorted + deduplicated
+  for (const Finding& f : findings) keys.insert(Baseline::fingerprint(f));
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"expert-lint-baseline-v1\",\n";
+  os << "  \"comment\": \"Accepted findings; regenerate with "
+        "expert_lint --write-baseline. New findings not listed here fail "
+        "the gate.\",\n";
+  os << "  \"entries\": [";
+  bool first = true;
+  for (const std::string& key : keys) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    \"" << json_escape(key) << "\"";
+  }
+  if (!keys.empty()) os << "\n  ";
+  os << "]\n";
+  os << "}\n";
+  return os.str();
+}
+
+bool parse_baseline(std::string_view text, Baseline& out) {
+  out.fingerprints.clear();
+  JsonReader reader(text);
+  bool schema_ok = false;
+  std::set<std::string> entries;
+  const bool ok = reader.parse_object([&](const std::string& key) {
+    if (key == "schema") {
+      std::string schema;
+      if (!reader.parse_string(schema)) return false;
+      schema_ok = schema == "expert-lint-baseline-v1";
+      return true;
+    }
+    if (key == "entries") {
+      return reader.parse_array([&] {
+        std::string entry;
+        if (!reader.parse_string(entry)) return false;
+        entries.insert(std::move(entry));
+        return true;
+      });
+    }
+    return reader.skip_value();
+  });
+  if (!ok || !schema_ok) return false;
+  out.fingerprints = std::move(entries);
+  return true;
+}
+
+std::vector<Finding> apply_baseline(std::vector<Finding> findings,
+                                    const Baseline& baseline) {
+  findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                [&](const Finding& f) {
+                                  return baseline.contains(f);
+                                }),
+                 findings.end());
+  return findings;
+}
+
+}  // namespace expert::lint

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace expert::lint {
+
+/// Machine-readable outputs for CI. The JSON report (`expert-lint-report-v1`)
+/// is the analyzer's stable contract — `lint.selftest` diffs it byte-for-byte
+/// against a golden file — and the SARIF 2.1.0 document feeds GitHub
+/// code-scanning annotations. Both are rendered with a fixed field order and
+/// no locale-dependent formatting, so identical findings always serialize to
+/// identical bytes.
+
+/// The full JSON report for a finished run. `findings` must already be in
+/// final (file, line, rule, message) order.
+std::string render_json_report(const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0, one result per finding, rule metadata from the catalogue.
+std::string render_sarif(const std::vector<Finding>& findings);
+
+/// A suppression baseline: the set of findings a tree is known (and
+/// accepted) to produce. Entries are fingerprinted as rule|file|message —
+/// deliberately line-independent, so unrelated edits shifting a known
+/// finding do not invalidate the baseline, while any new finding (or a
+/// changed message) still fails the gate.
+struct Baseline {
+  std::set<std::string> fingerprints;
+
+  static std::string fingerprint(const Finding& finding);
+  bool contains(const Finding& finding) const;
+};
+
+/// Render findings as a baseline document (`expert-lint-baseline-v1`),
+/// sorted and deduplicated.
+std::string render_baseline(const std::vector<Finding>& findings);
+
+/// Parse a baseline document. Returns false (leaving `out` empty) on a
+/// malformed document or wrong schema tag.
+bool parse_baseline(std::string_view text, Baseline& out);
+
+/// Split findings into (new, baselined): findings whose fingerprint is in
+/// the baseline are dropped from the gate.
+std::vector<Finding> apply_baseline(std::vector<Finding> findings,
+                                    const Baseline& baseline);
+
+/// JSON string escaping (shared by the renderers; exposed for tests).
+std::string json_escape(std::string_view s);
+
+}  // namespace expert::lint

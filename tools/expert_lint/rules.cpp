@@ -1,14 +1,8 @@
-#include "lint.hpp"
+#include "analysis.hpp"
 
 #include <algorithm>
 #include <cctype>
-#include <filesystem>
-#include <fstream>
-#include <iterator>
-#include <set>
 #include <sstream>
-#include <tuple>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "lexer.hpp"
@@ -48,20 +42,64 @@ const std::vector<RuleInfo> kRules = {
     {"PROC001", "raw process syscall (fork/exec*/waitpid/kill) outside "
                 "procexec/ (worker lifecycles must go through the "
                 "supervised pool so every child is reaped)"},
+    {"LOCK001", "lock-acquisition-order cycle across the tree (two mutexes "
+                "acquired in opposite orders can deadlock)"},
+    {"ANN001", "mutex without clang thread-safety annotation coverage in a "
+               "concurrency-audited module (eval/obs/util/resilience/"
+               "procexec)"},
+    {"SYS001", "interruptible syscall outside util::retry_eintr (a stray "
+               "EINTR turns into a spurious failure; close must use "
+               "util::close_fd)"},
+    {"SIG001", "non-async-signal-safe call inside an EXPERT_SIGNAL_SAFE "
+               "function (between fork and exec only the POSIX "
+               "signal-safe set is legal)"},
     {"IO000", "file could not be read"},
 };
 
-/// Path scope that drives which rules apply. Classification keys on path
-/// segments so absolute prefixes (and test fixtures that mirror the tree
-/// layout) behave identically.
-struct Scope {
-  bool library = false;       ///< under an include/ or src/ segment
-  bool obs = false;           ///< obs module (clock access allowed)
-  bool util = false;          ///< util module (atomic_write lives here)
-  bool procexec = false;      ///< procexec module (process syscalls allowed)
-  bool ordered_only = false;  ///< sim/core/gridsim/strategies/eval/obs
-  bool header = false;        ///< .hpp file
+bool known_rule(std::string_view id) {
+  return std::any_of(kRules.begin(), kRules.end(),
+                     [&](const RuleInfo& r) { return r.id == id; });
+}
+
+/// Keywords that may directly precede a free-function call. Used to decide
+/// whether `time(` is a call (flagged) or a declarator like
+/// `double time(0.0)` (skipped).
+const std::unordered_set<std::string> kCallContextKeywords = {
+    "return", "co_return", "co_yield", "if", "while", "do", "else",
+    "case",   "throw",
 };
+
+const std::unordered_set<std::string> kBannedClockIdents = {
+    "system_clock", "steady_clock", "high_resolution_clock",
+};
+
+const std::unordered_set<std::string> kBannedClockCalls = {
+    "time",      "clock",  "gettimeofday", "localtime",
+    "localtime_r", "gmtime", "gmtime_r",   "timespec_get",
+};
+
+const std::unordered_set<std::string> kUnorderedContainers = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset",
+};
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalogue() { return kRules; }
+
+std::string format(const Finding& finding) {
+  std::ostringstream os;
+  os << finding.file << ':' << finding.line << ": " << finding.rule << ": "
+     << finding.message;
+  return os.str();
+}
 
 Scope classify(std::string_view path) {
   Scope scope;
@@ -94,73 +132,29 @@ Scope classify(std::string_view path) {
         seg == "strategies" || seg == "eval" || seg == "obs") {
       scope.ordered_only = true;
     }
+    // The concurrency-audited set: modules that run (or synchronize)
+    // threads and therefore fall under ANN001 annotation coverage.
+    if (seg == "eval" || seg == "obs" || seg == "util" ||
+        seg == "resilience" || seg == "procexec") {
+      scope.ann_module = std::string(seg);
+    }
   }
   return scope;
 }
 
-bool known_rule(std::string_view id) {
-  return std::any_of(kRules.begin(), kRules.end(),
-                     [&](const RuleInfo& r) { return r.id == id; });
-}
+FileAnalysis analyze_file(std::string_view path, std::string_view source) {
+  FileAnalysis fa;
+  fa.path = std::string(path);
+  fa.scope = classify(path);
 
-/// Keywords that may directly precede a free-function call. Used to decide
-/// whether `time(` is a call (flagged) or a declarator like
-/// `double time(0.0)` (skipped).
-const std::unordered_set<std::string> kCallContextKeywords = {
-    "return", "co_return", "co_yield", "if", "while", "do", "else",
-    "case",   "throw",
-};
-
-const std::unordered_set<std::string> kBannedClockIdents = {
-    "system_clock", "steady_clock", "high_resolution_clock",
-};
-
-const std::unordered_set<std::string> kBannedClockCalls = {
-    "time",      "clock",  "gettimeofday", "localtime",
-    "localtime_r", "gmtime", "gmtime_r",   "timespec_get",
-};
-
-const std::unordered_set<std::string> kUnorderedContainers = {
-    "unordered_map", "unordered_set", "unordered_multimap",
-    "unordered_multiset",
-};
-
-// Raw process-lifecycle syscalls. `raise` is deliberately absent: a
-// process signalling *itself* (chaos kill_at) cannot orphan a child.
-const std::unordered_set<std::string> kProcessCalls = {
-    "fork",   "vfork",  "execv",  "execve", "execvp", "execvpe",
-    "execl",  "execle", "execlp", "waitpid", "kill",  "posix_spawn",
-    "posix_spawnp",
-};
-
-std::string trim(std::string_view s) {
-  std::size_t b = 0, e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
-  return std::string(s.substr(b, e - b));
-}
-
-}  // namespace
-
-const std::vector<RuleInfo>& rule_catalogue() { return kRules; }
-
-std::string format(const Finding& finding) {
-  std::ostringstream os;
-  os << finding.file << ':' << finding.line << ": " << finding.rule << ": "
-     << finding.message;
-  return os.str();
-}
-
-std::vector<Finding> lint_source(std::string_view path,
-                                 std::string_view source) {
-  const Scope scope = classify(path);
   const LexResult lx = lex(source);
   const std::vector<Token>& toks = lx.tokens;
+  fa.index = build_file_index(path, lx);
 
-  std::vector<Finding> raw;
+  std::vector<Finding>& raw = fa.token_findings;
   auto report = [&](std::string_view rule, int line, std::string message) {
     raw.push_back(
-        Finding{std::string(rule), std::string(path), line, std::move(message)});
+        Finding{std::string(rule), fa.path, line, std::move(message)});
   };
 
   const auto text = [&](std::size_t i) -> const std::string& {
@@ -181,22 +175,8 @@ std::vector<Finding> lint_source(std::string_view path,
     }
     return true;
   };
-  // Like free_call_context, but global qualification (`::kill(`) is still
-  // the raw syscall, while a class/namespace qualifier (`Rng::fork(`) and
-  // member access (`rng.fork(`) are not.
-  const auto process_call_context = [&](std::size_t i) {
-    if (i == 0) return true;
-    const std::string& prev = text(i - 1);
-    if (prev == "." || prev == "->") return false;
-    if (prev == "::") {
-      return !(i >= 2 && toks[i - 2].kind == TokenKind::Identifier);
-    }
-    if (toks[i - 1].kind == TokenKind::Identifier) {
-      return kCallContextKeywords.count(prev) > 0;
-    }
-    return true;
-  };
 
+  const Scope& scope = fa.scope;
   if (scope.library) {
     // INC001: headers must open with #pragma once.
     if (scope.header &&
@@ -316,18 +296,6 @@ std::vector<Finding> lint_source(std::string_view path,
                "and land it with util::atomic_write");
       }
 
-      // PROC001: raw process-lifecycle syscalls outside procexec/. A bare
-      // fork/exec/waitpid/kill elsewhere can leak an unreaped child past
-      // the no-orphans guarantee the supervised pool maintains.
-      if (!scope.procexec && kProcessCalls.count(id) > 0 && next_is_call &&
-          process_call_context(i)) {
-        report("PROC001", tok.line,
-               "raw '" + id +
-                   "' outside procexec/: spawn and signal workers through "
-                   "procexec::ProcessPool so every child is supervised, "
-                   "deadlined, and reaped");
-      }
-
       // FLT002: float in library code.
       if (id == "float") {
         report("FLT002", tok.line,
@@ -360,11 +328,10 @@ std::vector<Finding> lint_source(std::string_view path,
   // `// EXPERT_LINT_ALLOW(RULE): justification` silences RULE on its own
   // line, or — when the comment stands alone — on the first following line
   // that has code (so a justification may continue across comment lines).
-  // The justification is mandatory prose.
+  // The justification is mandatory prose. Malformed suppressions are
+  // reported directly (SUP001/SUP002 cannot themselves be suppressed).
   std::set<int> token_lines;
   for (const Token& tok : toks) token_lines.insert(tok.line);
-  std::vector<Finding> findings;
-  std::unordered_map<std::string, std::set<int>> allowed;
   for (const Comment& comment : lx.comments) {
     std::size_t pos = 0;
     static constexpr std::string_view kAllow = "EXPERT_LINT_ALLOW(";
@@ -385,77 +352,53 @@ std::vector<Finding> lint_source(std::string_view path,
           trim(comment.text.substr(just_begin, just_end - just_begin));
 
       if (!known_rule(id)) {
-        findings.push_back(Finding{
-            "SUP002", std::string(path), comment.line,
+        raw.push_back(Finding{
+            "SUP002", fa.path, comment.line,
             "suppression names unknown rule '" + id + "'"});
       } else if (justification.size() < 8) {
-        findings.push_back(Finding{
-            "SUP001", std::string(path), comment.line,
+        raw.push_back(Finding{
+            "SUP001", fa.path, comment.line,
             "suppression of " + id +
                 " needs a written justification after the colon"});
       } else if (token_lines.count(comment.line) > 0) {
-        allowed[id].insert(comment.line);  // trailing comment on a code line
+        fa.allowed[id].insert(comment.line);  // trailing comment on code line
       } else {
         const auto next_code = token_lines.upper_bound(comment.line);
-        if (next_code != token_lines.end()) allowed[id].insert(*next_code);
+        if (next_code != token_lines.end()) {
+          fa.allowed[id].insert(*next_code);
+        }
       }
       pos = just_end;
     }
   }
 
-  for (Finding& finding : raw) {
-    const auto it = allowed.find(finding.rule);
-    if (it != allowed.end() && it->second.count(finding.line) > 0) continue;
-    findings.push_back(std::move(finding));
-  }
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
-            });
-  return findings;
+  return fa;
 }
 
-std::vector<Finding> lint_paths(const std::vector<std::string>& paths) {
-  namespace fs = std::filesystem;
-  std::vector<std::string> files;
-  std::vector<Finding> findings;
-  for (const std::string& path : paths) {
-    std::error_code ec;
-    if (fs::is_directory(path, ec)) {
-      for (fs::recursive_directory_iterator it(path, ec), end;
-           it != end && !ec; it.increment(ec)) {
-        if (!it->is_regular_file()) continue;
-        const std::string ext = it->path().extension().string();
-        if (ext == ".hpp" || ext == ".cpp") {
-          files.push_back(it->path().generic_string());
+std::vector<Finding> filter_suppressed(
+    std::vector<Finding> findings,
+    const std::map<std::string, const FileAnalysis*>& by_path) {
+  std::vector<Finding> out;
+  out.reserve(findings.size());
+  for (Finding& finding : findings) {
+    // Suppression-syntax findings bypass suppression, as does IO000 (the
+    // file was never parsed, so it has no ALLOW lines to honor).
+    const bool exempt = finding.rule == "SUP001" ||
+                        finding.rule == "SUP002" || finding.rule == "IO000";
+    if (!exempt) {
+      const auto file_it = by_path.find(finding.file);
+      if (file_it != by_path.end()) {
+        const auto& allowed = file_it->second->allowed;
+        const auto rule_it = allowed.find(finding.rule);
+        if (rule_it != allowed.end() &&
+            rule_it->second.count(finding.line) > 0) {
+          continue;
         }
       }
-      if (ec) {
-        findings.push_back(
-            Finding{"IO000", path, 0, "cannot walk path: " + ec.message()});
-      }
-    } else {
-      files.push_back(path);
     }
+    out.push_back(std::move(finding));
   }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
-
-  for (const std::string& file : files) {
-    std::ifstream in(file, std::ios::binary);
-    if (!in) {
-      findings.push_back(Finding{"IO000", file, 0, "cannot open file"});
-      continue;
-    }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    const std::string source = buffer.str();
-    std::vector<Finding> file_findings = lint_source(file, source);
-    findings.insert(findings.end(),
-                    std::make_move_iterator(file_findings.begin()),
-                    std::make_move_iterator(file_findings.end()));
-  }
-  return findings;
+  return out;
 }
 
 }  // namespace expert::lint
