@@ -7,7 +7,10 @@
 
 #include "common.hpp"
 #include "expert/core/expert.hpp"
+#include "expert/gridsim/env/environment.hpp"
+#include "expert/gridsim/executor.hpp"
 #include "expert/util/rng.hpp"
+#include "expert/workload/presets.hpp"
 
 namespace {
 
@@ -135,6 +138,46 @@ void BM_FrontierSweepSingleRepetition(benchmark::State& state) {
 BENCHMARK(BM_FrontierSweepSingleRepetition)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
+
+void BM_ArchExecution(benchmark::State& state,
+                      gridsim::env::Architecture arch) {
+  // Machine-level execution cost per environment architecture: one 150-task
+  // BoT through gridsim on the architecture's reference environment. Gates
+  // the dynamics machinery (price paths, forced windows, duty cycles) the
+  // environment seam added to the executor hot path.
+  const auto& wl = workload::workload_spec(workload::WorkloadId::WL1);
+  gridsim::ExecutorConfig cfg;
+  cfg.environment = gridsim::env::make_reference_environment(
+      arch, bench::kPoolSize, bench::kGamma11, bench::kTur);
+  cfg.throughput_deadline = wl.deadline_d;
+  cfg.seed = bench::kSeed;
+  gridsim::Executor executor(cfg);
+  strategies::NTDMr p;
+  p.n = 3;
+  p.timeout_t = wl.timeout_t;
+  p.deadline_d = wl.deadline_d;
+  p.mr = executor.environment().has_cloud() ? 0.4 : 0.0;
+  const auto strategy = strategies::make_ntdmr_strategy(p);
+  const auto bot = workload::make_bot(workload::WorkloadId::WL1, 0xB07ULL);
+  std::uint64_t stream = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.run(bot, strategy, stream++));
+  }
+}
+BENCHMARK_CAPTURE(BM_ArchExecution, classic,
+                  gridsim::env::Architecture::Classic)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ArchExecution, spot, gridsim::env::Architecture::Spot)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ArchExecution, serverless,
+                  gridsim::env::Architecture::Serverless)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ArchExecution, multiregion,
+                  gridsim::env::Architecture::MultiRegion)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ArchExecution, volunteer,
+                  gridsim::env::Architecture::Volunteer)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -8,12 +8,21 @@
 
 namespace expert::chaos {
 
+/// Why a forced-down window exists. Chaos blackouts and multi-region
+/// environment blackouts share the Blackout cause; the spot-market and
+/// volunteer environment dynamics (gridsim/env) tag their windows so the
+/// executor can attribute preemptions distinctly in traces and metrics.
+enum class WindowCause : std::uint8_t { Blackout, OutOfBid, DutyCycle };
+
+const char* to_string(WindowCause cause) noexcept;
+
 /// A half-open interval [start, end) during which a machine is forced
 /// administratively down: its running instance dies silently and it accepts
 /// no dispatches until the window closes.
 struct ForcedWindow {
   double start = 0.0;
   double end = 0.0;
+  WindowCause cause = WindowCause::Blackout;
 };
 
 /// Seed-deterministic fault-injection plan for a gridsim run. Attached to

@@ -39,6 +39,12 @@ struct EstimatorConfig {
   std::size_t tail_tasks_override = 0;
   /// Hard horizon; runs that pass it are marked unfinished.
   double max_sim_time = 5.0e7;
+  /// Content digest of the gridsim environment this estimation stands in
+  /// for (gridsim::env::Environment::digest()); 0 when unset. Mixed into
+  /// eval::EvalKey so cached evaluations can never collide across
+  /// architectures. The zero default leaves every pre-seam key — and the
+  /// sim digest that seeds the RNG streams — unchanged.
+  std::uint64_t environment_digest = 0;
 
   static EstimatorConfig from_user_params(const UserParams& params,
                                           std::size_t unreliable_size);

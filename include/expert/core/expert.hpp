@@ -19,6 +19,10 @@ struct ExpertOptions {
   std::uint64_t seed = 0xE5717A70ULL;
   /// Effective unreliable pool size; 0 means "estimate from the history".
   std::size_t unreliable_size = 0;
+  /// Content digest of the gridsim environment the estimation stands in for
+  /// (gridsim::env::Environment::digest()); 0 when unset. Forwarded to
+  /// EstimatorConfig so eval::EvalKey separates architectures.
+  std::uint64_t environment_digest = 0;
 };
 
 /// What ExPERT hands back to the user's scheduler (process step 5): the

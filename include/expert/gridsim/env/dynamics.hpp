@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expert/chaos/chaos.hpp"
+#include "expert/gridsim/env/environment.hpp"
+
+namespace expert::gridsim::env {
+
+/// The pure, executor-independent generators behind each pool dynamics.
+/// Everything here is deterministic in (spec, stream): the executor derives
+/// `stream` from its own (seed, run stream) pair, so dynamics never draw
+/// from — and never perturb — the scheduling RNG stream. The property
+/// tests exercise these directly.
+
+/// One step of a spot price path: the market rate holds from `time` until
+/// the next point's `time` (piecewise constant).
+struct PricePoint {
+  double time = 0.0;
+  double rate_cents_per_s = 0.0;
+};
+
+/// The market price process over [0, horizon_s), one point per
+/// `spec.step_s`. First point is always {0, initial_rate}.
+std::vector<PricePoint> spot_price_path(const SpotMarketDynamics& spec,
+                                        double horizon_s,
+                                        std::uint64_t stream);
+
+/// Market rate at `time` under `path` (the rate of the last point at or
+/// before `time`).
+double spot_rate_at(const std::vector<PricePoint>& path, double time);
+
+/// The out-of-bid windows of the price path: maximal runs of steps whose
+/// rate exceeds `spec.bid_cents_per_s`, merged, tagged
+/// chaos::WindowCause::OutOfBid. For a fixed (seed, stream) the union of
+/// these windows grows pointwise with `spec.volatility` whenever
+/// bid > initial_rate (the underlying excursion path is volatility-free).
+std::vector<chaos::ForcedWindow> spot_out_of_bid_windows(
+    const SpotMarketDynamics& spec, double horizon_s, std::uint64_t stream);
+
+/// Region blackout windows, one vector per region (MachineGroup) of the
+/// pool: `blackouts_per_region` windows each, starts uniform in
+/// [0, blackout_window_s), durations exponential with mean
+/// blackout_mean_duration_s, merged per region, tagged Blackout. Drawn with
+/// exactly the chaos layer's group-blackout mechanics so environment
+/// blackouts and chaos-plan blackouts with equal parameters coincide.
+std::vector<std::vector<chaos::ForcedWindow>> region_blackout_windows(
+    const MultiRegionDynamics& spec, std::size_t regions,
+    std::uint64_t stream);
+
+/// One host's duty-cycle off windows over [0, horizon_s): alternating
+/// exponential on (duty_on_mean_s) / off (duty_off_mean_s) periods,
+/// starting in the on phase, per-host stream forked by `host_ordinal`.
+/// Windows are tagged DutyCycle.
+std::vector<chaos::ForcedWindow> volunteer_off_windows(
+    const VolunteerDynamics& spec, double horizon_s,
+    std::uint64_t host_ordinal, std::uint64_t stream);
+
+/// Compile a serverless dynamics spec into the static pool it executes as:
+/// `max_concurrency` always-up unit-speed slots, exponential cold-start
+/// via mean_queue_wait_s, per-millisecond billing (PriceSpec.period_s =
+/// 0.001) at spec.rate_cents_per_s.
+PoolConfig make_serverless_pool(std::string name,
+                                const ServerlessDynamics& spec);
+
+}  // namespace expert::gridsim::env

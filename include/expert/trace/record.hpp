@@ -9,12 +9,18 @@ namespace expert::trace {
 /// Which resource pool an instance was submitted to.
 enum class PoolKind { Unreliable, Reliable };
 
-/// Final state of one task instance.
+/// Final state of one task instance. Blackout and OutOfBid are preemption
+/// causes split out of Timeout: to the characterization layer they are
+/// failed instances like any other, but traces and metrics attribute them
+/// so cross-architecture figures can tell administrative blackouts and
+/// spot-market evictions from ordinary host losses.
 enum class InstanceOutcome {
   Success,         ///< returned a result before its deadline
   Timeout,         ///< no result by the deadline (includes silent host failures)
   Cancelled,       ///< removed from a queue before being sent
   DispatchFailed,  ///< launch to the pool failed after bounded retries
+  Blackout,        ///< killed by a correlated blackout (chaos or multi-region)
+  OutOfBid,        ///< evicted by a spot-market price above the bid
 };
 
 constexpr double kNeverReturns = std::numeric_limits<double>::infinity();

@@ -35,6 +35,18 @@ double parse_number(const std::string& key, const std::string& value) {
 
 }  // namespace
 
+const char* to_string(WindowCause cause) noexcept {
+  switch (cause) {
+    case WindowCause::Blackout:
+      return "blackout";
+    case WindowCause::OutOfBid:
+      return "out_of_bid";
+    case WindowCause::DutyCycle:
+      return "duty_cycle";
+  }
+  return "blackout";
+}
+
 bool ChaosConfig::any() const noexcept {
   // kill_at_sim_s counts: the executor must arm the kill event even when no
   // trace-perturbing fault is enabled. A kill-only plan stays behaviourally

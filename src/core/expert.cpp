@@ -12,6 +12,7 @@ EstimatorConfig build_estimator_config(const UserParams& params,
   auto cfg = EstimatorConfig::from_user_params(params, unreliable_size);
   cfg.repetitions = options.repetitions;
   cfg.seed = options.seed;
+  cfg.environment_digest = options.environment_digest;
   return cfg;
 }
 

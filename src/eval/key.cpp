@@ -33,6 +33,12 @@ void mix_simulation_inputs(util::HashState& h,
       .mix(config.seed)
       .mix(static_cast<std::uint64_t>(config.tail_tasks_override))
       .mix(config.max_sim_time);
+  // The environment digest is mixed only when set: key.sim seeds the RNG
+  // streams, so an unconditional mix would shift every pre-seam stream and
+  // break replay of classic evaluations.
+  if (config.environment_digest != 0) {
+    h.mix(std::uint64_t{0xE41FD16E57ULL}).mix(config.environment_digest);
+  }
   h.mix(model_digest);
   h.mix(params.n.has_value())
       .mix(static_cast<std::uint64_t>(params.n.value_or(0)))

@@ -1,0 +1,124 @@
+#include "expert/gridsim/env/dynamics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "expert/util/assert.hpp"
+#include "expert/util/rng.hpp"
+
+namespace expert::gridsim::env {
+
+namespace {
+
+/// Stream-domain separators (same discipline as the chaos layer) so no two
+/// dynamics processes — and no dynamics process and the scheduling stream —
+/// ever share an RNG stream for equal run streams.
+constexpr std::uint64_t kSpotDomain = 0x5B07D011ULL;
+constexpr std::uint64_t kVolunteerDomain = 0xD07CC1EULL;
+
+}  // namespace
+
+std::vector<PricePoint> spot_price_path(const SpotMarketDynamics& spec,
+                                        double horizon_s,
+                                        std::uint64_t stream) {
+  EXPERT_REQUIRE(spec.step_s > 0.0, "spot price path needs a positive step");
+  EXPERT_REQUIRE(spec.initial_rate_cents_per_s > 0.0,
+                 "spot price path needs a positive initial rate");
+  util::Rng rng(
+      util::derive_seed(util::derive_seed(spec.seed, stream), kSpotDomain));
+  std::vector<PricePoint> path;
+  if (horizon_s <= 0.0) return path;
+  path.reserve(static_cast<std::size_t>(horizon_s / spec.step_s) + 1);
+  // The excursion x_k is volatility-free: shocks are standard normal and
+  // only the exponent scales with volatility. That makes the out-of-bid
+  // set {k : x_k > ln(bid/initial) / volatility} pointwise monotone in
+  // volatility for bid > initial — the property the dynamics tests pin.
+  double x = 0.0;
+  for (std::size_t k = 0;; ++k) {
+    const double t = static_cast<double>(k) * spec.step_s;
+    if (t >= horizon_s && k > 0) break;
+    path.push_back(
+        {t, spec.initial_rate_cents_per_s * std::exp(spec.volatility * x)});
+    x = (1.0 - spec.reversion) * x + rng.normal();
+  }
+  return path;
+}
+
+double spot_rate_at(const std::vector<PricePoint>& path, double time) {
+  EXPERT_REQUIRE(!path.empty(), "spot_rate_at needs a non-empty path");
+  auto it = std::upper_bound(
+      path.begin(), path.end(), time,
+      [](double t, const PricePoint& p) { return t < p.time; });
+  if (it == path.begin()) return it->rate_cents_per_s;
+  return std::prev(it)->rate_cents_per_s;
+}
+
+std::vector<chaos::ForcedWindow> spot_out_of_bid_windows(
+    const SpotMarketDynamics& spec, double horizon_s, std::uint64_t stream) {
+  const auto path = spot_price_path(spec, horizon_s, stream);
+  std::vector<chaos::ForcedWindow> windows;
+  for (const auto& point : path) {
+    if (point.rate_cents_per_s <= spec.bid_cents_per_s) continue;
+    const double end = std::min(point.time + spec.step_s, horizon_s);
+    windows.push_back({point.time, end, chaos::WindowCause::OutOfBid});
+  }
+  chaos::merge_windows(windows);
+  return windows;
+}
+
+std::vector<std::vector<chaos::ForcedWindow>> region_blackout_windows(
+    const MultiRegionDynamics& spec, std::size_t regions,
+    std::uint64_t stream) {
+  // Delegate to the chaos layer's group-blackout generator so environment
+  // blackouts and a chaos plan with equal parameters draw the *same*
+  // windows — the correlation property the tests assert is structural, not
+  // approximate.
+  chaos::ChaosConfig plan;
+  plan.seed = spec.seed;
+  plan.blackouts_per_group = spec.blackouts_per_region;
+  plan.blackout_window_s = spec.blackout_window_s;
+  plan.blackout_mean_duration_s = spec.blackout_mean_duration_s;
+  return chaos::blackout_schedule(plan, regions, stream);
+}
+
+std::vector<chaos::ForcedWindow> volunteer_off_windows(
+    const VolunteerDynamics& spec, double horizon_s,
+    std::uint64_t host_ordinal, std::uint64_t stream) {
+  EXPERT_REQUIRE(spec.duty_on_mean_s > 0.0 && spec.duty_off_mean_s > 0.0,
+                 "volunteer duty cycle needs positive on/off means");
+  const util::Rng root(util::derive_seed(
+      util::derive_seed(spec.seed, stream), kVolunteerDomain));
+  auto rng = root.fork(host_ordinal);
+  std::vector<chaos::ForcedWindow> windows;
+  double t = rng.exponential(1.0 / spec.duty_on_mean_s);
+  while (t < horizon_s) {
+    const double off = rng.exponential(1.0 / spec.duty_off_mean_s);
+    windows.push_back({t, t + off, chaos::WindowCause::DutyCycle});
+    t += off + rng.exponential(1.0 / spec.duty_on_mean_s);
+  }
+  return windows;
+}
+
+PoolConfig make_serverless_pool(std::string name,
+                                const ServerlessDynamics& spec) {
+  EXPERT_REQUIRE(spec.max_concurrency > 0,
+                 "serverless pool needs max_concurrency > 0");
+  EXPERT_REQUIRE(spec.rate_cents_per_s > 0.0,
+                 "serverless pool needs a positive rate");
+  EXPERT_REQUIRE(spec.cold_start_mean_s >= 0.0,
+                 "serverless cold start must be >= 0");
+  MachineGroup g;
+  g.count = spec.max_concurrency;
+  g.speed_mean = spec.speed_mean;
+  g.speed_cv = 0.0;
+  g.availability = stats::AvailabilityModel{1.0e12, 1.0};  // never fails
+  g.price = PriceSpec{spec.rate_cents_per_s, 0.001};       // per-ms billing
+  g.failure_notice_prob = 1.0;
+  g.mean_queue_wait_s = spec.cold_start_mean_s;
+  PoolConfig pool;
+  pool.name = std::move(name);
+  pool.groups.push_back(g);
+  return pool;
+}
+
+}  // namespace expert::gridsim::env

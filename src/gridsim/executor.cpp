@@ -1,12 +1,14 @@
 #include "expert/gridsim/executor.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <csignal>
 #include <deque>
 #include <limits>
 #include <map>
 
+#include "expert/gridsim/env/dynamics.hpp"
 #include "expert/obs/metrics.hpp"
 #include "expert/obs/tracing.hpp"
 #include "expert/sim/engine.hpp"
@@ -18,40 +20,19 @@ namespace expert::gridsim {
 namespace {
 
 /// Per-pool instance lifecycle counters share one metric name split by a
-/// {"pool"} label (v2 labeled series), so dashboards sum a family with
-/// counter_total() instead of knowing every pool-suffixed name. Chaos fault
-/// counters carry the pool they strike: dispatch faults exist only on the
-/// reliable (cloud) path, blackouts / forced-down / silent result loss only
-/// on the unreliable grid.
+/// {"pool"} label carrying the pool's *name* (v2 labeled series; cardinality
+/// bounded by kMaxSeriesPerName), so dashboards sum a family with
+/// counter_total() instead of knowing every pool. Preemptions additionally
+/// carry a {"cause"} label (host/deadline/blackout/out_of_bid/duty_cycle/
+/// result_loss) so figures can attribute losses per dynamics. Labeled
+/// handles are resolved once per run at flush time; only the unlabeled
+/// run-scoped series keep static handles.
 struct ExecutorObs {
   obs::Registry& reg = obs::Registry::global();
-  obs::Labels unreliable = obs::Labels{{"pool", "unreliable"}};
-  obs::Labels reliable = obs::Labels{{"pool", "reliable"}};
   obs::Counter runs = reg.counter("gridsim.executor.runs");
-  obs::Counter ur_sent = reg.counter("gridsim.instances.sent", unreliable);
-  obs::Counter ur_completed =
-      reg.counter("gridsim.instances.completed", unreliable);
-  obs::Counter ur_preempted =
-      reg.counter("gridsim.instances.preempted", unreliable);
-  obs::Counter r_sent = reg.counter("gridsim.instances.sent", reliable);
-  obs::Counter r_completed =
-      reg.counter("gridsim.instances.completed", reliable);
-  obs::Counter r_preempted =
-      reg.counter("gridsim.instances.preempted", reliable);
   obs::Counter down = reg.counter("gridsim.availability.down_transitions");
   obs::Counter up = reg.counter("gridsim.availability.up_transitions");
   obs::Counter truncated = reg.counter("gridsim.executor.truncated_runs");
-  obs::Counter blackouts =
-      reg.counter("chaos.blackout_windows", unreliable);
-  obs::Counter forced_down =
-      reg.counter("chaos.forced_down_transitions", unreliable);
-  obs::Counter dispatch_failures =
-      reg.counter("chaos.dispatch_failures", reliable);
-  obs::Counter dispatch_retries =
-      reg.counter("chaos.dispatch_retries", reliable);
-  obs::Counter dispatch_abandoned =
-      reg.counter("chaos.dispatch_abandoned", reliable);
-  obs::Counter results_lost = reg.counter("chaos.results_lost", unreliable);
   obs::Histogram makespan = reg.histogram(
       "gridsim.executor.makespan_sim_seconds",
       obs::HistogramSpec::exponential(1.0, 1e8, 33));
@@ -61,6 +42,68 @@ ExecutorObs& executor_obs() {
   static ExecutorObs metrics;
   return metrics;
 }
+
+/// Why an instance was lost. Blackout/OutOfBid surface as their own trace
+/// outcomes; the rest stay InstanceOutcome::Timeout but are attributed
+/// distinctly in the preempted{cause=} metric family.
+enum class FailCause : std::uint8_t {
+  Host,        ///< natural host death (availability process)
+  Deadline,    ///< killed at the phase deadline while still running
+  Blackout,    ///< forced window: chaos/shrink/flash or multi-region outage
+  OutOfBid,    ///< forced window: spot market price above the bid
+  DutyCycle,   ///< forced window: volunteer host recharging
+  ResultLoss,  ///< chaos silent result loss
+};
+constexpr std::size_t kFailCauseCount = 6;
+
+constexpr std::size_t cause_index(FailCause cause) noexcept {
+  return static_cast<std::size_t>(cause);
+}
+
+const char* fail_cause_label(FailCause cause) noexcept {
+  switch (cause) {
+    case FailCause::Host:
+      return "host";
+    case FailCause::Deadline:
+      return "deadline";
+    case FailCause::Blackout:
+      return "blackout";
+    case FailCause::OutOfBid:
+      return "out_of_bid";
+    case FailCause::DutyCycle:
+      return "duty_cycle";
+    case FailCause::ResultLoss:
+      return "result_loss";
+  }
+  return "host";
+}
+
+FailCause cause_of(chaos::WindowCause cause) noexcept {
+  switch (cause) {
+    case chaos::WindowCause::Blackout:
+      return FailCause::Blackout;
+    case chaos::WindowCause::OutOfBid:
+      return FailCause::OutOfBid;
+    case chaos::WindowCause::DutyCycle:
+      return FailCause::DutyCycle;
+  }
+  return FailCause::Blackout;
+}
+
+/// One run's metric deltas for one pool, flushed to labeled series at the
+/// end of the run.
+struct PoolCounters {
+  std::uint64_t sent = 0;
+  std::uint64_t completed = 0;
+  std::array<std::uint64_t, kFailCauseCount> preempted{};
+  std::array<std::uint64_t, kFailCauseCount> dynamics_windows{};
+  std::uint64_t blackout_windows = 0;  ///< chaos-plan windows only
+  std::uint64_t forced_down = 0;
+  std::uint64_t results_lost = 0;
+  std::uint64_t dispatch_failures = 0;
+  std::uint64_t dispatch_retries = 0;
+  std::uint64_t dispatch_abandoned = 0;
+};
 
 using strategies::StrategyConfig;
 using strategies::TailMode;
@@ -77,8 +120,19 @@ struct PhaseRules {
   double deadline_d = 0.0;
 };
 
+constexpr std::size_t kNoGridGroup = std::numeric_limits<std::size_t>::max();
+
 struct Machine {
   const MachineGroup* group = nullptr;
+  /// Index of the owning pool in the environment's pool list.
+  std::size_t pool_index = 0;
+  /// Group index within the owning pool (multi-region: the region).
+  std::size_t group_in_pool = 0;
+  /// Machine ordinal within the owning pool (volunteer per-host streams).
+  std::size_t ordinal_in_pool = 0;
+  /// Contiguous grid-group ordinal across every Grid-role pool (blackout
+  /// targeting); kNoGridGroup for cloud machines.
+  std::size_t grid_group = kNoGridGroup;
   double speed = 1.0;
   double mean_up = 0.0;
   double mean_down = 0.0;
@@ -111,10 +165,11 @@ struct Machine {
 
 class Run {
  public:
-  Run(const ExecutorConfig& cfg, const workload::Bot& bot,
-      StrategyConfig strategy, std::uint64_t stream,
+  Run(const ExecutorConfig& cfg, const env::Environment& env,
+      const workload::Bot& bot, StrategyConfig strategy, std::uint64_t stream,
       const Executor::TailStrategySelector* selector = nullptr)
       : cfg_(cfg),
+        env_(env),
         bot_(bot),
         strategy_(std::move(strategy)),
         selector_(selector),
@@ -268,15 +323,23 @@ class Run {
   }
 
   void build_machines(std::uint64_t stream) {
-    // Group ordinal within the unreliable pool, for blackout targeting.
-    std::vector<std::size_t> unreliable_group_of_machine;
-    auto add_pool = [&](const PoolConfig& pool, bool reliable) {
-      pool.validate();
+    const auto& pools = env_.pools();
+    obs_pools_.resize(pools.size());
+    spot_paths_.resize(pools.size());
+    for (std::size_t pi = 0; pi < pools.size(); ++pi) {
+      const auto& spec = pools[pi];
+      const bool reliable = spec.role == env::PoolRole::Cloud;
+      std::size_t ordinal = 0;
       std::size_t group_idx = 0;
-      for (const auto& g : pool.groups) {
+      for (const auto& g : spec.pool.groups) {
+        if (!reliable) grid_groups_.push_back({&g, pi, group_idx});
         for (std::size_t i = 0; i < g.count; ++i) {
           Machine m;
           m.group = &g;
+          m.pool_index = pi;
+          m.group_in_pool = group_idx;
+          m.ordinal_in_pool = ordinal++;
+          m.grid_group = reliable ? kNoGridGroup : grid_groups_.size() - 1;
           m.price = g.price;
           m.failure_notice_prob = g.failure_notice_prob;
           m.mean_queue_wait = g.mean_queue_wait_s;
@@ -286,41 +349,45 @@ class Run {
             m.spans = &g.trace->machine(i % g.trace->machine_count());
           }
           machines_.push_back(m);
-          if (!reliable) unreliable_group_of_machine.push_back(group_idx);
           (reliable ? reliable_count_ : unreliable_count_) += 1;
         }
         ++group_idx;
       }
-    };
-    add_pool(cfg_.unreliable, false);
-    if (cfg_.reliable) add_pool(*cfg_.reliable, true);
-    if (chaos_ != nullptr) {
-      apply_chaos_plan(stream, unreliable_group_of_machine);
     }
+    if (chaos_ != nullptr) apply_chaos_plan(stream);
+    apply_dynamics(stream);
   }
 
   /// Translate the chaos plan into per-machine forced-down windows and
   /// flash-crowd spare machines. Deterministic in (chaos.seed, stream).
-  void apply_chaos_plan(std::uint64_t stream,
-                        const std::vector<std::size_t>& group_of_machine) {
-    const auto& groups = cfg_.unreliable.groups;
+  /// Blackout group ordinals run contiguously across every Grid-role pool,
+  /// so a classic environment reproduces the pre-seam schedule exactly.
+  void apply_chaos_plan(std::uint64_t stream) {
     const auto blackout =
-        chaos::blackout_schedule(*chaos_, groups.size(), stream);
-    for (const auto& g : blackout) {
-      obs_blackouts_ += g.size();
+        chaos::blackout_schedule(*chaos_, grid_groups_.size(), stream);
+    for (std::size_t gi = 0; gi < blackout.size(); ++gi) {
+      obs_pools_[grid_groups_[gi].pool_index].blackout_windows +=
+          blackout[gi].size();
     }
 
-    // Flash-crowd spares: extra hosts per unreliable group, forced down
-    // outside the flash window. Appended after both pools so machine
-    // indices of the base pools are unchanged by the plan.
+    // Flash-crowd spares: extra hosts per grid group, forced down outside
+    // the flash window. Appended after every base pool so machine indices
+    // of the base pools are unchanged by the plan.
     if (chaos_->flash_fraction > 0.0) {
-      for (std::size_t gi = 0; gi < groups.size(); ++gi) {
-        const auto& g = groups[gi];
+      std::vector<std::size_t> extra_in_pool(env_.pools().size(), 0);
+      for (std::size_t gi = 0; gi < grid_groups_.size(); ++gi) {
+        const auto& g = *grid_groups_[gi].group;
+        const std::size_t pi = grid_groups_[gi].pool_index;
         const auto extra = static_cast<std::size_t>(
             std::ceil(chaos_->flash_fraction * static_cast<double>(g.count)));
         for (std::size_t i = 0; i < extra; ++i) {
           Machine m;
           m.group = &g;
+          m.pool_index = pi;
+          m.group_in_pool = grid_groups_[gi].group_in_pool;
+          m.ordinal_in_pool =
+              env_.pools()[pi].pool.total_machines() + extra_in_pool[pi]++;
+          m.grid_group = gi;
           m.price = g.price;
           m.failure_notice_prob = g.failure_notice_prob;
           m.mean_queue_wait = g.mean_queue_wait_s;
@@ -347,14 +414,13 @@ class Run {
     }
 
     // Blackouts hit every machine of the group; the shrink withdraws the
-    // first ceil(fraction * l_ur) unreliable machines for its window.
+    // first ceil(fraction * l_ur) grid machines for its window.
     const auto shrink_count = static_cast<std::size_t>(std::ceil(
         chaos_->shrink_fraction * static_cast<double>(unreliable_count_)));
     std::size_t unreliable_seen = 0;
-    for (std::size_t m = 0; m < machines_.size(); ++m) {
-      auto& machine = machines_[m];
+    for (auto& machine : machines_) {
       if (machine.reliable_pool || machine.spare) continue;
-      machine.forced = blackout[group_of_machine[m]];
+      machine.forced = blackout[machine.grid_group];
       if (chaos_->shrink_fraction > 0.0 && unreliable_seen < shrink_count) {
         machine.forced.push_back(
             {chaos_->shrink_start_s,
@@ -362,6 +428,65 @@ class Run {
         chaos::merge_windows(machine.forced);
       }
       ++unreliable_seen;
+    }
+  }
+
+  /// Layer each pool's dynamics over its machines as cause-tagged forced
+  /// windows (plus, for spot pools, the shared price path). Runs after the
+  /// chaos plan so flash spares inherit their pool's dynamics too. Static
+  /// pools are untouched, which keeps classic runs byte-identical: every
+  /// dynamics draw comes from its own (spec.seed, stream) domain, never
+  /// from the scheduling stream.
+  void apply_dynamics(std::uint64_t stream) {
+    const auto& pools = env_.pools();
+    for (std::size_t pi = 0; pi < pools.size(); ++pi) {
+      const auto& spec = pools[pi];
+      auto& pool_obs = obs_pools_[pi];
+      if (const auto* spot =
+              std::get_if<env::SpotMarketDynamics>(&spec.dynamics)) {
+        spot_paths_[pi] =
+            env::spot_price_path(*spot, cfg_.max_sim_time, stream);
+        const auto windows =
+            env::spot_out_of_bid_windows(*spot, cfg_.max_sim_time, stream);
+        pool_obs.dynamics_windows[cause_index(FailCause::OutOfBid)] +=
+            windows.size();
+        if (windows.empty()) continue;
+        for (auto& machine : machines_) {
+          if (machine.pool_index != pi) continue;
+          machine.forced.insert(machine.forced.end(), windows.begin(),
+                                windows.end());
+          chaos::merge_windows(machine.forced);
+        }
+      } else if (const auto* mr =
+                     std::get_if<env::MultiRegionDynamics>(&spec.dynamics)) {
+        const auto regions = env::region_blackout_windows(
+            *mr, spec.pool.groups.size(), stream);
+        for (const auto& region : regions) {
+          pool_obs.dynamics_windows[cause_index(FailCause::Blackout)] +=
+              region.size();
+        }
+        for (auto& machine : machines_) {
+          if (machine.pool_index != pi) continue;
+          const auto& windows = regions[machine.group_in_pool];
+          if (windows.empty()) continue;
+          machine.forced.insert(machine.forced.end(), windows.begin(),
+                                windows.end());
+          chaos::merge_windows(machine.forced);
+        }
+      } else if (const auto* vol =
+                     std::get_if<env::VolunteerDynamics>(&spec.dynamics)) {
+        for (auto& machine : machines_) {
+          if (machine.pool_index != pi) continue;
+          const auto windows = env::volunteer_off_windows(
+              *vol, cfg_.max_sim_time, machine.ordinal_in_pool, stream);
+          pool_obs.dynamics_windows[cause_index(FailCause::DutyCycle)] +=
+              windows.size();
+          if (windows.empty()) continue;
+          machine.forced.insert(machine.forced.end(), windows.begin(),
+                                windows.end());
+          chaos::merge_windows(machine.forced);
+        }
+      }
     }
   }
 
@@ -427,7 +552,7 @@ class Run {
   void force_down(std::size_t m) {
     auto& machine = machines_[m];
     ++machine.avail_epoch;  // invalidate pending up/down events
-    ++obs_forced_down_;
+    ++obs_pools_[machine.pool_index].forced_down;
     if (machine.up) ++obs_down_;
     machine.up = false;
     machine.busy = false;
@@ -450,17 +575,23 @@ class Run {
     dispatch();
   }
 
-  /// Time the machine is next forced down, at or after `now`; +inf when no
-  /// forced window remains. Returns `now` while inside a window. The
+  /// Next forced-down transition of a machine: its time (at or after
+  /// `now`; +inf when no forced window remains, `now` while inside a
+  /// window) and the window's cause for preemption attribution. The
   /// cursor only moves forward — callers ask at nondecreasing times.
-  double next_forced_start(Machine& machine, double now) {
+  struct ForcedNext {
+    double at = kInf;
+    chaos::WindowCause cause = chaos::WindowCause::Blackout;
+  };
+
+  ForcedNext next_forced(Machine& machine, double now) {
     while (machine.next_forced < machine.forced.size() &&
            machine.forced[machine.next_forced].end <= now) {
       ++machine.next_forced;
     }
-    if (machine.next_forced >= machine.forced.size()) return kInf;
+    if (machine.next_forced >= machine.forced.size()) return ForcedNext{};
     const auto& w = machine.forced[machine.next_forced];
-    return w.start <= now ? now : w.start;
+    return ForcedNext{w.start <= now ? now : w.start, w.cause};
   }
 
   /// Trace replay: arm the next transition of a currently-down machine —
@@ -636,7 +767,7 @@ class Run {
     if (machine.reliable_pool && chaos_ != nullptr &&
         chaos_->dispatch_failure_prob > 0.0 &&
         chaos_rng_.bernoulli(chaos_->dispatch_failure_prob)) {
-      on_dispatch_failure(task);
+      on_dispatch_failure(task, machine.pool_index);
       return;
     }
 
@@ -647,7 +778,7 @@ class Run {
     machine.busy = true;
 
     const bool reliable = machine.reliable_pool;
-    ++(reliable ? obs_r_sent_ : obs_ur_sent_);
+    ++obs_pools_[machine.pool_index].sent;
     pending_.push_back(PendingInstance{
         task, reliable ? PoolKind::Reliable : PoolKind::Unreliable, now});
     const double runtime = bot_.task(task).cpu_seconds / machine.speed;
@@ -663,10 +794,11 @@ class Run {
     // unreliable instances are killed at the phase deadline.
     const double t_kill = reliable ? kInf : now + current_rules().deadline_d;
     // The machine dies at its next natural down transition or at the next
-    // forced-down window of the chaos plan, whichever comes first. Both are
-    // known now, so the instance's outcome can be scheduled immediately.
-    const double down_at =
-        std::min(machine.next_down, next_forced_start(machine, now));
+    // forced-down window (chaos plan or environment dynamics), whichever
+    // comes first. Both are known now, so the instance's outcome can be
+    // scheduled immediately — with its cause.
+    const ForcedNext forced = next_forced(machine, now);
+    const double down_at = std::min(machine.next_down, forced.at);
 
     if (t_complete <= std::min(down_at, t_kill)) {
       // Silent result loss: the instance finishes and frees its machine,
@@ -674,19 +806,26 @@ class Run {
       // the instance deadline, exactly like a silent host death.
       if (!reliable && chaos_ != nullptr && chaos_->result_loss_prob > 0.0 &&
           chaos_rng_.bernoulli(chaos_->result_loss_prob)) {
-        ++obs_results_lost_;
+        ++obs_pools_[machine.pool_index].results_lost;
         engine_.schedule_at(t_complete, [this, machine_idx] {
           machines_[machine_idx].busy = false;
           dispatch();
         });
         const double notify = t_kill == kInf ? t_complete : t_kill;
         engine_.schedule_at(notify, [this, task, machine_idx, now] {
-          on_failure(task, machine_idx, now, /*frees_machine=*/false);
+          on_failure(task, machine_idx, now, /*frees_machine=*/false,
+                     FailCause::ResultLoss);
         });
         return;
       }
-      engine_.schedule_at(t_complete, [this, task, machine_idx, now, runtime] {
-        on_success(task, machine_idx, now, runtime);
+      // Cost is fixed at send time: static pools charge the group's price,
+      // spot pools the market rate now (billing simplification — see
+      // docs/environments.md).
+      const PriceSpec price = effective_price(machine, now);
+      const double cost = util::charge_cents(
+          runtime, price.rate_cents_per_s, price.period_s);
+      engine_.schedule_at(t_complete, [this, task, machine_idx, now, cost] {
+        on_success(task, machine_idx, now, cost);
       });
       return;
     }
@@ -694,19 +833,31 @@ class Run {
       // The machine dies mid-run; the down event frees it. The scheduler
       // hears about it either immediately (reported failure) or only at the
       // deadline (silent loss) — reliable instances are always reported.
+      const FailCause cause = forced.at <= machine.next_down
+                                  ? cause_of(forced.cause)
+                                  : FailCause::Host;
       const bool reported =
           reliable || rng_.bernoulli(machine.failure_notice_prob);
       const double notify =
           reported ? down_at : (t_kill == kInf ? down_at : t_kill);
-      engine_.schedule_at(notify, [this, task, machine_idx, now] {
-        on_failure(task, machine_idx, now, /*frees_machine=*/false);
+      engine_.schedule_at(notify, [this, task, machine_idx, now, cause] {
+        on_failure(task, machine_idx, now, /*frees_machine=*/false, cause);
       });
       return;
     }
     // Killed at the deadline while still running.
     engine_.schedule_at(t_kill, [this, task, machine_idx, now] {
-      on_failure(task, machine_idx, now, /*frees_machine=*/true);
+      on_failure(task, machine_idx, now, /*frees_machine=*/true,
+                 FailCause::Deadline);
     });
+  }
+
+  /// The price an instance dispatched now on this machine will pay: the
+  /// group's static price, or the market rate at send time on a spot pool.
+  PriceSpec effective_price(const Machine& machine, double now) const {
+    const auto& path = spot_paths_[machine.pool_index];
+    if (path.empty()) return machine.price;
+    return PriceSpec{env::spot_rate_at(path, now), machine.price.period_s};
   }
 
   /// A reliable-pool launch attempt failed. Bounded retry with exponential
@@ -714,15 +865,15 @@ class Run {
   /// abandoned (recorded as DispatchFailed) and the task falls back to the
   /// unreliable pool so it cannot starve waiting for capacity that never
   /// materializes.
-  void on_dispatch_failure(workload::TaskId task) {
+  void on_dispatch_failure(workload::TaskId task, std::size_t pool_index) {
     const double now = engine_.now();
     auto& st = tasks_[task];
     st.queued = Queued::None;  // the queue entry was consumed by dispatch()
     ++st.epoch;
-    ++obs_dispatch_fail_;
+    ++obs_pools_[pool_index].dispatch_failures;
     ++st.dispatch_attempts;
     if (st.dispatch_attempts > chaos_->max_dispatch_retries) {
-      ++obs_dispatch_abandoned_;
+      ++obs_pools_[pool_index].dispatch_abandoned;
       records_.push_back(InstanceRecord{
           task, PoolKind::Reliable, now, kInf, InstanceOutcome::DispatchFailed,
           0.0, tail_started_ && now >= t_tail_});
@@ -733,7 +884,7 @@ class Run {
       enqueue(task, Queued::Unreliable);
       return;
     }
-    ++obs_dispatch_retry_;
+    ++obs_pools_[pool_index].dispatch_retries;
     const double factor =
         std::pow(2.0, static_cast<double>(st.dispatch_attempts - 1));
     const double backoff =
@@ -749,17 +900,15 @@ class Run {
   }
 
   void on_success(workload::TaskId task, std::size_t machine_idx,
-                  double send_time, double runtime) {
+                  double send_time, double cost) {
     const double now = engine_.now();
     auto& machine = machines_[machine_idx];
     machine.busy = false;
-    ++(machine.reliable_pool ? obs_r_completed_ : obs_ur_completed_);
+    ++obs_pools_[machine.pool_index].completed;
     remove_pending(task,
                    machine.reliable_pool ? PoolKind::Reliable
                                          : PoolKind::Unreliable,
                    send_time);
-    const double cost = util::charge_cents(
-        runtime, machine.price.rate_cents_per_s, machine.price.period_s);
     total_cost_ += cost;
     records_.push_back(InstanceRecord{
         task,
@@ -785,18 +934,25 @@ class Run {
   }
 
   void on_failure(workload::TaskId task, std::size_t machine_idx,
-                  double send_time, bool frees_machine) {
+                  double send_time, bool frees_machine, FailCause cause) {
     auto& machine = machines_[machine_idx];
     if (frees_machine) machine.busy = false;
-    ++(machine.reliable_pool ? obs_r_preempted_ : obs_ur_preempted_);
+    ++obs_pools_[machine.pool_index].preempted[cause_index(cause)];
     remove_pending(task,
                    machine.reliable_pool ? PoolKind::Reliable
                                          : PoolKind::Unreliable,
                    send_time);
+    // Blackout and out-of-bid preemptions surface as their own trace
+    // outcomes; duty-cycle and natural host deaths stay Timeout (the
+    // scheduler cannot tell a recharging phone from a dead host).
+    const InstanceOutcome outcome =
+        cause == FailCause::Blackout  ? InstanceOutcome::Blackout
+        : cause == FailCause::OutOfBid ? InstanceOutcome::OutOfBid
+                                       : InstanceOutcome::Timeout;
     records_.push_back(InstanceRecord{
         task,
         machine.reliable_pool ? PoolKind::Reliable : PoolKind::Unreliable,
-        send_time, kInf, InstanceOutcome::Timeout, 0.0,
+        send_time, kInf, outcome, 0.0,
         tail_started_ && send_time >= t_tail_});
     auto& st = tasks_[task];
     if (!st.completed) {
@@ -913,26 +1069,54 @@ class Run {
   /// Publish this run's aggregates to the global registry (no-op when it
   /// is disabled). Deltas are plain members: per-event instrumentation cost
   /// is a register increment.
+  /// Obs label value of a pool: its name, falling back to the legacy
+  /// role-based values for unnamed pools.
+  std::string pool_label(std::size_t pool_index) const {
+    const auto& spec = env_.pools()[pool_index];
+    if (!spec.pool.name.empty()) return spec.pool.name;
+    return spec.role == env::PoolRole::Cloud ? "reliable" : "unreliable";
+  }
+
   void flush_metrics() {
     if (!obs::Registry::global().enabled()) return;
     ExecutorObs& m = executor_obs();
+    obs::Registry& reg = obs::Registry::global();
     m.runs.inc();
-    m.ur_sent.inc(obs_ur_sent_);
-    m.ur_completed.inc(obs_ur_completed_);
-    m.ur_preempted.inc(obs_ur_preempted_);
-    m.r_sent.inc(obs_r_sent_);
-    m.r_completed.inc(obs_r_completed_);
-    m.r_preempted.inc(obs_r_preempted_);
     m.down.inc(obs_down_);
     m.up.inc(obs_up_);
     m.truncated.inc(obs_truncated_);
-    m.blackouts.inc(obs_blackouts_);
-    m.forced_down.inc(obs_forced_down_);
-    m.dispatch_failures.inc(obs_dispatch_fail_);
-    m.dispatch_retries.inc(obs_dispatch_retry_);
-    m.dispatch_abandoned.inc(obs_dispatch_abandoned_);
-    m.results_lost.inc(obs_results_lost_);
     m.makespan.observe(completion_time_);
+    for (std::size_t pi = 0; pi < obs_pools_.size(); ++pi) {
+      const PoolCounters& pc = obs_pools_[pi];
+      const std::string label = pool_label(pi);
+      const obs::Labels pool{{"pool", label}};
+      const auto inc = [&](const char* name, std::uint64_t delta) {
+        if (delta > 0) reg.counter(name, pool).inc(delta);
+      };
+      inc("gridsim.instances.sent", pc.sent);
+      inc("gridsim.instances.completed", pc.completed);
+      for (std::size_t c = 0; c < kFailCauseCount; ++c) {
+        const auto cause = static_cast<FailCause>(c);
+        if (pc.preempted[c] > 0) {
+          reg.counter("gridsim.instances.preempted",
+                      obs::Labels{{"cause", fail_cause_label(cause)},
+                                  {"pool", label}})
+              .inc(pc.preempted[c]);
+        }
+        if (pc.dynamics_windows[c] > 0) {
+          reg.counter("gridsim.dynamics.forced_windows",
+                      obs::Labels{{"cause", fail_cause_label(cause)},
+                                  {"pool", label}})
+              .inc(pc.dynamics_windows[c]);
+        }
+      }
+      inc("chaos.blackout_windows", pc.blackout_windows);
+      inc("chaos.forced_down_transitions", pc.forced_down);
+      inc("chaos.results_lost", pc.results_lost);
+      inc("chaos.dispatch_failures", pc.dispatch_failures);
+      inc("chaos.dispatch_retries", pc.dispatch_retries);
+      inc("chaos.dispatch_abandoned", pc.dispatch_abandoned);
+    }
   }
 
   struct PendingInstance {
@@ -954,7 +1138,16 @@ class Run {
     EXPERT_CHECK(false, "resolved instance missing from pending set");
   }
 
+  /// One grid group's identity across the environment: used for blackout
+  /// targeting and flash-spare creation.
+  struct GridGroupRef {
+    const MachineGroup* group = nullptr;
+    std::size_t pool_index = 0;
+    std::size_t group_in_pool = 0;
+  };
+
   const ExecutorConfig& cfg_;
+  const env::Environment& env_;
   const workload::Bot& bot_;
   StrategyConfig strategy_;
   const Executor::TailStrategySelector* selector_ = nullptr;
@@ -969,6 +1162,9 @@ class Run {
 
   sim::Engine engine_;
   std::vector<Machine> machines_;
+  std::vector<GridGroupRef> grid_groups_;
+  /// Per-pool spot price path; empty for pools without spot dynamics.
+  std::vector<std::vector<env::PricePoint>> spot_paths_;
   std::vector<TaskState> tasks_;
   std::deque<QueueEntry> ur_queue_;
   std::deque<QueueEntry> r_queue_;
@@ -993,28 +1189,22 @@ class Run {
   double t_tail_ = 0.0;
   double completion_time_ = 0.0;
 
-  std::uint64_t obs_ur_sent_ = 0;
-  std::uint64_t obs_ur_completed_ = 0;
-  std::uint64_t obs_ur_preempted_ = 0;
-  std::uint64_t obs_r_sent_ = 0;
-  std::uint64_t obs_r_completed_ = 0;
-  std::uint64_t obs_r_preempted_ = 0;
   std::uint64_t obs_down_ = 0;
   std::uint64_t obs_up_ = 0;
   std::uint64_t obs_truncated_ = 0;
-  std::uint64_t obs_blackouts_ = 0;
-  std::uint64_t obs_forced_down_ = 0;
-  std::uint64_t obs_dispatch_fail_ = 0;
-  std::uint64_t obs_dispatch_retry_ = 0;
-  std::uint64_t obs_dispatch_abandoned_ = 0;
-  std::uint64_t obs_results_lost_ = 0;
+  /// Per-pool metric deltas, indexed like env_.pools().
+  std::vector<PoolCounters> obs_pools_;
 };
 
 }  // namespace
 
 void ExecutorConfig::validate() const {
-  unreliable.validate();
-  if (reliable) reliable->validate();
+  if (environment) {
+    environment->validate();
+  } else {
+    unreliable.validate();
+    if (reliable) reliable->validate();
+  }
   EXPERT_REQUIRE(max_sim_time > 0.0, "horizon must be positive");
   EXPERT_REQUIRE(throughput_deadline >= 0.0,
                  "throughput deadline must be non-negative");
@@ -1023,6 +1213,9 @@ void ExecutorConfig::validate() const {
 
 Executor::Executor(ExecutorConfig config) : config_(std::move(config)) {
   config_.validate();
+  env_ = config_.environment
+             ? *config_.environment
+             : env::Environment::classic(config_.unreliable, config_.reliable);
 }
 
 trace::ExecutionTrace Executor::run(const workload::Bot& bot,
@@ -1030,7 +1223,7 @@ trace::ExecutionTrace Executor::run(const workload::Bot& bot,
                                     std::uint64_t stream) const {
   EXPERT_SPAN("executor.run");
   strategy.validate();
-  Run run(config_, bot, strategy, stream);
+  Run run(config_, env_, bot, strategy, stream);
   return run.execute();
 }
 
@@ -1040,7 +1233,7 @@ trace::ExecutionTrace Executor::run_adaptive(
   EXPERT_SPAN("executor.run_adaptive");
   initial.validate();
   EXPERT_REQUIRE(selector != nullptr, "run_adaptive needs a selector");
-  Run run(config_, bot, initial, stream, &selector);
+  Run run(config_, env_, bot, initial, stream, &selector);
   return run.execute();
 }
 

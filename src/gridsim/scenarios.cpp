@@ -70,6 +70,10 @@ ExecutorConfig make_experiment_environment(const TableVExperiment& exp,
   }
   cfg.throughput_deadline = wl.deadline_d;
   cfg.seed = seed;
+  // Table V rows are classic two-pool environments, expressed explicitly
+  // on the environment seam (byte-identical to the legacy pair by
+  // construction; the golden refactor-guard test pins this).
+  cfg.environment = env::Environment::classic(cfg.unreliable, cfg.reliable);
   return cfg;
 }
 

@@ -21,6 +21,8 @@ InstanceOutcome outcome_from_string(const std::string& s) {
   if (s == "timeout") return InstanceOutcome::Timeout;
   if (s == "cancelled") return InstanceOutcome::Cancelled;
   if (s == "dispatch_failed") return InstanceOutcome::DispatchFailed;
+  if (s == "blackout") return InstanceOutcome::Blackout;
+  if (s == "out_of_bid") return InstanceOutcome::OutOfBid;
   throw std::runtime_error("unknown outcome '" + s + "'");
 }
 

@@ -27,6 +27,10 @@ const char* to_string(InstanceOutcome outcome) noexcept {
       return "cancelled";
     case InstanceOutcome::DispatchFailed:
       return "dispatch_failed";
+    case InstanceOutcome::Blackout:
+      return "blackout";
+    case InstanceOutcome::OutOfBid:
+      return "out_of_bid";
   }
   return "?";
 }

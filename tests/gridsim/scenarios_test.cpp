@@ -71,8 +71,12 @@ TEST(TableVScenarios, ExperimentElevenRunsEndToEnd) {
   ASSERT_EQ(exp.number, 11);
   const auto env = make_experiment_environment(exp, 2);
   // Shrink for test speed: a fifth of the machines, a fifth of the tasks.
+  // The explicit environment is authoritative, so re-wrap the shrunken
+  // legacy pair instead of leaving a stale full-size environment behind.
   auto small_env = env;
   for (auto& g : small_env.unreliable.groups) g.count /= 5;
+  small_env.environment =
+      env::Environment::classic(small_env.unreliable, small_env.reliable);
   Executor ex(small_env);
   const auto& wl = workload::workload_spec(exp.workload);
   const auto bot = workload::make_synthetic_bot(

@@ -1,0 +1,16 @@
+// A std mutex member in gridsim proper (outside env/) is not part of the
+// concurrency-audited set, so ANN001 does not apply to it.
+#include <mutex>
+
+namespace expert::gridsim {
+
+class ExecutorScratch {
+ public:
+  void reset();
+
+ private:
+  std::mutex mutex_;
+  int epoch_ = 0;
+};
+
+}  // namespace expert::gridsim

@@ -171,6 +171,19 @@ TEST(LintFixtures, SeededAnnotationGaps) {
   EXPECT_EQ(got, want);
 }
 
+TEST(LintFixtures, EnvSubsystemIsAnnotationAudited) {
+  // gridsim/env carries its own ANN001 scope; gridsim proper does not.
+  const auto findings =
+      lint_paths({kFixtures + "/src/gridsim/env/bad_env_mutex.cpp"});
+  const auto got = rule_lines(findings);
+  const std::vector<std::pair<std::string, int>> want = {{"ANN001", 13}};
+  EXPECT_EQ(got, want);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings[0].message.find("gridsim/env"), std::string::npos);
+  EXPECT_TRUE(
+      lint_paths({kFixtures + "/src/gridsim/clean_mutex.cpp"}).empty());
+}
+
 TEST(LintFixtures, SeededEintrDiscipline) {
   const auto findings =
       lint_paths({kFixtures + "/src/resilience/bad_eintr.cpp"});
@@ -214,8 +227,10 @@ TEST(LintFixtures, DirectoryWalkFindsEverySeededFile) {
   EXPECT_TRUE(has_file("bad_annotations.cpp"));
   EXPECT_TRUE(has_file("bad_eintr.cpp"));
   EXPECT_TRUE(has_file("bad_signal.cpp"));
+  EXPECT_TRUE(has_file("bad_env_mutex.cpp"));
   EXPECT_FALSE(has_file("clean_core.cpp"));
   EXPECT_FALSE(has_file("clean_clock.cpp"));
+  EXPECT_FALSE(has_file("clean_mutex.cpp"));
 }
 
 // ---- parallel walk determinism ----
@@ -288,6 +303,8 @@ TEST(LintScope, UnorderedContainersAllowedOutsideReplayModules) {
   EXPECT_TRUE(lint_source("src/util/pool.cpp", source).empty());
   EXPECT_FALSE(lint_source("src/core/frontier.cpp", source).empty());
   EXPECT_FALSE(lint_source("src/strategies/parser.cpp", source).empty());
+  // The environment subsystem inherits gridsim's replay sensitivity.
+  EXPECT_FALSE(lint_source("src/gridsim/env/dynamics.cpp", source).empty());
   // obs promises deterministic snapshot ordering, so its label/series
   // maps are replay-sensitive too.
   EXPECT_FALSE(lint_source("src/obs/metrics.cpp", source).empty());

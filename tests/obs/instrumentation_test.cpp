@@ -77,9 +77,11 @@ TEST(Instrumentation, OneRunPopulatesAllLayers) {
   EXPECT_GT(snap.counter("sim.engine.events_fired")->value, 0u);
   ASSERT_NE(snap.counter("core.estimator.runs"), nullptr);
   EXPECT_EQ(snap.counter("core.estimator.runs")->value, 2u);
-  const obs::Labels unreliable{{"pool", "unreliable"}};
-  ASSERT_NE(snap.counter("gridsim.instances.sent", unreliable), nullptr);
-  EXPECT_GT(snap.counter("gridsim.instances.sent", unreliable)->value, 0u);
+  // Pool labels carry the environment's pool *names* (experiment 1 runs on
+  // the WM grid), not the legacy unreliable/reliable roles.
+  const obs::Labels wm_pool{{"pool", "WM"}};
+  ASSERT_NE(snap.counter("gridsim.instances.sent", wm_pool), nullptr);
+  EXPECT_GT(snap.counter("gridsim.instances.sent", wm_pool)->value, 0u);
   EXPECT_GT(snap.counter_total("gridsim.instances.sent"), 0u);
 
   // The spans around estimate() and run() landed in the tracer.

@@ -69,6 +69,7 @@
 #include "expert/resilience/drift.hpp"
 #include "expert/resilience/journal.hpp"
 #include "expert/resilience/watchdog.hpp"
+#include "expert/gridsim/env/environment.hpp"
 #include "expert/gridsim/scenarios.hpp"
 #include "expert/eval/service.hpp"
 #include "expert/obs/profile.hpp"
@@ -92,6 +93,8 @@ int usage() {
       "  characterize --trace FILE [--mode online|offline] [--deadline S]\n"
       "  frontier     --trace FILE --tasks N [--reps R] [--csv]\n"
       "               [--out FILE] (persist frontier points as CSV)\n"
+      "               [--arch A] (no --trace needed: synthesize the history\n"
+      "               from one gridsim run of the reference environment)\n"
       "  recommend    --trace FILE --tasks N --utility U [--reps R]\n"
       "               U: fastest|cheapest|product|budget:<c/task>|"
       "deadline:<s>\n"
@@ -107,6 +110,9 @@ int usage() {
       "               [--backend gridsim|process] [--workers N]\n"
       "               (process: evaluate each BoT in a supervised worker\n"
       "               subprocess; same bytes out as gridsim)\n"
+      "               [--arch classic|spot|serverless|multiregion|volunteer]\n"
+      "               (swap the experiment onto a reference environment\n"
+      "               architecture; classic is the unchanged default)\n"
       "  worker       internal target of --backend process (wire protocol\n"
       "               on fd 3); never invoke by hand\n"
       "  profile      [--tasks N] [--pool L] [--gamma G] [--tur S] [--reps R]\n"
@@ -202,13 +208,42 @@ int cmd_characterize(const util::Args& args) {
   return 0;
 }
 
+const gridsim::TableVExperiment* find_experiment(int number);
+std::uint64_t apply_architecture(const util::Args& args,
+                                 const gridsim::TableVExperiment& exp,
+                                 gridsim::ExecutorConfig& env);
+
 int cmd_frontier(const util::Args& args) {
   EXPERT_SPAN("cli.frontier");
-  const auto history = load_trace(args.required("trace"));
   const auto tasks = static_cast<std::size_t>(args.number_or("tasks", 0.0));
   EXPERT_REQUIRE(tasks > 0, "--tasks is required and must be positive");
-  const auto expert = core::Expert::from_history(
-      history, core::UserParams{}, expert_options(args));
+  auto options = expert_options(args);
+  trace::ExecutionTrace history;
+  if (const auto path = args.option("trace")) {
+    history = load_trace(*path);
+  } else {
+    // --arch without --trace: synthesize the history by executing one BoT
+    // of the selected Table V experiment on the architecture's reference
+    // environment, then characterize that trace exactly as a loaded one.
+    EXPERT_REQUIRE(args.option("arch").has_value(),
+                   "--trace is required (or pass --arch to synthesize one)");
+    const int number = static_cast<int>(args.number_or("experiment", 11.0));
+    const gridsim::TableVExperiment* exp = find_experiment(number);
+    EXPERT_REQUIRE(exp != nullptr,
+                   "--experiment must name a Table V row (1..13)");
+    const auto seed = static_cast<std::uint64_t>(args.number_or("seed", 0.0));
+    auto env = gridsim::make_experiment_environment(
+        *exp, 0x7AB1E + seed + static_cast<std::uint64_t>(number));
+    options.environment_digest = apply_architecture(args, *exp, env);
+    gridsim::Executor executor(env);
+    const auto bot = workload::make_bot(
+        exp->workload, 0xB07 + seed + static_cast<std::uint64_t>(number));
+    history = executor.run(bot, gridsim::make_experiment_strategy(*exp));
+    std::cerr << "synthesized history: " << executor.environment().name()
+              << ", " << history.records().size() << " records\n";
+  }
+  const auto expert =
+      core::Expert::from_history(history, core::UserParams{}, options);
   const auto result = expert.build_frontier(tasks);
 
   if (const auto out = args.option("out")) {
@@ -399,6 +434,23 @@ int cmd_report(const util::Args& args) {
   return 0;
 }
 
+/// Resolve --arch against an experiment's executor config. Classic (the
+/// default) leaves the Table V environment untouched, so existing
+/// invocations stay byte-identical; any other architecture swaps in the
+/// matching reference environment (same grid size and gamma calibration)
+/// and returns its content digest for the eval key.
+std::uint64_t apply_architecture(const util::Args& args,
+                                 const gridsim::TableVExperiment& exp,
+                                 gridsim::ExecutorConfig& env) {
+  const auto arch =
+      gridsim::env::parse_architecture(args.option_or("arch", "classic"));
+  if (arch == gridsim::env::Architecture::Classic) return 0;
+  const auto& wl = workload::workload_spec(exp.workload);
+  env.environment = gridsim::env::make_reference_environment(
+      arch, exp.unreliable_size, exp.gamma, wl.mean_cpu);
+  return env.environment->digest();
+}
+
 const gridsim::TableVExperiment* find_experiment(int number) {
   const gridsim::TableVExperiment* exp = nullptr;
   for (const auto& e : gridsim::table_v_experiments()) {
@@ -429,6 +481,7 @@ int cmd_worker(const util::Args& args) {
       *exp, 0x7AB1E + seed + static_cast<std::uint64_t>(number));
   if (const auto plan = args.option("chaos"))
     env.chaos = chaos::parse_chaos_plan(*plan);
+  apply_architecture(args, *exp, env);
   gridsim::Executor executor(env);
   return procexec::worker_main(
       [&executor](const workload::Bot& bot,
@@ -443,7 +496,7 @@ int cmd_worker(const util::Args& args) {
 /// degradation reporting — the chaos-facing face of the pipeline.
 int run_campaign(const util::Args& args, const gridsim::TableVExperiment& exp,
                  const gridsim::ExecutorConfig& env, std::size_t bots,
-                 std::uint64_t seed) {
+                 std::uint64_t seed, std::uint64_t env_digest) {
   const auto& wl = workload::workload_spec(exp.workload);
   gridsim::Executor executor(env);
 
@@ -454,6 +507,7 @@ int run_campaign(const util::Args& args, const gridsim::TableVExperiment& exp,
   copts.expert = expert_options(args);
   copts.expert.repetitions =
       static_cast<std::size_t>(args.number_or("reps", 5.0));
+  copts.expert.environment_digest = env_digest;
   const auto utility = parse_utility(args.option_or("utility", "product"));
 
   const std::string backend_kind = args.option_or("backend", "gridsim");
@@ -470,6 +524,10 @@ int run_campaign(const util::Args& args, const gridsim::TableVExperiment& exp,
     if (const auto plan = args.option("chaos")) {
       popts.worker_args.push_back("--chaos");
       popts.worker_args.push_back(*plan);
+    }
+    if (const auto arch = args.option("arch")) {
+      popts.worker_args.push_back("--arch");
+      popts.worker_args.push_back(*arch);
     }
     pool = std::make_unique<procexec::ProcessPool>(std::move(popts));
     backend = pool->backend();
@@ -608,9 +666,10 @@ int cmd_execute(const util::Args& args) {
       *exp, 0x7AB1E + seed + static_cast<std::uint64_t>(number));
   if (const auto plan = args.option("chaos"))
     env.chaos = chaos::parse_chaos_plan(*plan);
+  const std::uint64_t env_digest = apply_architecture(args, *exp, env);
 
   const auto bots = static_cast<std::size_t>(args.number_or("bots", 1.0));
-  if (bots > 1) return run_campaign(args, *exp, env, bots, seed);
+  if (bots > 1) return run_campaign(args, *exp, env, bots, seed, env_digest);
   EXPERT_REQUIRE(args.option_or("backend", "gridsim") == "gridsim",
                  "--backend process needs a campaign (--bots > 1)");
 
@@ -659,6 +718,7 @@ int cmd_execute(const util::Args& args) {
   cfg.seed = 0x7AB1E5 + seed + static_cast<std::uint64_t>(number);
   cfg.tail_tasks_override =
       std::max<std::size_t>(1, real.remaining_at(real.t_tail()));
+  cfg.environment_digest = env_digest;
 
   core::Estimator estimator(cfg, model);
   const auto est = estimator.estimate(real.task_count(), strategy);
@@ -687,7 +747,7 @@ int main(int argc, char** argv) {
   const util::Args args(
       argc, argv,
       {"trace", "tasks", "utility", "reps", "mode", "deadline", "strategy",
-       "pool", "gamma", "tur", "experiment", "seed", "chaos", "bots",
+       "pool", "gamma", "tur", "experiment", "seed", "chaos", "bots", "arch",
        "eval-cache", "metrics-out", "trace-out", "journal",
        "backend-timeout", "backend", "workers", "kill-after-bots", "out"},
       {"csv", "resume", "drift", "profile"});

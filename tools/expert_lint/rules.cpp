@@ -138,6 +138,13 @@ Scope classify(std::string_view path) {
         seg == "resilience" || seg == "procexec") {
       scope.ann_module = std::string(seg);
     }
+    // The environment subsystem is audited as its own module: its digest
+    // and dynamics code feeds eval keys and executor replay, so any mutex
+    // that ever appears there must carry annotations from day one.
+    if (seg == "gridsim" && i + 1 < segments.size() &&
+        segments[i + 1] == "env") {
+      scope.ann_module = "gridsim/env";
+    }
   }
   return scope;
 }
