@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "expert/util/rng.hpp"
@@ -114,6 +115,26 @@ struct ChaosConfig {
 /// list); separators are spaces and/or commas. Throws util::ContractViolation
 /// on unknown keys or malformed values.
 ChaosConfig parse_chaos_plan(const std::string& text);
+
+/// A chaos plan aimed at one named target — a campaign-service tenant id.
+/// The service hands each tenant's backend only its own plan, so a fault
+/// campaign against one tenant cannot perturb a neighbor's execution (the
+/// isolation differential test relies on this).
+struct TargetedChaos {
+  std::string target;
+  ChaosConfig config;
+};
+
+/// Parse a semicolon-separated list of `target:plan` entries, e.g.
+///   "acme:blackouts=2 blackout_window=9000 blackout_duration=2000;zeta:loss=0.2"
+/// where each plan body uses the parse_chaos_plan grammar. Entries keep
+/// their written order. Throws util::ContractViolation on empty targets,
+/// duplicate targets, or malformed plan bodies.
+std::vector<TargetedChaos> parse_targeted_plans(const std::string& text);
+
+/// The plan aimed at `target`, or nullptr when it has none.
+const ChaosConfig* plan_for(const std::vector<TargetedChaos>& plans,
+                            std::string_view target) noexcept;
 
 /// Sort by start and coalesce overlapping/adjacent windows in place.
 void merge_windows(std::vector<ForcedWindow>& windows);

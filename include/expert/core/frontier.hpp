@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -56,6 +58,15 @@ struct FrontierOptions {
   /// batch-latency metric. Campaign re-planning overrides this so its
   /// frontier sweeps are attributable separately.
   std::string consumer = "frontier";
+  /// Tenant attribution forwarded to eval::BatchOptions::tenant; empty
+  /// (the default) for untenanted sweeps. Set by the campaign service so
+  /// cache traffic is attributable per tenant.
+  std::string tenant;
+  /// Forwarded to eval::BatchOptions::on_simulated_units — the campaign
+  /// service's fair-share/quota accounting hook. Excluded (like `threads`
+  /// and `service`) from resilience::campaign_options_digest: it is an
+  /// observer, not an input to the computed results.
+  std::function<void(std::size_t)> on_simulated_units;
 };
 
 struct FrontierResult {

@@ -40,6 +40,13 @@ class Utility {
   Feasible feasible_;
 };
 
+/// Parse a utility from its spec text: "fastest", "cheapest", "product",
+/// "budget:<cents>", or "deadline:<seconds>". This is the grammar the CLI
+/// accepts for --utility and the campaign service persists in its manifest
+/// (Utility itself holds closures, so the spec text is the serial form).
+/// Throws util::ContractViolation on an unknown spec.
+Utility parse_utility(const std::string& text);
+
 struct Decision {
   StrategyPoint choice;
   double score = 0.0;

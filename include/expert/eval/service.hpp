@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -35,6 +36,20 @@ struct BatchOptions {
   /// be a closed set of literals, never a per-request value (the registry
   /// caps label cardinality).
   std::string consumer = "direct";
+  /// Tenant that issued this batch, for multi-tenant attribution (see
+  /// expert::service). When non-empty, `eval.cache.tenant.{hits,misses}`
+  /// counters labeled {tenant=...} are bumped per batch; when empty (the
+  /// default) no tenant-labeled series is ever registered, so label-free
+  /// snapshots stay byte-identical to single-tenant runs. The admitting
+  /// service bounds the tenant set, keeping cardinality closed.
+  std::string tenant;
+  /// Fair-share accounting hook: when set, invoked once per batch (on the
+  /// calling thread, before simulation) with the number of
+  /// (candidate x repetition) units that missed the cache and will be
+  /// simulated — zero for a fully warm batch. The campaign service charges
+  /// these units against the issuing tenant's scheduling deficit and
+  /// eval-unit quota. Must not call back into the service.
+  std::function<void(std::size_t simulated_units)> on_simulated_units;
 };
 
 /// One evaluated candidate, in the order it was requested.

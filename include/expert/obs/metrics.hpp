@@ -185,19 +185,26 @@ struct Snapshot {
 /// Series may carry a label set (e.g. {"pool","reliable"}). Labeled
 /// registration is a cold-path lookup; the returned handle indexes the
 /// same flat sharded storage as an unlabeled one, so the write fast path
-/// is identical. Cardinality is bounded: at most kMaxSeriesPerName label
-/// sets per metric name (registration beyond that throws) — labels are for
-/// small closed dimensions (pool, shard, phase, tenant), never unbounded
-/// values.
+/// is identical. Cardinality is bounded: at most max_series_per_name()
+/// label sets per metric name (default kMaxSeriesPerName, raisable via
+/// set_max_series_per_name for components that admit a known larger
+/// dimension, e.g. the campaign service's tenant label). Registration
+/// beyond the cap is *dropped*, never fatal: the returned handle is a
+/// no-op and the reserved `obs.series.dropped` counter in snapshots
+/// counts the dropped registrations. Labels remain for small closed
+/// dimensions (pool, shard, phase, tenant), never unbounded values.
 ///
 /// When disabled, every write is a single relaxed atomic load and a
 /// branch. Registration is allowed while disabled.
 class Registry {
  public:
-  /// Upper bound on label sets per metric name. Generous for closed
-  /// dimensions (16 cache shards, a handful of pools/phases/tenants) while
+  /// Default upper bound on label sets per metric name. Generous for
+  /// closed dimensions (16 cache shards, a handful of pools/phases) while
   /// catching unbounded label values at the registration site.
   static constexpr std::size_t kMaxSeriesPerName = 64;
+  /// Series name under which snapshot() reports dropped registrations.
+  /// Reserved: registering a metric with this name is undefined.
+  static constexpr std::string_view kDroppedSeriesName = "obs.series.dropped";
 
   explicit Registry(bool enabled = true);
   ~Registry();
@@ -214,6 +221,18 @@ class Registry {
   }
   void set_enabled(bool on) noexcept {
     enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Per-name label-cardinality cap. Raising it never invalidates existing
+  /// handles; lowering it only affects future registrations. A registration
+  /// that would exceed the cap returns a no-op handle and is counted in
+  /// the `obs.series.dropped` snapshot entry (present only when > 0, so
+  /// capless runs snapshot byte-identically to before the cap existed).
+  void set_max_series_per_name(std::size_t cap) EXPERT_EXCLUDES(mutex_);
+  std::size_t max_series_per_name() const EXPERT_EXCLUDES(mutex_);
+  /// Registrations dropped by the cardinality cap since construction/reset.
+  std::uint64_t dropped_series() const noexcept {
+    return dropped_series_.load(std::memory_order_relaxed);
   }
 
   /// Register (or look up) a metric series. A series is identified by
@@ -253,16 +272,20 @@ class Registry {
   void histogram_observe(std::uint32_t index, double value) const;
   void check_name_free(std::string_view name, const char* kind) const
       EXPERT_REQUIRES(mutex_);
-  void check_cardinality(const std::vector<SeriesName>& series,
-                         std::string_view name) const EXPERT_REQUIRES(mutex_);
+  /// True when a new series named `name` fits under the cardinality cap;
+  /// otherwise records the drop and the caller must return a no-op handle.
+  bool cardinality_ok(const std::vector<SeriesName>& series,
+                      std::string_view name) EXPERT_REQUIRES(mutex_);
 
   std::atomic<bool> enabled_;
+  std::atomic<std::uint64_t> dropped_series_{0};
   const std::uint64_t gen_;  ///< process-unique id keying the TLS cache
 
   /// Guards registration, shard list and growth. Shard *cells* are not
   /// guarded: they are atomics written by the owning thread and summed by
   /// snapshot(), which locks only to pin the shard list.
   mutable util::Mutex mutex_;
+  std::size_t max_series_ EXPERT_GUARDED_BY(mutex_) = kMaxSeriesPerName;
   std::vector<SeriesName> counter_series_ EXPERT_GUARDED_BY(mutex_);
   std::vector<SeriesName> gauge_series_ EXPERT_GUARDED_BY(mutex_);
   std::vector<SeriesName> histogram_series_ EXPERT_GUARDED_BY(mutex_);

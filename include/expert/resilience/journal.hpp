@@ -84,6 +84,12 @@ class CampaignJournal {
 
   const std::string& path() const noexcept { return path_; }
 
+  /// Bytes durably in the journal file: its size at open plus every line
+  /// appended since (header included). Backs the campaign service's
+  /// per-tenant journal-byte quota, and is crash-consistent — a reopened
+  /// journal resumes the count from the surviving file size.
+  std::uint64_t bytes() const EXPERT_EXCLUDES(mutex_);
+
  private:
   CampaignJournal(const std::string& path, bool fresh,
                   std::uint64_t options_digest);
@@ -96,6 +102,7 @@ class CampaignJournal {
   /// must not be torn down (move, destruction) mid-append.
   mutable util::Mutex mutex_;
   int fd_ EXPERT_GUARDED_BY(mutex_) = -1;
+  std::uint64_t size_ EXPERT_GUARDED_BY(mutex_) = 0;
 };
 
 /// Parse the journal at `path`, validate it against `options`, truncate a

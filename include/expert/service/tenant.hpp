@@ -1,0 +1,185 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expert/core/campaign.hpp"
+#include "expert/workload/bot.hpp"
+
+namespace expert::service {
+
+/// One BoT a tenant wants run: the task count and the seed that
+/// deterministically synthesizes its per-task CPU times (together with the
+/// tenant's CPU triple — see make_tenant_bot).
+struct BotSpec {
+  std::size_t tasks = 150;
+  std::uint64_t seed = 1;
+};
+
+/// Per-tenant resource ceilings, each enforced between BoTs (a BoT is the
+/// atomic scheduling unit; aborting one mid-flight would leave the journal
+/// and histories inconsistent). 0 disables a ceiling.
+///
+/// Eval-unit and journal-byte ceilings are deterministic: they depend only
+/// on the tenant's own workload (and, for eval units, its cache hits —
+/// also deterministic). The wall-clock ceiling is inherently
+/// environment-dependent; a run that trips it is reproducible in *shape*
+/// (terminated between BoTs, neighbors unaffected) but not in the exact
+/// BoT index.
+struct TenantQuotas {
+  /// Ceiling on simulated (candidate x repetition) eval units charged to
+  /// the tenant. Counts only cache misses — a tenant re-planning over warm
+  /// state is nearly free, exactly like the eval layer itself.
+  std::uint64_t max_eval_units = 0;
+  /// Ceiling on the tenant's cumulative scheduling wall time, seconds.
+  double max_wall_seconds = 0.0;
+  /// Ceiling on the tenant's journal file size, bytes. Meaningful only
+  /// when the service persists state; crash-consistent (a resumed journal
+  /// keeps its on-disk size).
+  std::uint64_t max_journal_bytes = 0;
+};
+
+/// Everything that defines one tenant's campaign. Closed and serializable:
+/// the service manifest persists the spec verbatim, and
+/// campaign_options_for() maps it deterministically onto Campaign::Options,
+/// so a solo replay of the spec is byte-identical to its run inside the
+/// service (the isolation differential test's foundation).
+struct TenantSpec {
+  /// Unique tenant id: [A-Za-z0-9_.-], 1..64 chars. Used as the journal
+  /// file stem, the obs `tenant` label value, and the chaos target name.
+  std::string id;
+  /// The campaign's BoTs, run in order.
+  std::vector<BotSpec> bots;
+  /// Task CPU-time triple for synthesized BoTs (truncated lognormal; see
+  /// workload::make_synthetic_bot). Also sets UserParams::tur.
+  double mean_cpu = 1000.0;
+  double min_cpu = 400.0;
+  double max_cpu = 2500.0;
+  /// Utility spec text, core::parse_utility grammar ("product",
+  /// "budget:12.5", ...). Text rather than a core::Utility so the manifest
+  /// can persist it (Utility holds closures).
+  std::string utility = "product";
+  /// Strategy-space sampling density: d_samples = t_samples = density.
+  /// A "thousand-candidate sweep" tenant uses a high density, a
+  /// "two-point re-plan" tenant a low one; fair-share batching is what
+  /// keeps the former from starving the latter.
+  std::size_t sampling_density = 2;
+  std::size_t history_window = 3;
+  std::size_t repetitions = 3;
+  std::size_t max_backend_retries = 2;
+  /// Tenant-level seed: derives the eval stream root and the per-BoT
+  /// workload seeds, so tenants never share randomness.
+  std::uint64_t seed = 0;
+  TenantQuotas quotas;
+  /// Arm a per-tenant resilience::DriftDetector. A trip degrades only this
+  /// tenant (history discard + stale-model cache invalidation by digest).
+  bool drift = false;
+};
+
+/// Why an admission was shed. Shedding is deterministic and allocation-free:
+/// the service rejects with a reason instead of growing any queue past its
+/// reserved bound.
+enum class ShedReason : std::uint8_t {
+  QueueFull,        ///< active slots and the wait queue are both full
+  DuplicateTenant,  ///< the id is already admitted (any phase)
+  InvalidSpec,      ///< the spec failed validation (see validate_spec)
+  ShuttingDown,     ///< begin_shutdown() was called; no new admissions
+};
+
+constexpr std::size_t kShedReasonCount = 4;
+
+constexpr const char* to_string(ShedReason reason) noexcept {
+  switch (reason) {
+    case ShedReason::QueueFull:
+      return "queue_full";
+    case ShedReason::DuplicateTenant:
+      return "duplicate_tenant";
+    case ShedReason::InvalidSpec:
+      return "invalid_spec";
+    case ShedReason::ShuttingDown:
+      return "shutting_down";
+  }
+  return "unknown";
+}
+
+/// Why a tenant was terminated early. DegradationReason-style terminal
+/// outcomes: the tenant's finished reports stay available, its remaining
+/// BoTs never run, and its neighbors are untouched.
+enum class TerminationCause : std::uint8_t {
+  EvalUnitBudget,
+  WallClockBudget,
+  JournalByteBudget,
+};
+
+constexpr std::size_t kTerminationCauseCount = 3;
+
+constexpr const char* to_string(TerminationCause cause) noexcept {
+  switch (cause) {
+    case TerminationCause::EvalUnitBudget:
+      return "eval_unit_budget";
+    case TerminationCause::WallClockBudget:
+      return "wall_clock_budget";
+    case TerminationCause::JournalByteBudget:
+      return "journal_byte_budget";
+  }
+  return "unknown";
+}
+
+/// Inverse of to_string(TerminationCause); throws util::ContractViolation
+/// on an unknown name (manifest parsing).
+TerminationCause termination_cause_from_string(const std::string& name);
+
+/// Lifecycle of a tenant inside the service.
+enum class TenantPhase : std::uint8_t {
+  Queued,      ///< admitted, waiting for an active slot
+  Active,      ///< campaign in flight
+  Completed,   ///< every BoT ran
+  Terminated,  ///< a quota tripped (see TerminationCause)
+};
+
+constexpr const char* to_string(TenantPhase phase) noexcept {
+  switch (phase) {
+    case TenantPhase::Queued:
+      return "queued";
+    case TenantPhase::Active:
+      return "active";
+    case TenantPhase::Completed:
+      return "completed";
+    case TenantPhase::Terminated:
+      return "terminated";
+  }
+  return "unknown";
+}
+
+/// Inverse of to_string(TenantPhase); throws on an unknown name.
+TenantPhase tenant_phase_from_string(const std::string& name);
+
+/// Outcome of CampaignService::submit. Exactly one of (admitted, shed):
+/// an admitted tenant is Active or Queued; a shed one carries the reason
+/// and a human-readable detail.
+struct AdmissionResult {
+  bool admitted = false;
+  TenantPhase phase = TenantPhase::Queued;
+  std::optional<ShedReason> shed;
+  std::string detail;
+};
+
+/// Empty string when the spec is valid; otherwise the reason it is not.
+/// Validation is pure — the service maps a non-empty answer to
+/// ShedReason::InvalidSpec.
+std::string validate_spec(const TenantSpec& spec);
+
+/// Deterministic map from a TenantSpec to the Campaign::Options a solo run
+/// and the service both use. Does NOT set the service-side observers
+/// (recorder, drift monitor, eval routing, tenant label, accounting hook)
+/// — those are excluded from resilience::campaign_options_digest anyway,
+/// so the journal digest of a spec is a pure function of the spec.
+core::Campaign::Options campaign_options_for(const TenantSpec& spec);
+
+/// The index-th BoT of the spec, synthesized deterministically from
+/// (spec cpu triple, spec seed, bot seed, index).
+workload::Bot make_tenant_bot(const TenantSpec& spec, std::size_t index);
+
+}  // namespace expert::service

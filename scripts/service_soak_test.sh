@@ -1,0 +1,160 @@
+#!/usr/bin/env bash
+# Soak harness for the multi-tenant campaign service (docs/service.md).
+#
+# Leg 1 — overload + tenant-targeted chaos (gridsim backend): more
+# submissions than the service's slots and queue can hold, with a chaos
+# plan aimed at one tenant. The overflow must be shed deterministically
+# with exact per-reason counts, and a second identical invocation must
+# produce byte-identical stdout.
+#
+# Leg 2 — process-backend crash/resume: the service is SIGKILLed
+# (--kill-after-bots) while supervised worker processes are live. No
+# worker may outlive the killed service, and after --resume the per-tenant
+# journals and the manifest must be byte-identical to an uninterrupted
+# *gridsim* reference run — the process backend's differential guarantee,
+# service-wide.
+#
+# EXPERT_CHAOS_SEED (CI's seed matrix) shifts the chaos plan's seed so each
+# matrix entry soaks a different fault schedule.
+#
+# Usage: scripts/service_soak_test.sh path/to/expert_cli
+
+set -u
+
+CLI="${1:?usage: service_soak_test.sh path/to/expert_cli}"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+CHAOS_SEED="${EXPERT_CHAOS_SEED:-0}"
+CHAOS="t1:seed=$((0x50AC + CHAOS_SEED)),blackouts=1,blackout_window=3000,blackout_duration=2000,loss=0.3"
+
+# ---- leg 1: overload + targeted chaos, deterministic shedding ----
+cat > "$workdir/overload.feed" <<'EOF'
+# six submissions into 2 slots + 2 queue entries: the last two must shed
+submit t0 bots=2 tasks=60 seed=10
+submit t1 bots=2 tasks=60 seed=11
+submit t2 bots=2 tasks=60 seed=12
+submit t3 bots=2 tasks=60 seed=13
+submit t4 bots=2 tasks=60 seed=14
+submit t5 bots=2 tasks=60 seed=15
+run
+status
+EOF
+
+overload() {
+  "$CLI" serve --feed "$workdir/overload.feed" \
+      --max-tenants 2 --queue 2 --quantum 100 --seed 7 \
+      --chaos "$CHAOS" > "$1" 2> "$1.err"
+}
+
+echo "== leg 1: overloaded service under tenant-targeted chaos"
+if ! overload "$workdir/overload1.out"; then
+  echo "FAIL: overloaded serve run exited non-zero" >&2
+  cat "$workdir/overload1.out.err" >&2
+  exit 1
+fi
+
+for want in \
+    "shed t4: queue_full" \
+    "shed t5: queue_full" \
+    "service: admitted=4 shed=2" \
+    "shed queue_full=2"; do
+  if ! grep -qF "$want" "$workdir/overload1.out"; then
+    echo "FAIL: expected '$want' in overload output" >&2
+    cat "$workdir/overload1.out" >&2
+    exit 1
+  fi
+done
+
+# After `run`, every admitted tenant — the chaos target included — must
+# show a terminal phase in the status table.
+for t in t0 t1 t2 t3; do
+  if ! grep -E "\| $t +\| completed" "$workdir/overload1.out" > /dev/null; then
+    echo "FAIL: tenant $t did not reach 'completed' after run" >&2
+    cat "$workdir/overload1.out" >&2
+    exit 1
+  fi
+done
+
+if ! overload "$workdir/overload2.out"; then
+  echo "FAIL: second overloaded serve run exited non-zero" >&2
+  exit 1
+fi
+if ! cmp -s "$workdir/overload1.out" "$workdir/overload2.out"; then
+  echo "FAIL: overload run is not deterministic:" >&2
+  diff -u "$workdir/overload1.out" "$workdir/overload2.out" >&2
+  exit 1
+fi
+echo "   shed counts exact and stdout byte-identical across reruns"
+
+# ---- leg 2: process-backend SIGKILL mid-stride, resume, differential ----
+cat > "$workdir/service.feed" <<'EOF'
+submit alpha bots=3 tasks=60 seed=1
+submit beta bots=2 tasks=60 seed=2
+run
+EOF
+echo "run" > "$workdir/resume.feed"
+
+CLI_REAL="$(readlink -f "$CLI")"
+orphan_workers() { pgrep -f "$CLI_REAL worker" || true; }
+
+echo "== leg 2: reference gridsim run (uninterrupted)"
+mkdir -p "$workdir/ref" "$workdir/proc"
+if ! "$CLI" serve --feed "$workdir/service.feed" --state-dir "$workdir/ref" \
+    --quantum 100 --seed 7 > "$workdir/ref.out" 2> "$workdir/ref.err"; then
+  echo "FAIL: gridsim reference run exited non-zero" >&2
+  cat "$workdir/ref.err" >&2
+  exit 1
+fi
+
+echo "== leg 2: process backend, SIGKILL after 2 finished BoTs"
+"$CLI" serve --feed "$workdir/service.feed" --state-dir "$workdir/proc" \
+    --quantum 100 --seed 7 --backend process --workers 2 \
+    --kill-after-bots 2 > "$workdir/kill.out" 2> "$workdir/kill.err"
+status=$?
+if [ "$status" -ne 137 ]; then
+  echo "FAIL: expected SIGKILL exit status 137, got $status" >&2
+  cat "$workdir/kill.err" >&2
+  exit 1
+fi
+
+# Workers see EOF when the service dies and must exit on their own.
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+  [ -z "$(orphan_workers)" ] && break
+  sleep 0.2
+done
+if [ -n "$(orphan_workers)" ]; then
+  echo "FAIL: worker processes outlived the SIGKILLed service:" >&2
+  orphan_workers >&2
+  exit 1
+fi
+
+echo "== leg 2: resume on the process backend"
+if ! "$CLI" serve --feed "$workdir/resume.feed" --state-dir "$workdir/proc" \
+    --quantum 100 --seed 7 --backend process --workers 2 --resume \
+    > "$workdir/resume.out" 2> "$workdir/resume.err"; then
+  echo "FAIL: process-backend resume exited non-zero" >&2
+  cat "$workdir/resume.err" >&2
+  exit 1
+fi
+if ! grep -q "resumed 2 tenant(s)" "$workdir/resume.err"; then
+  echo "FAIL: resume did not report 2 restored tenants" >&2
+  cat "$workdir/resume.err" >&2
+  exit 1
+fi
+
+for f in alpha.journal beta.journal service.manifest; do
+  if ! cmp -s "$workdir/ref/$f" "$workdir/proc/$f"; then
+    echo "FAIL: $f differs between gridsim reference and resumed process run" >&2
+    exit 1
+  fi
+done
+
+if [ -n "$(orphan_workers)" ]; then
+  echo "FAIL: worker processes outlived the completed service:" >&2
+  orphan_workers >&2
+  exit 1
+fi
+echo "   journals and manifest byte-identical to gridsim reference, no orphans"
+
+echo "PASS: service soak (overload shedding deterministic; process-backend crash/resume differential holds; chaos seed offset $CHAOS_SEED)"

@@ -172,6 +172,42 @@ ChaosConfig parse_chaos_plan(const std::string& text) {
   return cfg;
 }
 
+std::vector<TargetedChaos> parse_targeted_plans(const std::string& text) {
+  std::vector<TargetedChaos> plans;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find(';', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string entry = text.substr(pos, end - pos);
+    pos = end + 1;
+    // Trim surrounding whitespace so "a:plan; b:plan" reads naturally.
+    const std::size_t first = entry.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    entry.erase(0, first);
+    entry.erase(entry.find_last_not_of(" \t") + 1);
+
+    const std::size_t colon = entry.find(':');
+    EXPERT_REQUIRE(colon != std::string::npos && colon > 0,
+                   "targeted chaos: expected target:plan, got '" + entry + "'");
+    TargetedChaos targeted;
+    targeted.target = entry.substr(0, colon);
+    EXPERT_REQUIRE(plan_for(plans, targeted.target) == nullptr,
+                   "targeted chaos: duplicate target '" + targeted.target +
+                       "'");
+    targeted.config = parse_chaos_plan(entry.substr(colon + 1));
+    plans.push_back(std::move(targeted));
+  }
+  return plans;
+}
+
+const ChaosConfig* plan_for(const std::vector<TargetedChaos>& plans,
+                            std::string_view target) noexcept {
+  for (const TargetedChaos& plan : plans) {
+    if (plan.target == target) return &plan.config;
+  }
+  return nullptr;
+}
+
 void merge_windows(std::vector<ForcedWindow>& windows) {
   std::sort(windows.begin(), windows.end(),
             [](const ForcedWindow& a, const ForcedWindow& b) {

@@ -97,6 +97,8 @@ std::vector<StrategyPoint> evaluate_strategies(
   batch.cost_objective = options.cost_objective;
   batch.threads = options.threads;
   batch.consumer = options.consumer;
+  batch.tenant = options.tenant;
+  batch.on_simulated_units = options.on_simulated_units;
   const std::vector<eval::EvalResult> evaluated =
       service.evaluate(estimator, task_count, strategies_list, batch);
 

@@ -51,6 +51,18 @@ Utility Utility::cheapest_within_deadline(double deadline_s) {
       });
 }
 
+Utility parse_utility(const std::string& text) {
+  if (text == "fastest") return Utility::fastest();
+  if (text == "cheapest") return Utility::cheapest();
+  if (text == "product") return Utility::min_cost_makespan_product();
+  if (text.rfind("budget:", 0) == 0)
+    return Utility::fastest_within_budget(std::stod(text.substr(7)));
+  if (text.rfind("deadline:", 0) == 0)
+    return Utility::cheapest_within_deadline(std::stod(text.substr(9)));
+  EXPERT_REQUIRE(false, "unknown utility '" + text + "'");
+  return Utility::fastest();  // unreachable
+}
+
 std::optional<Decision> choose_best(const std::vector<StrategyPoint>& frontier,
                                     const Utility& utility) {
   std::optional<Decision> best;

@@ -125,6 +125,19 @@ std::vector<EvalResult> EvalService::evaluate(
     }
   }
 
+  if (options.on_simulated_units) {
+    options.on_simulated_units(misses.size() * repetitions);
+  }
+  if (!options.tenant.empty()) {
+    // Lazily registered, so untenanted processes never create these series
+    // and their snapshots keep the pre-tenant byte layout.
+    const obs::Labels tenant_labels{{"tenant", options.tenant}};
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("eval.cache.tenant.hits", tenant_labels)
+        .inc(candidates.size() - misses.size());
+    reg.counter("eval.cache.tenant.misses", tenant_labels).inc(misses.size());
+  }
+
   if (!misses.empty()) {
     // Flatten to (candidate x repetition) units so a small batch with many
     // repetitions still spreads across every worker. Each unit writes its

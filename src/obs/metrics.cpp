@@ -235,15 +235,26 @@ void Registry::check_name_free(std::string_view name, const char* kind) const {
                  "metric name already registered with a different kind");
 }
 
-void Registry::check_cardinality(const std::vector<SeriesName>& series,
-                                 std::string_view name) const {
+void Registry::set_max_series_per_name(std::size_t cap) {
+  EXPERT_REQUIRE(cap > 0, "series cardinality cap must be positive");
+  util::MutexLock lock(mutex_);
+  max_series_ = cap;
+}
+
+std::size_t Registry::max_series_per_name() const {
+  util::MutexLock lock(mutex_);
+  return max_series_;
+}
+
+bool Registry::cardinality_ok(const std::vector<SeriesName>& series,
+                              std::string_view name) {
   std::size_t existing = 0;
   for (const SeriesName& s : series) {
     if (s.name == name) ++existing;
   }
-  EXPERT_REQUIRE(existing < kMaxSeriesPerName,
-                 "metric label cardinality cap exceeded — labels must be "
-                 "small closed dimensions, not unbounded values");
+  if (existing < max_series_) return true;
+  dropped_series_.fetch_add(1, std::memory_order_relaxed);
+  return false;
 }
 
 Counter Registry::counter(std::string_view name) {
@@ -255,7 +266,7 @@ Counter Registry::counter(std::string_view name, const Labels& labels) {
   const std::uint32_t existing = find_series(counter_series_, name, labels);
   if (existing != kNpos) return Counter(this, existing);
   check_name_free(name, "counter");
-  check_cardinality(counter_series_, name);
+  if (!cardinality_ok(counter_series_, name)) return Counter();
   counter_series_.push_back(SeriesName{std::string(name), labels});
   return Counter(this,
                  static_cast<std::uint32_t>(counter_series_.size() - 1));
@@ -268,7 +279,7 @@ Gauge Registry::gauge(std::string_view name, const Labels& labels) {
   const std::uint32_t existing = find_series(gauge_series_, name, labels);
   if (existing != kNpos) return Gauge(this, &tables_->gauges[existing]);
   check_name_free(name, "gauge");
-  check_cardinality(gauge_series_, name);
+  if (!cardinality_ok(gauge_series_, name)) return Gauge();
   gauge_series_.push_back(SeriesName{std::string(name), labels});
   tables_->gauges.emplace_back(0.0);
   return Gauge(this, &tables_->gauges.back());
@@ -290,7 +301,7 @@ Histogram Registry::histogram(std::string_view name, const Labels& labels,
     return Histogram(this, existing);
   }
   check_name_free(name, "histogram");
-  check_cardinality(histogram_series_, name);
+  if (!cardinality_ok(histogram_series_, name)) return Histogram();
   histogram_series_.push_back(SeriesName{std::string(name), labels});
   tables_->histogram_specs.push_back(spec);
   return Histogram(this,
@@ -371,6 +382,17 @@ Snapshot Registry::snapshot() const {
     if (h.count == 0) h.min = h.max = 0.0;
   }
 
+  // Surface cap drops as a synthetic counter — only when any occurred, so
+  // snapshots of registries that never hit the cap are byte-identical to
+  // the pre-cap format.
+  const std::uint64_t dropped =
+      dropped_series_.load(std::memory_order_relaxed);
+  if (dropped > 0) {
+    CounterSnapshot& c = snap.counters.emplace_back();
+    c.name = std::string(kDroppedSeriesName);
+    c.value = dropped;
+  }
+
   const auto by_series = [](const auto& a, const auto& b) {
     if (a.name != b.name) return a.name < b.name;
     return a.labels < b.labels;
@@ -400,6 +422,7 @@ void Registry::reset() {
   for (auto& cell : tables_->gauges) {
     cell.store(0.0, std::memory_order_relaxed);
   }
+  dropped_series_.store(0, std::memory_order_relaxed);
 }
 
 // ---- handles ----

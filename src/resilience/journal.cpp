@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "expert/obs/metrics.hpp"
@@ -202,8 +203,12 @@ CampaignJournal::CampaignJournal(const std::string& path, bool fresh,
   fd_ = util::retry_eintr([&] { return ::open(path.c_str(), flags, 0644); });
   EXPERT_REQUIRE(fd_ >= 0,
                  "journal: cannot open " + path + ": " + errno_text());
+  util::MutexLock lock(mutex_);
+  struct ::stat st {};
+  EXPERT_REQUIRE(util::retry_eintr([&] { return ::fstat(fd_, &st); }) == 0,
+                 "journal: fstat of " + path + " failed: " + errno_text());
+  size_ = static_cast<std::uint64_t>(st.st_size);
   if (fresh) {
-    util::MutexLock lock(mutex_);
     append_line(header_payload(options_digest));
   }
 }
@@ -219,8 +224,9 @@ CampaignJournal CampaignJournal::reopen(const std::string& path,
 }
 
 CampaignJournal::CampaignJournal(CampaignJournal&& other) noexcept
-    : path_(std::move(other.path_)), fd_(other.fd_) {
+    : path_(std::move(other.path_)), fd_(other.fd_), size_(other.size_) {
   other.fd_ = -1;
+  other.size_ = 0;
 }
 
 CampaignJournal::~CampaignJournal() {
@@ -247,6 +253,12 @@ void CampaignJournal::append_line(const std::string& payload) {
   }
   EXPERT_REQUIRE(util::retry_eintr([&] { return ::fsync(fd_); }) == 0,
                  "journal: fsync of " + path_ + " failed: " + errno_text());
+  size_ += line.size();
+}
+
+std::uint64_t CampaignJournal::bytes() const {
+  util::MutexLock lock(mutex_);
+  return size_;
 }
 
 void CampaignJournal::record(const Campaign::BotRecord& record) {

@@ -1,0 +1,100 @@
+#include "expert/service/tenant.hpp"
+
+#include "expert/core/utility.hpp"
+#include "expert/util/assert.hpp"
+#include "expert/util/rng.hpp"
+#include "expert/workload/presets.hpp"
+
+namespace expert::service {
+
+namespace {
+
+/// Domain separator: tenant seeds must not collide with the expert-layer
+/// default seed space.
+constexpr std::uint64_t kTenantSeedSalt = 0x7E7A17DULL;
+
+bool valid_id_char(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+}
+
+}  // namespace
+
+TerminationCause termination_cause_from_string(const std::string& name) {
+  if (name == "eval_unit_budget") return TerminationCause::EvalUnitBudget;
+  if (name == "wall_clock_budget") return TerminationCause::WallClockBudget;
+  if (name == "journal_byte_budget")
+    return TerminationCause::JournalByteBudget;
+  EXPERT_REQUIRE(false, "unknown termination cause '" + name + "'");
+  return TerminationCause::EvalUnitBudget;  // unreachable
+}
+
+TenantPhase tenant_phase_from_string(const std::string& name) {
+  if (name == "queued") return TenantPhase::Queued;
+  if (name == "active") return TenantPhase::Active;
+  if (name == "completed") return TenantPhase::Completed;
+  if (name == "terminated") return TenantPhase::Terminated;
+  EXPERT_REQUIRE(false, "unknown tenant phase '" + name + "'");
+  return TenantPhase::Queued;  // unreachable
+}
+
+std::string validate_spec(const TenantSpec& spec) {
+  if (spec.id.empty() || spec.id.size() > 64) {
+    return "tenant id must be 1..64 characters";
+  }
+  for (const char c : spec.id) {
+    if (!valid_id_char(c)) {
+      return "tenant id may only contain [A-Za-z0-9_.-]";
+    }
+  }
+  if (spec.bots.empty()) return "tenant needs at least one BoT";
+  if (spec.bots.size() > 4096) return "tenant exceeds 4096 BoTs";
+  for (const BotSpec& bot : spec.bots) {
+    if (bot.tasks == 0) return "BoT task count must be positive";
+  }
+  if (!(spec.min_cpu > 0.0 && spec.min_cpu <= spec.mean_cpu &&
+        spec.mean_cpu <= spec.max_cpu)) {
+    return "CPU triple must satisfy 0 < min <= mean <= max";
+  }
+  if (spec.sampling_density < 1 || spec.sampling_density > 8) {
+    return "sampling density must be in [1, 8]";
+  }
+  if (spec.history_window == 0) return "history window must be positive";
+  if (spec.repetitions == 0 || spec.repetitions > 64) {
+    return "repetitions must be in [1, 64]";
+  }
+  if (spec.quotas.max_wall_seconds < 0.0) {
+    return "wall-clock quota must be non-negative";
+  }
+  try {
+    (void)core::parse_utility(spec.utility);
+  } catch (const std::exception&) {  // ContractViolation or stod failure
+    return "unknown utility spec '" + spec.utility + "'";
+  }
+  return {};
+}
+
+core::Campaign::Options campaign_options_for(const TenantSpec& spec) {
+  core::Campaign::Options options;
+  options.params.tur = spec.mean_cpu;
+  options.params.tr = spec.mean_cpu;
+  options.expert.repetitions = spec.repetitions;
+  options.expert.seed = util::derive_seed(kTenantSeedSalt, spec.seed);
+  options.expert.sampling.n_values = {0u, 1u, 2u};
+  options.expert.sampling.d_samples = spec.sampling_density;
+  options.expert.sampling.t_samples = spec.sampling_density;
+  options.expert.sampling.mr_values = {0.05, 0.2};
+  options.history_window = spec.history_window;
+  options.max_backend_retries = spec.max_backend_retries;
+  return options;
+}
+
+workload::Bot make_tenant_bot(const TenantSpec& spec, std::size_t index) {
+  EXPERT_REQUIRE(index < spec.bots.size(), "BoT index out of range");
+  const BotSpec& bot = spec.bots[index];
+  return workload::make_synthetic_bot(
+      spec.id + "/bot" + std::to_string(index), bot.tasks, spec.mean_cpu,
+      spec.min_cpu, spec.max_cpu, util::derive_seed(spec.seed, bot.seed));
+}
+
+}  // namespace expert::service

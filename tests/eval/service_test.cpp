@@ -224,5 +224,77 @@ TEST(EvalService, WarmFrontierSweepRunsZeroSimulations) {
   reg.set_enabled(false);
 }
 
+// Satellite of the multi-tenant service PR: tenant attribution is opt-in.
+// A batch with BatchOptions::tenant set bumps eval.cache.tenant.{hits,
+// misses}{tenant=...}; a batch without one must leave the snapshot
+// byte-identical to the pre-tenant metric set.
+TEST(EvalService, TenantLabelOnlyWhenProvided) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.set_enabled(true);
+  reg.reset();
+
+  const auto estimator = test_estimator();
+  const auto candidates = candidate_list();
+
+  // Label-free batch: snapshot must carry no tenant-labeled series at all.
+  EvalService plain;
+  plain.evaluate(estimator, 60, candidates);
+  const std::string before = reg.snapshot().to_json();
+  EXPECT_EQ(before.find("tenant"), std::string::npos);
+
+  // Tenanted batches: cold run misses for all candidates, warm run hits.
+  EvalService tenanted;
+  BatchOptions opts;
+  opts.tenant = "acme";
+  tenanted.evaluate(estimator, 60, candidates, opts);
+  tenanted.evaluate(estimator, 60, candidates, opts);
+  const auto snap = reg.snapshot();
+  const obs::Labels acme{{"tenant", "acme"}};
+  ASSERT_NE(snap.counter("eval.cache.tenant.misses", acme), nullptr);
+  EXPECT_EQ(snap.counter("eval.cache.tenant.misses", acme)->value,
+            candidates.size());
+  ASSERT_NE(snap.counter("eval.cache.tenant.hits", acme), nullptr);
+  EXPECT_EQ(snap.counter("eval.cache.tenant.hits", acme)->value,
+            candidates.size());
+
+  // The tenanted run changed nothing about the label-free series set.
+  reg.reset();
+  EvalService plain_again;
+  plain_again.evaluate(estimator, 60, candidates);
+  // (After reset, tenant series still exist as zeroed registrations; the
+  // byte-identical pin is on a registry that never saw a tenant.)
+  obs::Registry fresh;
+  EXPECT_EQ(fresh.snapshot().to_json().find("tenant"), std::string::npos);
+
+  reg.set_enabled(false);
+}
+
+// The fair-share hook reports exactly the units the batch simulates: all
+// (candidate x repetition) units when cold, zero when warm.
+TEST(EvalService, SimulatedUnitsHookCountsColdUnitsOnly) {
+  EvalService service;
+  const auto estimator = test_estimator();  // 3 repetitions
+  const auto candidates = candidate_list();
+
+  std::vector<std::size_t> reported;
+  BatchOptions opts;
+  opts.on_simulated_units = [&](std::size_t units) {
+    reported.push_back(units);
+  };
+  service.evaluate(estimator, 60, candidates, opts);
+  service.evaluate(estimator, 60, candidates, opts);
+  ASSERT_EQ(reported.size(), 2u);
+  EXPECT_EQ(reported[0], candidates.size() * 3);
+  EXPECT_EQ(reported[1], 0u);
+
+  // The hook is an observer: results are identical with and without it.
+  EvalService unhooked;
+  const auto a = unhooked.evaluate(estimator, 60, candidates);
+  EvalService hooked;
+  const auto b = hooked.evaluate(estimator, 60, candidates, opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) expect_identical(a[i], b[i]);
+}
+
 }  // namespace
 }  // namespace expert::eval

@@ -1,0 +1,29 @@
+// Seeded violations for the campaign-service lint scope: an unordered
+// tenant registry (ITER001 — iteration order would leak into the DRR
+// schedule and the persisted manifest), an unannotated mutex (ANN001 —
+// the service is single-threaded by design, so a mutex must be justified
+// and annotated), and raw read()/close() (SYS001 — EINTR discipline).
+#include <unistd.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "expert/util/thread_safety.hpp"
+
+namespace expert::service {
+
+class UnorderedTenantRegistry {
+ public:
+  long drain_journal(int fd, char* buf, unsigned long len) {
+    const long n = read(fd, buf, len);
+    close(fd);
+    return n;
+  }
+
+ private:
+  std::unordered_map<std::string, int> tenants_;
+  util::Mutex mutex_;
+  int active_ = 0;
+};
+
+}  // namespace expert::service

@@ -69,15 +69,55 @@ TEST(LabeledRegistry, KindConflictRejectedAcrossLabelSets) {
                util::ContractViolation);
 }
 
-TEST(LabeledRegistry, CardinalityCapEnforced) {
+TEST(LabeledRegistry, CardinalityCapDropsWithCounter) {
   Registry reg;
   for (std::size_t i = 0; i < Registry::kMaxSeriesPerName; ++i) {
-    reg.counter("capped", Labels{{"id", std::to_string(i)}});
+    reg.counter("capped", Labels{{"id", std::to_string(i)}}).inc();
   }
-  EXPECT_THROW(reg.counter("capped", Labels{{"id", "overflow"}}),
-               util::ContractViolation);
+  // Registration beyond the cap is dropped: the handle is a no-op, writes
+  // through it are safe, and the drop is counted — never a throw or OOM.
+  Counter overflow = reg.counter("capped", Labels{{"id", "overflow"}});
+  overflow.inc(100);
+  for (std::size_t i = 0; i < Registry::kMaxSeriesPerName; ++i) {
+    reg.gauge("capped_gauge", Labels{{"id", std::to_string(i)}}).set(1.0);
+  }
+  reg.gauge("capped_gauge", Labels{{"id", "overflow"}}).set(1.0);
+  EXPECT_EQ(reg.dropped_series(), 2u);
+
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_total("capped"), Registry::kMaxSeriesPerName);
+  EXPECT_EQ(snap.counter("capped", Labels{{"id", "overflow"}}), nullptr);
+  const auto* dropped = snap.counter("obs.series.dropped");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->value, 2u);
   // Re-registering an existing series is still fine at the cap.
   reg.counter("capped", Labels{{"id", "0"}}).inc();
+  EXPECT_EQ(reg.dropped_series(), 2u);
+}
+
+TEST(LabeledRegistry, DroppedSeriesAbsentWhenNothingDropped) {
+  Registry reg;
+  reg.counter("fine").inc();
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("obs.series.dropped"), nullptr);
+}
+
+TEST(LabeledRegistry, CardinalityCapIsConfigurable) {
+  Registry reg;
+  EXPECT_EQ(reg.max_series_per_name(), Registry::kMaxSeriesPerName);
+  reg.set_max_series_per_name(Registry::kMaxSeriesPerName + 8);
+  for (std::size_t i = 0; i < Registry::kMaxSeriesPerName + 8; ++i) {
+    reg.counter("wide", Labels{{"tenant", std::to_string(i)}}).inc();
+  }
+  EXPECT_EQ(reg.dropped_series(), 0u);
+  EXPECT_EQ(reg.snapshot().counter_total("wide"),
+            Registry::kMaxSeriesPerName + 8);
+  reg.counter("wide", Labels{{"tenant", "overflow"}}).inc();
+  EXPECT_EQ(reg.dropped_series(), 1u);
+  // reset() zeroes the drop count along with every other value.
+  reg.reset();
+  EXPECT_EQ(reg.dropped_series(), 0u);
+  EXPECT_EQ(reg.snapshot().counter("obs.series.dropped"), nullptr);
 }
 
 TEST(LabeledRegistry, LabeledGaugesAndHistograms) {

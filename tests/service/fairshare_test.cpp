@@ -1,0 +1,97 @@
+// Deficit-round-robin fair share: a light tenant completes while a heavy
+// sweep tenant is still paying for its backlog, and an oversized BoT is
+// repaid across rounds rather than blocking the schedule.
+
+#include <gtest/gtest.h>
+
+#include "service_test_util.hpp"
+
+namespace expert::service {
+namespace {
+
+using testutil::small_options;
+using testutil::small_spec;
+
+TenantSpec heavy_spec(const std::string& id, std::uint64_t seed) {
+  // A dense strategy sweep: every BoT simulates many candidates.
+  TenantSpec spec = small_spec(id, 4, seed);
+  spec.sampling_density = 4;
+  return spec;
+}
+
+TenantSpec light_spec(const std::string& id, std::uint64_t seed) {
+  // A sparse two-point re-plan: each BoT costs a handful of units.
+  TenantSpec spec = small_spec(id, 2, seed);
+  spec.sampling_density = 1;
+  return spec;
+}
+
+TEST(FairShare, LightTenantFinishesBeforeHeavySweep) {
+  auto options = small_options();
+  options.quantum_units = 50;
+  CampaignService svc(std::move(options));
+
+  // Heavy is admitted first, so it also runs first in every round.
+  ASSERT_TRUE(svc.submit(heavy_spec("heavy", 11)).admitted);
+  ASSERT_TRUE(svc.submit(light_spec("light", 12)).admitted);
+
+  bool light_done_while_heavy_active = false;
+  while (svc.step()) {
+    const auto light = svc.status("light");
+    const auto heavy = svc.status("heavy");
+    ASSERT_TRUE(light.has_value());
+    ASSERT_TRUE(heavy.has_value());
+    if (light->phase == TenantPhase::Completed &&
+        heavy->phase == TenantPhase::Active) {
+      light_done_while_heavy_active = true;
+    }
+  }
+  EXPECT_TRUE(light_done_while_heavy_active)
+      << "fair-share let the dense sweep starve the light tenant";
+  EXPECT_EQ(svc.status("heavy")->phase, TenantPhase::Completed);
+}
+
+TEST(FairShare, OversizedBotRepaysDeficitAcrossRounds) {
+  // quantum=1: one unit of credit per round, so each BoT overdraws the
+  // deficit and the tenant sits out rounds repaying it.
+  auto strict = small_options();
+  strict.quantum_units = 1;
+  CampaignService strict_svc(std::move(strict));
+  ASSERT_TRUE(strict_svc.submit(light_spec("t", 5)).admitted);
+  strict_svc.run_until_idle();
+  const std::uint64_t strict_rounds = strict_svc.stats().rounds;
+
+  // A huge quantum admits the whole campaign in one round.
+  auto loose = small_options();
+  loose.quantum_units = 1u << 30;
+  CampaignService loose_svc(std::move(loose));
+  ASSERT_TRUE(loose_svc.submit(light_spec("t", 5)).admitted);
+  loose_svc.run_until_idle();
+
+  EXPECT_EQ(loose_svc.stats().rounds, 1u);
+  EXPECT_GT(strict_rounds, loose_svc.stats().rounds);
+
+  // Scheduling granularity must not change results.
+  testutil::expect_identical_reports(strict_svc.reports("t"),
+                                     loose_svc.reports("t"));
+}
+
+TEST(FairShare, ScheduleInterleavingDoesNotChangeResults) {
+  // The isolation contract applied to scheduling: a tenant's reports are
+  // identical whether it shares rounds with a heavy neighbor or runs solo.
+  const TenantSpec light = light_spec("light", 12);
+
+  auto solo = testutil::solo_reports(light, small_options());
+
+  auto options = small_options();
+  options.quantum_units = 50;
+  CampaignService svc(std::move(options));
+  ASSERT_TRUE(svc.submit(heavy_spec("heavy", 11)).admitted);
+  ASSERT_TRUE(svc.submit(light).admitted);
+  svc.run_until_idle();
+
+  testutil::expect_identical_reports(svc.reports("light"), solo);
+}
+
+}  // namespace
+}  // namespace expert::service

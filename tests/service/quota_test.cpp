@@ -1,0 +1,99 @@
+// Per-tenant budgets: each TerminationCause trips between BoTs, the
+// tenant lands in a terminal phase with its finished reports intact, and
+// a quota-free neighbor is completely unaffected.
+
+#include <gtest/gtest.h>
+
+#include "service_test_util.hpp"
+
+namespace expert::service {
+namespace {
+
+using testutil::fresh_dir;
+using testutil::small_options;
+using testutil::small_spec;
+
+TEST(Quota, EvalUnitBudgetTerminatesBetweenBots) {
+  CampaignService svc(small_options());
+  TenantSpec spec = small_spec("units", 3, 21);
+  spec.quotas.max_eval_units = 1;  // first BoT's sweep already exceeds this
+  ASSERT_TRUE(svc.submit(spec).admitted);
+  svc.run_until_idle();
+
+  const auto status = svc.status("units");
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->phase, TenantPhase::Terminated);
+  ASSERT_TRUE(status->termination.has_value());
+  EXPECT_EQ(*status->termination, TerminationCause::EvalUnitBudget);
+  // A BoT is atomic and the budget check runs between BoTs. The first BoT
+  // is the bootstrap (no planning sweep, zero units); the second BoT's
+  // sweep blows the budget, so exactly two finished and their reports
+  // survive termination.
+  EXPECT_EQ(status->bots_done, 2u);
+  EXPECT_GT(status->eval_units, 1u);
+  EXPECT_EQ(svc.reports("units").size(), 2u);
+}
+
+TEST(Quota, WallClockBudgetTerminates) {
+  CampaignService svc(small_options());
+  TenantSpec spec = small_spec("wall", 3, 22);
+  spec.quotas.max_wall_seconds = 1e-9;  // any real BoT exceeds a nanosecond
+  ASSERT_TRUE(svc.submit(spec).admitted);
+  svc.run_until_idle();
+
+  const auto status = svc.status("wall");
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->phase, TenantPhase::Terminated);
+  ASSERT_TRUE(status->termination.has_value());
+  EXPECT_EQ(*status->termination, TerminationCause::WallClockBudget);
+  EXPECT_LT(status->bots_done, status->bots_total);
+  EXPECT_EQ(svc.reports("wall").size(), status->bots_done);
+}
+
+TEST(Quota, JournalByteBudgetTerminates) {
+  auto options = small_options();
+  options.state_dir = fresh_dir("quota_state");
+  CampaignService svc(std::move(options));
+  TenantSpec spec = small_spec("journal", 3, 23);
+  spec.quotas.max_journal_bytes = 1;  // even the journal header exceeds it
+  ASSERT_TRUE(svc.submit(spec).admitted);
+  svc.run_until_idle();
+
+  const auto status = svc.status("journal");
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->phase, TenantPhase::Terminated);
+  ASSERT_TRUE(status->termination.has_value());
+  EXPECT_EQ(*status->termination, TerminationCause::JournalByteBudget);
+  EXPECT_LT(status->bots_done, status->bots_total);
+}
+
+TEST(Quota, NeighborWithoutQuotasIsUnaffected) {
+  const TenantSpec free_spec = small_spec("free", 2, 31);
+  const auto solo = testutil::solo_reports(free_spec, small_options());
+
+  CampaignService svc(small_options());
+  TenantSpec capped = small_spec("capped", 3, 32);
+  capped.quotas.max_eval_units = 1;
+  ASSERT_TRUE(svc.submit(capped).admitted);
+  ASSERT_TRUE(svc.submit(free_spec).admitted);
+  svc.run_until_idle();
+
+  EXPECT_EQ(svc.status("capped")->phase, TenantPhase::Terminated);
+  ASSERT_EQ(svc.status("free")->phase, TenantPhase::Completed);
+  // The neighbor's results are identical to its solo run — a tripped
+  // budget degrades only its own tenant.
+  testutil::expect_identical_reports(svc.reports("free"), solo);
+}
+
+TEST(Quota, ZeroQuotasDisableEnforcement) {
+  CampaignService svc(small_options());
+  TenantSpec spec = small_spec("open", 2, 41);
+  spec.quotas = TenantQuotas{};  // all zero: no ceilings
+  ASSERT_TRUE(svc.submit(spec).admitted);
+  svc.run_until_idle();
+  EXPECT_EQ(svc.status("open")->phase, TenantPhase::Completed);
+  EXPECT_FALSE(svc.status("open")->termination.has_value());
+}
+
+}  // namespace
+}  // namespace expert::service

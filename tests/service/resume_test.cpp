@@ -1,0 +1,142 @@
+// Crash safety across the whole service: kill it mid-stride with several
+// tenants in flight (two active, one still queued), resume from the
+// checksummed manifest plus per-tenant journals, and the finished state —
+// reports, journals, manifest — is byte-identical to a run that was never
+// interrupted.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "expert/util/assert.hpp"
+#include "service_test_util.hpp"
+
+namespace expert::service {
+namespace {
+
+using testutil::fresh_dir;
+using testutil::read_file;
+using testutil::small_spec;
+
+constexpr std::size_t kTenants = 3;
+
+TenantSpec tenant_spec(std::size_t i) {
+  return small_spec("t" + std::to_string(i), 3, 200 + i);
+}
+
+CampaignService::Options state_options(const std::string& dir) {
+  auto options = testutil::small_options();
+  options.max_active_tenants = 2;  // the third tenant waits in the queue
+  // Every BoT costs at least one unit, so quantum 1 pins the schedule to
+  // exactly one BoT per tenant per round — the crash point is mid-campaign
+  // no matter how warm the shared eval cache happens to be.
+  options.quantum_units = 1;
+  options.state_dir = dir;
+  return options;
+}
+
+TEST(ServiceResume, MidStrideKillRestoresEveryTenant) {
+  // Reference: the same three tenants, never interrupted.
+  const std::string ref_dir = fresh_dir("resume_ref");
+  CampaignService reference(state_options(ref_dir));
+  for (std::size_t i = 0; i < kTenants; ++i) {
+    ASSERT_TRUE(reference.submit(tenant_spec(i)).admitted);
+  }
+  reference.run_until_idle();
+
+  // Interrupted run: one scheduling round, then the service object dies
+  // with campaigns in flight — the journals and manifest on disk are all
+  // that survives, exactly as after SIGKILL.
+  const std::string dir = fresh_dir("resume_kill");
+  {
+    CampaignService svc(state_options(dir));
+    for (std::size_t i = 0; i < kTenants; ++i) {
+      ASSERT_TRUE(svc.submit(tenant_spec(i)).admitted);
+    }
+    ASSERT_TRUE(svc.step());
+
+    // The crash point is genuinely mid-stride: active tenants have run
+    // some BoTs but not all, and the third tenant never left the queue.
+    const auto t0 = svc.status("t0");
+    ASSERT_TRUE(t0.has_value());
+    EXPECT_EQ(t0->phase, TenantPhase::Active);
+    EXPECT_GT(t0->bots_done, 0u);
+    EXPECT_LT(t0->bots_done, t0->bots_total);
+    EXPECT_EQ(svc.status("t2")->phase, TenantPhase::Queued);
+  }
+
+  // Resume with the same scheduling options and finish.
+  CampaignService resumed = CampaignService::resume(state_options(dir));
+  EXPECT_EQ(resumed.status("t0")->phase, TenantPhase::Active);
+  EXPECT_GT(resumed.status("t0")->bots_done, 0u);
+  EXPECT_EQ(resumed.status("t2")->phase, TenantPhase::Queued);
+  resumed.run_until_idle();
+
+  for (std::size_t i = 0; i < kTenants; ++i) {
+    const std::string id = "t" + std::to_string(i);
+    SCOPED_TRACE("tenant " + id);
+    ASSERT_EQ(resumed.status(id)->phase, TenantPhase::Completed);
+    testutil::expect_identical_reports(resumed.reports(id),
+                                       reference.reports(id));
+    EXPECT_EQ(read_file(dir + "/" + id + ".journal"),
+              read_file(ref_dir + "/" + id + ".journal"));
+  }
+  EXPECT_EQ(read_file(dir + "/service.manifest"),
+            read_file(ref_dir + "/service.manifest"));
+}
+
+TEST(ServiceResume, CompletedTenantsSurviveASecondResume) {
+  const std::string dir = fresh_dir("resume_twice");
+  {
+    CampaignService svc(state_options(dir));
+    ASSERT_TRUE(svc.submit(tenant_spec(0)).admitted);
+    svc.run_until_idle();
+    ASSERT_EQ(svc.status("t0")->phase, TenantPhase::Completed);
+  }
+
+  CampaignService once = CampaignService::resume(state_options(dir));
+  EXPECT_EQ(once.status("t0")->phase, TenantPhase::Completed);
+  EXPECT_EQ(once.status("t0")->bots_done, 3u);
+  // Terminal tenants still occupy their ids: a duplicate submit sheds.
+  const auto dup = once.submit(tenant_spec(0));
+  EXPECT_FALSE(dup.admitted);
+  EXPECT_EQ(*dup.shed, ShedReason::DuplicateTenant);
+
+  // The resumed service can admit and finish new tenants, and a further
+  // resume still sees everything.
+  ASSERT_TRUE(once.submit(tenant_spec(1)).admitted);
+  once.run_until_idle();
+
+  CampaignService twice = CampaignService::resume(state_options(dir));
+  EXPECT_EQ(twice.status().size(), 2u);
+  EXPECT_EQ(twice.status("t0")->phase, TenantPhase::Completed);
+  EXPECT_EQ(twice.status("t1")->phase, TenantPhase::Completed);
+}
+
+TEST(ServiceResume, ReconfiguredSchedulerRefusesToResume) {
+  const std::string dir = fresh_dir("resume_reconfig");
+  {
+    CampaignService svc(state_options(dir));
+    ASSERT_TRUE(svc.submit(tenant_spec(0)).admitted);
+    svc.step();
+  }
+  // Changing any scheduling knob changes the digest the manifest header is
+  // bound to — resuming under a different schedule must refuse, not drift.
+  auto changed = state_options(dir);
+  changed.quantum_units = 21;
+  EXPECT_THROW(
+      { CampaignService svc = CampaignService::resume(std::move(changed)); },
+      util::ContractViolation);
+}
+
+TEST(ServiceResume, MissingStateDirRefuses) {
+  EXPECT_THROW(
+      {
+        CampaignService svc =
+            CampaignService::resume(state_options(fresh_dir("resume_absent")));
+      },
+      util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace expert::service

@@ -1,0 +1,106 @@
+// Shared fixtures for the campaign-service suite: small, fast tenant
+// specs over the stock gridsim backend, and the byte/field-identity
+// helpers the isolation and resume differentials are built on.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "expert/service/service.hpp"
+
+namespace expert::service {
+namespace testutil {
+
+/// A tenant sized for test speed: small BoTs, a sparse strategy sample.
+inline TenantSpec small_spec(const std::string& id, std::size_t bots,
+                             std::uint64_t seed, std::size_t tasks = 60) {
+  TenantSpec spec;
+  spec.id = id;
+  spec.seed = seed;
+  spec.sampling_density = 2;
+  spec.repetitions = 3;
+  for (std::size_t i = 0; i < bots; ++i) {
+    spec.bots.push_back({tasks, i + 1});
+  }
+  return spec;
+}
+
+inline CampaignService::Options small_options(std::uint64_t factory_seed = 7) {
+  CampaignService::Options options;
+  options.max_active_tenants = 4;
+  options.queue_capacity = 4;
+  options.quantum_units = 10000;
+  GridsimBackendOptions gopts;
+  gopts.seed = factory_seed;
+  options.backend_factory = make_gridsim_backend_factory(gopts);
+  return options;
+}
+
+/// Unique per-test scratch directory under gtest's temp root.
+inline std::string fresh_dir(const std::string& stem) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string dir = ::testing::TempDir() + stem;
+  if (info != nullptr) {
+    dir += std::string("_") + info->test_suite_name() + "_" + info->name();
+  }
+  return dir;
+}
+
+inline std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing file " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Bit-exact equality over every decision-relevant report field — the
+/// service's isolation and resume contracts are *identical*, not close.
+inline void expect_identical(const core::Campaign::BotReport& a,
+                             const core::Campaign::BotReport& b,
+                             std::size_t index) {
+  SCOPED_TRACE("bot " + std::to_string(index + 1));
+  EXPECT_EQ(a.strategy.name, b.strategy.name);
+  EXPECT_EQ(a.strategy.ntdmr.n, b.strategy.ntdmr.n);
+  EXPECT_EQ(a.strategy.ntdmr.timeout_t, b.strategy.ntdmr.timeout_t);
+  EXPECT_EQ(a.strategy.ntdmr.deadline_d, b.strategy.ntdmr.deadline_d);
+  EXPECT_EQ(a.strategy.ntdmr.mr, b.strategy.ntdmr.mr);
+  EXPECT_EQ(a.used_recommendation, b.used_recommendation);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.tail_makespan, b.tail_makespan);
+  EXPECT_EQ(a.cost_per_task_cents, b.cost_per_task_cents);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_EQ(a.degradation, b.degradation);
+  EXPECT_EQ(a.model_digest, b.model_digest);
+}
+
+inline void expect_identical_reports(
+    const std::vector<core::Campaign::BotReport>& a,
+    const std::vector<core::Campaign::BotReport>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_identical(a[i], b[i], i);
+  }
+}
+
+/// Run one tenant alone in its own service (same backend factory wiring)
+/// and return its finished reports — the solo reference the multi-tenant
+/// differentials compare against.
+inline std::vector<core::Campaign::BotReport> solo_reports(
+    const TenantSpec& spec, CampaignService::Options options) {
+  CampaignService solo(std::move(options));
+  const AdmissionResult result = solo.submit(spec);
+  EXPECT_TRUE(result.admitted);
+  solo.run_until_idle();
+  return solo.reports(spec.id);
+}
+
+}  // namespace testutil
+}  // namespace expert::service

@@ -38,10 +38,19 @@
 //     supervised worker subprocess (--workers N slots; see
 //     docs/process-backend.md); deterministic output is unchanged.
 //
+//   expert_cli serve --feed FILE|- [--state-dir DIR] [--resume] ...
+//     Run the multi-tenant campaign service against a line-oriented feed
+//     of submit/step/run/status/shutdown verbs: admission control with
+//     bounded queueing and deterministic load shedding, deficit-round-
+//     robin fair-share scheduling over the shared eval service, per-
+//     tenant budgets, tenant-targeted chaos, and crash-safe resume from
+//     --state-dir (see docs/service.md).
+//
 //   expert_cli worker [--experiment K] [--seed S] [--chaos PLAN]
 //     Internal: the process the supervisor self-execs for --backend
 //     process. Speaks the procexec wire protocol on fd 3; not for
-//     interactive use.
+//     interactive use. With --synthetic, rebuilds a serve tenant's
+//     environment instead of a Table V experiment's.
 //
 // Every command accepts --metrics-out=FILE and --trace-out=FILE to dump
 // the run's metrics snapshot (JSON) and Chrome-trace spans, and --profile
@@ -55,6 +64,7 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <utility>
 
 #include "expert/chaos/chaos.hpp"
@@ -68,7 +78,9 @@
 #include "expert/procexec/worker.hpp"
 #include "expert/resilience/drift.hpp"
 #include "expert/resilience/journal.hpp"
+#include "expert/resilience/serial.hpp"
 #include "expert/resilience/watchdog.hpp"
+#include "expert/service/service.hpp"
 #include "expert/gridsim/env/environment.hpp"
 #include "expert/gridsim/scenarios.hpp"
 #include "expert/eval/service.hpp"
@@ -89,7 +101,7 @@ int usage() {
   std::cerr <<
       "usage: expert_cli "
       "<characterize|frontier|recommend|simulate|execute|sensitivity|report"
-      "|profile> [options]\n"
+      "|profile|serve> [options]\n"
       "  characterize --trace FILE [--mode online|offline] [--deadline S]\n"
       "  frontier     --trace FILE --tasks N [--reps R] [--csv]\n"
       "               [--out FILE] (persist frontier points as CSV)\n"
@@ -113,6 +125,12 @@ int usage() {
       "               [--arch classic|spot|serverless|multiregion|volunteer]\n"
       "               (swap the experiment onto a reference environment\n"
       "               architecture; classic is the unchanged default)\n"
+      "  serve        --feed FILE|- [--state-dir DIR] [--resume]\n"
+      "               [--max-tenants N] [--queue N] [--quantum UNITS]\n"
+      "               [--backend gridsim|process] [--workers N] [--seed S]\n"
+      "               [--chaos 'id:plan;id2:plan'] [--kill-after-bots K]\n"
+      "               (multi-tenant campaign service; feed verbs: submit,\n"
+      "               step, run, status, shutdown — see docs/service.md)\n"
       "  worker       internal target of --backend process (wire protocol\n"
       "               on fd 3); never invoke by hand\n"
       "  profile      [--tasks N] [--pool L] [--gamma G] [--tur S] [--reps R]\n"
@@ -130,18 +148,6 @@ trace::ExecutionTrace load_trace(const std::string& path) {
   std::ifstream in(path);
   EXPERT_REQUIRE(in.good(), "cannot open trace file: " + path);
   return trace::read_csv(in);
-}
-
-core::Utility parse_utility(const std::string& text) {
-  if (text == "fastest") return core::Utility::fastest();
-  if (text == "cheapest") return core::Utility::cheapest();
-  if (text == "product") return core::Utility::min_cost_makespan_product();
-  if (text.rfind("budget:", 0) == 0)
-    return core::Utility::fastest_within_budget(std::stod(text.substr(7)));
-  if (text.rfind("deadline:", 0) == 0)
-    return core::Utility::cheapest_within_deadline(std::stod(text.substr(9)));
-  EXPERT_REQUIRE(false, "unknown utility '" + text + "'");
-  return core::Utility::fastest();  // unreachable
 }
 
 core::ExpertOptions expert_options(const util::Args& args) {
@@ -277,7 +283,7 @@ int cmd_recommend(const util::Args& args) {
   const auto history = load_trace(args.required("trace"));
   const auto tasks = static_cast<std::size_t>(args.number_or("tasks", 0.0));
   EXPERT_REQUIRE(tasks > 0, "--tasks is required and must be positive");
-  const auto utility = parse_utility(args.required("utility"));
+  const auto utility = core::parse_utility(args.required("utility"));
   const auto expert = core::Expert::from_history(
       history, core::UserParams{}, expert_options(args));
   const auto rec = expert.recommend(tasks, utility);
@@ -471,7 +477,36 @@ std::string self_exe_path() {
 /// use (same experiment, same derived seed, same chaos plan) and serves
 /// (bot, strategy, stream) requests over the wire protocol on fd 3 —
 /// which is what makes the process backend byte-identical to gridsim.
+/// With --synthetic, the worker instead rebuilds a `serve` tenant's
+/// synthetic environment via service::gridsim_executor_config — the same
+/// function the in-process gridsim backend factory uses, so the two
+/// backends stay byte-identical per tenant.
 int cmd_worker(const util::Args& args) {
+  if (args.has_flag("synthetic")) {
+    service::GridsimBackendOptions gopts;
+    gopts.unreliable_machines =
+        static_cast<std::size_t>(args.number_or("machines", 40.0));
+    gopts.gamma = args.number_or("gamma", 0.82);
+    gopts.reliable_machines =
+        static_cast<std::size_t>(args.number_or("reliable", 10.0));
+    gopts.seed = static_cast<std::uint64_t>(
+        args.number_or("factory-seed", static_cast<double>(gopts.seed)));
+    service::TenantSpec spec;
+    spec.id = args.required("tenant");
+    spec.mean_cpu = args.number_or("mean-cpu", 1000.0);
+    spec.seed =
+        static_cast<std::uint64_t>(args.number_or("tenant-seed", 0.0));
+    if (const auto plan = args.option("chaos")) {
+      gopts.chaos.push_back({spec.id, chaos::parse_chaos_plan(*plan)});
+    }
+    gridsim::Executor executor(service::gridsim_executor_config(gopts, spec));
+    return procexec::worker_main(
+        [&executor](const workload::Bot& bot,
+                    const strategies::StrategyConfig& strategy,
+                    std::uint64_t stream) {
+          return executor.run(bot, strategy, stream);
+        });
+  }
   const int number = static_cast<int>(args.number_or("experiment", 11.0));
   const gridsim::TableVExperiment* exp = find_experiment(number);
   EXPERT_REQUIRE(exp != nullptr,
@@ -491,6 +526,224 @@ int cmd_worker(const util::Args& args) {
       });
 }
 
+/// Parse the field list of one `submit` feed line (after the id) into a
+/// TenantSpec. Grammar: `submit <id> [bots=K] [tasks=N] [seed=S]
+/// [utility=U] [density=D] [window=W] [reps=R] [mean-cpu=X]
+/// [quota-units=U] [quota-wall=S] [quota-journal=B] [drift]`.
+service::TenantSpec parse_tenant_line(std::istringstream& in) {
+  service::TenantSpec spec;
+  in >> spec.id;
+  std::size_t bots = 1;
+  std::size_t tasks = 120;
+  std::string token;
+  while (in >> token) {
+    if (token == "drift") {
+      spec.drift = true;
+      continue;
+    }
+    const std::size_t eq = token.find('=');
+    EXPERT_REQUIRE(eq != std::string::npos && eq > 0,
+                   "feed: expected key=value or drift, got '" + token + "'");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "bots") bots = std::stoul(value);
+    else if (key == "tasks") tasks = std::stoul(value);
+    else if (key == "seed") spec.seed = std::stoull(value);
+    else if (key == "utility") spec.utility = value;
+    else if (key == "density") spec.sampling_density = std::stoul(value);
+    else if (key == "window") spec.history_window = std::stoul(value);
+    else if (key == "reps") spec.repetitions = std::stoul(value);
+    else if (key == "mean-cpu") spec.mean_cpu = std::stod(value);
+    else if (key == "quota-units") spec.quotas.max_eval_units = std::stoull(value);
+    else if (key == "quota-wall") spec.quotas.max_wall_seconds = std::stod(value);
+    else if (key == "quota-journal") spec.quotas.max_journal_bytes = std::stoull(value);
+    else EXPERT_REQUIRE(false, "feed: unknown submit field '" + key + "'");
+  }
+  spec.bots.clear();
+  for (std::size_t i = 0; i < bots; ++i) {
+    spec.bots.push_back({tasks, i + 1});
+  }
+  return spec;
+}
+
+/// Extract the raw plan body for `target` from a targeted chaos option
+/// ("a:plan;b:plan"), so a worker argv carries the tenant's plan text
+/// verbatim (re-parsed in the worker into the identical ChaosConfig).
+std::optional<std::string> chaos_body_for(const std::string& text,
+                                          const std::string& target) {
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find(';', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string entry = text.substr(pos, end - pos);
+    pos = end + 1;
+    const std::size_t first = entry.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    entry = entry.substr(first, entry.find_last_not_of(" \t") - first + 1);
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) continue;
+    if (entry.substr(0, colon) == target) return entry.substr(colon + 1);
+  }
+  return std::nullopt;
+}
+
+void print_service_status(const service::CampaignService& svc) {
+  util::Table table({"tenant", "phase", "bots", "quarantined", "eval units",
+                     "journal [B]", "cause"});
+  for (const auto& s : svc.status()) {
+    table.add_row({s.id, service::to_string(s.phase),
+                   std::to_string(s.bots_done) + "/" +
+                       std::to_string(s.bots_total),
+                   std::to_string(s.quarantined),
+                   std::to_string(s.eval_units),
+                   std::to_string(s.journal_bytes),
+                   s.termination ? service::to_string(*s.termination) : "-"});
+  }
+  table.print(std::cout);
+}
+
+/// Long-lived multi-tenant campaign service driven by a line-oriented
+/// feed (see docs/service.md). Verbs: `submit <id> [fields...]`, `step`,
+/// `run`, `status`, `shutdown`; blank lines and `#` comments are skipped.
+int cmd_serve(const util::Args& args) {
+  EXPERT_SPAN("cli.serve");
+  const std::string feed = args.required("feed");
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (feed != "-") {
+    file.open(feed);
+    EXPERT_REQUIRE(file.good(), "cannot open feed file: " + feed);
+    in = &file;
+  }
+
+  service::CampaignService::Options sopts;
+  sopts.max_active_tenants =
+      static_cast<std::size_t>(args.number_or("max-tenants", 4.0));
+  sopts.queue_capacity =
+      static_cast<std::size_t>(args.number_or("queue", 8.0));
+  sopts.quantum_units =
+      static_cast<std::uint64_t>(args.number_or("quantum", 2000.0));
+  sopts.state_dir = args.option_or("state-dir", "");
+
+  service::GridsimBackendOptions gopts;
+  gopts.seed = static_cast<std::uint64_t>(
+      args.number_or("seed", static_cast<double>(gopts.seed)));
+  const std::string raw_chaos = args.option_or("chaos", "");
+  if (!raw_chaos.empty()) {
+    gopts.chaos = chaos::parse_targeted_plans(raw_chaos);
+  }
+
+  const std::string backend_kind = args.option_or("backend", "gridsim");
+  EXPERT_REQUIRE(backend_kind == "gridsim" || backend_kind == "process",
+                 "--backend must be gridsim or process");
+  if (backend_kind == "gridsim") {
+    sopts.backend_factory = service::make_gridsim_backend_factory(gopts);
+  } else {
+    // Each tenant gets its own supervised worker pool; the factory closure
+    // owns the pool via shared_ptr so the backend is self-contained.
+    const int workers = static_cast<int>(args.number_or("workers", 1.0));
+    const std::string self = self_exe_path();
+    sopts.backend_factory =
+        [gopts, workers, raw_chaos, self](const service::TenantSpec& spec)
+        -> core::Campaign::Backend {
+      procexec::SupervisorOptions popts;
+      popts.workers = workers;
+      popts.worker_program = self;
+      popts.worker_args = {
+          "worker", "--synthetic", "--tenant", spec.id,
+          "--machines", std::to_string(gopts.unreliable_machines),
+          "--gamma", resilience::serial::fmt_double(gopts.gamma),
+          "--reliable", std::to_string(gopts.reliable_machines),
+          "--factory-seed", std::to_string(gopts.seed),
+          "--mean-cpu", resilience::serial::fmt_double(spec.mean_cpu),
+          "--tenant-seed", std::to_string(spec.seed)};
+      if (const auto body = chaos_body_for(raw_chaos, spec.id)) {
+        popts.worker_args.push_back("--chaos");
+        popts.worker_args.push_back(*body);
+      }
+      auto pool = std::make_shared<procexec::ProcessPool>(std::move(popts));
+      return [pool](const workload::Bot& bot,
+                    const strategies::StrategyConfig& strategy,
+                    std::uint64_t stream) {
+        return pool->run(bot, strategy, stream);
+      };
+    };
+  }
+
+  // Crash harness hook: SIGKILL after the K-th finished BoT, service-wide.
+  // Per-BoT progress goes to stderr so stdout stays comparable across
+  // interrupted-and-resumed and uninterrupted runs.
+  const auto kill_after =
+      static_cast<std::size_t>(args.number_or("kill-after-bots", 0.0));
+  auto finished = std::make_shared<std::size_t>(0);
+  sopts.on_bot_finished =
+      [kill_after, finished](const std::string& id,
+                             const core::Campaign::BotReport& report) {
+        std::cerr << "tenant " << id << ": bot "
+                  << core::to_string(report.outcome) << "\n";
+        if (kill_after > 0 && ++*finished == kill_after) {
+          std::raise(SIGKILL);
+        }
+      };
+
+  auto build = [&]() -> service::CampaignService {
+    if (args.has_flag("resume")) {
+      return service::CampaignService::resume(sopts);
+    }
+    return service::CampaignService(sopts);
+  };
+  service::CampaignService svc = build();
+  if (args.has_flag("resume")) {
+    std::cerr << "resumed " << svc.status().size() << " tenant(s) from "
+              << sopts.state_dir << "\n";
+  }
+
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string verb;
+    ls >> verb;
+    if (verb.empty()) continue;
+    if (verb == "submit") {
+      const service::TenantSpec spec = parse_tenant_line(ls);
+      const auto result = svc.submit(spec);
+      if (result.admitted) {
+        std::cout << "admitted " << spec.id << " ("
+                  << service::to_string(result.phase) << ")\n";
+      } else {
+        std::cout << "shed " << spec.id << ": "
+                  << service::to_string(*result.shed) << " (" << result.detail
+                  << ")\n";
+      }
+    } else if (verb == "run") {
+      svc.run_until_idle();
+    } else if (verb == "step") {
+      svc.step();
+    } else if (verb == "shutdown") {
+      svc.begin_shutdown();
+    } else if (verb == "status") {
+      print_service_status(svc);
+    } else {
+      EXPERT_REQUIRE(false, "feed: unknown verb '" + verb + "'");
+    }
+  }
+
+  const auto& stats = svc.stats();
+  std::cout << "service: admitted=" << stats.admitted
+            << " shed=" << stats.shed_total << " rounds=" << stats.rounds
+            << " bots=" << stats.bots_run << "\n";
+  for (std::size_t i = 0; i < service::kShedReasonCount; ++i) {
+    if (stats.shed[i] > 0) {
+      std::cout << "  shed " << service::to_string(
+                       static_cast<service::ShedReason>(i))
+                << "=" << stats.shed[i] << "\n";
+    }
+  }
+  print_service_status(svc);
+  return 0;
+}
+
 /// Campaign mode of `execute`: K BoTs through the full
 /// characterize -> recommend -> execute loop, with per-BoT outcome and
 /// degradation reporting — the chaos-facing face of the pipeline.
@@ -508,7 +761,7 @@ int run_campaign(const util::Args& args, const gridsim::TableVExperiment& exp,
   copts.expert.repetitions =
       static_cast<std::size_t>(args.number_or("reps", 5.0));
   copts.expert.environment_digest = env_digest;
-  const auto utility = parse_utility(args.option_or("utility", "product"));
+  const auto utility = core::parse_utility(args.option_or("utility", "product"));
 
   const std::string backend_kind = args.option_or("backend", "gridsim");
   EXPERT_REQUIRE(backend_kind == "gridsim" || backend_kind == "process",
@@ -749,8 +1002,10 @@ int main(int argc, char** argv) {
       {"trace", "tasks", "utility", "reps", "mode", "deadline", "strategy",
        "pool", "gamma", "tur", "experiment", "seed", "chaos", "bots", "arch",
        "eval-cache", "metrics-out", "trace-out", "journal",
-       "backend-timeout", "backend", "workers", "kill-after-bots", "out"},
-      {"csv", "resume", "drift", "profile"});
+       "backend-timeout", "backend", "workers", "kill-after-bots", "out",
+       "feed", "state-dir", "max-tenants", "queue", "quantum", "machines",
+       "reliable", "factory-seed", "mean-cpu", "tenant-seed", "tenant"},
+      {"csv", "resume", "drift", "profile", "synthetic"});
   try {
     if (!args.unknown_options().empty()) {
       std::cerr << "unknown option --" << args.unknown_options().front()
@@ -780,6 +1035,7 @@ int main(int argc, char** argv) {
     else if (*command == "simulate") rc = cmd_simulate(args);
     else if (*command == "execute") rc = cmd_execute(args);
     else if (*command == "profile") rc = cmd_profile(args);
+    else if (*command == "serve") rc = cmd_serve(args);
     else if (*command == "worker") rc = cmd_worker(args);
     else return usage();
 

@@ -46,7 +46,7 @@ const std::vector<RuleInfo> kRules = {
                 "acquired in opposite orders can deadlock)"},
     {"ANN001", "mutex without clang thread-safety annotation coverage in a "
                "concurrency-audited module (eval/obs/util/resilience/"
-               "procexec)"},
+               "procexec/service)"},
     {"SYS001", "interruptible syscall outside util::retry_eintr (a stray "
                "EINTR turns into a spurious failure; close must use "
                "util::close_fd)"},
@@ -127,15 +127,21 @@ Scope classify(std::string_view path) {
     if (seg == "util") scope.util = true;
     if (seg == "procexec") scope.procexec = true;
     // obs is ordered-only too: metric snapshots promise deterministic
-    // series ordering, so its label/series maps must iterate stably.
+    // series ordering, so its label/series maps must iterate stably. So is
+    // service: its manifest, journals, and DRR schedule promise
+    // byte-identical replay, which an unordered tenant registry would leak
+    // into.
     if (seg == "sim" || seg == "core" || seg == "gridsim" ||
-        seg == "strategies" || seg == "eval" || seg == "obs") {
+        seg == "strategies" || seg == "eval" || seg == "obs" ||
+        seg == "service") {
       scope.ordered_only = true;
     }
     // The concurrency-audited set: modules that run (or synchronize)
-    // threads and therefore fall under ANN001 annotation coverage.
+    // threads and therefore fall under ANN001 annotation coverage. The
+    // service is single-threaded by design, so any mutex that ever
+    // appears there must be annotated (and justified) from day one.
     if (seg == "eval" || seg == "obs" || seg == "util" ||
-        seg == "resilience" || seg == "procexec") {
+        seg == "resilience" || seg == "procexec" || seg == "service") {
       scope.ann_module = std::string(seg);
     }
     // The environment subsystem is audited as its own module: its digest
@@ -288,9 +294,10 @@ FileAnalysis analyze_file(std::string_view path, std::string_view source) {
       if (scope.ordered_only && kUnorderedContainers.count(id) > 0) {
         report("ITER001", tok.line,
                "std::" + id +
-                   " is banned in sim/core/gridsim/strategies/eval/obs: "
-                   "iteration order is unspecified and leaks into results "
-                   "and metric snapshots; use the ordered counterpart");
+                   " is banned in sim/core/gridsim/strategies/eval/obs/"
+                   "service: iteration order is unspecified and leaks into "
+                   "results and metric snapshots; use the ordered "
+                   "counterpart");
       }
 
       // IO001: direct ofstream writes outside util/. util::atomic_write is
